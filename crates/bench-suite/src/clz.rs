@@ -1,0 +1,115 @@
+//! CLZ — count leading zeros (paper Table 1, kernel).
+//!
+//! The classic branchless binary-search ladder: at each level the upper
+//! half of the remaining word is tested for non-zero bits; a mux keeps
+//! either half and the count accumulates. The paper's version counts a
+//! 64-bit value (387 LLVM instrs); the default here is 32 bits to fit the
+//! from-scratch MILP solver.
+
+use pipemap_ir::{CmpPred, DfgBuilder, Target};
+
+use crate::{BenchClass, Benchmark};
+
+/// Build the CLZ kernel for a power-of-two width.
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two in `2..=64`.
+pub fn clz(width: u32) -> Benchmark {
+    assert!(
+        width.is_power_of_two() && (2..=64).contains(&width),
+        "width must be a power of two in 2..=64"
+    );
+    let cw = width.trailing_zeros() + 1; // count word width (e.g. 6 for 32)
+    let mut b = DfgBuilder::new(format!("clz{width}"));
+    let x0 = b.input("x", width);
+
+    let mut x = x0;
+    let mut count = b.const_(0, cw);
+    let mut step = width / 2;
+    while step >= 1 {
+        // hi = x >> step; any = (hi != 0)
+        let hi = b.shr(x, step);
+        let zero = b.const_(0, width);
+        let any = b.cmp(CmpPred::Ne, hi, zero);
+        b.name_node(any, format!("any{step}"));
+        // If the upper half is non-zero, discard the lower half; otherwise
+        // the upper half is all zeros and contributes `step` to the count.
+        let step_c = b.const_(u64::from(step), cw);
+        let zero_c = b.const_(0, cw);
+        let add = b.mux(any, zero_c, step_c);
+        let nc = b.add(count, add);
+        count = nc;
+        let keep = b.mux(any, hi, x);
+        x = keep;
+        step /= 2;
+    }
+    // Final bit: if the remaining value's LSB is 0, the word was all zero
+    // in the inspected positions; add 1 more when x == 0.
+    let lsb = b.bit(x, 0);
+    let one = b.const_(1, 1);
+    let isz = b.xor(lsb, one); // x is 0 or 1 here
+    let ext = b.zext(isz, cw);
+    let total = b.add(count, ext);
+    b.output("clz", total);
+
+    Benchmark {
+        name: "CLZ",
+        class: BenchClass::Kernel,
+        domain: "Kernel",
+        description: "Count the number of leading zeros in a value",
+        dfg: b.finish().expect("clz graph is valid"),
+        target: Target::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, InputStreams};
+
+    fn run_clz(width: u32, vals: &[u64]) -> Vec<u64> {
+        let bench = clz(width);
+        let g = &bench.dfg;
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vals.to_vec());
+        let t = execute(g, &ins, vals.len()).expect("executes");
+        let out = g.outputs()[0];
+        (0..vals.len()).map(|k| t.value(k, out)).collect()
+    }
+
+    #[test]
+    fn matches_hardware_semantics_32() {
+        let vals = [0u64, 1, 2, 3, 0x8000_0000, 0x7FFF_FFFF, 0xFFFF_FFFF, 42];
+        let got = run_clz(32, &vals);
+        let expected: Vec<u64> = vals
+            .iter()
+            .map(|&v| u64::from((v as u32).leading_zeros()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matches_hardware_semantics_16_random() {
+        let mut state = 123u64;
+        let vals: Vec<u64> = (0..50)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) & 0xFFFF
+            })
+            .collect();
+        let got = run_clz(16, &vals);
+        let expected: Vec<u64> = vals
+            .iter()
+            .map(|&v| u64::from((v as u16).leading_zeros()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pure_logic_kernel() {
+        let b = clz(32);
+        assert_eq!(b.dfg.stats().black_box_ops, 0);
+        assert_eq!(b.dfg.stats().loop_carried_edges, 0);
+    }
+}

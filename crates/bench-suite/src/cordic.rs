@@ -1,0 +1,141 @@
+//! CORDIC — coordinate rotation (paper Table 1, scientific computing).
+//!
+//! Rotation-mode iterations at 16-bit fixed point, fully unrolled: each
+//! stage picks a rotation direction from the sign of the residual angle
+//! (an MSB-only test — exactly the paper's bit-level special case),
+//! arithmetic-shifts the coordinates and accumulates the arctangent
+//! constants. All adds/subs/muxes — the FF savings in the paper come from
+//! shortening this arithmetic pipeline.
+
+use pipemap_ir::{DfgBuilder, NodeId, Target};
+
+use crate::{BenchClass, Benchmark};
+
+/// Arctangent table in 16-bit fixed point (atan(2^-i) scaled by 2^13).
+const ATAN: [u64; 8] = [6434, 3798, 2007, 1019, 512, 256, 128, 64];
+
+/// Arithmetic shift right built from logical ops: `shr` plus sign fill.
+fn asr(b: &mut DfgBuilder, v: NodeId, s: u32, width: u32) -> NodeId {
+    let logical = b.shr(v, s);
+    let sign = b.bit(v, width - 1);
+    let fill = {
+        let ones = pipemap_ir::mask(width) & !(pipemap_ir::mask(width) >> s);
+        let hi = b.const_(ones, width);
+        let zero = b.const_(0, width);
+        b.mux(sign, hi, zero)
+    };
+    b.or(logical, fill)
+}
+
+/// Build the CORDIC kernel with `iters` unrolled stages (16-bit).
+///
+/// # Panics
+///
+/// Panics if `iters` is 0 or greater than 8.
+pub fn cordic(iters: u32) -> Benchmark {
+    assert!((1..=8).contains(&iters), "1..=8 iterations supported");
+    const W: u32 = 16;
+    let mut b = DfgBuilder::new(format!("cordic{iters}"));
+    let mut x = b.input("x", W);
+    let mut y = b.input("y", W);
+    let mut z = b.input("z", W);
+
+    for i in 0..iters {
+        // d = (z >= 0): rotate positive; MSB-only signed test.
+        let d = b.is_non_negative(z);
+        b.name_node(d, format!("d{i}"));
+        let xs = asr(&mut b, x, i, W);
+        let ys = asr(&mut b, y, i, W);
+        let atan = b.const_(ATAN[i as usize], W);
+
+        let x_plus = b.add(x, ys);
+        let x_minus = b.sub(x, ys);
+        let y_plus = b.add(y, xs);
+        let y_minus = b.sub(y, xs);
+        let z_plus = b.add(z, atan);
+        let z_minus = b.sub(z, atan);
+
+        x = b.mux(d, x_minus, x_plus);
+        y = b.mux(d, y_plus, y_minus);
+        z = b.mux(d, z_minus, z_plus);
+    }
+    b.output("x", x);
+    b.output("y", y);
+    b.output("z", z);
+
+    Benchmark {
+        name: "CORDIC",
+        class: BenchClass::Application,
+        domain: "Scientific Computing",
+        description: "Coordinate Rotation Digital Computer",
+        dfg: b.finish().expect("cordic graph is valid"),
+        target: Target::default(),
+    }
+}
+
+/// Software reference for one CORDIC pipeline evaluation.
+pub fn soft_cordic(iters: u32, mut x: i16, mut y: i16, mut z: i16) -> (i16, i16, i16) {
+    for i in 0..iters {
+        let d = z >= 0;
+        let xs = x >> i;
+        let ys = y >> i;
+        let atan = ATAN[i as usize] as i16;
+        if d {
+            let nx = x.wrapping_sub(ys);
+            let ny = y.wrapping_add(xs);
+            let nz = z.wrapping_sub(atan);
+            x = nx;
+            y = ny;
+            z = nz;
+        } else {
+            let nx = x.wrapping_add(ys);
+            let ny = y.wrapping_sub(xs);
+            let nz = z.wrapping_add(atan);
+            x = nx;
+            y = ny;
+            z = nz;
+        }
+    }
+    (x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, InputStreams};
+
+    #[test]
+    fn graph_matches_soft_model() {
+        let iters = 5;
+        let bench = cordic(iters);
+        let g = &bench.dfg;
+        let cases: [(i16, i16, i16); 5] = [
+            (8192, 0, 6434),   // rotate by 45 degrees
+            (8192, 0, -6434),
+            (1000, -2000, 300),
+            (-5000, 1234, -2222),
+            (0, 0, 0),
+        ];
+        let mut ins = InputStreams::new();
+        let to_u = |v: i16| u64::from(v as u16);
+        ins.set(g.inputs()[0], cases.iter().map(|c| to_u(c.0)).collect());
+        ins.set(g.inputs()[1], cases.iter().map(|c| to_u(c.1)).collect());
+        ins.set(g.inputs()[2], cases.iter().map(|c| to_u(c.2)).collect());
+        let t = execute(g, &ins, cases.len()).expect("executes");
+        let outs = g.outputs();
+        for (k, &(x, y, z)) in cases.iter().enumerate() {
+            let (ex, ey, ez) = soft_cordic(iters, x, y, z);
+            assert_eq!(t.value(k, outs[0]) as u16 as i16, ex, "x case {k}");
+            assert_eq!(t.value(k, outs[1]) as u16 as i16, ey, "y case {k}");
+            assert_eq!(t.value(k, outs[2]) as u16 as i16, ez, "z case {k}");
+        }
+    }
+
+    #[test]
+    fn rotation_approaches_target_angle() {
+        // After 8 iterations the residual angle should be small.
+        let (_, y, z) = soft_cordic(8, 8192, 0, 6434);
+        assert!(z.abs() < 200, "residual angle {z}");
+        assert!(y > 4000, "rotated y {y}");
+    }
+}

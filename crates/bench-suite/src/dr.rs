@@ -1,0 +1,154 @@
+//! DR — digit recognition by k-nearest neighbours (paper Table 1, machine
+//! learning).
+//!
+//! Each iteration streams in a 16-bit query bitmap and an index; two
+//! training bitmaps are fetched from a dual-ported ROM, Hamming distances
+//! are computed (xor + popcount adder trees — the dominant logic cloud),
+//! and the nearer neighbour's distance and label are selected.
+
+use pipemap_ir::{DfgBuilder, NodeId, Target};
+
+use crate::{BenchClass, Benchmark};
+
+const BITMAP_W: u32 = 16;
+const DIST_W: u32 = 5; // popcount of 16 bits fits in 5 bits
+
+/// The training set: `(bitmap, label)` pairs baked into ROMs.
+pub fn training_set() -> Vec<(u16, u8)> {
+    // Tiny stylized "digits": vertical bar, horizontal bar, checkerboard,
+    // solid, corners, cross, L-shape, ring.
+    vec![
+        (0x1111, 0),
+        (0x000F, 1),
+        (0x5A5A, 2),
+        (0xFFFF, 3),
+        (0x9009, 4),
+        (0x0660, 5),
+        (0x1117, 6),
+        (0xF99F, 7),
+    ]
+}
+
+/// Popcount of a 16-bit value as a nibble-wise adder tree.
+fn popcount16(b: &mut DfgBuilder, v: NodeId) -> NodeId {
+    // Per nibble: sum of the four bits, zero-extended as it grows.
+    let mut nibble_counts = Vec::new();
+    for n in 0..4 {
+        let bits: Vec<NodeId> = (0..4).map(|i| b.bit(v, n * 4 + i)).collect();
+        let b0 = b.zext(bits[0], 3);
+        let b1 = b.zext(bits[1], 3);
+        let b2 = b.zext(bits[2], 3);
+        let b3 = b.zext(bits[3], 3);
+        let s01 = b.add(b0, b1);
+        let s23 = b.add(b2, b3);
+        let s = b.add(s01, s23);
+        nibble_counts.push(b.zext(s, DIST_W));
+    }
+    let a = b.add(nibble_counts[0], nibble_counts[1]);
+    let c = b.add(nibble_counts[2], nibble_counts[3]);
+    b.add(a, c)
+}
+
+/// Build the DR benchmark.
+pub fn dr() -> Benchmark {
+    let mut b = DfgBuilder::new("digit_rec");
+    let query = b.input("query", BITMAP_W);
+    let idx = b.input("idx", 2); // selects a pair of training samples
+
+    let train = training_set();
+    let bitmaps = b.add_memory(
+        "train_bitmaps",
+        BITMAP_W,
+        train.iter().map(|&(bm, _)| u64::from(bm)).collect(),
+    );
+    let labels = b.add_memory(
+        "train_labels",
+        8,
+        train.iter().map(|&(_, l)| u64::from(l)).collect(),
+    );
+
+    // Two candidates per iteration: addresses 2*idx and 2*idx + 1.
+    let idx3 = b.zext(idx, 3);
+    let addr0 = b.shl(idx3, 1);
+    let one = b.const_(1, 3);
+    let addr1 = b.or(addr0, one);
+
+    let mut cands = Vec::new();
+    for addr in [addr0, addr1] {
+        let bm = b.load(bitmaps, addr);
+        let diff = b.xor(query, bm);
+        let dist = popcount16(&mut b, diff);
+        let label = b.load(labels, addr);
+        cands.push((dist, label));
+    }
+    let (d0, l0) = cands[0];
+    let (d1, l1) = cands[1];
+    let nearer = b.cmp(pipemap_ir::CmpPred::Ule, d0, d1);
+    let best_d = b.mux(nearer, d0, d1);
+    let best_l = b.mux(nearer, l0, l1);
+    b.output("distance", best_d);
+    b.output("label", best_l);
+
+    Benchmark {
+        name: "DR",
+        class: BenchClass::Application,
+        domain: "Machine Learning",
+        description: "Digit recognition using k-nearest neighbours",
+        dfg: b.finish().expect("dr graph is valid"),
+        target: Target::default(),
+    }
+}
+
+/// Software reference model: returns `(distance, label)`.
+pub fn soft_dr(query: u16, idx: u8) -> (u32, u8) {
+    let train = training_set();
+    let a0 = (idx as usize * 2) % train.len();
+    let a1 = (idx as usize * 2 + 1) % train.len();
+    let d0 = (query ^ train[a0].0).count_ones();
+    let d1 = (query ^ train[a1].0).count_ones();
+    if d0 <= d1 {
+        (d0, train[a0].1)
+    } else {
+        (d1, train[a1].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, InputStreams};
+
+    #[test]
+    fn graph_matches_soft_model() {
+        let bench = dr();
+        let g = &bench.dfg;
+        let cases: [(u16, u8); 6] = [
+            (0x1111, 0),
+            (0x000E, 0),
+            (0xFFFF, 1),
+            (0x5A5B, 1),
+            (0x9119, 2),
+            (0x0000, 3),
+        ];
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], cases.iter().map(|c| u64::from(c.0)).collect());
+        ins.set(g.inputs()[1], cases.iter().map(|c| u64::from(c.1)).collect());
+        let t = execute(g, &ins, cases.len()).expect("executes");
+        let outs = g.outputs();
+        for (k, &(q, i)) in cases.iter().enumerate() {
+            let (d, l) = soft_dr(q, i);
+            assert_eq!(t.value(k, outs[0]), u64::from(d), "distance case {k}");
+            assert_eq!(t.value(k, outs[1]), u64::from(l), "label case {k}");
+        }
+    }
+
+    #[test]
+    fn reads_are_within_port_budget() {
+        // 2 bitmap reads on one ROM + 2 label reads on the other = 2 ports
+        // each at II = 1.
+        let bench = dr();
+        let s = bench.dfg.stats();
+        assert_eq!(s.black_box_ops, 4);
+        assert_eq!(bench.dfg.memories().len(), 2);
+    }
+}

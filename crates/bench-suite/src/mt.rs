@@ -1,0 +1,155 @@
+//! MT — Mersenne-Twister pseudorandom generation (paper Table 1,
+//! scientific computing).
+//!
+//! A condensed MT19937 step: the twist combines state words from one, two
+//! and three iterations back (loop-carried distances 1–3, exercising the
+//! register-chain signals the MILP prices), followed by the full 4-stage
+//! tempering network. Two independent streams are generated per iteration
+//! to give the graph some width, as the paper's 236-instruction version
+//! has.
+
+use pipemap_ir::{DfgBuilder, NodeId, Target};
+
+use crate::{BenchClass, Benchmark};
+
+const MATRIX_A: u64 = 0x9908_B0DF;
+const UPPER: u64 = 0x8000_0000;
+const LOWER: u64 = 0x7FFF_FFFF;
+
+struct Stream {
+    state: NodeId,
+    out: NodeId,
+}
+
+/// One twist + temper pipeline; `seed_mix` is xored in each iteration so
+/// the two streams differ.
+fn stream(b: &mut DfgBuilder, entropy: NodeId, init: u64) -> Stream {
+    const W: u32 = 32;
+    let s1 = b.placeholder(W); // state from 1 iteration back
+    let s2 = b.placeholder(W);
+    let s3 = b.placeholder(W);
+
+    let upper = b.const_(UPPER, W);
+    let lower = b.const_(LOWER, W);
+    let hi = b.and(s1, upper);
+    let lo = b.and(s2, lower);
+    let mixed = b.or(hi, lo);
+    let shifted = b.shr(mixed, 1);
+    let odd = b.bit(mixed, 0);
+    let ma = b.const_(MATRIX_A, W);
+    let zero = b.const_(0, W);
+    let mag = b.mux(odd, ma, zero);
+    let twisted = b.xor(shifted, mag);
+    let folded = b.xor(twisted, s3);
+    let state = b.xor(folded, entropy);
+
+    b.bind(s1, state, 1).expect("dist-1 feedback");
+    b.bind(s2, state, 2).expect("dist-2 feedback");
+    b.bind(s3, state, 3).expect("dist-3 feedback");
+    b.set_init_value(state, init);
+
+    // Tempering: y ^= y>>11; y ^= (y<<7)&B; y ^= (y<<15)&C; y ^= y>>18.
+    let t1s = b.shr(state, 11);
+    let y1 = b.xor(state, t1s);
+    let t2s = b.shl(y1, 7);
+    let bmask = b.const_(0x9D2C_5680, W);
+    let t2m = b.and(t2s, bmask);
+    let y2 = b.xor(y1, t2m);
+    let t3s = b.shl(y2, 15);
+    let cmask = b.const_(0xEFC6_0000, W);
+    let t3m = b.and(t3s, cmask);
+    let y3 = b.xor(y2, t3m);
+    let t4s = b.shr(y3, 18);
+    let out = b.xor(y3, t4s);
+    Stream { state, out }
+}
+
+/// Build the MT benchmark (two tempered streams, 32-bit).
+pub fn mt() -> Benchmark {
+    let mut b = DfgBuilder::new("mt");
+    let e0 = b.input("entropy0", 32);
+    let e1 = b.input("entropy1", 32);
+    let a = stream(&mut b, e0, 0x1234_5678);
+    let c = stream(&mut b, e1, 0x8765_4321);
+    // Combined output as well, mixing the streams.
+    let both = b.xor(a.out, c.out);
+    b.output("r0", a.out);
+    b.output("r1", c.out);
+    b.output("mix", both);
+    let _ = (a.state, c.state);
+
+    Benchmark {
+        name: "MT",
+        class: BenchClass::Application,
+        domain: "Scientific Computing",
+        description: "Mersenne Twister pseudorandom number generation",
+        dfg: b.finish().expect("mt graph is valid"),
+        target: Target::default(),
+    }
+}
+
+/// Software reference model of one tempered stream.
+pub fn soft_mt_stream(entropy: &[u32], init: u32) -> Vec<u32> {
+    let mut hist = vec![init; 3]; // [s@-3, s@-2, s@-1] conceptually
+    let mut outs = Vec::new();
+    for &e in entropy {
+        let s1 = hist[hist.len() - 1];
+        let s2 = hist[hist.len() - 2];
+        let s3 = hist[hist.len() - 3];
+        let mixed = (s1 & UPPER as u32) | (s2 & LOWER as u32);
+        let mag = if mixed & 1 != 0 { MATRIX_A as u32 } else { 0 };
+        let state = ((mixed >> 1) ^ mag) ^ s3 ^ e;
+        hist.push(state);
+        let mut y = state;
+        y ^= y >> 11;
+        y ^= (y << 7) & 0x9D2C_5680;
+        y ^= (y << 15) & 0xEFC6_0000;
+        y ^= y >> 18;
+        outs.push(y);
+    }
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, InputStreams};
+
+    #[test]
+    fn graph_matches_soft_model() {
+        let bench = mt();
+        let g = &bench.dfg;
+        let e0: Vec<u64> = vec![5, 99, 0xDEAD_BEEF, 7, 0, 1, 2, 3];
+        let e1: Vec<u64> = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], e0.clone());
+        ins.set(g.inputs()[1], e1.clone());
+        let t = execute(g, &ins, e0.len()).expect("executes");
+
+        let s0 = soft_mt_stream(
+            &e0.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+            0x1234_5678,
+        );
+        let s1 = soft_mt_stream(
+            &e1.iter().map(|&v| v as u32).collect::<Vec<_>>(),
+            0x8765_4321,
+        );
+        let outs = g.outputs();
+        for k in 0..e0.len() {
+            assert_eq!(t.value(k, outs[0]) as u32, s0[k], "r0 at {k}");
+            assert_eq!(t.value(k, outs[1]) as u32, s1[k], "r1 at {k}");
+            assert_eq!(t.value(k, outs[2]) as u32, s0[k] ^ s1[k], "mix at {k}");
+        }
+    }
+
+    #[test]
+    fn has_multi_distance_recurrences() {
+        let bench = mt();
+        let dists: std::collections::BTreeSet<u32> = bench
+            .dfg
+            .iter()
+            .flat_map(|(_, n)| n.ins.iter().map(|p| p.dist))
+            .collect();
+        assert!(dists.contains(&1) && dists.contains(&2) && dists.contains(&3));
+    }
+}

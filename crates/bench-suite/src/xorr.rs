@@ -1,0 +1,99 @@
+//! XORR — XOR reduction over an array of elements (paper Table 1, kernel).
+//!
+//! The paper's kernel is a reduction tree of depth 9 over a large array
+//! (2047 LLVM instrs); the HLS tool assigns 1.37 ns per XOR, so the
+//! additive critical path exceeds the 10 ns target and a 2-stage pipeline
+//! is produced, while mapping packs the tree into few LUT levels and a
+//! single stage. This generator keeps that story at a reduced size: each
+//! element is first masked and whitened (two extra logic levels), then
+//! reduced; with 64 elements the additive depth is 8 levels = 10.96 ns >
+//! 10 ns.
+
+use pipemap_ir::{DfgBuilder, Target};
+
+use crate::{BenchClass, Benchmark};
+
+/// Build the XORR kernel over `n` elements of `width` bits.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 2.
+pub fn xorr(n: usize, width: u32) -> Benchmark {
+    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+    let mut b = DfgBuilder::new(format!("xorr{n}x{width}"));
+    let mask = pipemap_ir::mask(width);
+    // Whiten + mask each element (deterministic per-element constants).
+    let mut level: Vec<_> = (0..n)
+        .map(|i| {
+            let x = b.input(format!("x{i}"), width);
+            let key = b.const_((0x9E37_79B9u64.wrapping_mul(i as u64 + 1)) & mask, width);
+            let w = b.xor(x, key);
+            let m = b.const_((0x5A5A_5A5A_5A5A_5A5Au64.rotate_left(i as u32)) & mask, width);
+            b.and(w, m)
+        })
+        .collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| b.xor(pair[0], pair[1]))
+            .collect();
+    }
+    b.output("xorr", level[0]);
+
+    Benchmark {
+        name: "XORR",
+        class: BenchClass::Kernel,
+        domain: "Kernel",
+        description: "XOR reduction for an array of elements",
+        dfg: b.finish().expect("xorr graph is valid"),
+        target: Target::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, InputStreams};
+
+    #[test]
+    fn matches_software_reduction() {
+        let n = 16;
+        let width = 8;
+        let bench = xorr(n, width);
+        let g = &bench.dfg;
+        let mask = pipemap_ir::mask(width);
+
+        let vals: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 5) & mask).collect();
+        let mut ins = InputStreams::new();
+        for (i, id) in g.inputs().iter().enumerate() {
+            ins.set(*id, vec![vals[i]]);
+        }
+        let t = execute(g, &ins, 1).expect("executes");
+
+        let expected = vals.iter().enumerate().fold(0u64, |acc, (i, &v)| {
+            let key = (0x9E37_79B9u64.wrapping_mul(i as u64 + 1)) & mask;
+            let m = (0x5A5A_5A5A_5A5A_5A5Au64.rotate_left(i as u32)) & mask;
+            acc ^ ((v ^ key) & m)
+        });
+        assert_eq!(t.value(0, g.outputs()[0]), expected);
+    }
+
+    #[test]
+    fn default_size_exceeds_one_additive_cycle() {
+        // 2 pre-levels + log2(64) = 8 levels * 1.37 ns > 10 ns.
+        let bench = xorr(64, 2);
+        let depth_levels = 2 + 6;
+        let additive = depth_levels as f64 * bench.target.lut_level_delay();
+        assert!(additive > bench.target.t_cp);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let b = xorr(8, 4);
+        // 8 inputs, 8 xors + 8 ands pre-stage, 7 reduction xors.
+        let s = b.dfg.stats();
+        assert_eq!(s.inputs, 8);
+        assert_eq!(s.lut_ops, 8 + 8 + 7);
+        assert_eq!(s.black_box_ops, 0);
+    }
+}

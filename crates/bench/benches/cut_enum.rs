@@ -1,0 +1,29 @@
+//! Criterion bench: word-level cut enumeration (Algorithm 1) across the
+//! benchmark suite — the paper's claim that enumeration "is typically very
+//! fast as the value of K is small in practice" (§3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_bench_suite::all;
+use pipemap_cuts::{CutConfig, CutDb};
+
+fn bench_cut_enum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cut_enumeration");
+    for bench in all() {
+        let cfg = CutConfig::for_target(&bench.target);
+        g.bench_with_input(BenchmarkId::new("k4", bench.name), &bench, |b, bench| {
+            b.iter(|| CutDb::enumerate(&bench.dfg, &cfg));
+        });
+    }
+    // K sweep on one kernel (exponential-in-K claim).
+    let gf = pipemap_bench_suite::by_name("GFMUL").expect("exists");
+    for k in [2u32, 4, 6] {
+        let cfg = CutConfig { k, ..CutConfig::default() };
+        g.bench_with_input(BenchmarkId::new("gfmul_k", k), &k, |b, _| {
+            b.iter(|| CutDb::enumerate(&gf.dfg, &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cut_enum);
+criterion_main!(benches);

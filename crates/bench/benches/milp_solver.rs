@@ -1,0 +1,74 @@
+//! Criterion bench: MILP solve throughput (Table 2's runtime column, in
+//! microcosm). Node-limited so each sample is bounded; the full-length
+//! solves are produced by the `table2` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_milp::{LinExpr, Model, Sense, SolverOptions};
+
+/// A deterministic knapsack family.
+fn knapsack(n: usize, seed: u64) -> Model {
+    let mut m = Model::new(format!("ks{n}"));
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut w = LinExpr::new();
+    for _ in 0..n {
+        let v = (next() % 50 + 1) as f64;
+        let wt = (next() % 40 + 1) as f64;
+        let x = m.add_binary(-v);
+        w.add_term(wt, x);
+    }
+    m.add_constraint(w, Sense::Le, 10.0 * n as f64 / 4.0);
+    m
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milp_solver");
+    g.sample_size(10);
+    for n in [10usize, 20, 30] {
+        let model = knapsack(n, 0xBEEF);
+        g.bench_with_input(BenchmarkId::new("knapsack", n), &model, |b, model| {
+            let opts = SolverOptions {
+                time_limit: Duration::from_secs(10),
+                ..SolverOptions::default()
+            };
+            b.iter(|| model.solve(&opts).expect("solves"));
+        });
+    }
+    // Scheduling-model root solves: base vs map on the smallest kernel
+    // (the Table 2 base≪map runtime relationship).
+    for (label, trivial) in [("gfmul_base", true), ("gfmul_map", false)] {
+        let bench = pipemap_bench_suite::by_name("GFMUL").expect("exists");
+        let cfg = if trivial {
+            pipemap_cuts::CutConfig::trivial_only(&bench.target)
+        } else {
+            pipemap_cuts::CutConfig::for_target(&bench.target)
+        };
+        let db = pipemap_cuts::CutDb::enumerate(&bench.dfg, &cfg);
+        let base =
+            pipemap_core::schedule_baseline(&bench.dfg, &bench.target, 1, &db).expect("baseline");
+        let m = base.implementation.schedule.depth();
+        let model = pipemap_core::debug_build_model(
+            &bench.dfg,
+            &bench.target,
+            &db,
+            base.ii,
+            m,
+            0.5,
+            0.5,
+        );
+        g.bench_function(BenchmarkId::new("root_lp", label), |b| {
+            b.iter(|| pipemap_milp::debug_solve_root_lp(&model));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

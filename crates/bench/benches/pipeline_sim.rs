@@ -1,0 +1,32 @@
+//! Criterion bench: cycle-accurate pipeline simulation + QoR evaluation
+//! throughput (the substitute for Vivado's implementation step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_bench_suite::all;
+use pipemap_core::{schedule_baseline, Flow};
+use pipemap_cuts::{CutConfig, CutDb};
+use pipemap_ir::InputStreams;
+use pipemap_netlist::{simulate, Qor};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_sim");
+    for bench in all() {
+        let db = CutDb::enumerate(&bench.dfg, &CutConfig::for_target(&bench.target));
+        let base = schedule_baseline(&bench.dfg, &bench.target, 1, &db).expect("baseline");
+        let ins = InputStreams::random(&bench.dfg, 64, 1);
+        g.bench_with_input(BenchmarkId::new("simulate64", bench.name), &bench, |b, bench| {
+            b.iter(|| {
+                simulate(&bench.dfg, &bench.target, &base.implementation, &ins, 64)
+                    .expect("simulates")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("qor", bench.name), &bench, |b, bench| {
+            b.iter(|| Qor::evaluate(&bench.dfg, &bench.target, &base.implementation));
+        });
+    }
+    g.finish();
+    let _ = Flow::HlsTool;
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: the heuristic schedulers (the "commercial tool
+//! finishes in seconds" side of the paper's Table 2 discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipemap_bench_suite::all;
+use pipemap_core::{schedule_baseline, schedule_mapped_heuristic};
+use pipemap_cuts::{CutConfig, CutDb};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedulers");
+    for bench in all() {
+        let db = CutDb::enumerate(&bench.dfg, &CutConfig::for_target(&bench.target));
+        g.bench_with_input(
+            BenchmarkId::new("baseline", bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| schedule_baseline(&bench.dfg, &bench.target, 1, &db).expect("schedules"));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("mapped_heuristic", bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| schedule_mapped_heuristic(&bench.dfg, &bench.target, 1, &db));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

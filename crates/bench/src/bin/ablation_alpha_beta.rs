@@ -1,0 +1,40 @@
+//! Ablation A: sweep the Eq. 15 weights α (LUTs) vs β (registers) and
+//! watch the LUT/FF trade-off move — the knob the paper exposes but only
+//! evaluates at α = β = 0.5.
+//!
+//! ```text
+//! cargo run --release -p pipemap-bench --bin ablation_alpha_beta -- [--limit SECS]
+//! ```
+
+use pipemap_bench::arg_limit;
+use pipemap_bench_suite::by_name;
+use pipemap_core::{run_flow, Flow, FlowOptions};
+
+fn main() {
+    let limit = arg_limit(20);
+    println!("Ablation A: alpha/beta sweep of the MILP-map objective (Eq. 15)\n");
+    for name in ["CLZ", "GFMUL"] {
+        let bench = by_name(name).expect("benchmark exists");
+        println!("{name}:");
+        println!("{:>6} {:>6} | {:>6} {:>6} {:>6}", "alpha", "beta", "LUT", "FF", "depth");
+        for step in 0..=4 {
+            let alpha = f64::from(step) / 4.0;
+            let beta = 1.0 - alpha;
+            let opts = FlowOptions {
+                alpha,
+                beta,
+                time_limit: limit,
+                ..FlowOptions::default()
+            };
+            match run_flow(&bench.dfg, &bench.target, Flow::MilpMap, &opts) {
+                Ok(r) => println!(
+                    "{:>6.2} {:>6.2} | {:>6} {:>6} {:>6}",
+                    alpha, beta, r.qor.luts, r.qor.ffs, r.qor.depth
+                ),
+                Err(e) => println!("{alpha:>6.2} {beta:>6.2} | error: {e}"),
+            }
+        }
+        println!();
+    }
+    println!("Expectation: growing beta trades LUTs for fewer registers and vice versa.");
+}

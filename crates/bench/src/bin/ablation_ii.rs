@@ -1,0 +1,37 @@
+//! Ablation C: sweep the initiation interval and watch the register
+//! objective fold (Eq. 13 folds liveness modulo II; larger II shares
+//! registers across fewer concurrent iterations).
+//!
+//! ```text
+//! cargo run --release -p pipemap-bench --bin ablation_ii -- [--limit SECS]
+//! ```
+
+use pipemap_bench::arg_limit;
+use pipemap_bench_suite::by_name;
+use pipemap_core::{run_flow, Flow, FlowOptions};
+
+fn main() {
+    let limit = arg_limit(20);
+    println!("Ablation C: initiation interval sweep (MILP-map)\n");
+    for name in ["CORDIC", "GSM", "AES"] {
+        let bench = by_name(name).expect("benchmark exists");
+        println!("{name}:");
+        println!("{:>9} | {:>4} {:>6} {:>6} {:>6}", "target II", "II", "LUT", "FF", "depth");
+        for ii in [1u32, 2, 4] {
+            let opts = FlowOptions {
+                ii,
+                time_limit: limit,
+                ..FlowOptions::default()
+            };
+            match run_flow(&bench.dfg, &bench.target, Flow::MilpMap, &opts) {
+                Ok(r) => println!(
+                    "{:>9} | {:>4} {:>6} {:>6} {:>6}",
+                    ii, r.ii, r.qor.luts, r.qor.ffs, r.qor.depth
+                ),
+                Err(e) => println!("{ii:>9} | error: {e}"),
+            }
+        }
+        println!();
+    }
+    println!("Expectation: relaxing the throughput constraint cannot increase the optimum's area.");
+}

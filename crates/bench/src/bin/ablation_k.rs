@@ -1,0 +1,58 @@
+//! Ablation B: sweep the LUT input count K (the paper notes cut
+//! enumeration is exponential in K but fast for the practical K ≤ 6) and
+//! report cut counts, enumeration time, and MILP-map QoR.
+//!
+//! ```text
+//! cargo run --release -p pipemap-bench --bin ablation_k -- [--limit SECS]
+//! ```
+
+use std::time::Instant;
+
+use pipemap_bench::arg_limit;
+use pipemap_bench_suite::by_name;
+use pipemap_core::{run_flow, Flow, FlowOptions};
+use pipemap_cuts::{CutConfig, CutDb};
+
+fn main() {
+    let limit = arg_limit(20);
+    println!("Ablation B: LUT input count K sweep\n");
+    for name in ["GFMUL", "XORR", "RS"] {
+        let bench = by_name(name).expect("benchmark exists");
+        println!("{name}:");
+        println!(
+            "{:>3} | {:>7} {:>12} | {:>6} {:>6} {:>6}",
+            "K", "cuts", "enum time", "LUT", "FF", "depth"
+        );
+        for k in [2u32, 4, 6] {
+            let mut target = bench.target.clone();
+            target.k = k;
+            let t0 = Instant::now();
+            let db = CutDb::enumerate(
+                &bench.dfg,
+                &CutConfig {
+                    k,
+                    ..CutConfig::default()
+                },
+            );
+            let enum_time = t0.elapsed();
+            let opts = FlowOptions {
+                time_limit: limit,
+                ..FlowOptions::default()
+            };
+            match run_flow(&bench.dfg, &target, Flow::MilpMap, &opts) {
+                Ok(r) => println!(
+                    "{:>3} | {:>7} {:>12?} | {:>6} {:>6} {:>6}",
+                    k,
+                    db.total_cuts(),
+                    enum_time,
+                    r.qor.luts,
+                    r.qor.ffs,
+                    r.qor.depth
+                ),
+                Err(e) => println!("{k:>3} | {:>7} {enum_time:>12?} | error: {e}", db.total_cuts()),
+            }
+        }
+        println!();
+    }
+    println!("Expectation: cut counts grow with K; bigger K absorbs more logic (fewer LUTs/stages).");
+}

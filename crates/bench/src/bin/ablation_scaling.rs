@@ -1,0 +1,65 @@
+//! Ablation D: MILP scalability — the paper's Table 2 discussion notes
+//! that solver runtime scales with the number of unique constraints,
+//! which is driven by the number of enumerated cuts. Sweep the XORR
+//! reduction-tree size and report model size and solve time for both MILP
+//! variants.
+//!
+//! ```text
+//! cargo run --release -p pipemap-bench --bin ablation_scaling -- [--limit SECS]
+//! ```
+
+use pipemap_bench::arg_limit;
+use pipemap_bench_suite::xorr;
+use pipemap_core::{run_flow, Flow, FlowOptions};
+
+fn main() {
+    let limit = arg_limit(30);
+    println!("Ablation D: MILP model size and runtime vs problem size (XORR trees)\n");
+    println!(
+        "{:>5} {:>6} | {:>8} {:>8} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "n", "nodes", "b.vars", "b.rows", "b.status", "b.time", "m.vars", "m.rows", "m.cuts", "m.status", "m.time"
+    );
+    for n in [8usize, 16, 32, 64] {
+        let bench = xorr(n, 2);
+        let opts = FlowOptions {
+            time_limit: limit,
+            ..FlowOptions::default()
+        };
+        let mut cells = Vec::new();
+        for flow in [Flow::MilpBase, Flow::MilpMap] {
+            match run_flow(&bench.dfg, &bench.target, flow, &opts) {
+                Ok(r) => {
+                    let s = r.milp.expect("stats");
+                    if flow == Flow::MilpBase {
+                        cells.push(format!(
+                            "{:>8} {:>8} {:>9} {:>9.2}s",
+                            s.variables,
+                            s.constraints,
+                            s.status.to_string(),
+                            s.solve_time.as_secs_f64()
+                        ));
+                    } else {
+                        cells.push(format!(
+                            "{:>8} {:>8} {:>8} {:>9} {:>9.2}s",
+                            s.variables,
+                            s.constraints,
+                            s.total_cuts,
+                            s.status.to_string(),
+                            s.solve_time.as_secs_f64()
+                        ));
+                    }
+                }
+                Err(e) => cells.push(format!("error: {e}")),
+            }
+        }
+        println!(
+            "{:>5} {:>6} | {} | {}",
+            n,
+            bench.dfg.stats().nodes,
+            cells[0],
+            cells[1]
+        );
+    }
+    println!("\nExpectation: MILP-map rows/cuts and runtime grow much faster than MILP-base,");
+    println!("mirroring the paper's Table 2 (base finishes in seconds, map hits the limit).");
+}

@@ -1,0 +1,46 @@
+//! Regenerate the paper's **Figure 2**: word-level cut enumeration for the
+//! Reed-Solomon encoder kernel, including the MSB-only signed-compare
+//! special case (node C) and the loop-carried boundary signal `E@-1`.
+
+use pipemap_bench_suite::rs_encoder_fig1;
+use pipemap_cuts::{CutConfig, CutDb};
+use pipemap_ir::Target;
+
+fn main() {
+    let (dfg, [a, b, c, d, e]) = rs_encoder_fig1();
+    let target = Target::fig1();
+    let db = CutDb::enumerate(&dfg, &CutConfig::for_target(&target));
+
+    println!("Figure 2: cut enumeration for the Reed-Solomon encoder (K = {}, 2-bit ops)\n", target.k);
+    println!("{dfg}\n");
+    println!("Enumerated K-feasible cuts per node (unit cut first):");
+    print!("{}", db.dump(&dfg));
+    println!();
+
+    // Per-bit dependence highlights the paper calls out.
+    println!("Bit-level dependence highlights:");
+    println!("  A = s >> 1         : A[j] depends on s[j+1] (shifted single bit)");
+    println!("  B = t ^ A          : B[j] depends on t[j], A[j] (bitwise)");
+    println!("  C = (B >= 0) signed: C depends on B[1] only (MSB sign test)");
+    let c_cuts = db.cuts(c);
+    println!(
+        "  -> deepest cut of C reaches the primary inputs: {}",
+        c_cuts
+            .cuts()
+            .iter()
+            .map(|cut| cut.to_string())
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    let e_cuts = db.cuts(e);
+    let has_loop = e_cuts
+        .cuts()
+        .iter()
+        .any(|cut| cut.inputs().iter().any(|s| s.node == e && s.dist == 1));
+    println!(
+        "  E's cuts include the registered feedback signal E@-1: {}",
+        if has_loop { "yes" } else { "no" }
+    );
+    println!("  total cuts enumerated: {}", db.total_cuts());
+    let _ = (a, b, d);
+}

@@ -1,0 +1,65 @@
+//! Regenerate the paper's **Table 1**: CP / LUT / FF for the three flows
+//! on all nine benchmarks, percentages relative to the HLS-tool row.
+//!
+//! ```text
+//! cargo run --release -p pipemap-bench --bin table1 -- [--limit SECS] [--bench NAME]
+//! ```
+
+use pipemap_bench::{arg_bench_filter, arg_limit, pct, run_benchmark};
+use pipemap_bench_suite::all;
+
+fn main() {
+    let limit = arg_limit(60);
+    let filter = arg_bench_filter();
+    println!(
+        "Table 1: resource usage comparison. Target clock period 10 ns, II = 1 (bumped if infeasible)."
+    );
+    println!(
+        "MILP time limit {:?} per flow; percentages relative to the HLS Tool row.",
+        limit
+    );
+    println!();
+    println!(
+        "{:<8} {:<22} {:<10} {:>7} {:>6} {:>9} {:>6} {:>9}  {:>3} {:>5} {:>4}",
+        "Design", "Domain", "Method", "CP(ns)", "LUT", "%", "FF", "%", "II", "Depth", "Sim"
+    );
+    println!("{}", "-".repeat(100));
+
+    for bench in all() {
+        if let Some(f) = &filter {
+            if !bench.name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        match run_benchmark(&bench, limit) {
+            Ok(rows) => {
+                let base = &rows[0].result.qor;
+                let (bl, bf) = (base.luts, base.ffs);
+                for (i, row) in rows.iter().enumerate() {
+                    let q = &row.result.qor;
+                    let (lp, fp) = if i == 0 {
+                        (String::new(), String::new())
+                    } else {
+                        (pct(q.luts, bl), pct(q.ffs, bf))
+                    };
+                    println!(
+                        "{:<8} {:<22} {:<10} {:>7.2} {:>6} {:>9} {:>6} {:>9}  {:>3} {:>5} {:>4}",
+                        if i == 0 { bench.name } else { "" },
+                        if i == 0 { bench.domain } else { "" },
+                        row.result.flow.label(),
+                        q.cp_ns,
+                        q.luts,
+                        lp,
+                        q.ffs,
+                        fp,
+                        q.ii,
+                        q.depth,
+                        if row.functional { "ok" } else { "FAIL" },
+                    );
+                }
+                println!();
+            }
+            Err(e) => println!("{:<8} ERROR: {e}\n", bench.name),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerate the paper's **Table 2**: MILP solver runtime per benchmark
+//! for MILP-base vs MILP-map, plus the model sizes driving it (the paper
+//! notes runtime scales with the number of unique constraints, which is
+//! driven by the number of enumerated cuts).
+//!
+//! ```text
+//! cargo run --release -p pipemap-bench --bin table2 -- [--limit SECS]
+//! ```
+
+use pipemap_bench::arg_limit;
+use pipemap_bench_suite::all;
+use pipemap_core::{run_flow, Flow, FlowOptions};
+
+fn main() {
+    let limit = arg_limit(60);
+    let opts = FlowOptions {
+        time_limit: limit,
+        ..FlowOptions::default()
+    };
+    println!("Table 2: MILP solver runtime per benchmark (limit {limit:?}).");
+    println!("\"Ops\" is the CDFG node count — the analog of the paper's LLVM-instruction column.");
+    println!();
+    println!(
+        "{:<8} {:>5} | {:>10} {:>7} {:>7} {:>9} | {:>10} {:>7} {:>7} {:>7} {:>9}",
+        "Design", "Ops", "base(s)", "vars", "rows", "status", "map(s)", "vars", "rows", "cuts", "status"
+    );
+    println!("{}", "-".repeat(108));
+
+    let mut base_sum = 0.0;
+    let mut map_sum = 0.0;
+    let mut n = 0u32;
+    for bench in all() {
+        let ops = bench.dfg.stats().nodes;
+        let mut cells: Vec<String> = Vec::new();
+        let mut times = [0.0f64; 2];
+        for (k, flow) in [Flow::MilpBase, Flow::MilpMap].into_iter().enumerate() {
+            match run_flow(&bench.dfg, &bench.target, flow, &opts) {
+                Ok(r) => {
+                    let s = r.milp.expect("milp stats on milp flows");
+                    times[k] = s.solve_time.as_secs_f64();
+                    if k == 0 {
+                        cells.push(format!(
+                            "{:>10.1} {:>7} {:>7} {:>9}",
+                            times[k], s.variables, s.constraints, s.status
+                        ));
+                    } else {
+                        cells.push(format!(
+                            "{:>10.1} {:>7} {:>7} {:>7} {:>9}",
+                            times[k], s.variables, s.constraints, s.total_cuts, s.status
+                        ));
+                    }
+                }
+                Err(e) => cells.push(format!("error: {e}")),
+            }
+        }
+        base_sum += times[0];
+        map_sum += times[1];
+        n += 1;
+        println!("{:<8} {:>5} | {} | {}", bench.name, ops, cells[0], cells[1]);
+    }
+    println!("{}", "-".repeat(108));
+    println!(
+        "{:<8} {:>5} | {:>10.1} | {:>10.1}   (mean seconds, base vs map)",
+        "Mean",
+        "",
+        base_sum / f64::from(n),
+        map_sum / f64::from(n)
+    );
+}

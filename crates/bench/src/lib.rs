@@ -1,0 +1,133 @@
+//! # pipemap-bench
+//!
+//! Harness that regenerates every table and figure of the paper's
+//! evaluation:
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table 1 (CP/LUT/FF, three flows × nine benchmarks) | `table1` |
+//! | Table 2 (MILP runtimes and model sizes) | `table2` |
+//! | Figure 1 (RS encoder: additive vs mapped schedule) | `fig1` |
+//! | Figure 2 (word-level cut enumeration on the same kernel) | `fig2` |
+//! | Ablation A (α/β LUT-vs-FF trade-off sweep) | `ablation_alpha_beta` |
+//! | Ablation B (LUT input count K sweep) | `ablation_k` |
+//! | Ablation C (initiation interval sweep) | `ablation_ii` |
+//!
+//! Criterion benches (`cargo bench`) cover the runtime-shaped claims:
+//! cut-enumeration speed, scheduler throughput, and MILP solve time
+//! scaling.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use pipemap_bench_suite::Benchmark;
+use pipemap_core::{run_flow, Flow, FlowOptions, FlowResult};
+use pipemap_ir::InputStreams;
+use pipemap_netlist::verify_functional;
+
+/// Iterations used for the functional cross-check of every produced
+/// implementation.
+pub const VERIFY_ITERS: usize = 32;
+
+/// One flow's outcome on one benchmark, plus the functional check result.
+#[derive(Debug)]
+pub struct FlowRow {
+    /// The flow outcome.
+    pub result: FlowResult,
+    /// Whether the cycle-accurate simulation matched the reference
+    /// interpreter.
+    pub functional: bool,
+}
+
+/// Run all three flows on a benchmark and functionally verify each.
+///
+/// # Errors
+///
+/// Propagates the first flow failure.
+pub fn run_benchmark(
+    bench: &Benchmark,
+    time_limit: Duration,
+) -> Result<Vec<FlowRow>, pipemap_core::CoreError> {
+    let opts = FlowOptions {
+        time_limit,
+        ..FlowOptions::default()
+    };
+    let ins = InputStreams::random(&bench.dfg, VERIFY_ITERS, 0xC0FFEE);
+    Flow::ALL
+        .iter()
+        .map(|&flow| {
+            let result = run_flow(&bench.dfg, &bench.target, flow, &opts)?;
+            let functional = verify_functional(
+                &bench.dfg,
+                &bench.target,
+                &result.implementation,
+                &ins,
+                VERIFY_ITERS,
+            )
+            .is_ok();
+            Ok(FlowRow { result, functional })
+        })
+        .collect()
+}
+
+/// `(value - base) / base` as a percentage string like the paper's Table 1.
+pub fn pct(value: u64, base: u64) -> String {
+    if base == 0 {
+        return if value == 0 {
+            "(+0.0%)".into()
+        } else {
+            "(n/a)".into()
+        };
+    }
+    let p = (value as f64 - base as f64) / base as f64 * 100.0;
+    format!("({p:+.1}%)")
+}
+
+/// Parse `--limit <secs>` style arguments shared by the table binaries.
+pub fn arg_limit(default_secs: u64) -> Duration {
+    let mut args = std::env::args().skip(1);
+    let mut limit = default_secs;
+    while let Some(a) = args.next() {
+        if a == "--limit" {
+            if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                limit = v;
+            }
+        }
+    }
+    Duration::from_secs(limit)
+}
+
+/// Parse `--bench <name>` filter.
+pub fn arg_bench_filter() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--bench" {
+            return args.next();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(99, 171), "(-42.1%)");
+        assert_eq!(pct(226, 221), "(+2.3%)");
+        assert_eq!(pct(0, 257), "(-100.0%)");
+        assert_eq!(pct(0, 0), "(+0.0%)");
+    }
+
+    #[test]
+    fn quick_flow_on_smallest_kernel() {
+        let b = pipemap_bench_suite::by_name("GFMUL").expect("exists");
+        let rows = run_benchmark(&b, Duration::from_secs(2)).expect("flows run");
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.functional, "{} not functional", r.result.flow);
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The heuristic baseline flow — our stand-in for the commercial HLS tool
+//! of the paper's evaluation (§4).
+//!
+//! It reproduces the two properties the paper attributes to such tools:
+//!
+//! 1. **Additive-delay modulo scheduling**: a chaining-aware ASAP list
+//!    scheduler where every operation contributes its full characterized
+//!    delay (no mapping awareness), with a modulo reservation table for
+//!    black-box resources. The II is bumped when recurrences or resources
+//!    make the requested II infeasible.
+//! 2. **Register-bounded downstream mapping**: technology mapping runs
+//!    *after* scheduling and must respect the register boundaries the
+//!    scheduler inserted — cones never span cycles. This is precisely the
+//!    pessimism the mapping-aware MILP removes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use pipemap_cuts::{cone_nodes, Cut, CutDb};
+use pipemap_ir::{Dfg, NodeId, Op, Target};
+use pipemap_netlist::{Cover, Implementation, Schedule};
+
+use crate::error::CoreError;
+
+/// A list schedule: per-node cycles and intra-cycle start times.
+type ListSchedule = (Vec<u32>, Vec<f64>);
+/// Callback enumerating the boundary signals of one mapping choice.
+type BoundaryVisitor<'a> = &'a dyn Fn(&mut dyn FnMut(NodeId, u32));
+/// A mapped list schedule: cycles, starts, and per-node best-cut choices.
+type MappedListSchedule = (Vec<u32>, Vec<f64>, Vec<Option<Cut>>);
+
+/// Result of the baseline flow.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The schedule + register-bounded mapping.
+    pub implementation: Implementation,
+    /// The II actually achieved (≥ the requested II).
+    pub ii: u32,
+}
+
+/// Run the baseline heuristic flow at the requested II (bumping it if
+/// infeasible). `db` supplies the cuts available to the *downstream*
+/// mapper; scheduling itself is mapping-agnostic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::IiInfeasible`] if no II up to an internal cap
+/// admits a legal schedule.
+pub fn schedule_baseline(
+    dfg: &Dfg,
+    target: &Target,
+    requested_ii: u32,
+    db: &CutDb,
+) -> Result<BaselineResult, CoreError> {
+    let cap = requested_ii * 8 + 8;
+    let mut ii = requested_ii.max(1);
+    while ii <= cap {
+        if let Some((cycles, starts)) = list_schedule(dfg, target, ii) {
+            let cover = map_respecting_registers(dfg, db, &cycles);
+            let implementation = Implementation {
+                schedule: Schedule::new(ii, cycles, starts),
+                cover,
+            };
+            pipemap_netlist::verify(dfg, target, &implementation)
+                .map_err(CoreError::IllegalImplementation)?;
+            return Ok(BaselineResult { implementation, ii });
+        }
+        ii += 1;
+    }
+    Err(CoreError::IiInfeasible {
+        requested: requested_ii,
+        tried_up_to: cap,
+    })
+}
+
+/// Chaining-aware additive ASAP list scheduling with a modulo reservation
+/// table. Returns `None` when the II is infeasible (recurrence violated or
+/// a resource class cannot fit).
+pub(crate) fn list_schedule(
+    dfg: &Dfg,
+    target: &Target,
+    ii: u32,
+) -> Option<ListSchedule> {
+    let order = dfg.topo_order().expect("validated graph");
+    let mut cycles = vec![0u32; dfg.len()];
+    let mut starts = vec![0.0f64; dfg.len()];
+    let mut finish = vec![(0u32, 0.0f64); dfg.len()]; // completion (cycle, ns)
+    let mut mrt: HashMap<(pipemap_ir::Resource, u32), u32> = HashMap::new();
+
+    for &v in &order {
+        let node = dfg.node(v);
+        if matches!(node.op, Op::Input | Op::Const(_)) {
+            continue;
+        }
+        // Ready stamp from distance-0 predecessors.
+        let mut ready = (0u32, 0.0f64);
+        for p in &node.ins {
+            if p.dist == 0 {
+                let f = finish[p.node.index()];
+                if (f.0, f.1) > ready {
+                    ready = f;
+                }
+            }
+        }
+        let lat = target.op_latency(&node.op, node.width);
+        let d = target.op_delay(&node.op, node.width);
+        let local = (d - f64::from(lat) * target.t_cp).max(0.0);
+
+        let (mut cycle, mut time) = ready;
+        if lat > 0 {
+            // Multi-cycle ops start at a cycle boundary.
+            if time > 1e-9 {
+                cycle += 1;
+            }
+            time = 0.0;
+        } else if time + local > target.t_cp + 1e-9 {
+            cycle += 1;
+            time = 0.0;
+        }
+
+        // Modulo reservation table for resource-limited ops.
+        if let Some(res) = node.op.resource() {
+            if let Some(limit) = target.resource_limit(res) {
+                let mut placed = false;
+                for probe in 0..ii {
+                    let c = cycle + probe;
+                    let slot = c % ii;
+                    let used = mrt.get(&(res, slot)).copied().unwrap_or(0);
+                    if used < limit {
+                        *mrt.entry((res, slot)).or_insert(0) += 1;
+                        if c != cycle {
+                            time = 0.0;
+                        }
+                        cycle = c;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    return None; // every modulo slot full: bump II
+                }
+            }
+        }
+
+        cycles[v.index()] = cycle;
+        starts[v.index()] = time;
+        finish[v.index()] = if lat > 0 {
+            (cycle + lat, local)
+        } else {
+            (cycle, time + local)
+        };
+    }
+
+    // Loop-carried (recurrence) feasibility at this II, including
+    // intra-cycle timing when producer and consumer land in the same
+    // effective cycle.
+    for (w, node) in dfg.iter() {
+        for p in &node.ins {
+            if p.dist == 0 {
+                continue;
+            }
+            let (fc, ft) = finish[p.node.index()];
+            let deadline = cycles[w.index()] + ii * p.dist;
+            if fc > deadline || (fc == deadline && ft > starts[w.index()] + 1e-9) {
+                return None;
+            }
+        }
+    }
+    Some((cycles, starts))
+}
+
+/// Mapping-aware list scheduling — the scalable heuristic the paper lists
+/// as future work (§5): identical to the additive list scheduler, but each
+/// LUT-mappable node's ready/finish time is the best over its enumerated
+/// cuts (absorbed logic contributes no delay). The resulting schedule is
+/// then covered by the register-bounded area mapper.
+///
+/// Used to seed the MILP-map solver with a strong incumbent; exposed via
+/// [`schedule_mapped_heuristic`].
+pub(crate) fn list_schedule_with_cuts(
+    dfg: &Dfg,
+    target: &Target,
+    ii: u32,
+    db: &CutDb,
+) -> Option<MappedListSchedule> {
+    let order = dfg.topo_order().expect("validated graph");
+    let mut cycles = vec![0u32; dfg.len()];
+    let mut starts = vec![0.0f64; dfg.len()];
+    let mut finish = vec![(0u32, 0.0f64); dfg.len()];
+    let mut choices: Vec<Option<Cut>> = vec![None; dfg.len()];
+    let mut mrt: HashMap<(pipemap_ir::Resource, u32), u32> = HashMap::new();
+
+    for &v in &order {
+        let node = dfg.node(v);
+        if matches!(node.op, Op::Input | Op::Const(_)) {
+            continue;
+        }
+        let lat = target.op_latency(&node.op, node.width);
+        let d = target.op_delay(&node.op, node.width);
+        let local = (d - f64::from(lat) * target.t_cp).max(0.0);
+
+        // Ready stamp: for LUT ops, the best over enumerated cuts; others
+        // read their ports directly.
+        let ready_of = |boundary: BoundaryVisitor| {
+            let mut ready = (0u32, 0.0f64);
+            boundary(&mut |u, dist| {
+                if dist == 0 {
+                    let f = finish[u.index()];
+                    if (f.0, f.1) > ready {
+                        ready = f;
+                    }
+                }
+            });
+            ready
+        };
+        let ready = if node.op.is_lut_mappable() && !db.cuts(v).is_empty() {
+            let mut best: Option<(u32, f64)> = None;
+            for cut in db.cuts(v).cuts() {
+                let r = ready_of(&|f| {
+                    for sig in cut.inputs() {
+                        f(sig.node, sig.dist);
+                    }
+                });
+                if best.is_none_or(|b| (r.0, r.1) < b) {
+                    best = Some(r);
+                    choices[v.index()] = Some(cut.clone());
+                }
+            }
+            best.unwrap_or((0, 0.0))
+        } else {
+            ready_of(&|f| {
+                for p in &node.ins {
+                    f(p.node, p.dist);
+                }
+            })
+        };
+
+        let (mut cycle, mut time) = ready;
+        if lat > 0 {
+            if time > 1e-9 {
+                cycle += 1;
+            }
+            time = 0.0;
+        } else if time + local > target.t_cp + 1e-9 {
+            cycle += 1;
+            time = 0.0;
+        }
+        if let Some(res) = node.op.resource() {
+            if let Some(limit) = target.resource_limit(res) {
+                let mut placed = false;
+                for probe in 0..ii {
+                    let c = cycle + probe;
+                    let slot = c % ii;
+                    let used = mrt.get(&(res, slot)).copied().unwrap_or(0);
+                    if used < limit {
+                        *mrt.entry((res, slot)).or_insert(0) += 1;
+                        if c != cycle {
+                            time = 0.0;
+                        }
+                        cycle = c;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    return None;
+                }
+            }
+        }
+        cycles[v.index()] = cycle;
+        starts[v.index()] = time;
+        finish[v.index()] = if lat > 0 {
+            (cycle + lat, local)
+        } else {
+            (cycle, time + local)
+        };
+    }
+
+    for (w, node) in dfg.iter() {
+        for p in &node.ins {
+            if p.dist == 0 {
+                continue;
+            }
+            let (fc, ft) = finish[p.node.index()];
+            let deadline = cycles[w.index()] + ii * p.dist;
+            if fc > deadline || (fc == deadline && ft > starts[w.index()] + 1e-9) {
+                return None;
+            }
+        }
+    }
+    Some((cycles, starts, choices))
+}
+
+/// Build a cover from per-node cut choices: exactly the signals reachable
+/// from primary outputs and black-box/output ports through the chosen
+/// cuts become roots. Cross-cycle cones are legal here — cut inputs are
+/// registered values.
+fn cover_from_choices(dfg: &Dfg, db: &CutDb, choices: &[Option<Cut>]) -> Cover {
+    let mut selected: Vec<Option<Cut>> = vec![None; dfg.len()];
+    let mut work: Vec<NodeId> = Vec::new();
+    for (_, node) in dfg.iter() {
+        if node.op.is_lut_mappable() {
+            continue;
+        }
+        for p in &node.ins {
+            if dfg.node(p.node).op.is_lut_mappable() {
+                work.push(p.node);
+            }
+        }
+    }
+    let mut i = 0;
+    while i < work.len() {
+        let v = work[i];
+        i += 1;
+        if selected[v.index()].is_some() {
+            continue;
+        }
+        let cut = choices[v.index()]
+            .clone()
+            .or_else(|| db.cuts(v).unit().cloned())
+            .expect("LUT-mappable nodes always have a unit cut");
+        for sig in cut.inputs() {
+            if dfg.node(sig.node).op.is_lut_mappable()
+                && selected[sig.node.index()].is_none()
+            {
+                work.push(sig.node);
+            }
+        }
+        selected[v.index()] = Some(cut);
+    }
+    Cover::new(selected)
+}
+
+/// Run the mapping-aware heuristic flow: schedule with cut-aware delays,
+/// then cover with the register-bounded area mapper — falling back to the
+/// scheduler's own depth-optimal cut choices when the greedy cover misses
+/// timing. Returns `None` when no II up to the cap schedules.
+pub fn schedule_mapped_heuristic(
+    dfg: &Dfg,
+    target: &Target,
+    requested_ii: u32,
+    db: &CutDb,
+) -> Option<BaselineResult> {
+    let cap = requested_ii * 8 + 8;
+    let mut ii = requested_ii.max(1);
+    while ii <= cap {
+        if let Some((cycles, starts, choices)) = list_schedule_with_cuts(dfg, target, ii, db)
+        {
+            let schedule = Schedule::new(ii, cycles.clone(), starts);
+            // Preferred: area-greedy per-cycle cover.
+            let area = Implementation {
+                cover: map_respecting_registers(dfg, db, &cycles),
+                schedule: schedule.clone(),
+            };
+            if pipemap_netlist::verify(dfg, target, &area).is_ok() {
+                return Some(BaselineResult {
+                    implementation: area,
+                    ii,
+                });
+            }
+            // Fallback: the depth-optimal cuts the scheduler timed with.
+            let depth = Implementation {
+                cover: cover_from_choices(dfg, db, &choices),
+                schedule,
+            };
+            if pipemap_netlist::verify(dfg, target, &depth).is_ok() {
+                return Some(BaselineResult {
+                    implementation: depth,
+                    ii,
+                });
+            }
+        }
+        ii += 1;
+    }
+    None
+}
+
+/// Re-cover an existing schedule with the register-bounded mapper — used
+/// to implement MILP-base schedules the way the paper's downstream tool
+/// chain would.
+pub(crate) fn remap_schedule(
+    dfg: &Dfg,
+    db: &CutDb,
+    schedule: &pipemap_netlist::Schedule,
+) -> Cover {
+    let cycles: Vec<u32> = dfg.node_ids().map(|v| schedule.cycle(v)).collect();
+    map_respecting_registers(dfg, db, &cycles)
+}
+
+/// Greedy area-oriented per-cycle technology mapping: cover every value
+/// that must exist as a physical signal, choosing for each root the
+/// largest-cone cut that stays within the root's cycle and does not
+/// duplicate other required signals.
+pub(crate) fn map_respecting_registers(dfg: &Dfg, db: &CutDb, cycles: &[u32]) -> Cover {
+    // Values that must be physical signals.
+    let mut required: BTreeSet<NodeId> = BTreeSet::new();
+    for (w, node) in dfg.iter() {
+        let direct_reader = !node.op.is_lut_mappable(); // BB and outputs
+        for p in &node.ins {
+            if matches!(dfg.node(p.node).op, Op::Const(_) | Op::Input) {
+                continue;
+            }
+            let crosses = p.dist > 0 || cycles[p.node.index()] != cycles[w.index()];
+            if direct_reader || crosses {
+                required.insert(p.node);
+            }
+        }
+    }
+    required.retain(|v| dfg.node(*v).op.is_lut_mappable());
+
+    let mut selected: Vec<Option<Cut>> = vec![None; dfg.len()];
+    // Reverse topological order: consumers choose before producers so the
+    // required set below any node is final when it is processed.
+    let order = dfg.topo_order().expect("validated graph");
+    let mut worklist: Vec<NodeId> = order.iter().rev().copied().collect();
+    let mut i = 0;
+    while i < worklist.len() {
+        let v = worklist[i];
+        i += 1;
+        if !required.contains(&v) || selected[v.index()].is_some() {
+            continue;
+        }
+        let my_cycle = cycles[v.index()];
+        // Candidates: cones entirely within this cycle, not duplicating
+        // required interior signals.
+        let mut best: Option<&Cut> = None;
+        for cut in db.cuts(v).cuts() {
+            let cone = cone_nodes(dfg, v, cut);
+            let ok = cone.iter().all(|&n| {
+                cycles[n.index()] == my_cycle && (n == v || !required.contains(&n))
+            });
+            if !ok {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    (cut.cone_size(), std::cmp::Reverse(cut.len()))
+                        > (b.cone_size(), std::cmp::Reverse(b.len()))
+                }
+            };
+            if better {
+                best = Some(cut);
+            }
+        }
+        let chosen = best
+            .or_else(|| db.cuts(v).unit())
+            .expect("LUT-mappable nodes always own a unit cut")
+            .clone();
+        // Cut inputs become required signals in turn.
+        for sig in chosen.inputs() {
+            let s = sig.node;
+            if dfg.node(s).op.is_lut_mappable() && required.insert(s) {
+                worklist.push(s);
+            }
+        }
+        selected[v.index()] = Some(chosen);
+    }
+    Cover::new(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_cuts::CutConfig;
+    use pipemap_ir::{DfgBuilder, InputStreams};
+    use pipemap_netlist::{verify_functional, Qor};
+
+    fn xor_chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let mut cur = b.xor(x, y);
+        for _ in 1..n {
+            cur = b.xor(cur, y);
+        }
+        b.output("o", cur);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn additive_chain_splits_cycles() {
+        // 9 xors * 1.37 ns = 12.33 ns > 10 ns: baseline needs 2 cycles.
+        let g = xor_chain(9);
+        let t = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let r = schedule_baseline(&g, &t, 1, &db).expect("schedules");
+        assert_eq!(r.ii, 1);
+        assert_eq!(r.implementation.schedule.depth(), 2);
+        // Registers exist at the boundary.
+        let q = Qor::evaluate(&g, &t, &r.implementation);
+        assert!(q.ffs > 0, "pipeline registers expected, got {q:?}");
+    }
+
+    #[test]
+    fn baseline_is_functionally_correct() {
+        let g = xor_chain(9);
+        let t = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let r = schedule_baseline(&g, &t, 1, &db).expect("schedules");
+        let ins = InputStreams::random(&g, 25, 41);
+        verify_functional(&g, &t, &r.implementation, &ins, 25).expect("functional");
+    }
+
+    #[test]
+    fn mapper_respects_register_boundaries() {
+        let g = xor_chain(9);
+        let t = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let r = schedule_baseline(&g, &t, 1, &db).expect("schedules");
+        for root in r.implementation.cover.roots() {
+            let cut = r.implementation.cover.cut(root).expect("root cut");
+            for n in cone_nodes(&g, root, cut) {
+                assert_eq!(
+                    r.implementation.schedule.cycle(n),
+                    r.implementation.schedule.cycle(root),
+                    "cone crosses a register boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapper_still_packs_within_cycles() {
+        // Within one cycle the downstream mapper should absorb logic: far
+        // fewer LUT roots than ops.
+        let g = xor_chain(6); // 6*1.37 = 8.2 ns: single cycle
+        let t = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let r = schedule_baseline(&g, &t, 1, &db).expect("schedules");
+        let roots = r.implementation.cover.roots().count();
+        assert!(roots < 6, "mapper should absorb xors, got {roots} roots");
+    }
+
+    #[test]
+    fn resource_conflicts_bump_ii() {
+        let mut b = DfgBuilder::new("mem3");
+        let m = b.add_memory("t", 8, vec![1, 2, 3, 4]);
+        let a1 = b.input("a1", 4);
+        let a2 = b.input("a2", 4);
+        let a3 = b.input("a3", 4);
+        let v1 = b.load(m, a1);
+        let v2 = b.load(m, a2);
+        let v3 = b.load(m, a3);
+        let x = b.xor(v1, v2);
+        let y = b.xor(x, v3);
+        b.output("o", y);
+        let g = b.finish().expect("valid");
+        let t = Target {
+            mem_ports: 2, // 3 loads, 2 ports: II=1 impossible
+            ..Target::default()
+        };
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let r = schedule_baseline(&g, &t, 1, &db).expect("schedules");
+        assert_eq!(r.ii, 2);
+    }
+
+    #[test]
+    fn tight_recurrence_bumps_ii() {
+        // A recurrence whose additive chain cannot fit one cycle at II=1:
+        // acc' = ((acc + x) + y) + z with distance 1, adds ~2 ns each at a
+        // 5 ns clock -> needs II 2.
+        let mut b = DfgBuilder::new("rec");
+        let x = b.input("x", 32);
+        let y = b.input("y", 32);
+        let z = b.input("z", 32);
+        let prev = b.placeholder(32);
+        let a1 = b.add(prev, x);
+        let a2 = b.add(a1, y);
+        let a3 = b.add(a2, z);
+        b.bind(prev, a3, 1).expect("bind");
+        b.output("o", a3);
+        let g = b.finish().expect("valid");
+        let t = Target {
+            t_cp: 5.0, // three 32-bit adds ~ 2.1 ns each: 6.4 ns > 5 ns
+            ..Target::default()
+        };
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let r = schedule_baseline(&g, &t, 1, &db).expect("schedules");
+        assert!(r.ii >= 2, "expected II bump, got {}", r.ii);
+        let ins = InputStreams::random(&g, 20, 5);
+        verify_functional(&g, &t, &r.implementation, &ins, 20).expect("functional");
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the scheduling flows.
+
+use std::error::Error;
+use std::fmt;
+
+use pipemap_milp::{MilpError, Status};
+use pipemap_netlist::ImplError;
+
+/// Failure of a scheduling flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No initiation interval up to the internal cap admits a legal
+    /// schedule (recurrence or resource bound).
+    IiInfeasible {
+        /// The II originally requested.
+        requested: u32,
+        /// The largest II attempted.
+        tried_up_to: u32,
+    },
+    /// A produced implementation failed legality verification (internal
+    /// invariant violation).
+    IllegalImplementation(ImplError),
+    /// The MILP solver failed numerically.
+    Milp(MilpError),
+    /// The MILP terminated without any feasible solution.
+    NoSolution(Status),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IiInfeasible {
+                requested,
+                tried_up_to,
+            } => write!(
+                f,
+                "no feasible schedule at any II in {requested}..={tried_up_to}"
+            ),
+            CoreError::IllegalImplementation(e) => write!(f, "illegal implementation: {e}"),
+            CoreError::Milp(e) => write!(f, "milp solver failure: {e}"),
+            CoreError::NoSolution(s) => write!(f, "milp returned no solution (status {s})"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::IllegalImplementation(e) => Some(e),
+            CoreError::Milp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MilpError> for CoreError {
+    fn from(e: MilpError) -> Self {
+        CoreError::Milp(e)
+    }
+}
+
+impl From<ImplError> for CoreError {
+    fn from(e: ImplError) -> Self {
+        CoreError::IllegalImplementation(e)
+    }
+}

@@ -1,0 +1,247 @@
+//! Cuts, cut sets, and cone extraction.
+
+use pipemap_ir::{Dfg, NodeId, Op};
+use std::fmt;
+
+/// A datapath signal: a node's value at a given iteration distance.
+///
+/// Distance 0 is the combinational output of `node` this iteration;
+/// distance `d > 0` is the output of the register chain holding the value
+/// `d` iterations back — the paper's `E@-1` boundary in Fig. 2. Cones never
+/// cross registers, so loop-carried inputs always appear as cut signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal {
+    /// Producing node.
+    pub node: NodeId,
+    /// Iteration distance of the value (0 = current iteration).
+    pub dist: u32,
+}
+
+impl Signal {
+    /// The current-iteration signal of a node.
+    pub fn now(node: NodeId) -> Self {
+        Signal { node, dist: 0 }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dist == 0 {
+            write!(f, "{}", self.node)
+        } else {
+            write!(f, "{}@-{}", self.node, self.dist)
+        }
+    }
+}
+
+/// A K-feasible cut of some root node: the set of boundary signals feeding
+/// the root's cone, plus cached feasibility data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Sorted, deduplicated boundary signals. Constants are absorbed into
+    /// the LUT truth table and never appear here.
+    inputs: Vec<Signal>,
+    /// Largest per-output-bit support (bits) over the root's output bits —
+    /// the quantity bounded by K.
+    max_bit_support: u32,
+    /// Number of word-level nodes covered by the cone (root included).
+    cone: u32,
+}
+
+impl Cut {
+    pub(crate) fn new(mut inputs: Vec<Signal>, max_bit_support: u32, cone: u32) -> Self {
+        inputs.sort();
+        inputs.dedup();
+        Cut {
+            inputs,
+            max_bit_support,
+            cone,
+        }
+    }
+
+    /// The boundary signals, sorted.
+    pub fn inputs(&self) -> &[Signal] {
+        &self.inputs
+    }
+
+    /// Number of boundary signals (word-level).
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` for a cut with no inputs (a cone of constants).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Largest single-output-bit input count; a cut is K-feasible iff this
+    /// is ≤ K (each output bit of the root becomes one K-input LUT).
+    pub fn max_bit_support(&self) -> u32 {
+        self.max_bit_support
+    }
+
+    /// Number of word-level nodes the root's bit-level support traces
+    /// through (root included) — the logic absorbed into this LUT. This
+    /// can be smaller than the structural cone returned by
+    /// [`cone_nodes`] when some bits are shifted out or masked away.
+    pub fn cone_size(&self) -> u32 {
+        self.cone
+    }
+
+    /// Set inclusion: `self` dominates `other` if every signal of `self`
+    /// also appears in `other` (smaller cuts dominate).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.inputs.len() > other.inputs.len() {
+            return false;
+        }
+        // Both sorted: subset check by merge.
+        let mut it = other.inputs.iter();
+        'outer: for s in &self.inputs {
+            for o in it.by_ref() {
+                if o == s {
+                    continue 'outer;
+                }
+                if o > s {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// All enumerated cuts of one node. The **unit cut** (direct fan-in
+/// boundary — what the paper calls the trivial cut in its MILP-base flow)
+/// is always present at index 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CutSet {
+    pub(crate) cuts: Vec<Cut>,
+}
+
+impl CutSet {
+    /// The cuts, unit cut first.
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
+    }
+
+    /// The unit (direct fan-in) cut, if this node has cuts at all.
+    pub fn unit(&self) -> Option<&Cut> {
+        self.cuts.first()
+    }
+
+    /// Number of cuts.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// `true` when the node has no cuts (sources, black boxes, outputs).
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+}
+
+/// The interior of a cone: all nodes evaluated inside the root's LUT for a
+/// given cut, in topological (inputs-first) order, root last.
+///
+/// Traversal starts at `root` and walks distance-0 fan-in edges, stopping
+/// at cut signals and constants.
+///
+/// # Panics
+///
+/// Panics if the cut does not actually cover the cone (a non-constant,
+/// non-boundary source or register edge is reached) — enumerated cuts
+/// always cover by construction.
+pub fn cone_nodes(dfg: &Dfg, root: NodeId, cut: &Cut) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    // Iterative post-order DFS.
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    while let Some(&mut (n, ref mut child)) = stack.last_mut() {
+        let node = dfg.node(n);
+        if *child < node.ins.len() {
+            let port = node.ins[*child];
+            *child += 1;
+            let sig = Signal {
+                node: port.node,
+                dist: port.dist,
+            };
+            if cut.inputs.binary_search(&sig).is_ok() {
+                continue; // boundary
+            }
+            let sub = dfg.node(port.node);
+            if matches!(sub.op, Op::Const(_)) {
+                continue; // absorbed constant
+            }
+            assert_eq!(
+                port.dist, 0,
+                "cone of {root} crosses a register edge not in the cut"
+            );
+            assert!(
+                sub.op.is_lut_mappable(),
+                "cone of {root} reaches unmappable node {} not in the cut",
+                port.node
+            );
+            if visited.insert(port.node) {
+                stack.push((port.node, 0));
+            }
+        } else {
+            order.push(n);
+            stack.pop();
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_ordering_and_display() {
+        let a = Signal::now(NodeId(1));
+        let b = Signal {
+            node: NodeId(1),
+            dist: 2,
+        };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "n1");
+        assert_eq!(b.to_string(), "n1@-2");
+    }
+
+    #[test]
+    fn cut_dedups_and_sorts() {
+        let c = Cut::new(
+            vec![Signal::now(NodeId(3)), Signal::now(NodeId(1)), Signal::now(NodeId(3))],
+            2,
+            1,
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.inputs()[0].node, NodeId(1));
+        assert_eq!(c.to_string(), "{n1, n3}");
+    }
+
+    #[test]
+    fn dominance_is_subset() {
+        let small = Cut::new(vec![Signal::now(NodeId(1))], 1, 1);
+        let big = Cut::new(vec![Signal::now(NodeId(1)), Signal::now(NodeId(2))], 2, 1);
+        let other = Cut::new(vec![Signal::now(NodeId(3))], 1, 1);
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(!other.dominates(&big));
+        assert!(small.dominates(&small));
+    }
+}

@@ -1,0 +1,363 @@
+//! Bit-level dependence tracking on the word-level graph (paper §3.1).
+//!
+//! `DEP(out[j])` enumerates the input bits one output bit depends on, per
+//! operation class:
+//!
+//! * bitwise — the same bit of each input (plus the select bit of a mux),
+//! * shifting — one offset bit of the input,
+//! * arithmetic — bits `0..=j` of each input, with the paper's special
+//!   case that a signed comparison against the constant zero reads only the
+//!   sign bit (Fig. 2 node *C*).
+//!
+//! On top of `DEP`, [`cut_support`] traces a candidate cut's per-output-bit
+//! support through the cone: the largest support is the quantity bounded by
+//! *K* (each output bit of a root becomes one K-input LUT).
+
+use pipemap_ir::{CmpPred, Dfg, NodeId, Op};
+use std::collections::HashMap;
+
+use crate::cut::Signal;
+
+/// Invoke `f(port_index, input_bit)` for every input bit that `out[j]` of
+/// node `n` depends on.
+///
+/// Out-of-range bits produced by shifts/slices are skipped (they read
+/// constant zeros). Black boxes and sources report no dependences — their
+/// outputs are opaque signals.
+pub fn for_each_dep<F: FnMut(usize, u32)>(dfg: &Dfg, n: NodeId, j: u32, mut f: F) {
+    let node = dfg.node(n);
+    let in_width = |k: usize| dfg.node(node.ins[k].node).width;
+    match node.op {
+        Op::Input | Op::Const(_) | Op::Mul | Op::Load(_) => {}
+        Op::Output => f(0, j),
+        Op::And | Op::Or | Op::Xor | Op::Not => {
+            for k in 0..node.ins.len() {
+                f(k, j);
+            }
+        }
+        Op::Mux => {
+            f(0, 0);
+            f(1, j);
+            f(2, j);
+        }
+        Op::Shl(s) => {
+            if j >= s {
+                f(0, j - s);
+            }
+        }
+        Op::Shr(s) => {
+            if j + s < in_width(0) {
+                f(0, j + s);
+            }
+        }
+        Op::Slice { lo } => {
+            if j + lo < in_width(0) {
+                f(0, j + lo);
+            }
+        }
+        Op::Concat => {
+            let w_lo = in_width(1);
+            if j < w_lo {
+                f(1, j);
+            } else if j - w_lo < in_width(0) {
+                f(0, j - w_lo);
+            }
+        }
+        Op::Add | Op::Sub => {
+            for b in 0..=j.min(in_width(0) - 1) {
+                f(0, b);
+            }
+            for b in 0..=j.min(in_width(1) - 1) {
+                f(1, b);
+            }
+        }
+        Op::Cmp(pred) => {
+            // Sign test against a constant zero: only the MSB matters.
+            let rhs = dfg.node(node.ins[1].node);
+            let zero_rhs = matches!(rhs.op, Op::Const(c) if c == 0);
+            if pred.is_signed() && zero_rhs {
+                f(0, in_width(0) - 1);
+                return;
+            }
+            let _ = CmpPred::Eq; // (all predicates below read every bit)
+            for b in 0..in_width(0) {
+                f(0, b);
+            }
+            for b in 0..in_width(1) {
+                f(1, b);
+            }
+        }
+    }
+}
+
+/// Result of tracing a candidate cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Support {
+    /// Feasible: largest per-output-bit support, and cone size in nodes
+    /// (root included).
+    Feasible { max_bits: u32, cone: u32 },
+    /// Some output bit needs more than the limit.
+    TooWide,
+    /// The cut does not cover the cone (a register edge or unmappable node
+    /// was reached that is not a cut signal).
+    Uncovered,
+}
+
+#[derive(Clone)]
+enum BitSup {
+    /// Bit masks per cut-signal index.
+    Masks(Vec<u64>),
+    Over,
+    Uncovered,
+}
+
+/// Compute the per-output-bit support of `root` under the candidate
+/// `cut_signals` (must be sorted), bailing once any bit exceeds `limit`.
+pub(crate) fn cut_support(
+    dfg: &Dfg,
+    root: NodeId,
+    cut_signals: &[Signal],
+    limit: u32,
+) -> Support {
+    debug_assert!(cut_signals.windows(2).all(|w| w[0] < w[1]));
+    let mut memo: HashMap<(NodeId, u32), BitSup> = HashMap::new();
+    let mut cone: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    cone.insert(root);
+    let width = dfg.node(root).width;
+    let mut max_bits = 0u32;
+    for j in 0..width {
+        match bit_support(dfg, root, j, cut_signals, limit, &mut memo, &mut cone) {
+            BitSup::Masks(masks) => {
+                let bits: u32 = masks.iter().map(|m| m.count_ones()).sum();
+                if bits > limit {
+                    return Support::TooWide;
+                }
+                max_bits = max_bits.max(bits);
+            }
+            BitSup::Over => return Support::TooWide,
+            BitSup::Uncovered => return Support::Uncovered,
+        }
+    }
+    Support::Feasible {
+        max_bits,
+        cone: cone.len() as u32,
+    }
+}
+
+fn bit_support(
+    dfg: &Dfg,
+    n: NodeId,
+    j: u32,
+    cut: &[Signal],
+    limit: u32,
+    memo: &mut HashMap<(NodeId, u32), BitSup>,
+    cone: &mut std::collections::HashSet<NodeId>,
+) -> BitSup {
+    if let Some(s) = memo.get(&(n, j)) {
+        return s.clone();
+    }
+    // Collect this bit's direct deps first (no recursion inside the
+    // callback, which only records).
+    let mut deps: Vec<(usize, u32)> = Vec::new();
+    for_each_dep(dfg, n, j, |port, bit| deps.push((port, bit)));
+
+    let mut masks = vec![0u64; cut.len()];
+    let node = dfg.node(n);
+    let mut result = None;
+    'deps: for (port_idx, bit) in deps {
+        let port = node.ins[port_idx];
+        let sig = Signal {
+            node: port.node,
+            dist: port.dist,
+        };
+        if let Ok(idx) = cut.binary_search(&sig) {
+            masks[idx] |= 1u64 << bit;
+            continue;
+        }
+        let sub = dfg.node(port.node);
+        if matches!(sub.op, Op::Const(_)) {
+            continue; // absorbed into the truth table
+        }
+        if port.dist != 0 || !sub.op.is_lut_mappable() {
+            result = Some(BitSup::Uncovered);
+            break 'deps;
+        }
+        cone.insert(port.node);
+        match bit_support(dfg, port.node, bit, cut, limit, memo, cone) {
+            BitSup::Masks(sub_masks) => {
+                for (m, s) in masks.iter_mut().zip(&sub_masks) {
+                    *m |= s;
+                }
+            }
+            other => {
+                result = Some(other);
+                break 'deps;
+            }
+        }
+        let bits: u32 = masks.iter().map(|m| m.count_ones()).sum();
+        if bits > limit {
+            result = Some(BitSup::Over);
+            break 'deps;
+        }
+    }
+    let result = result.unwrap_or(BitSup::Masks(masks));
+    memo.insert((n, j), result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::DfgBuilder;
+
+    fn deps_of(dfg: &Dfg, n: NodeId, j: u32) -> Vec<(usize, u32)> {
+        let mut v = Vec::new();
+        for_each_dep(dfg, n, j, |p, b| v.push((p, b)));
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn bitwise_dep_is_same_bit() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let a = b.xor(x, y);
+        b.output("o", a);
+        let g = b.finish().expect("valid");
+        assert_eq!(deps_of(&g, a, 2), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn shift_dep_is_offset_bit() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 4);
+        let s = b.shr(x, 1);
+        let l = b.shl(x, 2);
+        b.output("o", s);
+        b.output("o2", l);
+        let g = b.finish().expect("valid");
+        assert_eq!(deps_of(&g, s, 0), vec![(0, 1)]);
+        assert_eq!(deps_of(&g, s, 3), vec![]); // shifted-in zero
+        assert_eq!(deps_of(&g, l, 1), vec![]); // below the shift amount
+        assert_eq!(deps_of(&g, l, 3), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn arithmetic_dep_is_cumulative() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let a = b.add(x, y);
+        b.output("o", a);
+        let g = b.finish().expect("valid");
+        assert_eq!(
+            deps_of(&g, a, 1),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+        assert_eq!(deps_of(&g, a, 0), vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn signed_zero_compare_reads_only_msb() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 8);
+        let c = b.is_non_negative(x);
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        // Only (port 0, bit 7): the constant-zero rhs contributes nothing.
+        assert_eq!(deps_of(&g, c, 0), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn unsigned_compare_reads_all_bits() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 3);
+        let y = b.input("y", 3);
+        let c = b.cmp(CmpPred::Ult, x, y);
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        assert_eq!(deps_of(&g, c, 0).len(), 6);
+    }
+
+    #[test]
+    fn mux_reads_select_and_data() {
+        let mut b = DfgBuilder::new("t");
+        let s = b.input("s", 1);
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let m = b.mux(s, x, y);
+        b.output("o", m);
+        let g = b.finish().expect("valid");
+        assert_eq!(deps_of(&g, m, 2), vec![(0, 0), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn support_traces_through_cone() {
+        // B = t ^ (s >> 1): support of B under cut {t, s} is 2 bits/bit.
+        let mut b = DfgBuilder::new("t");
+        let s = b.input("s", 2);
+        let t = b.input("t", 2);
+        let a = b.shr(s, 1);
+        let bb = b.xor(t, a);
+        b.output("o", bb);
+        let g = b.finish().expect("valid");
+        let cut = {
+            let mut v = vec![Signal::now(s), Signal::now(t)];
+            v.sort();
+            v
+        };
+        match cut_support(&g, bb, &cut, 4) {
+            Support::Feasible { max_bits, cone } => {
+                assert_eq!(max_bits, 2);
+                assert_eq!(cone, 2); // xor + shr
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn support_rejects_wide_cones() {
+        // 8-bit add absorbed into a consumer exceeds K=4.
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let a = b.add(x, y);
+        let n = b.not(a);
+        b.output("o", n);
+        let g = b.finish().expect("valid");
+        let cut = {
+            let mut v = vec![Signal::now(x), Signal::now(y)];
+            v.sort();
+            v
+        };
+        assert_eq!(cut_support(&g, n, &cut, 4), Support::TooWide);
+    }
+
+    #[test]
+    fn support_reports_uncovered_register_edges() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 4);
+        let prev = b.placeholder(4);
+        let a = b.add(x, prev);
+        b.bind(prev, a, 1).expect("bind");
+        b.output("o", a);
+        let g = b.finish().expect("valid");
+        // Cut {x} misses the loop-carried input a@-1.
+        let cut = vec![Signal::now(x)];
+        assert_eq!(cut_support(&g, a, &cut, 8), Support::Uncovered);
+        // Cut {x, a@-1} covers.
+        let mut cov = vec![
+            Signal::now(x),
+            Signal {
+                node: a,
+                dist: 1,
+            },
+        ];
+        cov.sort();
+        assert!(matches!(
+            cut_support(&g, a, &cov, 8),
+            Support::Feasible { .. }
+        ));
+    }
+}

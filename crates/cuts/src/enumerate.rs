@@ -1,0 +1,494 @@
+//! Word-level K-feasible cut enumeration — Algorithm 1 of the paper.
+//!
+//! Every LUT-mappable node starts with its **unit cut** (direct fan-in
+//! boundary; the paper's "trivial cut" in MILP-base). A work list then
+//! repeatedly merges fan-in cut sets (Eq. 1): each fan-in either stays a
+//! boundary signal or is absorbed together with one of its own cuts.
+//! Candidates survive if every output bit of the root keeps a bit-level
+//! support of at most K. Loop-carried (register) edges and black boxes are
+//! always boundaries; constants are absorbed for free.
+
+use pipemap_ir::{Dfg, NodeId, Op, Target};
+use std::collections::BTreeSet;
+
+use crate::cut::{Cut, CutSet, Signal};
+use crate::dep::{cut_support, Support};
+
+/// Tunables for [`CutDb::enumerate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutConfig {
+    /// LUT input count K (paper uses K ≤ 6; Fig. 1 uses 4).
+    pub k: u32,
+    /// Cuts kept per node after dominance filtering (unit cut included).
+    pub max_cuts: usize,
+    /// Largest cone (in word-level nodes) a cut may cover.
+    pub max_cone: u32,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig {
+            k: 4,
+            max_cuts: 8,
+            max_cone: 24,
+        }
+    }
+}
+
+impl CutConfig {
+    /// Configuration matching a device model's K.
+    pub fn for_target(target: &Target) -> Self {
+        CutConfig {
+            k: target.k,
+            ..CutConfig::default()
+        }
+    }
+
+    /// The mapping-agnostic configuration: only unit cuts are produced, so
+    /// the MILP degenerates to the paper's **MILP-base** flow.
+    pub fn trivial_only(target: &Target) -> Self {
+        CutConfig {
+            k: target.k,
+            max_cuts: 1,
+            max_cone: 1,
+        }
+    }
+}
+
+/// The enumerated cut sets of every node of one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutDb {
+    k: u32,
+    sets: Vec<CutSet>,
+}
+
+impl CutDb {
+    /// Run cut enumeration (Algorithm 1) over a graph.
+    pub fn enumerate(dfg: &Dfg, cfg: &CutConfig) -> CutDb {
+        let mut sets: Vec<CutSet> = vec![CutSet::default(); dfg.len()];
+
+        // Unit cuts for every LUT-mappable node. Unit cuts are kept even if
+        // their bit support exceeds K: they model the op's native
+        // implementation (e.g. a carry chain for a wide adder).
+        for (id, node) in dfg.iter() {
+            if !node.op.is_lut_mappable() {
+                continue;
+            }
+            let signals = unit_signals(dfg, id);
+            let support = match cut_support(dfg, id, &sorted(&signals), u32::MAX - 1) {
+                Support::Feasible { max_bits, .. } => max_bits,
+                _ => u32::MAX,
+            };
+            sets[id.index()] = CutSet {
+                cuts: vec![Cut::new(signals, support, 1)],
+            };
+        }
+
+        if cfg.max_cuts <= 1 {
+            return CutDb { k: cfg.k, sets };
+        }
+
+        // Work list over distance-0 consumer edges, as in Algorithm 1.
+        let consumers = dfg.consumers();
+        let mut queue: Vec<NodeId> = dfg
+            .topo_order()
+            .expect("validated graph")
+            .into_iter()
+            .filter(|&v| dfg.node(v).op.is_lut_mappable())
+            .collect();
+        let mut in_queue = vec![false; dfg.len()];
+        for &v in &queue {
+            in_queue[v.index()] = true;
+        }
+        let mut head = 0;
+        let budget = dfg.len().saturating_mul(50).max(1000);
+        let mut processed = 0usize;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            in_queue[v.index()] = false;
+            processed += 1;
+            if processed > budget {
+                break; // capped fixpoint; cut sets are valid at any prefix
+            }
+            let new_set = merge_cuts(dfg, v, &sets, cfg);
+            if new_set != sets[v.index()] {
+                sets[v.index()] = new_set;
+                for &(c, port) in &consumers[v.index()] {
+                    let cn = dfg.node(c);
+                    if cn.ins[port].dist == 0
+                        && cn.op.is_lut_mappable()
+                        && !in_queue[c.index()]
+                    {
+                        in_queue[c.index()] = true;
+                        queue.push(c);
+                    }
+                }
+            }
+            // Keep the queue from growing without bound.
+            if head > 4096 && head == queue.len() {
+                queue.clear();
+                head = 0;
+            }
+        }
+
+        CutDb { k: cfg.k, sets }
+    }
+
+    /// The K this database was enumerated for.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Cut set of one node (empty for sources, outputs and black boxes).
+    pub fn cuts(&self, v: NodeId) -> &CutSet {
+        &self.sets[v.index()]
+    }
+
+    /// Total number of cuts across all nodes (drives MILP size — the
+    /// paper's Table 2 runtime discussion).
+    pub fn total_cuts(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Human-readable dump of every node's cuts (the Fig. 2 illustration).
+    pub fn dump(&self, dfg: &Dfg) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (id, node) in dfg.iter() {
+            let set = self.cuts(id);
+            if set.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "{} ({}):", dfg.label(id), node.op);
+            for cut in set.cuts() {
+                let names: Vec<String> = cut
+                    .inputs()
+                    .iter()
+                    .map(|s| {
+                        if s.dist == 0 {
+                            dfg.label(s.node)
+                        } else {
+                            format!("{}@-{}", dfg.label(s.node), s.dist)
+                        }
+                    })
+                    .collect();
+                let _ = write!(out, "  {{{}}}", names.join(", "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn sorted(signals: &[Signal]) -> Vec<Signal> {
+    let mut v = signals.to_vec();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Boundary signals of the unit (direct fan-in) cut; constants absorbed.
+fn unit_signals(dfg: &Dfg, v: NodeId) -> Vec<Signal> {
+    dfg.node(v)
+        .ins
+        .iter()
+        .filter(|p| !matches!(dfg.node(p.node).op, Op::Const(_)))
+        .map(|p| Signal {
+            node: p.node,
+            dist: p.dist,
+        })
+        .collect()
+}
+
+/// One `mergeCuts` step (Eq. 1): cross product of per-fan-in choices.
+fn merge_cuts(dfg: &Dfg, v: NodeId, sets: &[CutSet], cfg: &CutConfig) -> CutSet {
+    let node = dfg.node(v);
+    // Choices per input port: each choice is a set of boundary signals.
+    let mut port_choices: Vec<Vec<Vec<Signal>>> = Vec::with_capacity(node.ins.len());
+    for p in &node.ins {
+        let sub = dfg.node(p.node);
+        if matches!(sub.op, Op::Const(_)) {
+            port_choices.push(vec![Vec::new()]);
+            continue;
+        }
+        let mut choices = vec![vec![Signal {
+            node: p.node,
+            dist: p.dist,
+        }]];
+        if p.dist == 0 && sub.op.is_lut_mappable() {
+            for cut in sets[p.node.index()].cuts() {
+                choices.push(cut.inputs().to_vec());
+            }
+        }
+        port_choices.push(choices);
+    }
+
+    // Enumerate combinations; collect unique candidate signal sets.
+    let mut candidates: BTreeSet<Vec<Signal>> = BTreeSet::new();
+    let mut idx = vec![0usize; port_choices.len()];
+    const COMBO_CAP: usize = 4096;
+    'combos: loop {
+        let mut signals: Vec<Signal> = Vec::new();
+        for (p, &i) in idx.iter().enumerate() {
+            signals.extend_from_slice(&port_choices[p][i]);
+        }
+        signals.sort();
+        signals.dedup();
+        candidates.insert(signals);
+        if candidates.len() >= COMBO_CAP {
+            break;
+        }
+        // Advance the mixed-radix counter.
+        for p in 0..idx.len() {
+            idx[p] += 1;
+            if idx[p] < port_choices[p].len() {
+                continue 'combos;
+            }
+            idx[p] = 0;
+        }
+        break;
+    }
+
+    // Validate candidates; the unit cut is exempt from the K check.
+    let unit = sorted(&unit_signals(dfg, v));
+    let mut cuts: Vec<Cut> = Vec::new();
+    for signals in candidates {
+        if signals == unit {
+            continue; // re-added below, unconditionally
+        }
+        match cut_support(dfg, v, &signals, cfg.k) {
+            Support::Feasible { max_bits, cone } if cone <= cfg.max_cone => {
+                cuts.push(Cut::new(signals, max_bits, cone));
+            }
+            _ => {}
+        }
+    }
+
+    // Dominance filter: smaller cuts first so supersets are dropped.
+    cuts.sort_by(|a, b| {
+        (a.len(), a.inputs()).cmp(&(b.len(), b.inputs()))
+    });
+    let mut kept: Vec<Cut> = Vec::new();
+    for c in cuts {
+        if !kept.iter().any(|k| k.dominates(&c)) {
+            kept.push(c);
+        }
+    }
+    // Rank for the per-node cap: prefer cuts that absorb more logic (the
+    // MILP minimizes roots, so bigger cones are the area-saving options),
+    // then fewer inputs; lexicographic for determinism.
+    kept.sort_by(|a, b| {
+        b.cone_size()
+            .cmp(&a.cone_size())
+            .then_with(|| a.len().cmp(&b.len()))
+            .then_with(|| a.inputs().cmp(b.inputs()))
+    });
+    kept.truncate(cfg.max_cuts.saturating_sub(1));
+
+    let (unit_support, unit_cone) = match cut_support(dfg, v, &unit, u32::MAX - 1) {
+        Support::Feasible { max_bits, cone } => (max_bits, cone),
+        _ => (u32::MAX, 1),
+    };
+    let mut out = vec![Cut::new(unit.clone(), unit_support, unit_cone)];
+    out.extend(kept);
+    CutSet { cuts: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{DfgBuilder, Target};
+
+    /// The paper's Fig. 1/2 Reed-Solomon kernel at 2-bit width.
+    fn rs_mini() -> (Dfg, [NodeId; 5]) {
+        let mut b = DfgBuilder::new("rs_mini");
+        let s = b.input("s", 2);
+        let t = b.input("t", 2);
+        let e_prev = b.placeholder(2);
+        let a = b.shr(s, 1);
+        b.name_node(a, "A");
+        let bb = b.xor(t, a);
+        b.name_node(bb, "B");
+        let c = b.is_non_negative(bb);
+        b.name_node(c, "C");
+        let d = b.mux(c, bb, e_prev);
+        b.name_node(d, "D");
+        let e = b.xor(d, a);
+        b.name_node(e, "E");
+        b.bind(e_prev, e, 1).expect("feedback");
+        b.output("out", e);
+        (b.finish().expect("valid"), [a, bb, c, d, e])
+    }
+
+    #[test]
+    fn unit_cuts_always_present() {
+        let (g, [a, bb, c, d, e]) = rs_mini();
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        for v in [a, bb, c, d, e] {
+            let set = db.cuts(v);
+            assert!(!set.is_empty(), "{} has no cuts", g.label(v));
+            let unit = set.unit().expect("unit cut");
+            assert_eq!(unit, &set.cuts()[0]);
+        }
+    }
+
+    #[test]
+    fn trivial_only_config_gives_single_cut() {
+        let (g, _) = rs_mini();
+        let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&Target::fig1()));
+        for (id, n) in g.iter() {
+            if n.op.is_lut_mappable() {
+                assert_eq!(db.cuts(id).len(), 1, "{}", g.label(id));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_cuts_absorb_the_fig2_cone() {
+        let (g, [_, bb, c, _, e]) = rs_mini();
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        // B should own a cut {t, s} (absorbing the shift).
+        let b_cuts = db.cuts(bb);
+        assert!(
+            b_cuts.cuts().iter().any(|cut| cut.len() == 2
+                && cut.inputs().iter().all(|s| s.dist == 0)
+                && cut
+                    .inputs()
+                    .iter()
+                    .all(|s| matches!(g.node(s.node).op, Op::Input))),
+            "B cuts: {:?}",
+            b_cuts
+                .cuts()
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+        );
+        // C (the MSB-only compare) can absorb everything down to {t, s}.
+        assert!(db
+            .cuts(c)
+            .cuts()
+            .iter()
+            .any(|cut| cut.len() == 2
+                && cut
+                    .inputs()
+                    .iter()
+                    .all(|s| matches!(g.node(s.node).op, Op::Input))));
+        // E sees the loop: some cut contains the registered signal E@-1.
+        assert!(db
+            .cuts(e)
+            .cuts()
+            .iter()
+            .any(|cut| cut.inputs().iter().any(|s| s.node == e && s.dist == 1)));
+    }
+
+    #[test]
+    fn every_enumerated_cut_is_k_feasible() {
+        let (g, _) = rs_mini();
+        let cfg = CutConfig::default();
+        let db = CutDb::enumerate(&g, &cfg);
+        for (id, n) in g.iter() {
+            if !n.op.is_lut_mappable() {
+                continue;
+            }
+            for (i, cut) in db.cuts(id).cuts().iter().enumerate() {
+                if i == 0 {
+                    continue; // unit cut: exempt (native implementation)
+                }
+                assert!(
+                    cut.max_bit_support() <= cfg.k,
+                    "{} cut {} exceeds K",
+                    g.label(id),
+                    cut
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_adders_keep_only_unit_cut_shapes() {
+        let mut b = DfgBuilder::new("wide");
+        let x = b.input("x", 32);
+        let y = b.input("y", 32);
+        let z = b.input("z", 32);
+        let a = b.add(x, y);
+        let s = b.add(a, z);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        // The second adder cannot absorb the first: its merged support
+        // would be 96 bits.
+        assert_eq!(db.cuts(s).len(), 1);
+    }
+
+    #[test]
+    fn xor_chains_collapse_into_wide_cuts() {
+        // A depth-3 xor tree of 1-bit values fits in one 4-LUT under K=4
+        // but needs K=8 for depth 3 with 8 leaves.
+        let mut b = DfgBuilder::new("xortree");
+        let leaves: Vec<_> = (0..8).map(|i| b.input(format!("x{i}"), 1)).collect();
+        let l1: Vec<_> = leaves.chunks(2).map(|p| b.xor(p[0], p[1])).collect();
+        let l2: Vec<_> = l1.chunks(2).map(|p| b.xor(p[0], p[1])).collect();
+        let root = b.xor(l2[0], l2[1]);
+        b.output("o", root);
+        let g = b.finish().expect("valid");
+
+        let db4 = CutDb::enumerate(&g, &CutConfig { k: 4, ..CutConfig::default() });
+        let best4 = db4.cuts(root).cuts().iter().map(Cut::len).max().expect("cuts");
+        assert_eq!(best4, 4, "4 leaves reachable at K=4");
+
+        let db8 = CutDb::enumerate(&g, &CutConfig { k: 8, ..CutConfig::default() });
+        assert!(
+            db8.cuts(root)
+                .cuts()
+                .iter()
+                .any(|c| c.len() == 8),
+            "all 8 leaves in one cut at K=8"
+        );
+    }
+
+    #[test]
+    fn black_boxes_are_never_absorbed() {
+        let mut b = DfgBuilder::new("bb");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let p = b.mul(x, y);
+        let n = b.not(p);
+        let o = b.xor(n, x);
+        b.output("o", o);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        assert!(db.cuts(p).is_empty(), "black box has no cuts");
+        // n's only input is the multiplier: it can never be absorbed, so
+        // every cut of n is exactly {p}.
+        for cut in db.cuts(n).cuts() {
+            assert_eq!(cut.inputs(), &[Signal::now(p)], "cut of n: {cut}");
+        }
+        // o may absorb n (boundary moves to p) but never expands past the
+        // multiplier to reach y.
+        for cut in db.cuts(o).cuts() {
+            assert!(
+                !cut.inputs().contains(&Signal::now(y)),
+                "cut of o expanded through the black box: {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn dump_mentions_labels() {
+        let (g, _) = rs_mini();
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        let text = db.dump(&g);
+        assert!(text.contains('B'));
+        assert!(text.contains("E@-1"));
+    }
+
+    #[test]
+    fn total_cuts_counts_everything() {
+        let (g, _) = rs_mini();
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        let manual: usize = g.node_ids().map(|v| db.cuts(v).len()).sum();
+        assert_eq!(db.total_cuts(), manual);
+        assert!(db.total_cuts() >= 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! # pipemap-cuts
+//!
+//! Word-level K-feasible cut enumeration with bit-level dependence
+//! tracking — §3.1 and Algorithm 1 of *"Area-Efficient Pipelining for
+//! FPGA-Targeted High-Level Synthesis"* (DAC 2015).
+//!
+//! Technology mapping covers a logic network with K-input LUTs; a *cut* of
+//! a node is the input boundary of one candidate LUT rooted at that node.
+//! The paper lifts cut enumeration from bit-level netlists to the
+//! word-level CDFG so the scheduling MILP stays tractable: dependences are
+//! tracked per output **bit** (so an `x >= 0` comparison is recognized as a
+//! function of the sign bit alone) while cuts stay word-level objects.
+//!
+//! ```
+//! use pipemap_cuts::{CutConfig, CutDb};
+//! use pipemap_ir::DfgBuilder;
+//!
+//! # fn main() -> Result<(), pipemap_ir::IrError> {
+//! // B = t ^ (s >> 1): with 4-input LUTs the shift folds into B's LUT.
+//! let mut b = DfgBuilder::new("demo");
+//! let s = b.input("s", 2);
+//! let t = b.input("t", 2);
+//! let a = b.shr(s, 1);
+//! let x = b.xor(t, a);
+//! b.output("o", x);
+//! let dfg = b.finish()?;
+//!
+//! let db = CutDb::enumerate(&dfg, &CutConfig::default());
+//! assert!(db.cuts(x).cuts().iter().any(|c| c.len() == 2)); // {s, t}
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cut;
+mod dep;
+mod enumerate;
+
+pub use cut::{cone_nodes, Cut, CutSet, Signal};
+pub use dep::for_each_dep;
+pub use enumerate::{CutConfig, CutDb};

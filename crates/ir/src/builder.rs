@@ -1,0 +1,445 @@
+//! Incremental construction of [`Dfg`]s, including loop-carried feedback.
+//!
+//! Feedback (recurrence) edges reference values that have not been created
+//! yet, so the builder offers *placeholders*: create one with
+//! [`DfgBuilder::placeholder`], use it as an ordinary value, and later
+//! [`bind`](DfgBuilder::bind) it to the real producer together with the
+//! dependence distance.
+//!
+//! ```
+//! use pipemap_ir::DfgBuilder;
+//!
+//! # fn main() -> Result<(), pipemap_ir::IrError> {
+//! // acc = acc' + x, where acc' is acc from the previous iteration.
+//! let mut b = DfgBuilder::new("accumulate");
+//! let x = b.input("x", 16);
+//! let acc_prev = b.placeholder(16);
+//! let acc = b.add(x, acc_prev);
+//! b.bind(acc_prev, acc, 1)?;
+//! b.output("acc", acc);
+//! let dfg = b.finish()?;
+//! assert_eq!(dfg.stats().loop_carried_edges, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::graph::{Dfg, Memory, Node, NodeId, Port};
+use crate::op::{CmpPred, MemId, Op};
+
+/// Builder for [`Dfg`]s — see the module docs for feedback edges; every
+/// other method appends one node and returns its id.
+#[derive(Debug, Clone, Default)]
+pub struct DfgBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    memories: Vec<Memory>,
+    init_values: HashMap<NodeId, u64>,
+    /// placeholder id -> (width, binding (target node, added distance) if bound).
+    ///
+    /// Placeholder ids are *virtual*: they count down from `u32::MAX` so
+    /// that real node ids stay stable when placeholders are resolved away.
+    placeholders: HashMap<NodeId, (u32, Option<(NodeId, u32)>)>,
+}
+
+/// First virtual id; everything at or above this is a placeholder.
+const VIRTUAL_BASE: u32 = u32::MAX - 0x00FF_FFFF;
+
+impl DfgBuilder {
+    /// Start building a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            name: name.into(),
+            ..DfgBuilder::default()
+        }
+    }
+
+    fn push(&mut self, op: Op, width: u32, ins: Vec<Port>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op, width, ins });
+        self.names.push(None);
+        id
+    }
+
+    /// Width of an already-created node or placeholder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this builder.
+    pub fn width_of(&self, id: NodeId) -> u32 {
+        if let Some(&(w, _)) = self.placeholders.get(&id) {
+            w
+        } else {
+            self.nodes[id.index()].width
+        }
+    }
+
+    /// Attach a debug name to a node (shows up in dumps and schedules).
+    pub fn name_node(&mut self, id: NodeId, name: impl Into<String>) {
+        self.names[id.index()] = Some(name.into());
+    }
+
+    /// Set the value loop-carried reads see for iterations before the
+    /// first (default 0).
+    pub fn set_init_value(&mut self, id: NodeId, value: u64) {
+        self.init_values.insert(id, value);
+    }
+
+    /// Append a raw node without width checking (validation happens in
+    /// [`finish`](Self::finish)). Intended for tests and generic tooling.
+    pub fn raw_node(&mut self, op: Op, width: u32, ins: Vec<Port>) -> NodeId {
+        self.push(op, width, ins)
+    }
+
+    // ---- sources & sinks -------------------------------------------------
+
+    /// A named primary input of the given width.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> NodeId {
+        let id = self.push(Op::Input, width, vec![]);
+        self.names[id.index()] = Some(name.into());
+        id
+    }
+
+    /// A constant of the given width (`value` is masked to the width on
+    /// evaluation).
+    pub fn const_(&mut self, value: u64, width: u32) -> NodeId {
+        self.push(Op::Const(value), width, vec![])
+    }
+
+    /// Mark `value` as a primary output under `name`.
+    pub fn output(&mut self, name: impl Into<String>, value: impl Into<Port>) -> NodeId {
+        let p: Port = value.into();
+        let w = self.width_of(p.node);
+        let id = self.push(Op::Output, w, vec![p]);
+        self.names[id.index()] = Some(name.into());
+        id
+    }
+
+    // ---- bitwise ---------------------------------------------------------
+
+    fn bin(&mut self, op: Op, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        let (a, b) = (a.into(), b.into());
+        let w = self.width_of(a.node);
+        self.push(op, w, vec![a, b])
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.bin(Op::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.bin(Op::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.bin(Op::Xor, a, b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: impl Into<Port>) -> NodeId {
+        let a = a.into();
+        let w = self.width_of(a.node);
+        self.push(Op::Not, w, vec![a])
+    }
+
+    /// 2:1 multiplexer `sel ? a : b`; `sel` must be 1 bit wide.
+    pub fn mux(
+        &mut self,
+        sel: impl Into<Port>,
+        a: impl Into<Port>,
+        b: impl Into<Port>,
+    ) -> NodeId {
+        let (sel, a, b) = (sel.into(), a.into(), b.into());
+        let w = self.width_of(a.node);
+        self.push(Op::Mux, w, vec![sel, a, b])
+    }
+
+    // ---- wiring ----------------------------------------------------------
+
+    /// Left shift by a constant.
+    pub fn shl(&mut self, a: impl Into<Port>, amount: u32) -> NodeId {
+        let a = a.into();
+        let w = self.width_of(a.node);
+        self.push(Op::Shl(amount), w, vec![a])
+    }
+
+    /// Logical right shift by a constant.
+    pub fn shr(&mut self, a: impl Into<Port>, amount: u32) -> NodeId {
+        let a = a.into();
+        let w = self.width_of(a.node);
+        self.push(Op::Shr(amount), w, vec![a])
+    }
+
+    /// Extract `width` bits starting at bit `lo`.
+    pub fn slice(&mut self, a: impl Into<Port>, lo: u32, width: u32) -> NodeId {
+        self.push(Op::Slice { lo }, width, vec![a.into()])
+    }
+
+    /// Single-bit extraction, `a[bit]`.
+    pub fn bit(&mut self, a: impl Into<Port>, bit: u32) -> NodeId {
+        self.slice(a, bit, 1)
+    }
+
+    /// Concatenation `(hi << width(lo)) | lo`.
+    pub fn concat(&mut self, hi: impl Into<Port>, lo: impl Into<Port>) -> NodeId {
+        let (hi, lo) = (hi.into(), lo.into());
+        let w = self.width_of(hi.node) + self.width_of(lo.node);
+        self.push(Op::Concat, w, vec![hi, lo])
+    }
+
+    /// Zero-extend `a` to `width` bits (a concat with a zero constant).
+    pub fn zext(&mut self, a: impl Into<Port>, width: u32) -> NodeId {
+        let a = a.into();
+        let aw = self.width_of(a.node);
+        assert!(width >= aw, "zext target narrower than source");
+        if width == aw {
+            return a.node;
+        }
+        let z = self.const_(0, width - aw);
+        self.push(Op::Concat, width, vec![z.into(), a])
+    }
+
+    // ---- arithmetic --------------------------------------------------------
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.bin(Op::Add, a, b)
+    }
+
+    /// Wrapping subtraction `a - b`.
+    pub fn sub(&mut self, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.bin(Op::Sub, a, b)
+    }
+
+    /// Comparison with the given predicate; result is 1 bit.
+    pub fn cmp(&mut self, pred: CmpPred, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.push(Op::Cmp(pred), 1, vec![a.into(), b.into()])
+    }
+
+    /// Signed "is non-negative" test against zero — the paper's Fig. 2
+    /// node *C* pattern whose bit-level dependence is the MSB alone.
+    pub fn is_non_negative(&mut self, a: impl Into<Port>) -> NodeId {
+        let a = a.into();
+        let w = self.width_of(a.node);
+        let z = self.const_(0, w);
+        self.cmp(CmpPred::Sge, a, z)
+    }
+
+    // ---- black boxes -------------------------------------------------------
+
+    /// Hard-multiplier product wrapping to `a`'s width.
+    pub fn mul(&mut self, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
+        self.bin(Op::Mul, a, b)
+    }
+
+    /// Register a read-only memory; returns its id for [`load`](Self::load).
+    pub fn add_memory(&mut self, name: impl Into<String>, width: u32, data: Vec<u64>) -> MemId {
+        let id = MemId(self.memories.len() as u32);
+        self.memories.push(Memory {
+            name: name.into(),
+            width,
+            data,
+        });
+        id
+    }
+
+    /// Memory read `mem[addr % len]`.
+    pub fn load(&mut self, mem: MemId, addr: impl Into<Port>) -> NodeId {
+        let w = self.memories[mem.0 as usize].width;
+        self.push(Op::Load(mem), w, vec![addr.into()])
+    }
+
+    // ---- feedback ----------------------------------------------------------
+
+    /// Create a placeholder value of the given width, to be bound later
+    /// with [`bind`](Self::bind).
+    ///
+    /// Placeholder ids are virtual: they never appear in the finished graph
+    /// and naming them or giving them init values is not supported.
+    pub fn placeholder(&mut self, width: u32) -> NodeId {
+        let id = NodeId(VIRTUAL_BASE + self.placeholders.len() as u32);
+        self.placeholders.insert(id, (width, None));
+        id
+    }
+
+    /// Bind `placeholder` to the real `producer`: every use of the
+    /// placeholder becomes a use of `producer` with `dist` added to the
+    /// edge's dependence distance. `dist >= 1` creates a loop-carried
+    /// (recurrence) edge; `dist == 0` simply aliases the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::NotAPlaceholder`] if `placeholder` was not created
+    /// by [`placeholder`](Self::placeholder) or was already bound.
+    pub fn bind(&mut self, placeholder: NodeId, producer: NodeId, dist: u32) -> Result<(), IrError> {
+        match self.placeholders.get_mut(&placeholder) {
+            Some((_, slot @ None)) => {
+                *slot = Some((producer, dist));
+                Ok(())
+            }
+            _ => Err(IrError::NotAPlaceholder { node: placeholder }),
+        }
+    }
+
+    /// Finish the graph: resolve placeholders, compact ids, validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnboundPlaceholder`] for unbound placeholders, or
+    /// any validation error from [`Dfg::validate`].
+    pub fn finish(self) -> Result<Dfg, IrError> {
+        // Resolve each placeholder to a final (node, added dist), following
+        // chains of placeholders bound to placeholders.
+        let mut resolved: HashMap<NodeId, (NodeId, u32)> = HashMap::new();
+        for (&ph, &(_, binding)) in &self.placeholders {
+            let (mut tgt, mut dist) = match binding {
+                Some(b) => b,
+                None => return Err(IrError::UnboundPlaceholder { node: ph }),
+            };
+            let mut hops = 0;
+            while let Some(&(_, next)) = self.placeholders.get(&tgt) {
+                let (t2, d2) = match next {
+                    Some(b) => b,
+                    None => return Err(IrError::UnboundPlaceholder { node: tgt }),
+                };
+                tgt = t2;
+                dist += d2;
+                hops += 1;
+                if hops > self.placeholders.len() {
+                    // A cycle of placeholders can never produce a value.
+                    return Err(IrError::CombinationalCycle { node: ph });
+                }
+            }
+            resolved.insert(ph, (tgt, dist));
+        }
+
+        // Rewrite ports through the placeholder map. Node ids are stable:
+        // placeholders are virtual and were never pushed as nodes.
+        let mut nodes = self.nodes;
+        for node in &mut nodes {
+            for port in &mut node.ins {
+                if let Some(&(tgt, extra)) = resolved.get(&port.node) {
+                    port.node = tgt;
+                    port.dist += extra;
+                }
+            }
+        }
+
+        let dfg = Dfg::from_parts(
+            self.name,
+            nodes,
+            self.names,
+            self.memories,
+            self.init_values,
+        );
+        dfg.validate()?;
+        Ok(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_chain_resolves() {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x", 8);
+        let p1 = b.placeholder(8);
+        let p2 = b.placeholder(8);
+        let a = b.add(x, p2);
+        b.bind(p2, p1, 1).expect("bind p2 -> p1");
+        b.bind(p1, a, 1).expect("bind p1 -> a");
+        b.output("o", a);
+        let g = b.finish().expect("chain resolves");
+        // a reads itself at distance 2 (1 + 1 through the chain).
+        let (_, add) = g
+            .iter()
+            .find(|(_, n)| n.op == Op::Add)
+            .expect("add exists");
+        assert!(add.ins.iter().any(|p| p.dist == 2));
+        // Placeholders are gone.
+        assert_eq!(g.stats().inputs, 1);
+    }
+
+    #[test]
+    fn unbound_placeholder_fails() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.input("x", 8);
+        let p = b.placeholder(8);
+        let a = b.xor(x, p);
+        b.output("o", a);
+        assert!(matches!(
+            b.finish(),
+            Err(IrError::UnboundPlaceholder { .. })
+        ));
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.input("x", 8);
+        let p = b.placeholder(8);
+        b.bind(p, x, 1).expect("first bind works");
+        assert!(matches!(
+            b.bind(p, x, 1),
+            Err(IrError::NotAPlaceholder { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_non_placeholder_fails() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        assert!(matches!(
+            b.bind(x, y, 1),
+            Err(IrError::NotAPlaceholder { .. })
+        ));
+    }
+
+    #[test]
+    fn placeholder_cycle_fails() {
+        let mut b = DfgBuilder::new("bad");
+        let p1 = b.placeholder(8);
+        let p2 = b.placeholder(8);
+        b.bind(p1, p2, 1).expect("bind");
+        b.bind(p2, p1, 1).expect("bind");
+        let x = b.input("x", 8);
+        let a = b.xor(x, p1);
+        b.output("o", a);
+        assert!(matches!(
+            b.finish(),
+            Err(IrError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn zext_concats_zeros() {
+        let mut b = DfgBuilder::new("z");
+        let x = b.input("x", 3);
+        let z = b.zext(x, 8);
+        assert_eq!(b.width_of(z), 8);
+        b.output("o", z);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn memories_are_registered() {
+        let mut b = DfgBuilder::new("rom");
+        let m = b.add_memory("tbl", 8, vec![1, 2, 3]);
+        let a = b.input("a", 4);
+        let v = b.load(m, a);
+        b.output("v", v);
+        let g = b.finish().expect("valid");
+        assert_eq!(g.memories().len(), 1);
+        assert_eq!(g.memory(m).data, vec![1, 2, 3]);
+        assert_eq!(g.stats().black_box_ops, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::NodeId;
+use crate::op::{MemId, Op};
+
+/// Violation of a structural invariant of a [`Dfg`](crate::Dfg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A node's bit width is outside `1..=64`.
+    BadWidth {
+        /// Offending node.
+        node: NodeId,
+        /// The rejected width.
+        width: u32,
+    },
+    /// A node has the wrong number of inputs for its operation.
+    BadArity {
+        /// Offending node.
+        node: NodeId,
+        /// Its operation.
+        op: Op,
+        /// Number of inputs it actually has.
+        got: usize,
+    },
+    /// A port references a node id outside the graph.
+    DanglingPort {
+        /// Offending node.
+        node: NodeId,
+        /// The out-of-range target.
+        to: NodeId,
+    },
+    /// Input/output widths are inconsistent for the operation.
+    WidthMismatch {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// An `Output` node is used as a data source.
+    OutputHasConsumer {
+        /// The output node that has a consumer.
+        output: NodeId,
+    },
+    /// A `Load` references a memory id that does not exist.
+    UnknownMemory {
+        /// Offending node.
+        node: NodeId,
+        /// The unknown memory id.
+        mem: MemId,
+    },
+    /// A memory has no contents.
+    EmptyMemory {
+        /// The empty memory.
+        mem: MemId,
+    },
+    /// A cycle exists using only distance-0 edges (a combinational loop).
+    CombinationalCycle {
+        /// A node on the cycle.
+        node: NodeId,
+    },
+    /// A placeholder created by the builder was never bound.
+    UnboundPlaceholder {
+        /// The unbound placeholder node.
+        node: NodeId,
+    },
+    /// `bind` was called twice for the same placeholder, or on a node that
+    /// is not a placeholder.
+    NotAPlaceholder {
+        /// The rejected node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BadWidth { node, width } => {
+                write!(f, "node {node} has width {width}, expected 1..=64")
+            }
+            IrError::BadArity { node, op, got } => {
+                write!(f, "node {node} ({op}) has {got} inputs, expected {}", op.arity())
+            }
+            IrError::DanglingPort { node, to } => {
+                write!(f, "node {node} references non-existent node {to}")
+            }
+            IrError::WidthMismatch { node } => {
+                write!(f, "node {node} has inconsistent input/output widths")
+            }
+            IrError::OutputHasConsumer { output } => {
+                write!(f, "output node {output} is consumed by another node")
+            }
+            IrError::UnknownMemory { node, mem } => {
+                write!(f, "node {node} loads from unknown memory {mem}")
+            }
+            IrError::EmptyMemory { mem } => write!(f, "memory {mem} has no contents"),
+            IrError::CombinationalCycle { node } => {
+                write!(f, "combinational (distance-0) cycle through node {node}")
+            }
+            IrError::UnboundPlaceholder { node } => {
+                write!(f, "placeholder {node} was never bound to a producer")
+            }
+            IrError::NotAPlaceholder { node } => {
+                write!(f, "node {node} is not an unbound placeholder")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = IrError::BadWidth {
+            node: NodeId(3),
+            width: 99,
+        };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+}

@@ -1,0 +1,609 @@
+//! The word-level control data flow graph (CDFG) itself.
+//!
+//! A [`Dfg`] is a collection of [`Node`]s connected by [`Port`]s. Every port
+//! carries a **dependence distance**: distance 0 is an intra-iteration
+//! dependence, distance `d > 0` means the consumer reads the value the
+//! producer computed `d` iterations earlier (a loop-carried dependence,
+//! footnote 1 of the paper).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::IrError;
+use crate::op::{MemId, Op};
+
+/// Index of a node within its [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index as a `usize`, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A dataflow edge endpoint: which node feeds this input, and at which
+/// iteration distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Port {
+    /// Producer node.
+    pub node: NodeId,
+    /// Dependence distance in iterations (0 = same iteration).
+    pub dist: u32,
+}
+
+impl Port {
+    /// An intra-iteration (distance 0) port.
+    pub fn this_iter(node: NodeId) -> Self {
+        Port { node, dist: 0 }
+    }
+
+    /// A loop-carried port reading the value from `dist` iterations ago.
+    pub fn prev_iter(node: NodeId, dist: u32) -> Self {
+        Port { node, dist }
+    }
+}
+
+impl From<NodeId> for Port {
+    fn from(node: NodeId) -> Self {
+        Port::this_iter(node)
+    }
+}
+
+/// One operation instance in the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The operation computed by this node.
+    pub op: Op,
+    /// Bit width of the produced value (1..=64). `Cmp` nodes are 1 bit;
+    /// `Output` nodes mirror their input's width.
+    pub width: u32,
+    /// Input ports, in the order required by [`Op::arity`].
+    pub ins: Vec<Port>,
+}
+
+/// A read-only memory referenced by [`Op::Load`] nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    /// Human-readable name (e.g. `"sbox"`).
+    pub name: String,
+    /// Word width of each element (1..=64).
+    pub width: u32,
+    /// Contents; loads index `data[addr % data.len()]`.
+    pub data: Vec<u64>,
+}
+
+/// Aggregate size statistics of a graph — our analog of the paper's
+/// "LLVM Instrs" column of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DfgStats {
+    /// Total node count, including inputs/constants/outputs.
+    pub nodes: usize,
+    /// LUT-mappable operation count.
+    pub lut_ops: usize,
+    /// Black-box operation count.
+    pub black_box_ops: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Edges (input ports).
+    pub edges: usize,
+    /// Edges with non-zero dependence distance.
+    pub loop_carried_edges: usize,
+}
+
+/// The word-level CDFG for one pipelined loop or function.
+///
+/// Build one with [`DfgBuilder`](crate::DfgBuilder):
+///
+/// ```
+/// use pipemap_ir::DfgBuilder;
+///
+/// # fn main() -> Result<(), pipemap_ir::IrError> {
+/// let mut b = DfgBuilder::new("xor2");
+/// let x = b.input("x", 8);
+/// let y = b.input("y", 8);
+/// let z = b.xor(x, y);
+/// b.output("z", z);
+/// let dfg = b.finish()?;
+/// assert_eq!(dfg.stats().lut_ops, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    memories: Vec<Memory>,
+    /// Value assumed for loop-carried reads of iterations before the first.
+    init_values: HashMap<NodeId, u64>,
+}
+
+impl Dfg {
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        names: Vec<Option<String>>,
+        memories: Vec<Memory>,
+        init_values: HashMap<NodeId, u64>,
+    ) -> Self {
+        Dfg {
+            name,
+            nodes,
+            names,
+            memories,
+            init_values,
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The optional debug name attached to a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names[id.index()].as_deref()
+    }
+
+    /// A printable label: the debug name if present, else `n<i>`.
+    pub fn label(&self, id: NodeId) -> String {
+        match self.node_name(id) {
+            Some(n) => n.to_string(),
+            None => id.to_string(),
+        }
+    }
+
+    /// Iterate over `(id, node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All node ids in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The attached read-only memories.
+    pub fn memories(&self) -> &[Memory] {
+        &self.memories
+    }
+
+    /// Memory accessed by a [`MemId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn memory(&self, id: MemId) -> &Memory {
+        &self.memories[id.0 as usize]
+    }
+
+    /// Initial value of a node for loop-carried reads reaching before
+    /// iteration 0 (defaults to 0 when absent).
+    pub fn init_value(&self, id: NodeId) -> u64 {
+        self.init_values.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Ids of the primary-input nodes in id order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.op == Op::Input)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of the primary-output marker nodes in id order.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.op == Op::Output)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Consumers of each node: `consumers()[v]` lists `(consumer, port
+    /// index)` pairs over all edges, including loop-carried ones.
+    pub fn consumers(&self) -> Vec<Vec<(NodeId, usize)>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (id, n) in self.iter() {
+            for (k, p) in n.ins.iter().enumerate() {
+                out[p.node.index()].push((id, k));
+            }
+        }
+        out
+    }
+
+    /// Size statistics (Table 2's size column analog).
+    pub fn stats(&self) -> DfgStats {
+        let mut s = DfgStats {
+            nodes: self.nodes.len(),
+            ..DfgStats::default()
+        };
+        for n in &self.nodes {
+            if n.op.is_lut_mappable() {
+                s.lut_ops += 1;
+            }
+            if n.op.is_black_box() {
+                s.black_box_ops += 1;
+            }
+            match n.op {
+                Op::Input => s.inputs += 1,
+                Op::Output => s.outputs += 1,
+                _ => {}
+            }
+            s.edges += n.ins.len();
+            s.loop_carried_edges += n.ins.iter().filter(|p| p.dist > 0).count();
+        }
+        s
+    }
+
+    /// A topological order of all nodes over **distance-0** edges.
+    ///
+    /// Loop-carried edges are ignored — they are exactly what makes the
+    /// graph cyclic, and a valid graph is acyclic once they are removed
+    /// (checked by [`Dfg::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::CombinationalCycle`] if a distance-0 cycle exists.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, IrError> {
+        let n = self.nodes.len();
+        // indeg[v] = number of distance-0 inputs of v.
+        let mut indeg = vec![0usize; n];
+        for (id, node) in self.iter() {
+            indeg[id.index()] = node.ins.iter().filter(|p| p.dist == 0).count();
+        }
+        let consumers = self.consumers();
+        let mut queue: Vec<NodeId> = self
+            .node_ids()
+            .filter(|id| indeg[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &(c, k) in &consumers[v.index()] {
+                if self.nodes[c.index()].ins[k].dist == 0 {
+                    indeg[c.index()] -= 1;
+                    if indeg[c.index()] == 0 {
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = self
+                .node_ids()
+                .find(|id| indeg[id.index()] > 0)
+                .expect("some node must have positive indegree");
+            return Err(IrError::CombinationalCycle { node: stuck });
+        }
+        Ok(order)
+    }
+
+    /// Strongly connected components over **all** edges (including
+    /// loop-carried ones), in reverse topological order of the condensation.
+    ///
+    /// Components with more than one node (or a self loop) are the
+    /// recurrences that bound the initiation interval from below.
+    pub fn sccs(&self) -> Vec<Vec<NodeId>> {
+        // Iterative Tarjan.
+        let n = self.nodes.len();
+        let consumers = self.consumers();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs = Vec::new();
+
+        // DFS over consumer edges.
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            // call stack frames: (v, next child position)
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                if *ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ci < consumers[v].len() {
+                    let (w, _) = consumers[v][*ci];
+                    *ci += 1;
+                    let w = w.index();
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack invariant");
+                            on_stack[w] = false;
+                            comp.push(NodeId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (p, _)) = call.last_mut() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Validate structural invariants: arities, widths, port ranges,
+    /// absence of distance-0 cycles, memory references, and sink/source
+    /// shape. Called by the builder; callers constructing graphs by other
+    /// means should call it themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), IrError> {
+        for (id, n) in self.iter() {
+            if n.width == 0 || n.width > 64 {
+                return Err(IrError::BadWidth {
+                    node: id,
+                    width: n.width,
+                });
+            }
+            if n.ins.len() != n.op.arity() {
+                return Err(IrError::BadArity {
+                    node: id,
+                    op: n.op,
+                    got: n.ins.len(),
+                });
+            }
+            for p in &n.ins {
+                if p.node.index() >= self.nodes.len() {
+                    return Err(IrError::DanglingPort { node: id, to: p.node });
+                }
+                let src = &self.nodes[p.node.index()];
+                if src.op == Op::Output {
+                    return Err(IrError::OutputHasConsumer { output: p.node });
+                }
+            }
+            let w = |k: usize| self.nodes[n.ins[k].node.index()].width;
+            match n.op {
+                Op::And | Op::Or | Op::Xor | Op::Add | Op::Sub => {
+                    if w(0) != n.width || w(1) != n.width {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Not | Op::Shl(_) | Op::Shr(_) => {
+                    if w(0) != n.width {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Mux => {
+                    if w(0) != 1 || w(1) != n.width || w(2) != n.width {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Cmp(_) => {
+                    if n.width != 1 || w(0) != w(1) {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Slice { lo } => {
+                    if lo + n.width > w(0) {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Concat => {
+                    if w(0) + w(1) != n.width {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Output => {
+                    if w(0) != n.width {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                }
+                Op::Load(m) => {
+                    if m.0 as usize >= self.memories.len() {
+                        return Err(IrError::UnknownMemory { node: id, mem: m });
+                    }
+                    let mem = &self.memories[m.0 as usize];
+                    if mem.width != n.width {
+                        return Err(IrError::WidthMismatch { node: id });
+                    }
+                    if mem.data.is_empty() {
+                        return Err(IrError::EmptyMemory { mem: m });
+                    }
+                }
+                Op::Mul | Op::Input | Op::Const(_) => {}
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dfg {} {{", self.name)?;
+        for (id, n) in self.iter() {
+            let ins: Vec<String> = n
+                .ins
+                .iter()
+                .map(|p| {
+                    if p.dist == 0 {
+                        self.label(p.node)
+                    } else {
+                        format!("{}@-{}", self.label(p.node), p.dist)
+                    }
+                })
+                .collect();
+            writeln!(
+                f,
+                "  {}: {} = {} {}",
+                self.label(id),
+                n.width,
+                n.op,
+                ins.join(", ")
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::CmpPred;
+
+    fn tiny() -> Dfg {
+        let mut b = DfgBuilder::new("tiny");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let a = b.and(x, y);
+        let o = b.or(a, x);
+        b.output("o", o);
+        b.finish().expect("valid graph")
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = tiny();
+        let order = g.topo_order().expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for (id, n) in g.iter() {
+            for port in &n.ins {
+                if port.dist == 0 {
+                    assert!(pos[port.node.index()] < pos[id.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_carried_cycle_is_allowed() {
+        let mut b = DfgBuilder::new("acc");
+        let x = b.input("x", 8);
+        let acc_prev = b.placeholder(8);
+        let sum = b.add(x, acc_prev);
+        b.bind(acc_prev, sum, 1).expect("feedback binds");
+        b.output("sum", sum);
+        let g = b.finish().expect("valid with loop-carried edge");
+        assert!(g.topo_order().is_ok());
+        // The add participates in an SCC with itself via dist-1 edge.
+        let sccs = g.sccs();
+        assert!(sccs.iter().any(|c| c.len() == 1
+            && g.node(c[0]).ins.iter().any(|p| p.dist == 1 && p.node == c[0])));
+    }
+
+    #[test]
+    fn combinational_cycle_is_rejected() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.input("x", 4);
+        let ph = b.placeholder(4);
+        let a = b.and(x, ph);
+        b.bind(ph, a, 0).expect("binding itself is fine");
+        b.output("o", a);
+        let err = b.finish().expect_err("dist-0 cycle must be rejected");
+        assert!(matches!(err, IrError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.input("x", 4);
+        let y = b.input("y", 8);
+        let n = b.raw_node(Op::And, 4, vec![x.into(), y.into()]);
+        b.output("o", n);
+        assert!(matches!(
+            b.finish(),
+            Err(IrError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cmp_width_is_one() {
+        let mut b = DfgBuilder::new("c");
+        let x = b.input("x", 8);
+        let z = b.const_(0, 8);
+        let c = b.cmp(CmpPred::Sge, x, z);
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        let cnode = g
+            .iter()
+            .find(|(_, n)| matches!(n.op, Op::Cmp(_)))
+            .expect("cmp exists");
+        assert_eq!(cnode.1.width, 1);
+        let _ = g.to_string();
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let g = tiny();
+        let s = g.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.lut_ops, 2);
+        assert_eq!(s.black_box_ops, 0);
+        assert_eq!(s.nodes, 5);
+    }
+
+    #[test]
+    fn sccs_partition_nodes() {
+        let g = tiny();
+        let sccs = g.sccs();
+        let total: usize = sccs.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.len());
+    }
+}

@@ -1,0 +1,428 @@
+//! Reference interpreter for word-level CDFGs.
+//!
+//! This executes a graph iteration by iteration, with loop-carried edges
+//! reading values from earlier iterations. It is the golden model every
+//! generated pipeline is checked against (see `pipemap-netlist`'s
+//! cycle-accurate simulator).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{Dfg, Memory, NodeId};
+use crate::op::Op;
+
+/// The all-ones mask for a bit width in `1..=64`.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 64.
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    assert!((1..=64).contains(&width), "width {width} out of range");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// No input stream was provided for a primary input.
+    MissingInput {
+        /// The input node without a stream.
+        node: NodeId,
+    },
+    /// An input stream is shorter than the requested iteration count.
+    ShortInput {
+        /// The input node whose stream ran out.
+        node: NodeId,
+        /// Length of the provided stream.
+        len: usize,
+        /// Number of iterations requested.
+        need: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingInput { node } => {
+                write!(f, "no input stream provided for primary input {node}")
+            }
+            EvalError::ShortInput { node, len, need } => write!(
+                f,
+                "input stream for {node} has {len} values but {need} iterations were requested"
+            ),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// Per-iteration values for each primary input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputStreams {
+    streams: HashMap<NodeId, Vec<u64>>,
+}
+
+impl InputStreams {
+    /// An empty set of streams.
+    pub fn new() -> Self {
+        InputStreams::default()
+    }
+
+    /// Set the stream for one input node (values are masked to the input's
+    /// width during execution).
+    pub fn set(&mut self, node: NodeId, values: Vec<u64>) -> &mut Self {
+        self.streams.insert(node, values);
+        self
+    }
+
+    /// Deterministic pseudo-random streams for every primary input of
+    /// `dfg` — handy for differential testing.
+    pub fn random(dfg: &Dfg, iterations: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut s = InputStreams::new();
+        for id in dfg.inputs() {
+            let w = dfg.node(id).width;
+            let vals = (0..iterations).map(|_| next() & mask(w)).collect();
+            s.set(id, vals);
+        }
+        s
+    }
+
+    fn value(&self, node: NodeId, iter: usize, need: usize) -> Result<u64, EvalError> {
+        let stream = self
+            .streams
+            .get(&node)
+            .ok_or(EvalError::MissingInput { node })?;
+        stream.get(iter).copied().ok_or(EvalError::ShortInput {
+            node,
+            len: stream.len(),
+            need,
+        })
+    }
+}
+
+impl FromIterator<(NodeId, Vec<u64>)> for InputStreams {
+    fn from_iter<T: IntoIterator<Item = (NodeId, Vec<u64>)>>(iter: T) -> Self {
+        InputStreams {
+            streams: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The values computed by every node over every executed iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    values: Vec<Vec<u64>>,
+}
+
+impl Trace {
+    /// The value of `node` at `iteration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration or node is out of range.
+    pub fn value(&self, iteration: usize, node: NodeId) -> u64 {
+        self.values[iteration][node.index()]
+    }
+
+    /// Number of executed iterations.
+    pub fn iterations(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Values of all primary outputs of `dfg` at one iteration, in id
+    /// order.
+    pub fn outputs(&self, dfg: &Dfg, iteration: usize) -> Vec<(NodeId, u64)> {
+        dfg.outputs()
+            .into_iter()
+            .map(|o| (o, self.value(iteration, o)))
+            .collect()
+    }
+}
+
+/// Evaluate a single operation on already-masked argument values.
+///
+/// `in_widths` are the widths of the producing nodes, needed by signed
+/// compares and concatenation. Exposed so the netlist simulator evaluates
+/// black boxes identically to the interpreter.
+pub fn eval_op(op: &Op, width: u32, args: &[u64], in_widths: &[u32], memories: &[Memory]) -> u64 {
+    let m = mask(width);
+    match op {
+        Op::Input => unreachable!("inputs are fed by streams"),
+        Op::Const(c) => c & m,
+        Op::Output => args[0] & m,
+        Op::And => args[0] & args[1] & m,
+        Op::Or => (args[0] | args[1]) & m,
+        Op::Xor => (args[0] ^ args[1]) & m,
+        Op::Not => !args[0] & m,
+        Op::Mux => {
+            if args[0] & 1 != 0 {
+                args[1] & m
+            } else {
+                args[2] & m
+            }
+        }
+        Op::Shl(s) => {
+            if *s >= 64 {
+                0
+            } else {
+                (args[0] << s) & m
+            }
+        }
+        Op::Shr(s) => {
+            if *s >= 64 {
+                0
+            } else {
+                (args[0] >> s) & m
+            }
+        }
+        Op::Slice { lo } => (args[0] >> lo) & m,
+        Op::Concat => ((args[0] << in_widths[1]) | args[1]) & m,
+        Op::Add => args[0].wrapping_add(args[1]) & m,
+        Op::Sub => args[0].wrapping_sub(args[1]) & m,
+        Op::Cmp(p) => u64::from(p.eval(args[0], args[1], in_widths[0])),
+        Op::Mul => args[0].wrapping_mul(args[1]) & m,
+        Op::Load(mem) => {
+            let data = &memories[mem.0 as usize].data;
+            data[args[0] as usize % data.len()] & m
+        }
+    }
+}
+
+/// Execute `iterations` loop iterations of `dfg` with the given input
+/// streams, returning the full value [`Trace`].
+///
+/// Loop-carried reads that reach before iteration 0 see
+/// [`Dfg::init_value`].
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if an input stream is missing or too short.
+///
+/// # Examples
+///
+/// ```
+/// use pipemap_ir::{DfgBuilder, InputStreams, execute};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("sum");
+/// let x = b.input("x", 8);
+/// let prev = b.placeholder(8);
+/// let acc = b.add(x, prev);
+/// b.bind(prev, acc, 1)?;
+/// let out = b.output("acc", acc);
+/// let dfg = b.finish()?;
+///
+/// let mut ins = InputStreams::new();
+/// ins.set(dfg.inputs()[0], vec![1, 2, 3]);
+/// let trace = execute(&dfg, &ins, 3)?;
+/// assert_eq!(trace.value(2, out), 6); // running sum 1+2+3
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(dfg: &Dfg, inputs: &InputStreams, iterations: usize) -> Result<Trace, EvalError> {
+    let order = dfg
+        .topo_order()
+        .expect("validated graphs have a topological order");
+    let mut values: Vec<Vec<u64>> = Vec::with_capacity(iterations);
+    for iter in 0..iterations {
+        let mut row = vec![0u64; dfg.len()];
+        for &id in &order {
+            let node = dfg.node(id);
+            if node.op == Op::Input {
+                row[id.index()] = inputs.value(id, iter, iterations)? & mask(node.width);
+                continue;
+            }
+            let mut args = Vec::with_capacity(node.ins.len());
+            let mut in_widths = Vec::with_capacity(node.ins.len());
+            for p in &node.ins {
+                let v = if p.dist == 0 {
+                    row[p.node.index()]
+                } else if iter >= p.dist as usize {
+                    values[iter - p.dist as usize][p.node.index()]
+                } else {
+                    dfg.init_value(p.node) & mask(dfg.node(p.node).width)
+                };
+                args.push(v);
+                in_widths.push(dfg.node(p.node).width);
+            }
+            row[id.index()] = eval_op(&node.op, node.width, &args, &in_widths, dfg.memories());
+        }
+        values.push(row);
+    }
+    Ok(Trace { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::op::CmpPred;
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_mask_panics() {
+        mask(0);
+    }
+
+    #[test]
+    fn basic_logic_and_arith() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let a = b.and(x, y);
+        let o = b.xor(a, y);
+        let s = b.add(o, x);
+        let out = b.output("s", s);
+        let g = b.finish().expect("valid");
+
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![0xF0]);
+        ins.set(g.inputs()[1], vec![0x3C]);
+        let t = execute(&g, &ins, 1).expect("executes");
+        // (0xF0 & 0x3C) ^ 0x3C = 0x30 ^ 0x3C = 0x0C; + 0xF0 = 0xFC
+        assert_eq!(t.value(0, out), 0xFC);
+    }
+
+    #[test]
+    fn signed_compare_and_mux() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 4);
+        let nonneg = b.is_non_negative(x);
+        let a = b.const_(1, 4);
+        let c = b.const_(2, 4);
+        let m = b.mux(nonneg, a, c);
+        let out = b.output("m", m);
+        let g = b.finish().expect("valid");
+
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![0b0111, 0b1000]); // +7 then -8
+        let t = execute(&g, &ins, 2).expect("executes");
+        assert_eq!(t.value(0, out), 1);
+        assert_eq!(t.value(1, out), 2);
+    }
+
+    #[test]
+    fn loop_carried_distance_two() {
+        // fib-like: f = f@-1 + f@-2, seeded by init values.
+        let mut b = DfgBuilder::new("fib");
+        let p1 = b.placeholder(16);
+        let p2 = b.placeholder(16);
+        let f = b.add(p1, p2);
+        b.bind(p1, f, 1).expect("bind");
+        b.bind(p2, f, 2).expect("bind");
+        b.set_init_value(f, 1);
+        let out = b.output("f", f);
+        let g = b.finish().expect("valid");
+
+        let t = execute(&g, &InputStreams::new(), 5).expect("executes");
+        // iter0: 1+1=2, iter1: 2+1=3, iter2: 3+2=5, iter3: 5+3=8, iter4: 13
+        let got: Vec<u64> = (0..5).map(|i| t.value(i, out)).collect();
+        assert_eq!(got, vec![2, 3, 5, 8, 13]);
+    }
+
+    #[test]
+    fn memory_load() {
+        let mut b = DfgBuilder::new("rom");
+        let m = b.add_memory("tbl", 8, vec![10, 20, 30, 40]);
+        let a = b.input("a", 2);
+        let v = b.load(m, a);
+        let out = b.output("v", v);
+        let g = b.finish().expect("valid");
+
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![0, 3, 2]);
+        let t = execute(&g, &ins, 3).expect("executes");
+        assert_eq!(
+            (0..3).map(|i| t.value(i, out)).collect::<Vec<_>>(),
+            vec![10, 40, 30]
+        );
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let mut b = DfgBuilder::new("sc");
+        let x = b.input("x", 8);
+        let hi = b.slice(x, 4, 4);
+        let lo = b.slice(x, 0, 4);
+        let back = b.concat(hi, lo);
+        let out = b.output("y", back);
+        let g = b.finish().expect("valid");
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![0xA5]);
+        let t = execute(&g, &ins, 1).expect("executes");
+        assert_eq!(t.value(0, out), 0xA5);
+    }
+
+    #[test]
+    fn missing_and_short_streams_error() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 8);
+        let o = b.not(x);
+        b.output("o", o);
+        let g = b.finish().expect("valid");
+
+        assert!(matches!(
+            execute(&g, &InputStreams::new(), 1),
+            Err(EvalError::MissingInput { .. })
+        ));
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![1]);
+        assert!(matches!(
+            execute(&g, &ins, 2),
+            Err(EvalError::ShortInput { .. })
+        ));
+    }
+
+    #[test]
+    fn random_streams_cover_all_inputs() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.input("y", 3);
+        let s = b.zext(y, 8);
+        let a = b.add(x, s);
+        b.output("o", a);
+        let g = b.finish().expect("valid");
+        let ins = InputStreams::random(&g, 10, 42);
+        let t = execute(&g, &ins, 10).expect("random streams suffice");
+        assert_eq!(t.iterations(), 10);
+        // Determinism.
+        let ins2 = InputStreams::random(&g, 10, 42);
+        assert_eq!(ins, ins2);
+    }
+
+    #[test]
+    fn cmp_uses_operand_width_for_sign() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.const_(0, 4);
+        let lt = b.cmp(CmpPred::Slt, x, y);
+        let out = b.output("lt", lt);
+        let g = b.finish().expect("valid");
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![0b1000]); // -8 in 4 bits
+        let t = execute(&g, &ins, 1).expect("executes");
+        assert_eq!(t.value(0, out), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # pipemap-ir
+//!
+//! Word-level control data flow graph (CDFG) IR for the `pipemap` project —
+//! a Rust reproduction of *"Area-Efficient Pipelining for FPGA-Targeted
+//! High-Level Synthesis"* (Zhao, Tan, Dai, Zhang — DAC 2015).
+//!
+//! This crate provides:
+//!
+//! * [`Dfg`] / [`Node`] / [`Op`] — the graph the scheduler operates on, with
+//!   per-edge **dependence distances** for loop-carried recurrences,
+//! * [`DfgBuilder`] — ergonomic construction, including feedback edges via
+//!   placeholders,
+//! * [`Target`] — the FPGA device and characterized-delay model,
+//! * [`execute`] — a reference interpreter used as the golden model for
+//!   verifying pipelined implementations.
+//!
+//! ```
+//! use pipemap_ir::{DfgBuilder, InputStreams, Target, execute};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DfgBuilder::new("demo");
+//! let x = b.input("x", 8);
+//! let y = b.input("y", 8);
+//! let t = b.xor(x, y);
+//! let r = b.and(t, x);
+//! let out = b.output("r", r);
+//! let dfg = b.finish()?;
+//!
+//! let target = Target::default();
+//! assert_eq!(target.k, 4);
+//!
+//! let mut ins = InputStreams::new();
+//! ins.set(dfg.inputs()[0], vec![0xFF]);
+//! ins.set(dfg.inputs()[1], vec![0x0F]);
+//! let trace = execute(&dfg, &ins, 1)?;
+//! assert_eq!(trace.value(0, out), 0xF0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod dot;
+mod error;
+mod graph;
+mod interp;
+mod op;
+mod target;
+mod text;
+
+pub use builder::DfgBuilder;
+pub use dot::to_dot;
+pub use error::IrError;
+pub use graph::{Dfg, DfgStats, Memory, Node, NodeId, Port};
+pub use interp::{eval_op, execute, mask, EvalError, InputStreams, Trace};
+pub use op::{CmpPred, DepClass, MemId, Op, Resource};
+pub use target::{OpDelays, Target};
+pub use text::{parse_dfg, print_dfg, ParseDfgError};

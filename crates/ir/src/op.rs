@@ -1,0 +1,335 @@
+//! Operation kinds of the word-level CDFG and their classification.
+//!
+//! The paper classifies operations three ways (§3.1):
+//!
+//! * **bitwise** — each output bit depends on the same bit of each input
+//!   (AND/OR/XOR/NOT, and the data legs of a MUX),
+//! * **shifting** — each output bit depends on a single, shifted bit of the
+//!   input (constant shifts, bit slices, concatenation),
+//! * **arithmetic** — an output bit may depend on many bits of each input
+//!   (ADD/SUB/CMP).
+//!
+//! Everything else is a *black box* (BB): it does not map to LUTs, is kept as
+//! the trivial cut during enumeration, and is subject to resource
+//! constraints (Eq. 14) — memory reads and hard multipliers here.
+
+use std::fmt;
+
+/// Identifier of a read-only memory (ROM) attached to a [`Dfg`].
+///
+/// Memories model the black-box table lookups of the paper's application
+/// benchmarks (AES S-boxes, k-NN training data, twiddle tables…).
+///
+/// [`Dfg`]: crate::Dfg
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemId(pub u32);
+
+impl fmt::Display for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem{}", self.0)
+    }
+}
+
+/// Comparison predicate for [`Op::Cmp`].
+///
+/// `S*` predicates interpret both operands as two's-complement values of
+/// their declared width. The cut enumerator special-cases signed compares
+/// against the constant zero: `x >= 0` / `x < 0` test only the sign bit, so
+/// their bit-level dependence is the MSB alone (paper §3.1, node *C* of
+/// Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+    /// Signed less-than.
+    Slt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl CmpPred {
+    /// Evaluate the predicate on two values of bit width `width`.
+    pub fn eval(self, a: u64, b: u64, width: u32) -> bool {
+        let sext = |x: u64| -> i64 {
+            if width >= 64 {
+                x as i64
+            } else {
+                let shift = 64 - width;
+                ((x << shift) as i64) >> shift
+            }
+        };
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Ult => a < b,
+            CmpPred::Ule => a <= b,
+            CmpPred::Ugt => a > b,
+            CmpPred::Uge => a >= b,
+            CmpPred::Slt => sext(a) < sext(b),
+            CmpPred::Sge => sext(a) >= sext(b),
+        }
+    }
+
+    /// `true` for the signed predicates (`Slt`, `Sge`).
+    pub fn is_signed(self) -> bool {
+        matches!(self, CmpPred::Slt | CmpPred::Sge)
+    }
+}
+
+impl fmt::Display for CmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+            CmpPred::Slt => "slt",
+            CmpPred::Sge => "sge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A word-level CDFG operation.
+///
+/// The number and meaning of inputs is fixed per variant; see each variant's
+/// documentation. Widths are stored on the node, not the op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Primary input: one fresh word per loop iteration. No inputs.
+    Input,
+    /// Compile-time constant. No inputs.
+    Const(u64),
+    /// Primary-output marker. Inputs: `[value]`. The paper's Eq. (3) forces
+    /// the source of every primary output to be a mapped LUT root.
+    Output,
+
+    // ---- bitwise logic (LUT-mappable) ----
+    /// Bitwise AND. Inputs: `[a, b]`.
+    And,
+    /// Bitwise OR. Inputs: `[a, b]`.
+    Or,
+    /// Bitwise XOR. Inputs: `[a, b]`.
+    Xor,
+    /// Bitwise NOT. Inputs: `[a]`.
+    Not,
+    /// 2:1 word multiplexer `sel ? a : b`. Inputs: `[sel, a, b]`, `sel` is
+    /// 1 bit wide. Each output bit depends on `sel[0]`, `a[j]`, `b[j]`.
+    Mux,
+
+    // ---- wiring / shifting (LUT-mappable, zero intrinsic delay) ----
+    /// Left shift by a compile-time constant. Inputs: `[a]`.
+    Shl(u32),
+    /// Logical right shift by a compile-time constant. Inputs: `[a]`.
+    Shr(u32),
+    /// Extract bits `[lo, lo + width)` of the input. Inputs: `[a]`.
+    Slice {
+        /// Index of the least-significant extracted bit.
+        lo: u32,
+    },
+    /// Concatenation `out = (hi << width(lo)) | lo`. Inputs: `[hi, lo]`.
+    Concat,
+
+    // ---- arithmetic (LUT-mappable, cumulative bit dependence) ----
+    /// Wrapping addition. Inputs: `[a, b]`.
+    Add,
+    /// Wrapping subtraction `a - b`. Inputs: `[a, b]`.
+    Sub,
+    /// Comparison producing a 1-bit result. Inputs: `[a, b]`.
+    Cmp(CmpPred),
+
+    // ---- black boxes (never LUT-mapped; trivial cut only) ----
+    /// Hard-multiplier (DSP) product, wrapping to the output width.
+    /// Inputs: `[a, b]`.
+    Mul,
+    /// Read-only memory lookup `mem[addr % len]`. Inputs: `[addr]`.
+    Load(MemId),
+}
+
+/// The bit-level dependence class of an operation (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepClass {
+    /// No inputs at all (primary inputs, constants).
+    Source,
+    /// `out[j]` depends on bit `j` of each input (plus the select bit for
+    /// muxes).
+    Bitwise,
+    /// `out[j]` depends on one shifted/offset bit of the input.
+    Shift,
+    /// `out[j]` depends on bits `0..=j` of each input.
+    Arithmetic,
+    /// Black box: not mapped to LUTs, trivial cut only.
+    BlackBox,
+}
+
+/// Resource class used by the modulo resource constraints (paper Eq. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// A hard multiplier / DSP slice.
+    Mult,
+    /// A read port of a specific memory.
+    MemPort(MemId),
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Mult => f.write_str("mult"),
+            Resource::MemPort(m) => write!(f, "{m}.port"),
+        }
+    }
+}
+
+impl Op {
+    /// Number of inputs this operation requires.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Input | Op::Const(_) => 0,
+            Op::Output | Op::Not | Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Load(_) => 1,
+            Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Concat
+            | Op::Add
+            | Op::Sub
+            | Op::Cmp(_)
+            | Op::Mul => 2,
+            Op::Mux => 3,
+        }
+    }
+
+    /// Dependence class used by cut enumeration.
+    pub fn dep_class(&self) -> DepClass {
+        match self {
+            Op::Input | Op::Const(_) => DepClass::Source,
+            Op::And | Op::Or | Op::Xor | Op::Not | Op::Mux => DepClass::Bitwise,
+            Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Concat => DepClass::Shift,
+            Op::Add | Op::Sub | Op::Cmp(_) => DepClass::Arithmetic,
+            Op::Mul | Op::Load(_) | Op::Output => DepClass::BlackBox,
+        }
+    }
+
+    /// `true` if the op is implemented in LUT fabric (i.e. participates in
+    /// technology mapping). Sources, sinks and black boxes return `false`.
+    pub fn is_lut_mappable(&self) -> bool {
+        !matches!(
+            self.dep_class(),
+            DepClass::BlackBox | DepClass::Source
+        )
+    }
+
+    /// `true` for black-box operations (paper's *BB* ops): they keep their
+    /// trivial cut and are subject to resource constraints.
+    pub fn is_black_box(&self) -> bool {
+        matches!(self, Op::Mul | Op::Load(_))
+    }
+
+    /// `true` for pure wiring ops that cost no logic when realized
+    /// (constant shifts, slices, concatenations).
+    pub fn is_wire(&self) -> bool {
+        matches!(self, Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Concat)
+    }
+
+    /// The resource class consumed by this op, if it is resource-limited.
+    pub fn resource(&self) -> Option<Resource> {
+        match self {
+            Op::Mul => Some(Resource::Mult),
+            Op::Load(m) => Some(Resource::MemPort(*m)),
+            _ => None,
+        }
+    }
+
+    /// Short mnemonic used in dumps and schedules.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Op::Input => "input".into(),
+            Op::Const(c) => format!("const({c:#x})"),
+            Op::Output => "output".into(),
+            Op::And => "and".into(),
+            Op::Or => "or".into(),
+            Op::Xor => "xor".into(),
+            Op::Not => "not".into(),
+            Op::Mux => "mux".into(),
+            Op::Shl(s) => format!("shl({s})"),
+            Op::Shr(s) => format!("shr({s})"),
+            Op::Slice { lo } => format!("slice({lo})"),
+            Op::Concat => "concat".into(),
+            Op::Add => "add".into(),
+            Op::Sub => "sub".into(),
+            Op::Cmp(p) => format!("cmp.{p}"),
+            Op::Mul => "mul".into(),
+            Op::Load(m) => format!("load.{m}"),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_class() {
+        assert_eq!(Op::Input.arity(), 0);
+        assert_eq!(Op::Not.arity(), 1);
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Mux.arity(), 3);
+        assert_eq!(Op::Load(MemId(0)).arity(), 1);
+    }
+
+    #[test]
+    fn dep_classes() {
+        assert_eq!(Op::Xor.dep_class(), DepClass::Bitwise);
+        assert_eq!(Op::Shr(3).dep_class(), DepClass::Shift);
+        assert_eq!(Op::Add.dep_class(), DepClass::Arithmetic);
+        assert_eq!(Op::Mul.dep_class(), DepClass::BlackBox);
+        assert_eq!(Op::Const(5).dep_class(), DepClass::Source);
+    }
+
+    #[test]
+    fn lut_mappable_excludes_bb_and_sources() {
+        assert!(Op::Xor.is_lut_mappable());
+        assert!(Op::Cmp(CmpPred::Sge).is_lut_mappable());
+        assert!(!Op::Mul.is_lut_mappable());
+        assert!(!Op::Input.is_lut_mappable());
+        assert!(!Op::Output.is_lut_mappable());
+    }
+
+    #[test]
+    fn cmp_pred_signed_eval() {
+        // 4-bit: 0b1111 = -1 signed, 15 unsigned.
+        assert!(CmpPred::Slt.eval(0b1111, 0, 4));
+        assert!(!CmpPred::Sge.eval(0b1111, 0, 4));
+        assert!(CmpPred::Ugt.eval(0b1111, 0, 4));
+        assert!(CmpPred::Sge.eval(0b0111, 0, 4));
+        // 64-bit boundary.
+        assert!(CmpPred::Slt.eval(u64::MAX, 0, 64));
+    }
+
+    #[test]
+    fn resources() {
+        assert_eq!(Op::Mul.resource(), Some(Resource::Mult));
+        assert_eq!(
+            Op::Load(MemId(2)).resource(),
+            Some(Resource::MemPort(MemId(2)))
+        );
+        assert_eq!(Op::Add.resource(), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! FPGA device and delay model.
+//!
+//! The paper characterizes per-operation delays on the target device and
+//! back-annotates them into the scheduler (§4). [`Target`] plays that role
+//! here: it fixes the LUT input count *K*, the target clock period, and the
+//! additive per-operation delays used by both the baseline scheduler and
+//! the MILP's cycle-time constraints (Eqs. 8–9).
+//!
+//! The delay of a LUT-mappable operation doubles as the delay of the LUT it
+//! becomes when it is a cut root: a single logic level is one LUT plus its
+//! local routing, so `lut_delay + net_delay` is both "one logic op" and
+//! "one mapped LUT" — exactly the equivalence Fig. 1 of the paper leans on
+//! ("each logic operation or LUT incurs a 2 ns delay").
+
+use crate::op::{MemId, Op};
+
+/// Per-class additive operation delays in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpDelays {
+    /// Constant shifts / slices / concats (pure wiring).
+    pub wire: f64,
+    /// Adder/subtractor base delay (carry-chain entry).
+    pub add_base: f64,
+    /// Adder/subtractor per-bit carry delay.
+    pub add_per_bit: f64,
+    /// Comparator base delay.
+    pub cmp_base: f64,
+    /// Comparator per-bit delay.
+    pub cmp_per_bit: f64,
+    /// Hard multiplier (DSP) delay.
+    pub mul: f64,
+    /// Memory (BRAM) read delay.
+    pub mem: f64,
+}
+
+impl Default for OpDelays {
+    fn default() -> Self {
+        // Loosely modeled after a Xilinx 7-series at the paper's 10 ns
+        // target: a logic level ~1.4 ns (the paper reports the HLS tool
+        // assigning 1.37 ns to an XOR), fast carry chains, multi-ns DSP and
+        // BRAM access times.
+        OpDelays {
+            wire: 0.0,
+            add_base: 1.0,
+            add_per_bit: 0.035,
+            cmp_base: 0.9,
+            cmp_per_bit: 0.025,
+            mul: 6.0,
+            mem: 2.5,
+        }
+    }
+}
+
+/// The target FPGA device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// LUT input count *K* (the paper uses K ≤ 6; default 4 as in Fig. 1).
+    pub k: u32,
+    /// Intrinsic LUT delay in ns.
+    pub lut_delay: f64,
+    /// Local routing delay charged per logic level, in ns.
+    pub net_delay: f64,
+    /// Target clock period `T_cp` in ns (paper's experiments use 10 ns).
+    pub t_cp: f64,
+    /// Per-operation additive delays.
+    pub delays: OpDelays,
+    /// If set, every LUT-mappable op gets exactly this delay — used by the
+    /// paper's Fig. 1 pedagogical model (uniform 2 ns).
+    pub uniform_logic_delay: Option<f64>,
+    /// Available hard multipliers (`None` = unlimited).
+    pub mult_limit: Option<u32>,
+    /// Read ports per memory per II window (dual-port BRAM default: 2).
+    pub mem_ports: u32,
+}
+
+impl Default for Target {
+    fn default() -> Self {
+        Target {
+            k: 4,
+            lut_delay: 0.9,
+            net_delay: 0.47,
+            t_cp: 10.0,
+            delays: OpDelays::default(),
+            uniform_logic_delay: None,
+            mult_limit: None,
+            mem_ports: 2,
+        }
+    }
+}
+
+impl Target {
+    /// The default 4-LUT device at the paper's 10 ns target period.
+    pub fn new() -> Self {
+        Target::default()
+    }
+
+    /// The pedagogical model of the paper's Fig. 1: 4-input LUTs, 5 ns
+    /// target period, every logic operation or LUT costs exactly 2 ns.
+    pub fn fig1() -> Self {
+        Target {
+            k: 4,
+            lut_delay: 2.0,
+            net_delay: 0.0,
+            t_cp: 5.0,
+            uniform_logic_delay: Some(2.0),
+            ..Target::default()
+        }
+    }
+
+    /// A 6-LUT variant of the default device.
+    pub fn k6() -> Self {
+        Target {
+            k: 6,
+            ..Target::default()
+        }
+    }
+
+    /// Delay of one mapped LUT level (LUT + local net).
+    pub fn lut_level_delay(&self) -> f64 {
+        if let Some(u) = self.uniform_logic_delay {
+            u
+        } else {
+            self.lut_delay + self.net_delay
+        }
+    }
+
+    /// Characterized additive delay of `op` at the given output width, in
+    /// ns. This is the `d_v` of the paper's Eqs. (8)–(10).
+    pub fn op_delay(&self, op: &Op, width: u32) -> f64 {
+        if let Some(u) = self.uniform_logic_delay {
+            if op.is_lut_mappable() {
+                return u;
+            }
+        }
+        match op {
+            Op::Input | Op::Const(_) | Op::Output => 0.0,
+            Op::And | Op::Or | Op::Xor | Op::Not | Op::Mux => self.lut_level_delay(),
+            Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Concat => self.delays.wire,
+            Op::Add | Op::Sub => self.delays.add_base + self.delays.add_per_bit * width as f64,
+            Op::Cmp(_) => self.delays.cmp_base + self.delays.cmp_per_bit * width as f64,
+            Op::Mul => self.delays.mul,
+            Op::Load(_) => self.delays.mem,
+        }
+    }
+
+    /// Extra whole cycles an operation needs beyond its start cycle:
+    /// `⌊d_v / T_cp⌋`, the latency term of the paper's Eq. (10).
+    pub fn op_latency(&self, op: &Op, width: u32) -> u32 {
+        let d = self.op_delay(&op.clone(), width);
+        (d / self.t_cp).floor() as u32
+    }
+
+    /// Resource budget for a resource class (`None` = unlimited).
+    pub fn resource_limit(&self, res: crate::op::Resource) -> Option<u32> {
+        match res {
+            crate::op::Resource::Mult => self.mult_limit,
+            crate::op::Resource::MemPort(MemId(_)) => Some(self.mem_ports),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::CmpPred;
+
+    #[test]
+    fn default_logic_delay_matches_lut_level() {
+        let t = Target::default();
+        assert!((t.op_delay(&Op::Xor, 32) - t.lut_level_delay()).abs() < 1e-12);
+        assert!(t.op_delay(&Op::Add, 32) > t.op_delay(&Op::Add, 8));
+    }
+
+    #[test]
+    fn fig1_is_uniform_two_ns() {
+        let t = Target::fig1();
+        assert_eq!(t.t_cp, 5.0);
+        for op in [Op::Xor, Op::Shr(1), Op::Cmp(CmpPred::Sge), Op::Mux, Op::Add] {
+            assert_eq!(t.op_delay(&op, 2), 2.0, "{op}");
+        }
+        assert_eq!(t.op_delay(&Op::Input, 2), 0.0);
+    }
+
+    #[test]
+    fn latency_floors_delay() {
+        let mut t = Target::default();
+        t.delays.mul = 25.0; // 2.5 cycles at 10ns
+        assert_eq!(t.op_latency(&Op::Mul, 32), 2);
+        assert_eq!(t.op_latency(&Op::Xor, 32), 0);
+    }
+
+    #[test]
+    fn sources_are_free() {
+        let t = Target::default();
+        assert_eq!(t.op_delay(&Op::Const(3), 8), 0.0);
+        assert_eq!(t.op_delay(&Op::Output, 8), 0.0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Textual CDFG format: parse and print `.pmir` files.
+//!
+//! The format is line-oriented and mirrors the `Display` dump:
+//!
+//! ```text
+//! dfg gfmul {
+//!   mem sbox: 8 = [0x63, 0x7C, 0x77]
+//!   a: 8 = input
+//!   b: 8 = input
+//!   k: 8 = const(0x1B)
+//!   t: 8 = xor a, b
+//!   s: 8 = shr(3) t
+//!   c: 1 = cmp.sge t, k
+//!   m: 8 = mux c, t, s@-1
+//!   v: 8 = load.sbox a
+//!   init m = 0x5
+//!   o: 8 = output m
+//! }
+//! ```
+//!
+//! * `name: width = op operands…` defines a node; operands reference
+//!   earlier names, with `@-d` marking a loop-carried read of distance
+//!   `d`. Forward references are allowed (they become feedback edges).
+//! * `mem name: width = [v, …]` declares a ROM; `load.name` reads it.
+//! * `init name = value` sets the pre-iteration value for loop-carried
+//!   reads.
+//!
+//! [`parse_dfg`] and [`print_dfg`] round-trip: `parse(print(g)) == g` up
+//! to node names.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, NodeId, Port};
+use crate::op::{CmpPred, MemId, Op};
+
+/// Failure to parse a `.pmir` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDfgError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDfgError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseDfgError {
+    ParseDfgError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_u64(s: &str, line: usize) -> Result<u64, ParseDfgError> {
+    let s = s.trim();
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| err(line, format!("invalid number `{s}`")))
+}
+
+/// Parse a `.pmir` document into a validated graph.
+///
+/// # Errors
+///
+/// Returns [`ParseDfgError`] with the offending line on syntax errors,
+/// unknown names, or graph-validation failures.
+pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
+    let mut name = String::from("parsed");
+    let mut b: Option<DfgBuilder> = None;
+    // name -> (node id, width); forward refs -> placeholders.
+    let mut defined: HashMap<String, NodeId> = HashMap::new();
+    let mut forward: HashMap<String, NodeId> = HashMap::new();
+    let mut mems: HashMap<String, MemId> = HashMap::new();
+    let mut pending_inits: Vec<(usize, String, u64)> = Vec::new();
+    let mut closed = false;
+
+    for (li, raw) in src.lines().enumerate() {
+        let line_no = li + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("dfg ") {
+            let header = rest.trim_end_matches('{').trim();
+            name = header.to_string();
+            b = Some(DfgBuilder::new(name.clone()));
+            continue;
+        }
+        if line == "}" {
+            closed = true;
+            continue;
+        }
+        let builder = b
+            .as_mut()
+            .ok_or_else(|| err(line_no, "content before `dfg name {` header"))?;
+        if closed {
+            return Err(err(line_no, "content after closing `}`"));
+        }
+
+        // mem name: width = [..]
+        if let Some(rest) = line.strip_prefix("mem ") {
+            let (head, data) = rest
+                .split_once('=')
+                .ok_or_else(|| err(line_no, "expected `mem name: width = [..]`"))?;
+            let (mname, w) = head
+                .split_once(':')
+                .ok_or_else(|| err(line_no, "expected `name: width`"))?;
+            let width: u32 = w
+                .trim()
+                .parse()
+                .map_err(|_| err(line_no, "invalid width"))?;
+            let data = data.trim();
+            let inner = data
+                .strip_prefix('[')
+                .and_then(|d| d.strip_suffix(']'))
+                .ok_or_else(|| err(line_no, "memory data must be `[v, v, ...]`"))?;
+            let values = inner
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| parse_u64(s, line_no))
+                .collect::<Result<Vec<_>, _>>()?;
+            let id = builder.add_memory(mname.trim(), width, values);
+            mems.insert(mname.trim().to_string(), id);
+            continue;
+        }
+
+        // init name = value
+        if let Some(rest) = line.strip_prefix("init ") {
+            let (n, v) = rest
+                .split_once('=')
+                .ok_or_else(|| err(line_no, "expected `init name = value`"))?;
+            pending_inits.push((line_no, n.trim().to_string(), parse_u64(v, line_no)?));
+            continue;
+        }
+
+        // name: width = op operands
+        let (head, body) = line
+            .split_once('=')
+            .ok_or_else(|| err(line_no, "expected `name: width = op ...`"))?;
+        let (nname, w) = head
+            .split_once(':')
+            .ok_or_else(|| err(line_no, "expected `name: width`"))?;
+        let nname = nname.trim();
+        let width: u32 = w
+            .trim()
+            .parse()
+            .map_err(|_| err(line_no, "invalid width"))?;
+        let body = body.trim();
+        let (opname, args) = match body.split_once(' ') {
+            Some((o, a)) => (o.trim(), a.trim()),
+            None => (body, ""),
+        };
+
+        // Resolve one operand token like `x` or `x@-2`.
+        let mut resolve = |tok: &str,
+                           builder: &mut DfgBuilder|
+         -> Result<Port, ParseDfgError> {
+            let tok = tok.trim();
+            let (base, dist) = match tok.split_once("@-") {
+                Some((b2, d)) => (
+                    b2.trim(),
+                    d.trim()
+                        .parse::<u32>()
+                        .map_err(|_| err(line_no, format!("bad distance in `{tok}`")))?,
+                ),
+                None => (tok, 0),
+            };
+            let node = if let Some(&id) = defined.get(base) {
+                id
+            } else if let Some(&ph) = forward.get(base) {
+                ph
+            } else {
+                let ph = builder.placeholder(width);
+                forward.insert(base.to_string(), ph);
+                ph
+            };
+            Ok(Port { node, dist })
+        };
+
+        let toks: Vec<&str> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',').map(str::trim).collect()
+        };
+        let need = |n: usize| -> Result<(), ParseDfgError> {
+            if toks.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{opname}` expects {n} operand(s), got {}", toks.len()),
+                ))
+            }
+        };
+
+        let id = match opname {
+            "input" => {
+                need(0)?;
+                builder.input(nname, width)
+            }
+            "output" => {
+                need(1)?;
+                let p = resolve(toks[0], builder)?;
+                builder.output(nname, p)
+            }
+            _ if opname.starts_with("const(") => {
+                need(0)?;
+                let v = opname
+                    .strip_prefix("const(")
+                    .and_then(|s| s.strip_suffix(')'))
+                    .ok_or_else(|| err(line_no, "malformed const"))?;
+                builder.const_(parse_u64(v, line_no)?, width)
+            }
+            "and" | "or" | "xor" | "add" | "sub" | "concat" | "mul" => {
+                need(2)?;
+                let a = resolve(toks[0], builder)?;
+                let c = resolve(toks[1], builder)?;
+                let op = match opname {
+                    "and" => Op::And,
+                    "or" => Op::Or,
+                    "xor" => Op::Xor,
+                    "add" => Op::Add,
+                    "sub" => Op::Sub,
+                    "concat" => Op::Concat,
+                    _ => Op::Mul,
+                };
+                builder.raw_node(op, width, vec![a, c])
+            }
+            "not" => {
+                need(1)?;
+                let a = resolve(toks[0], builder)?;
+                builder.raw_node(Op::Not, width, vec![a])
+            }
+            "mux" => {
+                need(3)?;
+                let s = resolve(toks[0], builder)?;
+                let a = resolve(toks[1], builder)?;
+                let c = resolve(toks[2], builder)?;
+                builder.raw_node(Op::Mux, width, vec![s, a, c])
+            }
+            _ if opname.starts_with("shl(") || opname.starts_with("shr(") => {
+                need(1)?;
+                let amt = opname[4..]
+                    .strip_suffix(')')
+                    .ok_or_else(|| err(line_no, "malformed shift"))?;
+                let amt: u32 = amt
+                    .parse()
+                    .map_err(|_| err(line_no, "invalid shift amount"))?;
+                let a = resolve(toks[0], builder)?;
+                let op = if opname.starts_with("shl(") {
+                    Op::Shl(amt)
+                } else {
+                    Op::Shr(amt)
+                };
+                builder.raw_node(op, width, vec![a])
+            }
+            _ if opname.starts_with("slice(") => {
+                need(1)?;
+                let lo = opname
+                    .strip_prefix("slice(")
+                    .and_then(|s| s.strip_suffix(')'))
+                    .ok_or_else(|| err(line_no, "malformed slice"))?;
+                let lo: u32 = lo.parse().map_err(|_| err(line_no, "invalid slice"))?;
+                let a = resolve(toks[0], builder)?;
+                builder.raw_node(Op::Slice { lo }, width, vec![a])
+            }
+            _ if opname.starts_with("cmp.") => {
+                need(2)?;
+                let pred = match &opname[4..] {
+                    "eq" => CmpPred::Eq,
+                    "ne" => CmpPred::Ne,
+                    "ult" => CmpPred::Ult,
+                    "ule" => CmpPred::Ule,
+                    "ugt" => CmpPred::Ugt,
+                    "uge" => CmpPred::Uge,
+                    "slt" => CmpPred::Slt,
+                    "sge" => CmpPred::Sge,
+                    p => return Err(err(line_no, format!("unknown predicate `{p}`"))),
+                };
+                let a = resolve(toks[0], builder)?;
+                let c = resolve(toks[1], builder)?;
+                builder.raw_node(Op::Cmp(pred), width, vec![a, c])
+            }
+            _ if opname.starts_with("load.") => {
+                need(1)?;
+                let mname = &opname[5..];
+                let mid = *mems
+                    .get(mname)
+                    .ok_or_else(|| err(line_no, format!("unknown memory `{mname}`")))?;
+                let a = resolve(toks[0], builder)?;
+                builder.raw_node(Op::Load(mid), width, vec![a])
+            }
+            other => return Err(err(line_no, format!("unknown op `{other}`"))),
+        };
+        if !matches!(opname, "input" | "output") {
+            builder.name_node(id, nname);
+        }
+        // Resolve any forward reference to this name.
+        if let Some(ph) = forward.remove(nname) {
+            builder
+                .bind(ph, id, 0)
+                .map_err(|e| err(line_no, e.to_string()))?;
+        }
+        defined.insert(nname.to_string(), id);
+    }
+
+    let mut builder = b.ok_or_else(|| err(1, "missing `dfg name {` header"))?;
+    if !forward.is_empty() {
+        let names: Vec<&str> = forward.keys().map(String::as_str).collect();
+        return Err(err(
+            src.lines().count(),
+            format!("undefined name(s): {}", names.join(", ")),
+        ));
+    }
+    for (line_no, n, v) in pending_inits {
+        let id = *defined
+            .get(&n)
+            .ok_or_else(|| err(line_no, format!("init of unknown name `{n}`")))?;
+        builder.set_init_value(id, v);
+    }
+    let _ = name;
+    builder
+        .finish()
+        .map_err(|e| err(src.lines().count(), e.to_string()))
+}
+
+/// Print a graph in the `.pmir` format accepted by [`parse_dfg`].
+pub fn print_dfg(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dfg {} {{", dfg.name());
+    for (i, mem) in dfg.memories().iter().enumerate() {
+        let data: Vec<String> = mem.data.iter().map(|v| format!("{v:#x}")).collect();
+        let _ = writeln!(
+            out,
+            "  mem m{}_{}: {} = [{}]",
+            i,
+            mem.name,
+            mem.width,
+            data.join(", ")
+        );
+    }
+    let label = |v: NodeId| format!("v{}", v.0);
+    for (id, node) in dfg.iter() {
+        let op = match node.op {
+            Op::Load(m) => format!("load.m{}_{}", m.0, dfg.memory(m).name),
+            ref other => other.mnemonic(),
+        };
+        let args: Vec<String> = node
+            .ins
+            .iter()
+            .map(|p| {
+                if p.dist == 0 {
+                    label(p.node)
+                } else {
+                    format!("{}@-{}", label(p.node), p.dist)
+                }
+            })
+            .collect();
+        let sep = if args.is_empty() { "" } else { " " };
+        let _ = writeln!(
+            out,
+            "  {}: {} = {}{}{}",
+            label(id),
+            node.width,
+            op,
+            sep,
+            args.join(", ")
+        );
+        if dfg.init_value(id) != 0 {
+            let _ = writeln!(out, "  init {} = {:#x}", label(id), dfg.init_value(id));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute, InputStreams};
+
+    #[test]
+    fn parses_a_simple_kernel() {
+        let src = r"
+dfg demo {
+  x: 8 = input
+  y: 8 = input
+  k: 8 = const(0x0F)
+  t: 8 = xor x, y
+  m: 8 = and t, k
+  o: 8 = output m
+}
+";
+        let g = parse_dfg(src).expect("parses");
+        assert_eq!(g.name(), "demo");
+        assert_eq!(g.stats().inputs, 2);
+        assert_eq!(g.stats().lut_ops, 2);
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![0xFF]);
+        ins.set(g.inputs()[1], vec![0xF0]);
+        let t = execute(&g, &ins, 1).expect("executes");
+        assert_eq!(t.value(0, g.outputs()[0]), 0x0F);
+    }
+
+    #[test]
+    fn parses_feedback_and_init() {
+        let src = r"
+dfg acc {
+  x: 8 = input
+  s: 8 = add x, s@-1
+  init s = 0x2
+  o: 8 = output s
+}
+";
+        let g = parse_dfg(src).expect("parses");
+        assert_eq!(g.stats().loop_carried_edges, 1);
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![1, 1, 1]);
+        let t = execute(&g, &ins, 3).expect("executes");
+        // 2+1=3, 3+1=4, 4+1=5
+        assert_eq!(t.value(2, g.outputs()[0]), 5);
+    }
+
+    #[test]
+    fn parses_memories_and_loads() {
+        let src = r"
+dfg rom {
+  mem tbl: 8 = [0x10, 0x20, 0x30, 0x40]
+  a: 2 = input
+  v: 8 = load.tbl a
+  o: 8 = output v
+}
+";
+        let g = parse_dfg(src).expect("parses");
+        assert_eq!(g.memories().len(), 1);
+        let mut ins = InputStreams::new();
+        ins.set(g.inputs()[0], vec![2]);
+        let t = execute(&g, &ins, 1).expect("executes");
+        assert_eq!(t.value(0, g.outputs()[0]), 0x30);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let src = "dfg x {\n  a: 8 = bogus\n}\n";
+        let e = parse_dfg(src).expect_err("bogus op");
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_reference_is_an_error() {
+        let src = "dfg x {\n  a: 8 = not missing\n  o: 8 = output a\n}\n";
+        let e = parse_dfg(src).expect_err("undefined name");
+        assert!(e.message.contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let src = r"
+dfg rt {
+  mem t: 4 = [1, 2, 3]
+  x: 8 = input
+  s: 8 = shr(2) x
+  c: 1 = cmp.sge s, s
+  m: 8 = mux c, x, s
+  q: 8 = add m, q@-2
+  init q = 0x7
+  a: 2 = slice(1) x
+  v: 4 = load.t a
+  o: 8 = output q
+  o2: 4 = output v
+}
+";
+        let g1 = parse_dfg(src).expect("parses");
+        let printed = print_dfg(&g1);
+        let g2 = parse_dfg(&printed).expect("re-parses\n");
+        // Same structure and same behaviour on random inputs.
+        assert_eq!(g1.len(), g2.len());
+        assert_eq!(g1.stats().edges, g2.stats().edges);
+        let ins1 = InputStreams::random(&g1, 10, 9);
+        let t1 = execute(&g1, &ins1, 10).expect("g1 runs");
+        let ins2 = InputStreams::random(&g2, 10, 9);
+        let t2 = execute(&g2, &ins2, 10).expect("g2 runs");
+        for k in 0..10 {
+            let o1: Vec<u64> = g1.outputs().iter().map(|&o| t1.value(k, o)).collect();
+            let o2: Vec<u64> = g2.outputs().iter().map(|&o| t2.value(k, o)).collect();
+            assert_eq!(o1, o2, "iteration {k}");
+        }
+    }
+}

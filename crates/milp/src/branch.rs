@@ -1,0 +1,336 @@
+//! Branch & bound over the LP relaxation.
+//!
+//! Best-bound search with most-fractional branching, an LP-guided
+//! **diving heuristic** for early incumbents, an optional caller-supplied
+//! incumbent (the scheduler seeds it with the baseline heuristic's
+//! solution), and wall-clock/node limits that return the best incumbent
+//! found — mirroring how the paper caps CPLEX at 60 minutes and takes the
+//! best feasible solution (§4).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use crate::model::{Model, VarKind};
+use crate::simplex::{LpAbort, LpProblem, LpStatus};
+use crate::{MilpError, MilpResult, SolverOptions, Status};
+
+const INT_TOL: f64 = 1e-6;
+/// Dive from the current node's relaxation every this many processed nodes.
+const DIVE_PERIOD: usize = 200;
+
+/// A subproblem: bound overrides relative to the root LP.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `(column, new_lb, new_ub)` overrides accumulated along the path.
+    bounds: Vec<(usize, f64, f64)>,
+    /// LP bound inherited from the parent (root: -inf).
+    bound: f64,
+    depth: usize,
+}
+
+/// Heap ordering: smallest bound first (best-first), deeper first on ties
+/// so the search dives toward incumbents.
+#[derive(Debug)]
+struct Ranked(Node);
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound && self.0.depth == other.0.depth
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert the bound comparison.
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+    }
+}
+
+/// LP-guided dive: repeatedly fix near-integral variables (or the single
+/// most decided fractional one) and re-solve until the relaxation is
+/// integral or infeasible. Returns an improving integral assignment.
+#[allow(clippy::too_many_arguments)]
+fn dive(
+    lp: &LpProblem,
+    int_cols: &[usize],
+    lb0: &[f64],
+    ub0: &[f64],
+    start: &crate::simplex::LpSolution,
+    deadline: Option<Instant>,
+    cutoff: f64,
+    lp_iters: &mut usize,
+) -> Option<(f64, Vec<f64>)> {
+    let mut lb = lb0.to_vec();
+    let mut ub = ub0.to_vec();
+    let mut sol = start.clone();
+    for _round in 0..30 {
+        if sol.obj >= cutoff - 1e-9 {
+            return None; // the dive can't end below the cutoff
+        }
+        let mut fracs: Vec<(usize, f64)> = int_cols
+            .iter()
+            .filter_map(|&j| {
+                let v = sol.x[j];
+                let frac = (v - v.round()).abs();
+                (frac > INT_TOL).then_some((j, frac))
+            })
+            .collect();
+        if fracs.is_empty() {
+            return Some((sol.obj, sol.x.clone()));
+        }
+        // Pin everything already integral so each round makes progress,
+        // then fix the nearly decided fractionals (or the single most
+        // decided one).
+        for &j in int_cols {
+            let v = sol.x[j];
+            if (v - v.round()).abs() <= INT_TOL {
+                lb[j] = v.round();
+                ub[j] = v.round();
+            }
+        }
+        let nearly: Vec<usize> = fracs
+            .iter()
+            .filter(|&&(_, f)| f < 0.1)
+            .map(|&(j, _)| j)
+            .collect();
+        let to_fix: Vec<usize> = if nearly.is_empty() {
+            fracs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+            vec![fracs[0].0]
+        } else {
+            nearly
+        };
+        for j in to_fix {
+            let r = sol.x[j].round();
+            lb[j] = r;
+            ub[j] = r;
+        }
+        match lp.solve_with_bounds(&lb, &ub, deadline) {
+            Ok(next) => {
+                *lp_iters += next.iters;
+                if next.status != LpStatus::Optimal {
+                    return None;
+                }
+                sol = next;
+            }
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResult, MilpError> {
+    let start = Instant::now();
+    let deadline = start.checked_add(opts.time_limit);
+    let lp = LpProblem::from_model(model);
+    let int_cols: Vec<usize> = (0..model.num_vars())
+        .filter(|&j| model.var_kind(crate::VarId(j as u32)) == VarKind::Integer)
+        .collect();
+
+    let mut incumbent: Option<Vec<f64>> = None;
+    let mut incumbent_obj = f64::INFINITY;
+    if let Some(init) = &opts.initial_solution {
+        if init.len() == model.num_vars() && model.check_feasible(init, 1e-6).is_none() {
+            let ok_int = int_cols
+                .iter()
+                .all(|&j| (init[j] - init[j].round()).abs() <= INT_TOL);
+            if ok_int {
+                incumbent_obj = model.objective_value(init);
+                incumbent = Some(init.clone());
+            }
+        }
+    }
+    let cutoff_extra = opts.cutoff.unwrap_or(f64::INFINITY);
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Ranked(Node {
+        bounds: Vec::new(),
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+    }));
+
+    let mut nodes = 0usize;
+    let mut lp_iters = 0usize;
+    let mut best_bound = f64::NEG_INFINITY;
+    let mut hit_limit = false;
+    let mut root_status: Option<LpStatus> = None;
+    let mut since_dive = 0usize;
+
+    'search: while let Some(Ranked(node)) = heap.pop() {
+        best_bound = node.bound.max(best_bound.min(node.bound));
+        if node.bound >= incumbent_obj.min(cutoff_extra) - opts.absolute_gap {
+            continue; // pruned by bound
+        }
+        if nodes >= opts.node_limit
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            hit_limit = true;
+            best_bound = node.bound;
+            break;
+        }
+        nodes += 1;
+
+        // Apply bound overrides.
+        let mut lb = lp.lb.clone();
+        let mut ub = lp.ub.clone();
+        for &(j, l, u) in &node.bounds {
+            lb[j] = lb[j].max(l);
+            ub[j] = ub[j].min(u);
+        }
+        let sol = match lp.solve_with_bounds(&lb, &ub, deadline) {
+            Ok(s) => s,
+            Err(LpAbort::Timeout) => {
+                hit_limit = true;
+                best_bound = node.bound;
+                break 'search;
+            }
+            Err(LpAbort::Numerical(msg)) => return Err(MilpError::Numerical(msg)),
+            Err(LpAbort::Singular) => {
+                return Err(MilpError::Numerical("unrepairable singular basis".into()))
+            }
+        };
+        lp_iters += sol.iters;
+        if node.depth == 0 {
+            root_status = Some(sol.status);
+        }
+        match sol.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                if node.depth == 0 {
+                    return Ok(MilpResult {
+                        status: Status::Unbounded,
+                        objective: f64::NEG_INFINITY,
+                        best_bound: f64::NEG_INFINITY,
+                        values: Vec::new(),
+                        nodes,
+                        lp_iterations: lp_iters,
+                        solve_time: start.elapsed(),
+                    });
+                }
+                // Defensive: a bounded root cannot spawn unbounded children.
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        if sol.obj >= incumbent_obj.min(cutoff_extra) - opts.absolute_gap {
+            continue;
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = 0.0;
+        for &j in &int_cols {
+            let v = sol.x[j];
+            let frac = (v - v.round()).abs();
+            if frac > INT_TOL {
+                let dist_to_half = (v - v.floor() - 0.5).abs();
+                let merit = 0.5 - dist_to_half;
+                if branch.is_none() || merit > best_frac {
+                    best_frac = merit;
+                    branch = Some((j, v));
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integral: new incumbent.
+                if sol.obj < incumbent_obj {
+                    incumbent_obj = sol.obj;
+                    let mut x = sol.x.clone();
+                    for &j in &int_cols {
+                        x[j] = x[j].round();
+                    }
+                    incumbent = Some(x);
+                }
+            }
+            Some((j, v)) => {
+                // Periodic LP-guided dive for incumbents (always at root).
+                if node.depth == 0 || since_dive >= DIVE_PERIOD {
+                    since_dive = 0;
+                    if let Some((obj, mut x)) = dive(
+                        &lp,
+                        &int_cols,
+                        &lb,
+                        &ub,
+                        &sol,
+                        deadline,
+                        incumbent_obj.min(cutoff_extra),
+                        &mut lp_iters,
+                    ) {
+                        if obj < incumbent_obj
+                            && model.check_feasible(&x, 1e-5).is_none()
+                        {
+                            for &jc in &int_cols {
+                                x[jc] = x[jc].round();
+                            }
+                            incumbent_obj = obj;
+                            incumbent = Some(x);
+                        }
+                    }
+                } else {
+                    since_dive += 1;
+                }
+
+                let down = Node {
+                    bounds: {
+                        let mut b = node.bounds.clone();
+                        b.push((j, f64::NEG_INFINITY, v.floor()));
+                        b
+                    },
+                    bound: sol.obj,
+                    depth: node.depth + 1,
+                };
+                let up = Node {
+                    bounds: {
+                        let mut b = node.bounds.clone();
+                        b.push((j, v.ceil(), f64::INFINITY));
+                        b
+                    },
+                    bound: sol.obj,
+                    depth: node.depth + 1,
+                };
+                heap.push(Ranked(down));
+                heap.push(Ranked(up));
+            }
+        }
+    }
+
+    if !hit_limit {
+        // Search exhausted: bound equals incumbent (or proves infeasible).
+        best_bound = incumbent_obj;
+    }
+
+    let status = match (&incumbent, hit_limit) {
+        (Some(_), false) => Status::Optimal,
+        (Some(_), true) => Status::Feasible,
+        (None, true) => Status::Unknown,
+        (None, false) => {
+            if root_status == Some(LpStatus::Unbounded) {
+                Status::Unbounded
+            } else {
+                Status::Infeasible
+            }
+        }
+    };
+
+    Ok(MilpResult {
+        status,
+        objective: incumbent_obj,
+        best_bound,
+        values: incumbent.unwrap_or_default(),
+        nodes,
+        lp_iterations: lp_iters,
+        solve_time: start.elapsed(),
+    })
+}

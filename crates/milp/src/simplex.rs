@@ -1,0 +1,838 @@
+//! Bounded-variable revised primal simplex with a two-phase start.
+//!
+//! Computational form: every model row `aᵀx {≤,=,≥} b` becomes
+//! `aᵀx + s = b` with a sign-constrained slack, so the constraint matrix is
+//! `[A | I]` and the initial all-slack basis is the identity. Rows whose
+//! slack bound is violated at the initial point get an *artificial*
+//! variable; phase 1 minimizes the total artificial magnitude, phase 2 the
+//! real objective.
+
+use std::time::Instant;
+
+use crate::lu::Factors;
+use crate::model::{Model, Sense};
+
+/// Primal/dual/pivot tolerances.
+const DUAL_TOL: f64 = 1e-7;
+const PIVOT_TOL: f64 = 5e-8;
+const FEAS_TOL: f64 = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const STALL_LIMIT: usize = 64;
+/// Eta-file length that triggers refactorization.
+const REFACTOR_ETAS: usize = 64;
+const MAX_ITERS: usize = 200_000;
+
+/// Why an LP solve stopped without a status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum LpAbort {
+    /// Unrecoverable numerical failure.
+    Numerical(String),
+    /// The basis became (numerically) singular; retry from scratch.
+    Singular,
+    /// The caller's deadline expired mid-solve.
+    Timeout,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// An LP solution over the full column space (structural + slacks).
+#[derive(Debug, Clone)]
+pub(crate) struct LpSolution {
+    pub status: LpStatus,
+    /// Values of the structural variables (model variables only).
+    pub x: Vec<f64>,
+    /// Objective value (meaningless unless `status == Optimal`).
+    pub obj: f64,
+    /// Dual values per row (for optimality certificates in tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub y: Vec<f64>,
+    /// Simplex iterations performed.
+    pub iters: usize,
+}
+
+/// The LP data in computational form. Bounds are stored separately so
+/// branch & bound can re-solve with tightened variable bounds cheaply.
+#[derive(Debug, Clone)]
+pub(crate) struct LpProblem {
+    pub m: usize,
+    pub n_struct: usize,
+    /// Structural columns then slack columns; `cols[j]` = `(row, coeff)`.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Bounds for structural + slack columns.
+    pub lb: Vec<f64>,
+    pub ub: Vec<f64>,
+    /// Phase-2 objective for structural + slack columns.
+    pub obj: Vec<f64>,
+    pub rhs: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Build the computational form from a model, using the model's current
+    /// bounds (integrality is ignored here).
+    pub fn from_model(model: &Model) -> Self {
+        let m = model.rows.len();
+        let n = model.cols.len();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n + m];
+        let mut rhs = Vec::with_capacity(m);
+        let mut lb: Vec<f64> = model.cols.iter().map(|c| c.lb).collect();
+        let mut ub: Vec<f64> = model.cols.iter().map(|c| c.ub).collect();
+        let mut obj: Vec<f64> = model.cols.iter().map(|c| c.obj).collect();
+        for (i, row) in model.rows.iter().enumerate() {
+            for &(v, c) in &row.coeffs {
+                cols[v.index()].push((i, c));
+            }
+            cols[n + i].push((i, 1.0));
+            rhs.push(row.rhs);
+            let (slb, sub) = match row.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lb.push(slb);
+            ub.push(sub);
+            obj.push(0.0);
+        }
+        LpProblem {
+            m,
+            n_struct: n,
+            cols,
+            lb,
+            ub,
+            obj,
+            rhs,
+        }
+    }
+
+    /// Solve with the stored bounds.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn solve(&self) -> Result<LpSolution, LpAbort> {
+        self.solve_with_bounds(&self.lb, &self.ub, None)
+    }
+
+    /// Solve with overriding bounds (same layout as `lb`/`ub`) and an
+    /// optional deadline. A singular basis triggers a from-scratch restart
+    /// (with Bland's rule after repeated failures) before giving up.
+    pub fn solve_with_bounds(
+        &self,
+        lb: &[f64],
+        ub: &[f64],
+        deadline: Option<Instant>,
+    ) -> Result<LpSolution, LpAbort> {
+        for attempt in 0..5 {
+            let mut w = Worker::new(self, lb, ub);
+            // Diversify retries: perturbed pricing first, Bland's rule last.
+            w.price_seed = attempt as u64;
+            w.always_bland = attempt >= 3;
+            match w.run(deadline) {
+                Err(LpAbort::Singular) => continue,
+                other => return other,
+            }
+        }
+        Err(LpAbort::Numerical("repeated singular bases".into()))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Worker<'a> {
+    p: &'a LpProblem,
+    /// Bounds for all columns incl. artificials (appended).
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// Current-phase costs for all columns.
+    cost: Vec<f64>,
+    /// Extra artificial columns: each is a unit column in some row.
+    art_rows: Vec<usize>,
+    status: Vec<VStat>,
+    basis: Vec<usize>,
+    x_basic: Vec<f64>,
+    factors: Factors,
+    iters: usize,
+    stall: usize,
+    bland: bool,
+    always_bland: bool,
+    /// Non-zero: deterministically perturb Dantzig merits so numerical
+    /// restarts follow different pivot paths.
+    price_seed: u64,
+    in_phase1: bool,
+}
+
+impl<'a> Worker<'a> {
+    fn n_total(&self) -> usize {
+        self.p.n_struct + self.p.m + self.art_rows.len()
+    }
+
+    fn col_entries(&self, j: usize) -> &[(usize, f64)] {
+        let base = self.p.n_struct + self.p.m;
+        if j < base {
+            &self.p.cols[j]
+        } else {
+            // Artificial: a unit column; synthesize lazily via a static
+            // small buffer is awkward, so artificials are special-cased at
+            // the few use sites instead. This path must not be reached.
+            unreachable!("artificial columns are special-cased")
+        }
+    }
+
+    /// Dense version of column j into `out` (cleared first).
+    fn densify_col(&self, j: usize, out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = 0.0;
+        }
+        let base = self.p.n_struct + self.p.m;
+        if j < base {
+            for &(r, v) in &self.p.cols[j] {
+                out[r] += v;
+            }
+        } else {
+            out[self.art_rows[j - base]] = 1.0;
+        }
+    }
+
+    fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        let base = self.p.n_struct + self.p.m;
+        if j < base {
+            self.p.cols[j].iter().map(|&(r, v)| v * y[r]).sum()
+        } else {
+            y[self.art_rows[j - base]]
+        }
+    }
+
+    /// Dantzig merit with optional deterministic perturbation (restart
+    /// diversification).
+    fn merit(&self, j: usize, d: f64) -> f64 {
+        if self.price_seed == 0 {
+            return d.abs();
+        }
+        let h = (j as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.price_seed.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let frac = (h >> 40) as f64 / (1u64 << 24) as f64; // [0, 1)
+        d.abs() * (0.85 + 0.3 * frac)
+    }
+
+    /// Value of a nonbasic variable under its status.
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VStat::AtLower => {
+                if self.lb[j].is_finite() {
+                    self.lb[j]
+                } else if self.ub[j].is_finite() {
+                    self.ub[j]
+                } else {
+                    0.0
+                }
+            }
+            VStat::AtUpper => self.ub[j],
+            VStat::Basic(_) => unreachable!("nb_value on basic"),
+        }
+    }
+
+    fn new(p: &'a LpProblem, lb_in: &[f64], ub_in: &[f64]) -> Self {
+        let m = p.m;
+        let n = p.n_struct + m;
+        let mut lb = lb_in.to_vec();
+        let mut ub = ub_in.to_vec();
+        let mut cost = vec![0.0; n];
+
+        // Nonbasic statuses for everything; slacks basic.
+        let mut status = vec![VStat::AtLower; n];
+        for (j, st) in status.iter_mut().enumerate().take(p.n_struct) {
+            *st = if lb[j].is_finite() {
+                VStat::AtLower
+            } else if ub[j].is_finite() {
+                VStat::AtUpper
+            } else {
+                VStat::AtLower // free at 0
+            };
+        }
+
+        let mut w = Worker {
+            p,
+            lb: Vec::new(),
+            ub: Vec::new(),
+            cost: Vec::new(),
+            art_rows: Vec::new(),
+            status,
+            basis: Vec::new(),
+            x_basic: Vec::new(),
+            factors: Factors::factor(0, &[]).expect("empty factorization"),
+            iters: 0,
+            stall: 0,
+            bland: false,
+            always_bland: false,
+            price_seed: 0,
+            in_phase1: false,
+        };
+
+        // Initial residual with all structural nonbasic at their bound.
+        let mut resid = p.rhs.clone();
+        for j in 0..p.n_struct {
+            let v = match w.status[j] {
+                VStat::AtLower => {
+                    if lb[j].is_finite() {
+                        lb[j]
+                    } else {
+                        0.0
+                    }
+                }
+                VStat::AtUpper => ub[j],
+                VStat::Basic(_) => unreachable!(),
+            };
+            if v != 0.0 {
+                for &(r, cv) in &p.cols[j] {
+                    resid[r] -= cv * v;
+                }
+            }
+        }
+
+        // Basis: slack where feasible, otherwise artificial.
+        let mut basis = Vec::with_capacity(m);
+        let mut x_basic = Vec::with_capacity(m);
+        let mut art_rows = Vec::new();
+        for (i, &v) in resid.iter().enumerate() {
+            let sj = p.n_struct + i;
+            if v >= lb[sj] - FEAS_TOL && v <= ub[sj] + FEAS_TOL {
+                basis.push(sj);
+                x_basic.push(v);
+                w.status[sj] = VStat::Basic(i);
+            } else {
+                // Slack pinned at its nearest bound; artificial absorbs the
+                // remaining residual.
+                let pin = if v < lb[sj] { lb[sj] } else { ub[sj] };
+                w.status[sj] = if pin == lb[sj] {
+                    VStat::AtLower
+                } else {
+                    VStat::AtUpper
+                };
+                let r = v - pin;
+                let aj = n + art_rows.len();
+                art_rows.push(i);
+                lb.push(if r >= 0.0 { 0.0 } else { f64::NEG_INFINITY });
+                ub.push(if r >= 0.0 { f64::INFINITY } else { 0.0 });
+                cost.push(0.0);
+                w.status.push(VStat::Basic(i));
+                basis.push(aj);
+                x_basic.push(r);
+            }
+        }
+        cost.resize(n + art_rows.len(), 0.0);
+
+        w.lb = lb;
+        w.ub = ub;
+        w.cost = cost;
+        w.art_rows = art_rows;
+        w.basis = basis;
+        w.x_basic = x_basic;
+        w.refactor().expect("identity initial basis factors");
+        w
+    }
+
+    fn refactor(&mut self) -> Result<(), LpAbort> {
+        let m = self.p.m;
+        let base = self.p.n_struct + m;
+        let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        for &j in &self.basis {
+            if j < base {
+                cols.push(self.col_entries(j).to_vec());
+            } else {
+                cols.push(vec![(self.art_rows[j - base], 1.0)]);
+            }
+        }
+        self.factors = Factors::factor(m, &cols).map_err(|_| LpAbort::Singular)?;
+        self.recompute_x_basic();
+        Ok(())
+    }
+
+    /// x_B = B⁻¹ (b − N x_N), recomputed for numerical hygiene.
+    fn recompute_x_basic(&mut self) {
+        let mut resid = self.p.rhs.clone();
+        for j in 0..self.n_total() {
+            if matches!(self.status[j], VStat::Basic(_)) {
+                continue;
+            }
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                let base = self.p.n_struct + self.p.m;
+                if j < base {
+                    for &(r, cv) in &self.p.cols[j] {
+                        resid[r] -= cv * v;
+                    }
+                } else {
+                    resid[self.art_rows[j - base]] -= v;
+                }
+            }
+        }
+        self.factors.ftran(&mut resid);
+        self.x_basic = resid;
+    }
+
+    /// Phase-1 cost: minimize total artificial magnitude.
+    fn set_phase1_costs(&mut self) {
+        for c in self.cost.iter_mut() {
+            *c = 0.0;
+        }
+        let base = self.p.n_struct + self.p.m;
+        for (a, _) in self.art_rows.iter().enumerate() {
+            let j = base + a;
+            // Positive artificials cost +1, negative ones −1, so the phase-1
+            // objective is Σ|artificial|.
+            self.cost[j] = if self.ub[j] == 0.0 { -1.0 } else { 1.0 };
+        }
+        self.in_phase1 = true;
+    }
+
+    fn set_phase2_costs(&mut self) {
+        for (j, c) in self.cost.iter_mut().enumerate() {
+            *c = if j < self.p.n_struct + self.p.m {
+                self.p.obj[j]
+            } else {
+                0.0
+            };
+        }
+        self.in_phase1 = false;
+    }
+
+    fn run(&mut self, deadline: Option<Instant>) -> Result<LpSolution, LpAbort> {
+        if !self.art_rows.is_empty() {
+            self.set_phase1_costs();
+            let status = self.optimize(deadline)?;
+            debug_assert!(status != InnerStatus::Unbounded, "phase 1 is bounded");
+            let infeas: f64 = self.phase1_value();
+            if infeas > 1e-6 {
+                return Ok(self.finish(LpStatus::Infeasible));
+            }
+            // Pin all artificials to zero for phase 2.
+            let base = self.p.n_struct + self.p.m;
+            for a in 0..self.art_rows.len() {
+                self.lb[base + a] = 0.0;
+                self.ub[base + a] = 0.0;
+                if !matches!(self.status[base + a], VStat::Basic(_)) {
+                    self.status[base + a] = VStat::AtLower;
+                }
+            }
+            self.recompute_x_basic();
+        }
+        self.set_phase2_costs();
+        self.bland = false;
+        self.stall = 0;
+        match self.optimize(deadline)? {
+            InnerStatus::Optimal => Ok(self.finish(LpStatus::Optimal)),
+            InnerStatus::Unbounded => Ok(self.finish(LpStatus::Unbounded)),
+        }
+    }
+
+    fn phase1_value(&self) -> f64 {
+        let base = self.p.n_struct + self.p.m;
+        self.basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &j)| j >= base)
+            .map(|(pos, _)| self.x_basic[pos].abs())
+            .sum()
+    }
+
+    fn finish(&self, status: LpStatus) -> LpSolution {
+        let mut x_all = vec![0.0; self.n_total()];
+        for (j, v) in x_all.iter_mut().enumerate() {
+            *v = match self.status[j] {
+                VStat::Basic(pos) => self.x_basic[pos],
+                _ => self.nb_value(j),
+            };
+        }
+        let obj = (0..self.p.n_struct)
+            .map(|j| self.p.obj[j] * x_all[j])
+            .sum();
+        // Duals from the final basis.
+        let mut y = vec![0.0; self.p.m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            y[pos] = self.cost[j];
+        }
+        // y currently holds c_B by position; btran converts to row duals.
+        self.factors.btran(&mut y);
+        LpSolution {
+            status,
+            x: x_all[..self.p.n_struct].to_vec(),
+            obj,
+            y,
+            iters: self.iters,
+        }
+    }
+
+    /// Core iteration loop for the current phase.
+    fn optimize(&mut self, deadline: Option<Instant>) -> Result<InnerStatus, LpAbort> {
+        let m = self.p.m;
+        let mut w = vec![0.0; m];
+        loop {
+            self.iters += 1;
+            if self.iters > MAX_ITERS {
+                return Err(LpAbort::Numerical("simplex iteration limit".into()));
+            }
+            if self.iters.is_multiple_of(256) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(LpAbort::Timeout);
+                    }
+                }
+            }
+
+            // Duals: y = B⁻ᵀ c_B.
+            let mut y = vec![0.0; m];
+            for (pos, &j) in self.basis.iter().enumerate() {
+                y[pos] = self.cost[j];
+            }
+            self.factors.btran(&mut y);
+
+            // Pricing.
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, d, dir)
+            let n_total = self.n_total();
+            for j in 0..n_total {
+                match self.status[j] {
+                    VStat::Basic(_) => continue,
+                    VStat::AtLower => {
+                        if self.lb[j] == self.ub[j] {
+                            continue; // fixed
+                        }
+                        let d = self.cost[j] - self.dot_col(j, &y);
+                        let free = !self.lb[j].is_finite();
+                        if d < -DUAL_TOL || (free && d > DUAL_TOL) {
+                            let dir = if d < 0.0 { 1.0 } else { -1.0 };
+                            if self.bland || self.always_bland {
+                                enter = Some((j, d, dir));
+                                break;
+                            }
+                            if enter
+                                .is_none_or(|(bj, bd, _)| self.merit(j, d) > self.merit(bj, bd))
+                            {
+                                enter = Some((j, d, dir));
+                            }
+                        }
+                    }
+                    VStat::AtUpper => {
+                        if self.lb[j] == self.ub[j] {
+                            continue;
+                        }
+                        let d = self.cost[j] - self.dot_col(j, &y);
+                        if d > DUAL_TOL {
+                            if self.bland || self.always_bland {
+                                enter = Some((j, d, -1.0));
+                                break;
+                            }
+                            if enter
+                                .is_none_or(|(bj, bd, _)| self.merit(j, d) > self.merit(bj, bd))
+                            {
+                                enter = Some((j, d, -1.0));
+                            }
+                        }
+                    }
+                }
+            }
+
+            let (q, _dq, dir) = match enter {
+                Some(e) => e,
+                None => return Ok(InnerStatus::Optimal),
+            };
+
+            // FTRAN of the entering column.
+            self.densify_col(q, &mut w);
+            self.factors.ftran(&mut w);
+
+            // Ratio test. x_B changes by −θ·dir·w.
+            let own_range = self.ub[q] - self.lb[q]; // may be inf/NaN(inf-inf)
+            let mut theta = if own_range.is_finite() {
+                own_range
+            } else {
+                f64::INFINITY
+            };
+            let mut leave: Option<(usize, bool)> = None; // (position, hits_upper)
+            let mut leave_piv = 0.0_f64;
+            for (pos, &wv) in w.iter().enumerate() {
+                if wv.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let delta = -dir * wv; // change of x_B[pos] per unit θ
+                let bj = self.basis[pos];
+                let (lim, hits_upper) = if delta > 0.0 {
+                    if self.ub[bj].is_finite() {
+                        ((self.ub[bj] - self.x_basic[pos]) / delta, true)
+                    } else {
+                        continue;
+                    }
+                } else if self.lb[bj].is_finite() {
+                    ((self.x_basic[pos] - self.lb[bj]) / -delta, false)
+                } else {
+                    continue;
+                };
+                let lim = lim.max(0.0);
+                let better = if self.bland || self.always_bland {
+                    // Bland: smallest basis column index among blocking rows.
+                    lim < theta - 1e-10
+                        || (lim < theta + 1e-10
+                            && leave.is_none_or(|(lp, _)| self.basis[lp] > bj))
+                } else {
+                    lim < theta - 1e-10
+                        || (lim < theta + 1e-10 && wv.abs() > leave_piv.abs())
+                };
+                if better {
+                    theta = lim.min(theta);
+                    leave = Some((pos, hits_upper));
+                    leave_piv = wv;
+                }
+            }
+
+            if theta.is_infinite() {
+                return Ok(InnerStatus::Unbounded);
+            }
+
+            // Stall bookkeeping for anti-cycling.
+            if theta <= 1e-10 {
+                self.stall += 1;
+                if self.stall > STALL_LIMIT {
+                    self.bland = true;
+                }
+            } else {
+                self.stall = 0;
+                self.bland = false;
+            }
+
+            // Apply the step to the basic values.
+            if theta != 0.0 {
+                for (pos, &wv) in w.iter().enumerate() {
+                    if wv != 0.0 {
+                        self.x_basic[pos] -= theta * dir * wv;
+                    }
+                }
+            }
+
+            match leave {
+                None => {
+                    // Bound flip of the entering variable.
+                    self.status[q] = match self.status[q] {
+                        VStat::AtLower => VStat::AtUpper,
+                        VStat::AtUpper => VStat::AtLower,
+                        VStat::Basic(_) => unreachable!(),
+                    };
+                }
+                Some((pos, hits_upper)) => {
+                    let leaving = self.basis[pos];
+                    self.status[leaving] = if hits_upper {
+                        VStat::AtUpper
+                    } else {
+                        VStat::AtLower
+                    };
+                    let entering_value = self.nb_value(q) + theta * dir;
+                    self.basis[pos] = q;
+                    self.status[q] = VStat::Basic(pos);
+                    self.x_basic[pos] = entering_value;
+                    let ok = self.factors.update(pos, &w);
+                    if !ok || self.factors.eta_count() >= REFACTOR_ETAS {
+                        self.refactor()?;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InnerStatus {
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    fn lp(model: &Model) -> LpSolution {
+        LpProblem::from_model(model).solve().expect("lp solves")
+    }
+
+    #[test]
+    fn simple_max_as_min() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y in [0, 10]
+        // optimum at (4, 0): obj 12.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, -3.0);
+        let y = m.add_continuous(0.0, 10.0, -2.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::from(y), Sense::Le, 4.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::term(3.0, y), Sense::Le, 6.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj - -12.0).abs() < 1e-6, "obj {}", s.obj);
+        assert!((s.x[0] - 4.0).abs() < 1e-6);
+        assert!(s.x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_rows_need_phase1() {
+        // min x + y s.t. x + y >= 3, x - y >= 1, 0 <= x,y <= 10.
+        // optimum x=2, y=1.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        let y = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::from(y), Sense::Ge, 3.0);
+        m.add_constraint(LinExpr::from(x) - LinExpr::from(y), Sense::Ge, 1.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj - 3.0).abs() < 1e-6, "obj {}", s.obj);
+        assert!((s.x[0] - 2.0).abs() < 1e-6, "x {}", s.x[0]);
+        assert!((s.x[1] - 1.0).abs() < 1e-6, "y {}", s.x[1]);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // min 2x + 3y s.t. x + y == 5, x - y == 1 → x=3, y=2, obj 12.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 100.0, 2.0);
+        let y = m.add_continuous(0.0, 100.0, 3.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::from(y), Sense::Eq, 5.0);
+        m.add_constraint(LinExpr::from(x) - LinExpr::from(y), Sense::Eq, 1.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj - 12.0).abs() < 1e-6);
+        assert!((s.x[0] - 3.0).abs() < 1e-6);
+        assert!((s.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(LinExpr::from(x), Sense::Ge, 2.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, f64::INFINITY, -1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 0.0);
+        m.add_constraint(LinExpr::from(x) - LinExpr::from(y), Sense::Le, 1.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_bind() {
+        // min -x s.t. x <= 7 via bound only.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 7.0, -1.0);
+        m.add_constraint(LinExpr::from(x), Sense::Le, 100.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x, x in [-5, 5], x >= -3 → x = -3.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(-5.0, 5.0, 1.0);
+        m.add_constraint(LinExpr::from(x), Sense::Ge, -3.0);
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - -3.0).abs() < 1e-6, "x {}", s.x[0]);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, -1.0);
+        let y = m.add_continuous(0.0, 10.0, -1.0);
+        for k in 1..=8 {
+            m.add_constraint(
+                LinExpr::term(k as f64, x) + LinExpr::term(k as f64, y),
+                Sense::Le,
+                2.0 * k as f64,
+            );
+        }
+        let s = lp(&m);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj - -2.0).abs() < 1e-6);
+    }
+
+    /// Optimality certificate on random LPs: primal feasibility plus
+    /// reduced-cost sign conditions computed from the returned duals.
+    #[test]
+    fn random_lps_satisfy_optimality_certificate() {
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut optimal_count = 0;
+        for _ in 0..60 {
+            let n = 2 + (next() % 5) as usize;
+            let rows = 1 + (next() % 6) as usize;
+            let mut m = Model::new("rand");
+            let vars: Vec<_> = (0..n)
+                .map(|_| {
+                    let lo = (next() % 5) as f64 - 2.0;
+                    let hi = lo + 1.0 + (next() % 6) as f64;
+                    let c = (next() % 9) as f64 - 4.0;
+                    m.add_continuous(lo, hi, c)
+                })
+                .collect();
+            for _ in 0..rows {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    let c = (next() % 7) as f64 - 3.0;
+                    if c != 0.0 {
+                        e.add_term(c, v);
+                    }
+                }
+                let sense = match next() % 3 {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                let rhs = (next() % 11) as f64 - 5.0;
+                m.add_constraint(e, sense, rhs);
+            }
+            let p = LpProblem::from_model(&m);
+            let s = p.solve().expect("no numerical failure");
+            if s.status != LpStatus::Optimal {
+                continue;
+            }
+            optimal_count += 1;
+            // Primal feasibility.
+            assert!(
+                m.check_feasible(&s.x, 1e-5).is_none(),
+                "infeasible 'optimal' point"
+            );
+            // Reduced-cost conditions for structural variables.
+            for (j, &v) in vars.iter().enumerate() {
+                let d: f64 = m.cols[j].obj
+                    - p.cols[j].iter().map(|&(r, c)| c * s.y[r]).sum::<f64>();
+                let (lo, hi) = m.bounds(v);
+                let at_lower = (s.x[j] - lo).abs() < 1e-5;
+                let at_upper = (s.x[j] - hi).abs() < 1e-5;
+                if !at_lower && !at_upper {
+                    assert!(d.abs() < 1e-5, "interior var with nonzero reduced cost {d}");
+                } else if at_lower && !at_upper {
+                    assert!(d > -1e-5, "at lower bound with improving direction {d}");
+                } else if at_upper && !at_lower {
+                    assert!(d < 1e-5, "at upper bound with improving direction {d}");
+                }
+            }
+        }
+        assert!(optimal_count > 10, "too few optimal instances to be meaningful");
+    }
+}

@@ -1,0 +1,100 @@
+//! Branch-and-bound oracle test: on random *mixed* models (binaries plus
+//! continuous variables), the B&B optimum must match explicit enumeration
+//! over all binary assignments, each completed by an LP solve of the
+//! continuous remainder (binaries pinned via bounds).
+
+use proptest::prelude::*;
+
+use pipemap_milp::{LinExpr, Model, Sense, SolverOptions, Status};
+
+#[derive(Debug, Clone)]
+struct Spec {
+    n_bin: usize,
+    n_cont: usize,
+    obj: Vec<i32>,
+    rows: Vec<(Vec<i32>, bool, i32)>, // coeffs, is_le, rhs
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (2usize..6, 1usize..4).prop_flat_map(|(n_bin, n_cont)| {
+        let n = n_bin + n_cont;
+        (
+            prop::collection::vec(-6i32..7, n),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(-4i32..5, n),
+                    any::<bool>(),
+                    -6i32..10,
+                ),
+                1..5,
+            ),
+        )
+            .prop_map(move |(obj, rows)| Spec {
+                n_bin,
+                n_cont,
+                obj,
+                rows,
+            })
+    })
+}
+
+fn build(spec: &Spec, pin: Option<&[f64]>) -> Model {
+    let mut m = Model::new("oracle");
+    let mut vars = Vec::new();
+    for i in 0..spec.n_bin {
+        let c = f64::from(spec.obj[i]);
+        let v = match pin {
+            // Enumeration path: binaries pinned to constants via bounds.
+            Some(p) => m.add_continuous(p[i], p[i], c),
+            None => m.add_binary(c),
+        };
+        vars.push(v);
+    }
+    for i in 0..spec.n_cont {
+        let c = f64::from(spec.obj[spec.n_bin + i]);
+        vars.push(m.add_continuous(0.0, 5.0, c));
+    }
+    for (coeffs, is_le, rhs) in &spec.rows {
+        let e: LinExpr = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (f64::from(c), v))
+            .collect();
+        let sense = if *is_le { Sense::Le } else { Sense::Ge };
+        m.add_constraint(e, sense, f64::from(*rhs));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bb_matches_binary_enumeration(s in spec()) {
+        let opts = SolverOptions::default();
+        let bb = build(&s, None).solve(&opts).expect("bb solves");
+
+        // Oracle: enumerate all binary assignments, LP on the rest.
+        let mut best: Option<f64> = None;
+        for bits in 0..(1u32 << s.n_bin) {
+            let pin: Vec<f64> = (0..s.n_bin).map(|i| f64::from((bits >> i) & 1)).collect();
+            let r = build(&s, Some(&pin)).solve(&opts).expect("lp solves");
+            if r.status == Status::Optimal {
+                best = Some(best.map_or(r.objective, |b: f64| b.min(r.objective)));
+            }
+        }
+
+        match best {
+            None => prop_assert_eq!(bb.status, Status::Infeasible),
+            Some(b) => {
+                prop_assert_eq!(bb.status, Status::Optimal);
+                prop_assert!(
+                    (bb.objective - b).abs() < 1e-5,
+                    "bb {} vs enumeration {}",
+                    bb.objective,
+                    b
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # pipemap-netlist
+//!
+//! Physical-model back end for `pipemap`: turns a modulo schedule plus a
+//! LUT cover into area/timing numbers and a cycle-accurate simulation.
+//! This crate plays the role Xilinx Vivado's post-place-and-route report
+//! plays in the DAC'15 paper — all three scheduling flows are lowered
+//! through the same model so their relative LUT/FF/CP numbers are
+//! comparable (paper Table 1).
+//!
+//! * [`Schedule`], [`Cover`], [`Implementation`] — the interface between
+//!   schedulers and the physical model,
+//! * [`verify`] — legality checks (cover, dependences, cycle time, modulo
+//!   resources; paper Eqs. 2–14),
+//! * [`Qor`] — LUT / FF / achieved-CP evaluation (Table 1's columns),
+//! * [`simulate`] / [`verify_functional`] — cycle-accurate execution with
+//!   register-lifetime enforcement, checked against the reference
+//!   interpreter.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod qor;
+mod report;
+mod schedule;
+mod sim;
+mod verilog;
+
+pub use qor::{arrival_times, dsp_count, ff_count, liveness, lut_count, Qor};
+pub use report::schedule_report;
+pub use schedule::{consumed_signals, verify, Cover, ImplError, Implementation, Schedule};
+pub use sim::{simulate, simulate_with_stats, verify_functional, SimError, SimStats};
+pub use verilog::{to_verilog, VerilogError};

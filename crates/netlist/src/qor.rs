@@ -1,0 +1,334 @@
+//! Quality-of-results evaluation: LUTs, flip-flops and achieved clock
+//! period — the role Vivado's post-place-and-route report plays in the
+//! paper's Table 1.
+//!
+//! All three scheduling flows (heuristic baseline, MILP-base, MILP-map)
+//! are evaluated through this single model so their *relative* numbers are
+//! directly comparable:
+//!
+//! * **LUT** — `Σ Bits(v)` over mapped roots (one LUT per output bit, the
+//!   paper's `Bits(v)·root_v`), except pure wiring roots (constant shifts,
+//!   slices, concats), which cost nothing in fabric.
+//! * **FF** — liveness-based (paper Eqs. 10–13): a value occupies
+//!   `Bits(v)` registers for every cycle between its availability and its
+//!   last consumption, with loop-carried consumers extending the range by
+//!   `II · dist`.
+//! * **CP** — static timing: longest combinational arrival within any
+//!   cycle, accumulating characterized delays along same-cycle chains.
+
+use pipemap_ir::{Dfg, NodeId, Op, Target};
+
+use crate::schedule::{consumed_signals, Implementation};
+
+/// Area/timing summary of one implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Qor {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops (pipeline registers).
+    pub ffs: u64,
+    /// Hard multipliers (DSP blocks): the largest number of concurrent
+    /// multiplies in any modulo slot — multiplies in different slots
+    /// time-share one DSP (the extension the paper's §3.2 invites).
+    pub dsps: u64,
+    /// Achieved clock period (critical path), ns.
+    pub cp_ns: f64,
+    /// Pipeline depth in cycles (schedule latency).
+    pub depth: u32,
+    /// Initiation interval.
+    pub ii: u32,
+}
+
+impl Qor {
+    /// Evaluate an implementation.
+    pub fn evaluate(dfg: &Dfg, target: &Target, imp: &Implementation) -> Qor {
+        let luts = lut_count(dfg, imp);
+        let ffs = ff_count(dfg, target, imp);
+        let cp_ns = arrival_times(dfg, target, imp)
+            .into_iter()
+            .fold(0.0, f64::max);
+        Qor {
+            luts,
+            ffs,
+            dsps: dsp_count(dfg, imp),
+            cp_ns,
+            depth: imp.schedule.depth(),
+            ii: imp.schedule.ii(),
+        }
+    }
+}
+
+/// Hard-multiplier (DSP) usage: multiplies in the same modulo slot run
+/// concurrently; across slots they time-share one block.
+pub fn dsp_count(dfg: &Dfg, imp: &Implementation) -> u64 {
+    let ii = imp.schedule.ii();
+    let mut per_slot = vec![0u64; ii as usize];
+    for (id, node) in dfg.iter() {
+        if matches!(node.op, Op::Mul) {
+            per_slot[(imp.schedule.cycle(id) % ii) as usize] += 1;
+        }
+    }
+    per_slot.into_iter().max().unwrap_or(0)
+}
+
+/// LUT usage: `Bits(v)` per mapped root, wiring roots free.
+pub fn lut_count(dfg: &Dfg, imp: &Implementation) -> u64 {
+    let mut luts = 0u64;
+    for (id, node) in dfg.iter() {
+        if !node.op.is_lut_mappable() {
+            continue;
+        }
+        if let Some(cut) = imp.cover.cut(id) {
+            // A root whose whole cone is wiring costs no fabric; a cone
+            // with any logic inside costs one LUT per output bit.
+            let cone = pipemap_cuts::cone_nodes(dfg, id, cut);
+            let pure_wire = cone.iter().all(|&n| dfg.node(n).op.is_wire());
+            if !pure_wire {
+                luts += u64::from(node.width);
+            }
+        }
+    }
+    luts
+}
+
+/// Per-value liveness: availability cycle and last-consumption cycle of
+/// every signal-producing node (`None` when never consumed).
+pub fn liveness(
+    dfg: &Dfg,
+    target: &Target,
+    imp: &Implementation,
+) -> (Vec<u32>, Vec<Option<u32>>) {
+    let ii = imp.schedule.ii();
+    let mut avail = vec![0u32; dfg.len()];
+    for (id, node) in dfg.iter() {
+        avail[id.index()] =
+            imp.schedule.cycle(id) + target.op_latency(&node.op, node.width);
+    }
+    let mut last_use: Vec<Option<u32>> = vec![None; dfg.len()];
+    for (consumer, sig) in consumed_signals(dfg, &imp.cover) {
+        let t = imp.schedule.cycle(consumer) + ii * sig.dist;
+        let slot = &mut last_use[sig.node.index()];
+        *slot = Some(slot.map_or(t, |x| x.max(t)));
+    }
+    (avail, last_use)
+}
+
+/// Flip-flop usage from liveness (paper Eqs. 10–13 folded over II).
+pub fn ff_count(dfg: &Dfg, target: &Target, imp: &Implementation) -> u64 {
+    let (avail, last_use) = liveness(dfg, target, imp);
+    let mut ffs = 0u64;
+    for (id, node) in dfg.iter() {
+        if matches!(node.op, Op::Const(_) | Op::Output) {
+            continue;
+        }
+        if !imp.cover.produces_signal(dfg, id) {
+            continue;
+        }
+        if let Some(last) = last_use[id.index()] {
+            let lifetime = last.saturating_sub(avail[id.index()]);
+            ffs += u64::from(node.width) * u64::from(lifetime);
+        }
+    }
+    ffs
+}
+
+/// Static timing: completion time (ns) of every signal within its cycle.
+///
+/// A root's arrival is the latest same-cycle arrival among its cut inputs
+/// plus its own characterized delay; values arriving from earlier cycles or
+/// through registers contribute zero (they are stable at the cycle start).
+pub fn arrival_times(dfg: &Dfg, target: &Target, imp: &Implementation) -> Vec<f64> {
+    let ii = imp.schedule.ii();
+    let mut arrival = vec![0.0f64; dfg.len()];
+    let order = dfg.topo_order().expect("validated graph");
+    for &v in &order {
+        let node = dfg.node(v);
+        if matches!(node.op, Op::Input | Op::Const(_)) {
+            continue;
+        }
+        // Which signals feed this node's physical cell?
+        let feeds: Vec<(NodeId, u32)> = if node.op.is_lut_mappable() {
+            match imp.cover.cut(v) {
+                Some(cut) => cut.inputs().iter().map(|s| (s.node, s.dist)).collect(),
+                None => continue, // interior: timed inside its root's LUT
+            }
+        } else {
+            node.ins.iter().map(|p| (p.node, p.dist)).collect()
+        };
+        let mut start: f64 = 0.0;
+        for (u, dist) in feeds {
+            if matches!(dfg.node(u).op, Op::Const(_)) {
+                continue;
+            }
+            let un = dfg.node(u);
+            let u_done = imp.schedule.cycle(u) + target.op_latency(&un.op, un.width);
+            // Same effective cycle and not through a register: chained.
+            if dist == 0 && u_done == imp.schedule.cycle(v) {
+                start = start.max(arrival[u.index()]);
+            }
+            let _ = ii;
+        }
+        let d = target.op_delay(&node.op, node.width);
+        let lat = target.op_latency(&node.op, node.width);
+        // Multi-cycle ops contribute their remainder in the completion
+        // cycle; the preceding cycles are fully occupied.
+        let local = if lat > 0 {
+            d - f64::from(lat) * target.t_cp
+        } else {
+            d
+        };
+        arrival[v.index()] = start + local.max(0.0);
+    }
+    arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Cover, Schedule};
+    use pipemap_cuts::{CutConfig, CutDb};
+    use pipemap_ir::{DfgBuilder, Target};
+
+    /// Chain x -> not -> not -> out, unit cover, with a configurable split.
+    fn chain(split_cycle: bool) -> (Dfg, Implementation, Target) {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x", 8);
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        b.output("o", n2);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&target));
+        let cover = Cover::new(
+            g.node_ids()
+                .map(|v| db.cuts(v).unit().cloned())
+                .collect(),
+        );
+        let d = target.lut_level_delay();
+        let (cycles, starts) = if split_cycle {
+            let mut c = vec![0; g.len()];
+            c[n2.index()] = 1;
+            c[g.outputs()[0].index()] = 1;
+            (c, vec![0.0; g.len()])
+        } else {
+            let mut s = vec![0.0; g.len()];
+            s[n2.index()] = d;
+            (vec![0; g.len()], s)
+        };
+        let imp = Implementation {
+            schedule: Schedule::new(1, cycles, starts),
+            cover,
+        };
+        (g, imp, target)
+    }
+
+    #[test]
+    fn lut_count_is_bits_per_root() {
+        let (g, imp, _) = chain(false);
+        // Two 8-bit NOT roots = 16 LUTs.
+        assert_eq!(lut_count(&g, &imp), 16);
+    }
+
+    #[test]
+    fn combinational_chain_has_no_ffs() {
+        let (g, imp, t) = chain(false);
+        assert_eq!(ff_count(&g, &t, &imp), 0);
+        let q = Qor::evaluate(&g, &t, &imp);
+        assert_eq!(q.depth, 1);
+        assert!((q.cp_ns - 2.0 * t.lut_level_delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_pipeline_pays_registers() {
+        let (g, imp, t) = chain(true);
+        // n1's value crosses one cycle boundary: 8 FFs.
+        assert_eq!(ff_count(&g, &t, &imp), 8);
+        let q = Qor::evaluate(&g, &t, &imp);
+        assert_eq!(q.depth, 2);
+        assert!((q.cp_ns - t.lut_level_delay()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_roots_cost_nothing() {
+        let mut b = DfgBuilder::new("w");
+        let x = b.input("x", 8);
+        let s = b.shr(x, 3);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let t = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&t));
+        let cover = Cover::new(
+            g.node_ids()
+                .map(|v| db.cuts(v).unit().cloned())
+                .collect(),
+        );
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
+            cover,
+        };
+        assert_eq!(lut_count(&g, &imp), 0);
+    }
+
+    #[test]
+    fn loop_carried_consumption_extends_lifetime() {
+        // acc = x + acc@-1 at II = 1: acc is consumed one iteration later,
+        // i.e. one cycle later → held for 1 cycle → width FFs.
+        let mut b = DfgBuilder::new("acc");
+        let x = b.input("x", 16);
+        let prev = b.placeholder(16);
+        let acc = b.add(x, prev);
+        b.bind(prev, acc, 1).expect("bind");
+        b.output("o", acc);
+        let g = b.finish().expect("valid");
+        let t = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&t));
+        let cover = Cover::new(
+            g.node_ids()
+                .map(|v| db.cuts(v).unit().cloned())
+                .collect(),
+        );
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
+            cover,
+        };
+        // acc live from avail 0 to consumption at 0 + II*1 = 1 → 16 FFs;
+        // x is consumed in its own cycle → 0 FFs.
+        assert_eq!(ff_count(&g, &t, &imp), 16);
+        crate::schedule::verify(&g, &t, &imp).expect("legal");
+    }
+
+    #[test]
+    fn absorbed_interior_nodes_cost_nothing() {
+        // y = (s >> 1) ^ t with a mapped cut {s, t}: the shift is interior.
+        let mut b = DfgBuilder::new("m");
+        let s = b.input("s", 2);
+        let t_in = b.input("t", 2);
+        let a = b.shr(s, 1);
+        let y = b.xor(t_in, a);
+        b.output("o", y);
+        let g = b.finish().expect("valid");
+        let t = Target::fig1();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let deep = db
+            .cuts(y)
+            .cuts()
+            .iter()
+            .find(|c| c.len() == 2 && c.inputs().iter().all(|sg| sg.node != a))
+            .expect("cut {s, t} exists")
+            .clone();
+        let mut selected: Vec<Option<pipemap_cuts::Cut>> = vec![None; g.len()];
+        selected[y.index()] = Some(deep);
+        let cover = Cover::new(selected);
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
+            cover,
+        };
+        crate::schedule::verify(&g, &t, &imp).expect("legal");
+        // One 2-bit LUT root.
+        assert_eq!(lut_count(&g, &imp), 2);
+        assert_eq!(ff_count(&g, &t, &imp), 0);
+        // CP is a single LUT level.
+        let q = Qor::evaluate(&g, &t, &imp);
+        assert!((q.cp_ns - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Human-readable schedule reports, in the spirit of an HLS tool's
+//! scheduling report.
+
+use std::fmt::Write as _;
+
+use pipemap_ir::{Dfg, Op, Target};
+
+use crate::qor::{arrival_times, Qor};
+use crate::schedule::Implementation;
+
+/// Render a per-cycle schedule report: which operations run in each
+/// cycle, which are LUT roots (with their cuts) and which are absorbed,
+/// plus the QoR summary line.
+pub fn schedule_report(dfg: &Dfg, target: &Target, imp: &Implementation) -> String {
+    let q = Qor::evaluate(dfg, target, imp);
+    let arrival = arrival_times(dfg, target, imp);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule `{}`: II={} depth={} | {} LUTs, {} FFs, CP {:.2} ns (target {:.2})",
+        dfg.name(),
+        q.ii,
+        q.depth,
+        q.luts,
+        q.ffs,
+        q.cp_ns,
+        target.t_cp
+    );
+    for cycle in 0..q.depth {
+        let _ = writeln!(out, "cycle {cycle}:");
+        for (id, node) in dfg.iter() {
+            if imp.schedule.cycle(id) != cycle {
+                continue;
+            }
+            match &node.op {
+                Op::Input | Op::Const(_) => continue,
+                Op::Output => {
+                    let _ = writeln!(out, "  output  {}", dfg.label(id));
+                }
+                op if op.is_black_box() => {
+                    let _ = writeln!(
+                        out,
+                        "  bb      {:<12} {:<10} done {:>5.2} ns",
+                        dfg.label(id),
+                        op.mnemonic(),
+                        arrival[id.index()]
+                    );
+                }
+                op => match imp.cover.cut(id) {
+                    Some(cut) => {
+                        let _ = writeln!(
+                            out,
+                            "  root    {:<12} {:<10} cut {:<24} done {:>5.2} ns",
+                            dfg.label(id),
+                            op.mnemonic(),
+                            cut.to_string(),
+                            arrival[id.index()]
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  interior {:<11} {:<10} (absorbed)",
+                            dfg.label(id),
+                            op.mnemonic()
+                        );
+                    }
+                },
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Cover, Schedule};
+    use pipemap_cuts::{CutConfig, CutDb};
+    use pipemap_ir::DfgBuilder;
+
+    #[test]
+    fn report_mentions_roots_and_cycles() {
+        let mut b = DfgBuilder::new("rep");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let t = b.xor(x, y);
+        b.name_node(t, "t");
+        b.output("o", t);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&target));
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
+            cover: Cover::new(g.node_ids().map(|v| db.cuts(v).unit().cloned()).collect()),
+        };
+        let r = schedule_report(&g, &target, &imp);
+        assert!(r.contains("cycle 0:"));
+        assert!(r.contains("root"));
+        assert!(r.contains("t"));
+        assert!(r.contains("LUTs"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Modulo schedules, LUT covers, and legality verification.
+
+use pipemap_cuts::{Cut, Signal};
+use pipemap_ir::{Dfg, NodeId, Op, Target};
+use std::error::Error;
+use std::fmt;
+
+/// A modulo schedule for one graph: per-node start cycles and intra-cycle
+/// start times, at a fixed initiation interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    ii: u32,
+    cycles: Vec<u32>,
+    starts: Vec<f64>,
+}
+
+impl Schedule {
+    /// Build a schedule from per-node cycles and intra-cycle start times
+    /// (ns). Both vectors are indexed by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector lengths differ or `ii == 0`.
+    pub fn new(ii: u32, cycles: Vec<u32>, starts: Vec<f64>) -> Self {
+        assert!(ii >= 1, "initiation interval must be at least 1");
+        assert_eq!(cycles.len(), starts.len());
+        Schedule { ii, cycles, starts }
+    }
+
+    /// The initiation interval in cycles.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Start cycle of a node (relative to its iteration's start).
+    pub fn cycle(&self, v: NodeId) -> u32 {
+        self.cycles[v.index()]
+    }
+
+    /// Intra-cycle start time of a node in ns (the paper's `L_v`).
+    pub fn start(&self, v: NodeId) -> f64 {
+        self.starts[v.index()]
+    }
+
+    /// Number of pipeline cycles from iteration start to the last
+    /// scheduled operation (the latency bound actually used).
+    pub fn depth(&self) -> u32 {
+        self.cycles.iter().copied().max().unwrap_or(0) + 1
+    }
+}
+
+/// The LUT cover: which nodes are cone roots, and with which cut.
+///
+/// Nodes that are not LUT-mappable (inputs, black boxes) produce signals
+/// natively and are implicit roots; `Output` markers and constants are
+/// neither roots nor registered values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cover {
+    selected: Vec<Option<Cut>>,
+}
+
+impl Cover {
+    /// Build from a per-node selection (indexed by node id); `None` means
+    /// the node is absorbed into some other cone (or is not mappable).
+    pub fn new(selected: Vec<Option<Cut>>) -> Self {
+        Cover { selected }
+    }
+
+    /// The selected cut of a LUT root.
+    pub fn cut(&self, v: NodeId) -> Option<&Cut> {
+        self.selected[v.index()].as_ref()
+    }
+
+    /// `true` if `v` produces a physical signal: a mapped LUT root or a
+    /// natively implemented value (input / black box).
+    pub fn produces_signal(&self, dfg: &Dfg, v: NodeId) -> bool {
+        let op = &dfg.node(v).op;
+        if op.is_lut_mappable() {
+            self.selected[v.index()].is_some()
+        } else {
+            !matches!(op, Op::Output)
+        }
+    }
+
+    /// Ids of all LUT roots.
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.selected
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+}
+
+/// A complete pipelined implementation: schedule plus cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Implementation {
+    /// The modulo schedule.
+    pub schedule: Schedule,
+    /// The LUT cover.
+    pub cover: Cover,
+}
+
+/// Everything a consumer reads: `(consumer node, signal consumed)`.
+///
+/// Consumers are LUT roots (via their cut signals), black boxes and
+/// outputs (via their direct ports). Constants are dropped — they are
+/// baked into LUTs and never registered.
+pub fn consumed_signals(dfg: &Dfg, cover: &Cover) -> Vec<(NodeId, Signal)> {
+    let mut out = Vec::new();
+    for (id, node) in dfg.iter() {
+        if node.op.is_lut_mappable() {
+            if let Some(cut) = cover.cut(id) {
+                for &s in cut.inputs() {
+                    out.push((id, s));
+                }
+            }
+        } else if !matches!(node.op, Op::Input | Op::Const(_)) {
+            // Black boxes and outputs read their ports directly.
+            for p in &node.ins {
+                if matches!(dfg.node(p.node).op, Op::Const(_)) {
+                    continue;
+                }
+                out.push((
+                    id,
+                    Signal {
+                        node: p.node,
+                        dist: p.dist,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A violated implementation invariant.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ImplError {
+    /// A consumed signal's producer is not a signal-producing root.
+    MissingRoot {
+        /// The consumer.
+        consumer: NodeId,
+        /// The producer that should have been a root.
+        producer: NodeId,
+    },
+    /// A primary output's source is not a root (paper Eq. 3).
+    OutputNotRoot {
+        /// The output marker node.
+        output: NodeId,
+    },
+    /// A dependence is violated: the producer finishes after the consumer
+    /// starts (paper Eq. 7, with latency).
+    DependenceViolated {
+        /// The consumer.
+        consumer: NodeId,
+        /// The producer.
+        producer: NodeId,
+    },
+    /// The critical path of some cycle exceeds the target period (Eqs. 8–9).
+    CycleTimeExceeded {
+        /// Worst path delay found, ns.
+        path_ns: f64,
+        /// Target period, ns.
+        t_cp: f64,
+    },
+    /// A modulo resource class is oversubscribed (Eq. 14).
+    ResourceOversubscribed {
+        /// Human-readable resource name.
+        resource: String,
+        /// The congruence class (cycle mod II).
+        slot: u32,
+        /// Number of concurrent uses.
+        used: u32,
+        /// The limit.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for ImplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImplError::MissingRoot { consumer, producer } => write!(
+                f,
+                "consumer {consumer} reads {producer}, which is not a mapped root"
+            ),
+            ImplError::OutputNotRoot { output } => {
+                write!(f, "primary output {output} is fed by a non-root")
+            }
+            ImplError::DependenceViolated { consumer, producer } => write!(
+                f,
+                "dependence violated: {producer} not ready when {consumer} starts"
+            ),
+            ImplError::CycleTimeExceeded { path_ns, t_cp } => write!(
+                f,
+                "cycle time exceeded: critical path {path_ns:.3} ns > target {t_cp:.3} ns"
+            ),
+            ImplError::ResourceOversubscribed {
+                resource,
+                slot,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource {resource} oversubscribed in modulo slot {slot}: {used} > {limit}"
+            ),
+        }
+    }
+}
+
+impl Error for ImplError {}
+
+/// Verify all legality invariants of an implementation against its graph
+/// and device model: cover legality (Eqs. 2–4), dependences (Eq. 7), cycle
+/// time (Eqs. 8–9 via static timing), and modulo resources (Eq. 14).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify(dfg: &Dfg, target: &Target, imp: &Implementation) -> Result<(), ImplError> {
+    let sched = &imp.schedule;
+    let cover = &imp.cover;
+    let ii = sched.ii();
+
+    // Cover legality: every consumed signal's producer must produce it.
+    for (consumer, sig) in consumed_signals(dfg, cover) {
+        if !cover.produces_signal(dfg, sig.node) {
+            return Err(ImplError::MissingRoot {
+                consumer,
+                producer: sig.node,
+            });
+        }
+    }
+    // Primary outputs are roots (Eq. 3).
+    for o in dfg.outputs() {
+        let src = dfg.node(o).ins[0].node;
+        if !cover.produces_signal(dfg, src) && !matches!(dfg.node(src).op, Op::Const(_)) {
+            return Err(ImplError::OutputNotRoot { output: o });
+        }
+    }
+
+    // Dependences with latency (Eq. 7 generalized): the producer's result
+    // must exist by the consumer's start cycle.
+    for (consumer, sig) in consumed_signals(dfg, cover) {
+        let u = sig.node;
+        let un = dfg.node(u);
+        let lat = target.op_latency(&un.op, un.width);
+        let avail = sched.cycle(u) + lat;
+        let need = sched.cycle(consumer) + ii * sig.dist;
+        if avail > need {
+            return Err(ImplError::DependenceViolated {
+                consumer,
+                producer: u,
+            });
+        }
+    }
+
+    // Cycle time via static timing analysis.
+    let sta = crate::qor::arrival_times(dfg, target, imp);
+    let worst = sta.iter().cloned().fold(0.0, f64::max);
+    if worst > target.t_cp + 1e-6 {
+        return Err(ImplError::CycleTimeExceeded {
+            path_ns: worst,
+            t_cp: target.t_cp,
+        });
+    }
+
+    // Modulo resource constraints.
+    let mut usage: std::collections::HashMap<(pipemap_ir::Resource, u32), u32> =
+        std::collections::HashMap::new();
+    for (id, node) in dfg.iter() {
+        if let Some(res) = node.op.resource() {
+            let slot = sched.cycle(id) % ii;
+            *usage.entry((res, slot)).or_insert(0) += 1;
+        }
+    }
+    for ((res, slot), used) in usage {
+        if let Some(limit) = target.resource_limit(res) {
+            if used > limit {
+                return Err(ImplError::ResourceOversubscribed {
+                    resource: res.to_string(),
+                    slot,
+                    used,
+                    limit,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_cuts::{CutConfig, CutDb};
+    use pipemap_ir::DfgBuilder;
+
+    /// x ^ y -> & x, all unit-covered, one cycle each.
+    fn simple() -> (Dfg, Vec<NodeId>) {
+        let mut b = DfgBuilder::new("s");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let t = b.xor(x, y);
+        let u = b.and(t, x);
+        let o = b.output("o", u);
+        (b.finish().expect("valid"), vec![x, y, t, u, o])
+    }
+
+    fn unit_cover(dfg: &Dfg) -> Cover {
+        let db = CutDb::enumerate(dfg, &CutConfig::trivial_only(&Target::default()));
+        let selected = dfg
+            .node_ids()
+            .map(|v| db.cuts(v).unit().cloned())
+            .collect();
+        Cover::new(selected)
+    }
+
+    #[test]
+    fn legal_implementation_verifies() {
+        let (g, ids) = simple();
+        let target = Target::default();
+        let cover = unit_cover(&g);
+        // Everything combinational in cycle 0, chained.
+        let d = target.lut_level_delay();
+        let mut starts = vec![0.0; g.len()];
+        starts[ids[3].index()] = d;
+        let sched = Schedule::new(1, vec![0; g.len()], starts);
+        let imp = Implementation {
+            schedule: sched,
+            cover,
+        };
+        verify(&g, &target, &imp).expect("legal");
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let (g, ids) = simple();
+        let target = Target::default();
+        let cover = unit_cover(&g);
+        let mut cycles = vec![0; g.len()];
+        cycles[ids[2].index()] = 1; // xor later than its consumer
+        let sched = Schedule::new(1, cycles, vec![0.0; g.len()]);
+        let imp = Implementation {
+            schedule: sched,
+            cover,
+        };
+        assert!(matches!(
+            verify(&g, &target, &imp),
+            Err(ImplError::DependenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_root_detected() {
+        let (g, ids) = simple();
+        let target = Target::default();
+        let mut cover = unit_cover(&g);
+        cover.selected[ids[2].index()] = None; // xor absorbed by nobody
+        let sched = Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]);
+        let imp = Implementation {
+            schedule: sched,
+            cover,
+        };
+        assert!(matches!(
+            verify(&g, &target, &imp),
+            Err(ImplError::MissingRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_time_violation_detected() {
+        let (g, ids) = simple();
+        // One LUT level (1.37 ns) fits, two chained levels (2.74 ns) do not.
+        let target = Target {
+            t_cp: 2.0,
+            ..Target::default()
+        };
+        let cover = unit_cover(&g);
+        let d = target.lut_level_delay();
+        let mut starts = vec![0.0; g.len()];
+        starts[ids[3].index()] = d;
+        let sched = Schedule::new(1, vec![0; g.len()], starts);
+        let imp = Implementation {
+            schedule: sched,
+            cover,
+        };
+        assert!(matches!(
+            verify(&g, &target, &imp),
+            Err(ImplError::CycleTimeExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn resource_oversubscription_detected() {
+        let mut b = DfgBuilder::new("mul2");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let p1 = b.mul(x, y);
+        let p2 = b.mul(y, x);
+        let s = b.xor(p1, p2);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let target = Target {
+            mult_limit: Some(1),
+            ..Target::default()
+        };
+        let cover = unit_cover(&g);
+        // Both multipliers in the same cycle with II=1: slot 0 has 2 > 1.
+        let mut starts = vec![0.0; g.len()];
+        starts[s.index()] = target.delays.mul;
+        let sched = Schedule::new(1, vec![0; g.len()], starts);
+        let imp = Implementation {
+            schedule: sched,
+            cover,
+        };
+        assert!(matches!(
+            verify(&g, &target, &imp),
+            Err(ImplError::ResourceOversubscribed { .. })
+        ));
+    }
+}

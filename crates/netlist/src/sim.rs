@@ -1,0 +1,560 @@
+//! Cycle-accurate simulation of a pipelined implementation.
+//!
+//! The simulator executes the schedule the way the synthesized datapath
+//! would: one iteration enters every II cycles, LUT cones evaluate
+//! combinationally within their scheduled cycle, and produced values are
+//! held in registers **only for their computed lifetime** (the same
+//! liveness that prices flip-flops in [`crate::qor`]). A read of an
+//! expired or not-yet-ready value is a hard error — so a schedule whose
+//! register accounting is wrong cannot silently simulate correctly.
+//!
+//! Functional correctness is then established by comparing outputs against
+//! the reference interpreter ([`pipemap_ir::execute`]).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pipemap_cuts::{cone_nodes, Signal};
+use pipemap_ir::{eval_op, execute, Dfg, EvalError, InputStreams, NodeId, Op, Target};
+
+use crate::qor::liveness;
+use crate::schedule::Implementation;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A consumer read a value before the producer finished.
+    ReadBeforeReady {
+        /// The producer whose value was not ready.
+        producer: NodeId,
+        /// The producing iteration.
+        iteration: i64,
+        /// Global cycle of the read.
+        cycle: u64,
+    },
+    /// A consumer read a value after its retention window expired — the
+    /// register lifetime accounting is too small for this schedule.
+    ValueNotRetained {
+        /// The producer whose value expired.
+        producer: NodeId,
+        /// The producing iteration.
+        iteration: i64,
+        /// Global cycle of the read.
+        cycle: u64,
+    },
+    /// Input streams missing or too short.
+    Input(EvalError),
+    /// Pipelined outputs diverged from the reference interpreter.
+    Mismatch {
+        /// The output node.
+        output: NodeId,
+        /// Iteration at which the divergence occurred.
+        iteration: usize,
+        /// Pipelined value.
+        got: u64,
+        /// Reference value.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ReadBeforeReady {
+                producer,
+                iteration,
+                cycle,
+            } => write!(
+                f,
+                "value of {producer} (iteration {iteration}) read before ready at cycle {cycle}"
+            ),
+            SimError::ValueNotRetained {
+                producer,
+                iteration,
+                cycle,
+            } => write!(
+                f,
+                "value of {producer} (iteration {iteration}) already expired at cycle {cycle}"
+            ),
+            SimError::Input(e) => write!(f, "input stream error: {e}"),
+            SimError::Mismatch {
+                output,
+                iteration,
+                got,
+                expected,
+            } => write!(
+                f,
+                "output {output} diverged at iteration {iteration}: pipeline {got:#x}, reference {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Input(e)
+    }
+}
+
+/// Occupancy statistics gathered during simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Largest number of register bits simultaneously held across all
+    /// cycle boundaries. Bounded above by [`crate::ff_count`] minus the
+    /// input-holding registers (inputs are fed externally here).
+    pub peak_register_bits: u64,
+    /// Total clock cycles simulated.
+    pub cycles: u64,
+}
+
+/// Pipelined execution of `iterations` loop iterations; returns each
+/// iteration's primary-output values in output-id order.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on missing inputs, premature reads, or expired
+/// register reads.
+pub fn simulate(
+    dfg: &Dfg,
+    target: &Target,
+    imp: &Implementation,
+    inputs: &InputStreams,
+    iterations: usize,
+) -> Result<Vec<Vec<(NodeId, u64)>>, SimError> {
+    simulate_with_stats(dfg, target, imp, inputs, iterations).map(|(o, _)| o)
+}
+
+/// [`simulate`] plus occupancy statistics.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on missing inputs, premature reads, or expired
+/// register reads.
+pub fn simulate_with_stats(
+    dfg: &Dfg,
+    target: &Target,
+    imp: &Implementation,
+    inputs: &InputStreams,
+    iterations: usize,
+) -> Result<(Vec<Vec<(NodeId, u64)>>, SimStats), SimError> {
+    let ii = u64::from(imp.schedule.ii());
+    let depth = imp.schedule.depth();
+    let (avail, last_use) = liveness(dfg, target, imp);
+    let order = dfg.topo_order().expect("validated graph");
+
+    // Nodes executed per stage cycle, in topological order.
+    let mut per_stage: Vec<Vec<NodeId>> = vec![Vec::new(); depth as usize];
+    for &v in &order {
+        per_stage[imp.schedule.cycle(v) as usize].push(v);
+    }
+
+    // Register file: (node, iteration) -> value, pruned on expiry.
+    let mut regs: HashMap<(NodeId, i64), u64> = HashMap::new();
+    let mut outputs: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); iterations];
+
+    // Reference streams: pre-resolve the values of every primary input.
+    let input_ids = dfg.inputs();
+    let mut input_vals: HashMap<(NodeId, i64), u64> = HashMap::new();
+    {
+        // Reuse the interpreter's masking by executing inputs through it.
+        let trace = execute_inputs(dfg, inputs, iterations)?;
+        for (k, row) in trace.iter().enumerate() {
+            for (&id, &v) in input_ids.iter().zip(row) {
+                input_vals.insert((id, k as i64), v);
+            }
+        }
+    }
+
+    let read = |regs: &HashMap<(NodeId, i64), u64>,
+                sig: Signal,
+                k: i64,
+                g: u64|
+     -> Result<u64, SimError> {
+        let src_iter = k - i64::from(sig.dist);
+        let u = sig.node;
+        if src_iter < 0 {
+            return Ok(dfg.init_value(u) & pipemap_ir::mask(dfg.node(u).width));
+        }
+        if matches!(dfg.node(u).op, Op::Const(_)) {
+            let Op::Const(c) = dfg.node(u).op else {
+                unreachable!()
+            };
+            return Ok(c & pipemap_ir::mask(dfg.node(u).width));
+        }
+        if matches!(dfg.node(u).op, Op::Input) {
+            return Ok(input_vals[&(u, src_iter)]);
+        }
+        let produced = src_iter as u64 * ii + u64::from(avail[u.index()]);
+        if g < produced {
+            return Err(SimError::ReadBeforeReady {
+                producer: u,
+                iteration: src_iter,
+                cycle: g,
+            });
+        }
+        match regs.get(&(u, src_iter)) {
+            Some(&v) => Ok(v),
+            None => Err(SimError::ValueNotRetained {
+                producer: u,
+                iteration: src_iter,
+                cycle: g,
+            }),
+        }
+    };
+
+    let mut stats = SimStats::default();
+    let total_cycles = (iterations as u64).saturating_sub(1) * ii + u64::from(depth);
+    for g in 0..total_cycles {
+        // Iterations active this cycle, oldest (deepest stage) first, so
+        // cross-stage combinational forwarding sees fresh values.
+        let k_min = if g >= u64::from(depth) - 1 {
+            ((g - (u64::from(depth) - 1)) / ii) as i64
+        } else {
+            0
+        };
+        for k in k_min..iterations as i64 {
+            let k_u = k as u64;
+            if k_u * ii > g {
+                break;
+            }
+            let t = g - k_u * ii;
+            if t >= u64::from(depth) {
+                continue;
+            }
+            for &v in &per_stage[t as usize] {
+                let node = dfg.node(v);
+                match &node.op {
+                    Op::Input | Op::Const(_) => {}
+                    Op::Output => {
+                        let p = node.ins[0];
+                        let val = read(
+                            &regs,
+                            Signal {
+                                node: p.node,
+                                dist: p.dist,
+                            },
+                            k,
+                            g,
+                        )?;
+                        outputs[k as usize].push((v, val));
+                    }
+                    op if op.is_black_box() => {
+                        let mut args = Vec::new();
+                        let mut widths = Vec::new();
+                        for p in &node.ins {
+                            args.push(read(
+                                &regs,
+                                Signal {
+                                    node: p.node,
+                                    dist: p.dist,
+                                },
+                                k,
+                                g,
+                            )?);
+                            widths.push(dfg.node(p.node).width);
+                        }
+                        let val =
+                            eval_op(&node.op, node.width, &args, &widths, dfg.memories());
+                        regs.insert((v, k), val);
+                    }
+                    _ => {
+                        // LUT-mappable: evaluate the cone if v is a root.
+                        let Some(cut) = imp.cover.cut(v) else {
+                            continue; // interior node: computed inside a root
+                        };
+                        let mut boundary: HashMap<Signal, u64> = HashMap::new();
+                        for &s in cut.inputs() {
+                            boundary.insert(s, read(&regs, s, k, g)?);
+                        }
+                        let cone = cone_nodes(dfg, v, cut);
+                        let mut local: HashMap<NodeId, u64> = HashMap::new();
+                        for &n in &cone {
+                            let nn = dfg.node(n);
+                            let mut args = Vec::new();
+                            let mut widths = Vec::new();
+                            for p in &nn.ins {
+                                let sig = Signal {
+                                    node: p.node,
+                                    dist: p.dist,
+                                };
+                                let val = if let Some(&b) = boundary.get(&sig) {
+                                    b
+                                } else if let Op::Const(c) = dfg.node(p.node).op {
+                                    c & pipemap_ir::mask(dfg.node(p.node).width)
+                                } else {
+                                    local[&p.node]
+                                };
+                                args.push(val);
+                                widths.push(dfg.node(p.node).width);
+                            }
+                            let val =
+                                eval_op(&nn.op, nn.width, &args, &widths, dfg.memories());
+                            local.insert(n, val);
+                        }
+                        regs.insert((v, k), local[&v]);
+                    }
+                }
+            }
+        }
+        // Expire values whose retention window ended at this cycle.
+        regs.retain(|&(u, k_src), _| match last_use[u.index()] {
+            Some(last) => k_src as u64 * ii + u64::from(last) > g,
+            None => false,
+        });
+        // What survives the cycle boundary occupies physical registers.
+        let bits: u64 = regs
+            .keys()
+            .map(|&(u, _)| u64::from(dfg.node(u).width))
+            .sum();
+        stats.peak_register_bits = stats.peak_register_bits.max(bits);
+    }
+    stats.cycles = total_cycles;
+
+    Ok((outputs, stats))
+}
+
+/// Resolve input streams (masked) without running the full interpreter.
+fn execute_inputs(
+    dfg: &Dfg,
+    inputs: &InputStreams,
+    iterations: usize,
+) -> Result<Vec<Vec<u64>>, EvalError> {
+    // The reference interpreter already validates and masks inputs; run it
+    // and extract the input rows.
+    let trace = execute(dfg, inputs, iterations)?;
+    let ids = dfg.inputs();
+    Ok((0..iterations)
+        .map(|k| ids.iter().map(|&i| trace.value(k, i)).collect())
+        .collect())
+}
+
+/// End-to-end functional verification: simulate the pipeline and compare
+/// every primary output of every iteration against the reference
+/// interpreter.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`], including [`SimError::Mismatch`] on
+/// divergence.
+pub fn verify_functional(
+    dfg: &Dfg,
+    target: &Target,
+    imp: &Implementation,
+    inputs: &InputStreams,
+    iterations: usize,
+) -> Result<(), SimError> {
+    let piped = simulate(dfg, target, imp, inputs, iterations)?;
+    let reference = execute(dfg, inputs, iterations)?;
+    for (k, outs) in piped.iter().enumerate() {
+        for &(o, got) in outs {
+            let expected = reference.value(k, o);
+            if got != expected {
+                return Err(SimError::Mismatch {
+                    output: o,
+                    iteration: k,
+                    got,
+                    expected,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Cover, Schedule};
+    use pipemap_cuts::{CutConfig, CutDb};
+    use pipemap_ir::DfgBuilder;
+
+    fn unit_cover(dfg: &Dfg, target: &Target) -> Cover {
+        let db = CutDb::enumerate(dfg, &CutConfig::trivial_only(target));
+        Cover::new(
+            dfg.node_ids()
+                .map(|v| db.cuts(v).unit().cloned())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn combinational_pipeline_matches_reference() {
+        let mut b = DfgBuilder::new("comb");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let t = b.xor(x, y);
+        let u = b.and(t, x);
+        let s = b.add(u, y);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let cover = unit_cover(&g, &target);
+        let d = target.lut_level_delay();
+        let mut starts = vec![0.0; g.len()];
+        starts[u.index()] = d;
+        starts[s.index()] = 2.0 * d;
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], starts),
+            cover,
+        };
+        let ins = InputStreams::random(&g, 20, 7);
+        verify_functional(&g, &target, &imp, &ins, 20).expect("functional");
+    }
+
+    #[test]
+    fn multi_stage_pipeline_matches_reference() {
+        let mut b = DfgBuilder::new("staged");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let t = b.xor(x, y);
+        let u = b.and(t, x);
+        let s = b.add(u, y);
+        let o = b.output("o", s);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let cover = unit_cover(&g, &target);
+        let mut cycles = vec![0; g.len()];
+        cycles[u.index()] = 1;
+        cycles[s.index()] = 2;
+        cycles[o.index()] = 2;
+        let imp = Implementation {
+            schedule: Schedule::new(1, cycles, vec![0.0; g.len()]),
+            cover,
+        };
+        crate::schedule::verify(&g, &target, &imp).expect("legal");
+        let ins = InputStreams::random(&g, 30, 11);
+        verify_functional(&g, &target, &imp, &ins, 30).expect("functional");
+    }
+
+    #[test]
+    fn recurrence_pipeline_matches_reference() {
+        // Running sum with the add and an extra stage for the output.
+        let mut b = DfgBuilder::new("acc");
+        let x = b.input("x", 16);
+        let prev = b.placeholder(16);
+        let acc = b.add(x, prev);
+        b.bind(prev, acc, 1).expect("bind");
+        let n = b.not(acc);
+        let o = b.output("o", n);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let cover = unit_cover(&g, &target);
+        let mut cycles = vec![0; g.len()];
+        cycles[n.index()] = 1;
+        cycles[o.index()] = 1;
+        let imp = Implementation {
+            schedule: Schedule::new(1, cycles, vec![0.0; g.len()]),
+            cover,
+        };
+        crate::schedule::verify(&g, &target, &imp).expect("legal");
+        let ins = InputStreams::random(&g, 25, 3);
+        verify_functional(&g, &target, &imp, &ins, 25).expect("functional");
+    }
+
+    #[test]
+    fn mapped_cones_match_reference() {
+        // Fig. 1 style: mapped 2-LUT implementation of the RS mini kernel.
+        let mut b = DfgBuilder::new("rs_mini");
+        let s = b.input("s", 2);
+        let t = b.input("t", 2);
+        let e_prev = b.placeholder(2);
+        let a = b.shr(s, 1);
+        let bb = b.xor(t, a);
+        let c = b.is_non_negative(bb);
+        let d = b.mux(c, bb, e_prev);
+        let e = b.xor(d, a);
+        b.bind(e_prev, e, 1).expect("feedback");
+        let o = b.output("out", e);
+        let g = b.finish().expect("valid");
+        let target = Target::fig1();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&target));
+
+        // Pick for E the deepest cut (absorbing as much as possible) and
+        // for its remaining boundary nodes their unit cuts.
+        let deep = db
+            .cuts(e)
+            .cuts()
+            .iter()
+            .max_by_key(|c| c.cone_size())
+            .expect("cuts of E")
+            .clone();
+        let mut selected: Vec<Option<pipemap_cuts::Cut>> = vec![None; g.len()];
+        for sig in deep.inputs() {
+            if sig.dist == 0 && g.node(sig.node).op.is_lut_mappable() {
+                // Boundary roots keep the deepest cut they own.
+                let bc = db
+                    .cuts(sig.node)
+                    .cuts()
+                    .iter()
+                    .max_by_key(|c| c.cone_size())
+                    .expect("cuts")
+                    .clone();
+                selected[sig.node.index()] = Some(bc);
+            }
+        }
+        selected[e.index()] = Some(deep);
+        // Chase boundaries of boundaries until closed.
+        loop {
+            let mut added = false;
+            for v in g.node_ids().collect::<Vec<_>>() {
+                if let Some(cut) = selected[v.index()].clone() {
+                    for sig in cut.inputs() {
+                        if sig.dist == 0
+                            && g.node(sig.node).op.is_lut_mappable()
+                            && selected[sig.node.index()].is_none()
+                        {
+                            selected[sig.node.index()] =
+                                Some(db.cuts(sig.node).unit().expect("unit").clone());
+                            added = true;
+                        }
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        let cover = Cover::new(selected);
+        // Everything in cycle 0 with L ordering; starts left at 0 since
+        // verify() uses STA, not the stored starts.
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
+            cover,
+        };
+        let ins = InputStreams::random(&g, 40, 17);
+        verify_functional(&g, &target, &imp, &ins, 40).expect("functional");
+        let _ = o;
+    }
+
+    #[test]
+    fn expired_values_are_detected() {
+        // Deliberately lie about the cover: a consumer two cycles away
+        // whose producer lifetime is honest still works, but a hand-built
+        // inconsistent schedule (consumer earlier than lifetime math) is
+        // caught. Here we force a read-before-ready.
+        let mut b = DfgBuilder::new("bad");
+        let x = b.input("x", 8);
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        let o = b.output("o", n2);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let cover = unit_cover(&g, &target);
+        let mut cycles = vec![0; g.len()];
+        // n2 scheduled BEFORE n1 completes (n1 in cycle 1, n2 in cycle 0).
+        cycles[n1.index()] = 1;
+        cycles[n2.index()] = 0;
+        cycles[o.index()] = 1;
+        let imp = Implementation {
+            schedule: Schedule::new(1, cycles, vec![0.0; g.len()]),
+            cover,
+        };
+        let ins = InputStreams::random(&g, 3, 5);
+        let err = simulate(&g, &target, &imp, &ins, 3).expect_err("must fail");
+        assert!(matches!(err, SimError::ReadBeforeReady { .. }), "{err}");
+    }
+}

@@ -1,0 +1,191 @@
+//! `pipemap` — command-line front end for the mapping-aware pipeline
+//! synthesis flows.
+//!
+//! ```text
+//! pipemap info     <file.pmir>
+//! pipemap dot      <file.pmir> [--flow FLOW ...]      # graphviz to stdout
+//! pipemap schedule <file.pmir> [--flow FLOW] [--limit SECS] [--ii N] [--k N]
+//! pipemap verilog  <file.pmir> [--flow FLOW] [--module NAME] [...]
+//! pipemap bench    <NAME>      [--limit SECS]         # built-in benchmark
+//! ```
+//!
+//! `FLOW` is one of `hls`, `base`, `map` (default), `heur`.
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pipemap::core::{run_flow, Flow, FlowOptions};
+use pipemap::ir::{parse_dfg, to_dot, Dfg, InputStreams, Target};
+use pipemap::netlist::{schedule_report, to_verilog, verify_functional};
+
+struct Args {
+    positional: Vec<String>,
+    flow: Flow,
+    limit: u64,
+    ii: u32,
+    k: u32,
+    module: String,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut a = Args {
+        positional: Vec::new(),
+        flow: Flow::MilpMap,
+        limit: 30,
+        ii: 1,
+        k: 4,
+        module: "pipeline".into(),
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--flow" => {
+                let v = argv.next().ok_or("--flow needs a value")?;
+                a.flow = match v.as_str() {
+                    "hls" => Flow::HlsTool,
+                    "base" => Flow::MilpBase,
+                    "map" => Flow::MilpMap,
+                    "heur" => Flow::MappedHeuristic,
+                    other => return Err(format!("unknown flow `{other}`")),
+                };
+            }
+            "--limit" => {
+                a.limit = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--limit needs seconds")?;
+            }
+            "--ii" => {
+                a.ii = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--ii needs a number")?;
+            }
+            "--k" => {
+                a.k = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--k needs a number")?;
+            }
+            "--module" => {
+                a.module = argv.next().ok_or("--module needs a name")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => a.positional.push(other.to_string()),
+        }
+    }
+    Ok(a)
+}
+
+fn load(path: &str) -> Result<Dfg, Box<dyn Error>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(parse_dfg(&src)?)
+}
+
+fn options(a: &Args) -> FlowOptions {
+    FlowOptions {
+        ii: a.ii,
+        time_limit: Duration::from_secs(a.limit),
+        ..FlowOptions::default()
+    }
+}
+
+fn target(a: &Args) -> Target {
+    Target {
+        k: a.k,
+        ..Target::default()
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("usage: pipemap <info|dot|schedule|verilog|bench> ...");
+        return Err("missing subcommand".into());
+    };
+    let a = parse_args(argv).map_err(|e| -> Box<dyn Error> { e.into() })?;
+
+    match cmd.as_str() {
+        "info" => {
+            let path = a.positional.first().ok_or("info needs a .pmir file")?;
+            let dfg = load(path)?;
+            let s = dfg.stats();
+            println!("graph     : {}", dfg.name());
+            println!("nodes     : {}", s.nodes);
+            println!("lut ops   : {}", s.lut_ops);
+            println!("black box : {}", s.black_box_ops);
+            println!("inputs    : {}", s.inputs);
+            println!("outputs   : {}", s.outputs);
+            println!("edges     : {} ({} loop-carried)", s.edges, s.loop_carried_edges);
+            println!("memories  : {}", dfg.memories().len());
+        }
+        "dot" => {
+            let path = a.positional.first().ok_or("dot needs a .pmir file")?;
+            let dfg = load(path)?;
+            let r = run_flow(&dfg, &target(&a), a.flow, &options(&a))?;
+            let sched = r.implementation.schedule.clone();
+            print!("{}", to_dot(&dfg, Some(&|v| sched.cycle(v))));
+        }
+        "schedule" => {
+            let path = a.positional.first().ok_or("schedule needs a .pmir file")?;
+            let dfg = load(path)?;
+            let t = target(&a);
+            let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
+            print!("{}", schedule_report(&dfg, &t, &r.implementation));
+            let ins = InputStreams::random(&dfg, 16, 1);
+            verify_functional(&dfg, &t, &r.implementation, &ins, 16)?;
+            println!("functional check: ok (16 iterations vs reference interpreter)");
+            if let Some(s) = &r.milp {
+                println!(
+                    "solver: {} in {:.2?} | {} B&B nodes | {} vars | {} rows",
+                    s.status, s.solve_time, s.nodes, s.variables, s.constraints
+                );
+            }
+        }
+        "verilog" => {
+            let path = a.positional.first().ok_or("verilog needs a .pmir file")?;
+            let dfg = load(path)?;
+            let t = target(&a);
+            let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
+            print!("{}", to_verilog(&dfg, &t, &r.implementation, &a.module)?);
+        }
+        "bench" => {
+            let name = a.positional.first().ok_or("bench needs a benchmark name")?;
+            let bench = pipemap::bench_suite::by_name(name)
+                .ok_or("unknown benchmark (CLZ, XORR, GFMUL, CORDIC, MT, AES, RS, DR, GSM)")?;
+            println!(
+                "{:<10} {:>7} {:>6} {:>6} {:>6} {:>4}",
+                "method", "CP(ns)", "LUT", "FF", "depth", "II"
+            );
+            for flow in Flow::EXTENDED {
+                let r = run_flow(&bench.dfg, &bench.target, flow, &options(&a))?;
+                println!(
+                    "{:<10} {:>7.2} {:>6} {:>6} {:>6} {:>4}",
+                    r.flow.label(),
+                    r.qor.cp_ns,
+                    r.qor.luts,
+                    r.qor.ffs,
+                    r.qor.depth,
+                    r.ii
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            return Err("unknown subcommand".into());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # pipemap
+//!
+//! Area-efficient, mapping-aware pipeline synthesis for FPGA-targeted
+//! high-level synthesis — a from-scratch Rust reproduction of
+//! *"Area-Efficient Pipelining for FPGA-Targeted High-Level Synthesis"*
+//! (R. Zhao, M. Tan, S. Dai, Z. Zhang — DAC 2015).
+//!
+//! Classical HLS pipeline scheduling assumes an additive delay model and
+//! inserts pipeline registers that downstream LUT mapping can never
+//! remove. This crate schedules and maps **simultaneously**: a word-level
+//! cut enumeration (bit-level dependence tracking) feeds a mixed-integer
+//! linear program that picks, for every operation, both its pipeline
+//! cycle and the LUT cone that implements it, minimizing LUTs and
+//! pipeline registers under a throughput (initiation interval)
+//! constraint.
+//!
+//! The workspace is organized as one crate per subsystem, all re-exported
+//! here:
+//!
+//! * [`ir`] — word-level CDFG, builder, device model, reference
+//!   interpreter,
+//! * [`cuts`] — K-feasible word-level cut enumeration (paper §3.1),
+//! * [`milp`] — a sparse revised-simplex + branch-and-bound MILP solver
+//!   (the CPLEX stand-in),
+//! * [`netlist`] — cover legality, LUT/FF/CP evaluation and cycle-accurate
+//!   simulation (the Vivado stand-in),
+//! * [`core`] — the three scheduling flows of the paper's evaluation
+//!   (heuristic baseline, MILP-base, MILP-map),
+//! * [`bench_suite`] — the nine benchmarks of Table 1/2 as CDFG
+//!   generators.
+//!
+//! ```no_run
+//! use pipemap::core::{run_flow, Flow, FlowOptions};
+//! use pipemap::ir::{DfgBuilder, Target};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DfgBuilder::new("demo");
+//! let x = b.input("x", 8);
+//! let y = b.input("y", 8);
+//! let z = b.xor(x, y);
+//! b.output("z", z);
+//! let dfg = b.finish()?;
+//!
+//! let r = run_flow(&dfg, &Target::default(), Flow::MilpMap, &FlowOptions::default())?;
+//! println!("{} LUTs, {} FFs", r.qor.luts, r.qor.ffs);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pipemap_bench_suite as bench_suite;
+pub use pipemap_core as core;
+pub use pipemap_cuts as cuts;
+pub use pipemap_ir as ir;
+pub use pipemap_milp as milp;
+pub use pipemap_netlist as netlist;
