@@ -72,11 +72,7 @@ pub fn aes() -> Benchmark {
 
     // MixColumns: out_j = 2·a_j ^ 3·a_{j+1} ^ a_{j+2} ^ a_{j+3}.
     let x2: Vec<NodeId> = sub.iter().map(|&s| xtime(&mut b, s)).collect();
-    let x3: Vec<NodeId> = sub
-        .iter()
-        .zip(&x2)
-        .map(|(&s, &d)| b.xor(d, s))
-        .collect();
+    let x3: Vec<NodeId> = sub.iter().zip(&x2).map(|(&s, &d)| b.xor(d, s)).collect();
     let mixed: Vec<NodeId> = (0..4)
         .map(|j| {
             let t1 = b.xor(x2[j], x3[(j + 1) % 4]);
@@ -115,10 +111,8 @@ pub fn soft_aes_round(state: u32, key: u32) -> u32 {
         .collect();
     let mut out = 0u32;
     for j in 0..4 {
-        let m = soft_gfmul(a[j], 2)
-            ^ soft_gfmul(a[(j + 1) % 4], 3)
-            ^ a[(j + 2) % 4]
-            ^ a[(j + 3) % 4];
+        let m =
+            soft_gfmul(a[j], 2) ^ soft_gfmul(a[(j + 1) % 4], 3) ^ a[(j + 2) % 4] ^ a[(j + 3) % 4];
         let kb = ((key >> (8 * j)) & 0xFF) as u8;
         out |= u32::from(m ^ kb) << (8 * j);
     }
@@ -150,8 +144,14 @@ mod tests {
             (0x0000_0001, 0xFFFF_FFFF),
         ];
         let mut ins = InputStreams::new();
-        ins.set(g.inputs()[0], cases.iter().map(|c| u64::from(c.0)).collect());
-        ins.set(g.inputs()[1], cases.iter().map(|c| u64::from(c.1)).collect());
+        ins.set(
+            g.inputs()[0],
+            cases.iter().map(|c| u64::from(c.0)).collect(),
+        );
+        ins.set(
+            g.inputs()[1],
+            cases.iter().map(|c| u64::from(c.1)).collect(),
+        );
         let t = execute(g, &ins, cases.len()).expect("executes");
         for (k, &(s, key)) in cases.iter().enumerate() {
             assert_eq!(

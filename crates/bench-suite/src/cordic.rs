@@ -110,7 +110,7 @@ mod tests {
         let bench = cordic(iters);
         let g = &bench.dfg;
         let cases: [(i16, i16, i16); 5] = [
-            (8192, 0, 6434),   // rotate by 45 degrees
+            (8192, 0, 6434), // rotate by 45 degrees
             (8192, 0, -6434),
             (1000, -2000, 300),
             (-5000, 1234, -2222),

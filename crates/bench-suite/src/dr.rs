@@ -131,8 +131,14 @@ mod tests {
             (0x0000, 3),
         ];
         let mut ins = InputStreams::new();
-        ins.set(g.inputs()[0], cases.iter().map(|c| u64::from(c.0)).collect());
-        ins.set(g.inputs()[1], cases.iter().map(|c| u64::from(c.1)).collect());
+        ins.set(
+            g.inputs()[0],
+            cases.iter().map(|c| u64::from(c.0)).collect(),
+        );
+        ins.set(
+            g.inputs()[1],
+            cases.iter().map(|c| u64::from(c.1)).collect(),
+        );
         let t = execute(g, &ins, cases.len()).expect("executes");
         let outs = g.outputs();
         for (k, &(q, i)) in cases.iter().enumerate() {

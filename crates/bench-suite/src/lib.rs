@@ -99,7 +99,8 @@ pub fn all() -> Vec<Benchmark> {
 
 /// Look up a benchmark by its Table 1 name (case-insensitive).
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    all().into_iter()
+    all()
+        .into_iter()
         .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 

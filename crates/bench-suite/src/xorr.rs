@@ -19,7 +19,10 @@ use crate::{BenchClass, Benchmark};
 ///
 /// Panics unless `n` is a power of two ≥ 2.
 pub fn xorr(n: usize, width: u32) -> Benchmark {
-    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two >= 2"
+    );
     let mut b = DfgBuilder::new(format!("xorr{n}x{width}"));
     let mask = pipemap_ir::mask(width);
     // Whiten + mask each element (deterministic per-element constants).
@@ -28,7 +31,10 @@ pub fn xorr(n: usize, width: u32) -> Benchmark {
             let x = b.input(format!("x{i}"), width);
             let key = b.const_((0x9E37_79B9u64.wrapping_mul(i as u64 + 1)) & mask, width);
             let w = b.xor(x, key);
-            let m = b.const_((0x5A5A_5A5A_5A5A_5A5Au64.rotate_left(i as u32)) & mask, width);
+            let m = b.const_(
+                (0x5A5A_5A5A_5A5A_5A5Au64.rotate_left(i as u32)) & mask,
+                width,
+            );
             b.and(w, m)
         })
         .collect();

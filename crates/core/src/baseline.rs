@@ -75,11 +75,7 @@ pub fn schedule_baseline(
 /// Chaining-aware additive ASAP list scheduling with a modulo reservation
 /// table. Returns `None` when the II is infeasible (recurrence violated or
 /// a resource class cannot fit).
-pub(crate) fn list_schedule(
-    dfg: &Dfg,
-    target: &Target,
-    ii: u32,
-) -> Option<ListSchedule> {
+pub(crate) fn list_schedule(dfg: &Dfg, target: &Target, ii: u32) -> Option<ListSchedule> {
     let order = dfg.topo_order().expect("validated graph");
     let mut cycles = vec![0u32; dfg.len()];
     let mut starts = vec![0.0f64; dfg.len()];
@@ -319,9 +315,7 @@ fn cover_from_choices(dfg: &Dfg, db: &CutDb, choices: &[Option<Cut>]) -> Cover {
             .or_else(|| db.cuts(v).unit().cloned())
             .expect("LUT-mappable nodes always have a unit cut");
         for sig in cut.inputs() {
-            if dfg.node(sig.node).op.is_lut_mappable()
-                && selected[sig.node.index()].is_none()
-            {
+            if dfg.node(sig.node).op.is_lut_mappable() && selected[sig.node.index()].is_none() {
                 work.push(sig.node);
             }
         }
@@ -343,8 +337,7 @@ pub fn schedule_mapped_heuristic(
     let cap = requested_ii * 8 + 8;
     let mut ii = requested_ii.max(1);
     while ii <= cap {
-        if let Some((cycles, starts, choices)) = list_schedule_with_cuts(dfg, target, ii, db)
-        {
+        if let Some((cycles, starts, choices)) = list_schedule_with_cuts(dfg, target, ii, db) {
             let schedule = Schedule::new(ii, cycles.clone(), starts);
             // Preferred: area-greedy per-cycle cover.
             let area = Implementation {
@@ -377,11 +370,7 @@ pub fn schedule_mapped_heuristic(
 /// Re-cover an existing schedule with the register-bounded mapper — used
 /// to implement MILP-base schedules the way the paper's downstream tool
 /// chain would.
-pub(crate) fn remap_schedule(
-    dfg: &Dfg,
-    db: &CutDb,
-    schedule: &pipemap_netlist::Schedule,
-) -> Cover {
+pub(crate) fn remap_schedule(dfg: &Dfg, db: &CutDb, schedule: &pipemap_netlist::Schedule) -> Cover {
     let cycles: Vec<u32> = dfg.node_ids().map(|v| schedule.cycle(v)).collect();
     map_respecting_registers(dfg, db, &cycles)
 }
@@ -425,9 +414,9 @@ pub(crate) fn map_respecting_registers(dfg: &Dfg, db: &CutDb, cycles: &[u32]) ->
         let mut best: Option<&Cut> = None;
         for cut in db.cuts(v).cuts() {
             let cone = cone_nodes(dfg, v, cut);
-            let ok = cone.iter().all(|&n| {
-                cycles[n.index()] == my_cycle && (n == v || !required.contains(&n))
-            });
+            let ok = cone
+                .iter()
+                .all(|&n| cycles[n.index()] == my_cycle && (n == v || !required.contains(&n)));
             if !ok {
                 continue;
             }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use pipemap_milp::{MilpError, Status};
 use pipemap_netlist::ImplError;
+use pipemap_verify::Diagnostics;
 
 /// Failure of a scheduling flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,10 @@ pub enum CoreError {
     Milp(MilpError),
     /// The MILP terminated without any feasible solution.
     NoSolution(Status),
+    /// The full static verifier rejected a produced implementation; the
+    /// attached [`Diagnostics`] carry every violated invariant with its
+    /// stable `P0xxx` code.
+    Verification(Diagnostics),
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +45,17 @@ impl fmt::Display for CoreError {
             CoreError::IllegalImplementation(e) => write!(f, "illegal implementation: {e}"),
             CoreError::Milp(e) => write!(f, "milp solver failure: {e}"),
             CoreError::NoSolution(s) => write!(f, "milp returned no solution (status {s})"),
+            CoreError::Verification(ds) => {
+                write!(
+                    f,
+                    "implementation rejected by verifier: {} error(s), first: {}",
+                    ds.error_count(),
+                    ds.iter()
+                        .find(|d| d.severity == pipemap_verify::Severity::Error)
+                        .map(|d| format!("{} {}", d.code.as_str(), d.message))
+                        .unwrap_or_default()
+                )
+            }
         }
     }
 }
@@ -63,5 +79,11 @@ impl From<MilpError> for CoreError {
 impl From<ImplError> for CoreError {
     fn from(e: ImplError) -> Self {
         CoreError::IllegalImplementation(e)
+    }
+}
+
+impl From<Diagnostics> for CoreError {
+    fn from(ds: Diagnostics) -> Self {
+        CoreError::Verification(ds)
     }
 }

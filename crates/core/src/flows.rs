@@ -237,8 +237,7 @@ fn run_milp(
         }
         _ => {
             let mut cands = vec![baseline.implementation.clone()];
-            if let Some(h) = crate::baseline::schedule_mapped_heuristic(dfg, target, ii, db)
-            {
+            if let Some(h) = crate::baseline::schedule_mapped_heuristic(dfg, target, ii, db) {
                 if h.ii == ii {
                     cands.push(h.implementation);
                 }
@@ -247,10 +246,7 @@ fn run_milp(
             // FFs (the paper's headline metric).
             let cost = |imp: &Implementation| {
                 let q = Qor::evaluate(dfg, target, imp);
-                (
-                    opts.alpha * q.luts as f64 + opts.beta * q.ffs as f64,
-                    q.ffs,
-                )
+                (opts.alpha * q.luts as f64 + opts.beta * q.ffs as f64, q.ffs)
             };
             cands.sort_by(|a, b| {
                 let (ca, fa) = cost(a);
@@ -281,29 +277,41 @@ fn run_milp(
     let solve_time = start.elapsed();
     // A numerical solver failure or an empty incumbent degrades to the
     // best seed: it is a genuine feasible solution of the same model.
-    let (mut implementation, status, objective, best_bound, nodes, lp_iterations) =
-        match solved {
-            Ok(r) if r.status.has_solution() => {
-                let imp = f.extract(dfg, db, &r.values);
-                (
-                    imp,
-                    r.status,
-                    r.objective,
-                    r.best_bound,
-                    r.nodes,
-                    r.lp_iterations,
-                )
-            }
-            Ok(r) => match seed_fallback(dfg, target, opts, &seed_candidates) {
-                Some((imp, obj)) => (imp, Status::Feasible, obj, f64::NEG_INFINITY, r.nodes, r.lp_iterations),
-                None => return Err(CoreError::NoSolution(r.status)),
-            },
-            Err(e) => match seed_fallback(dfg, target, opts, &seed_candidates) {
-                Some((imp, obj)) => (imp, Status::Feasible, obj, f64::NEG_INFINITY, 0, 0),
-                None => return Err(CoreError::Milp(e)),
-            },
-        };
-    pipemap_netlist::verify(dfg, target, &implementation)?;
+    let (mut implementation, status, objective, best_bound, nodes, lp_iterations) = match solved {
+        Ok(r) if r.status.has_solution() => {
+            let imp = f.extract(dfg, db, &r.values);
+            (
+                imp,
+                r.status,
+                r.objective,
+                r.best_bound,
+                r.nodes,
+                r.lp_iterations,
+            )
+        }
+        Ok(r) => match seed_fallback(dfg, target, opts, &seed_candidates) {
+            Some((imp, obj)) => (
+                imp,
+                Status::Feasible,
+                obj,
+                f64::NEG_INFINITY,
+                r.nodes,
+                r.lp_iterations,
+            ),
+            None => return Err(CoreError::NoSolution(r.status)),
+        },
+        Err(e) => match seed_fallback(dfg, target, opts, &seed_candidates) {
+            Some((imp, obj)) => (imp, Status::Feasible, obj, f64::NEG_INFINITY, 0, 0),
+            None => return Err(CoreError::Milp(e)),
+        },
+    };
+    // Route legality through the full diagnostics verifier: unlike the
+    // fail-fast `pipemap_netlist::verify`, it reports *every* violated
+    // invariant with a stable `P0xxx` code.
+    let diags = pipemap_verify::check_implementation(dfg, target, &implementation);
+    if diags.has_errors() {
+        return Err(CoreError::Verification(diags));
+    }
     if flow == Flow::MilpBase {
         // Paper flow: the MILP-base *schedule* is handed to the commercial
         // tool, whose downstream technology mapper still runs (bounded by
@@ -313,7 +321,7 @@ fn run_milp(
             cover: crate::baseline::remap_schedule(dfg, db_map, &implementation.schedule),
             schedule: implementation.schedule.clone(),
         };
-        if pipemap_netlist::verify(dfg, target, &remapped).is_ok() {
+        if !pipemap_verify::check_implementation(dfg, target, &remapped).has_errors() {
             implementation = remapped;
         }
     }
@@ -346,7 +354,7 @@ fn seed_fallback(
 ) -> Option<(Implementation, f64)> {
     candidates
         .iter()
-        .find(|imp| pipemap_netlist::verify(dfg, target, imp).is_ok())
+        .find(|imp| !pipemap_verify::check_implementation(dfg, target, imp).has_errors())
         .map(|imp| {
             let q = Qor::evaluate(dfg, target, imp);
             (
@@ -360,10 +368,7 @@ fn seed_fallback(
 /// LUT-mappable node its own root) — the feasible point of the
 /// mapping-agnostic model.
 fn unit_cover_implementation(dfg: &Dfg, db: &CutDb, base: &Implementation) -> Implementation {
-    let selected: Vec<Option<Cut>> = dfg
-        .node_ids()
-        .map(|v| db.cuts(v).unit().cloned())
-        .collect();
+    let selected: Vec<Option<Cut>> = dfg.node_ids().map(|v| db.cuts(v).unit().cloned()).collect();
     Implementation {
         schedule: base.schedule.clone(),
         cover: Cover::new(selected),
@@ -430,8 +435,7 @@ mod tests {
         // Functional equivalence of all three flows.
         let ins = InputStreams::random(&g, 30, 99);
         for r in [&base, &map] {
-            verify_functional(&g, &target, &r.implementation, &ins, 30)
-                .expect("functional");
+            verify_functional(&g, &target, &r.implementation, &ins, 30).expect("functional");
         }
     }
 

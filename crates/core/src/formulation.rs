@@ -193,8 +193,7 @@ pub(crate) fn build_weighted(
             continue;
         }
         // Eq. 2: at most one cut selected.
-        f.model
-            .add_constraint(root_expr(&f, id), Sense::Le, 1.0);
+        f.model.add_constraint(root_expr(&f, id), Sense::Le, 1.0);
         // Eq. 4: selected-cut inputs are roots.
         for (i, cut) in db.cuts(id).cuts().iter().enumerate() {
             let ci = f.c_vars[id.index()][i];
@@ -215,8 +214,7 @@ pub(crate) fn build_weighted(
         for p in &node.ins {
             let u = p.node;
             if dfg.node(u).op.is_lut_mappable() {
-                f.model
-                    .add_constraint(root_expr(&f, u), Sense::Eq, 1.0);
+                f.model.add_constraint(root_expr(&f, u), Sense::Eq, 1.0);
             }
         }
     }
@@ -234,8 +232,7 @@ pub(crate) fn build_weighted(
             }
             let lat = target.op_latency(&un.op, un.width);
             let e = s_expr(&f, u) - s_expr(&f, id) + f64::from(lat);
-            f.model
-                .add_constraint(e, Sense::Le, f64::from(ii * p.dist));
+            f.model.add_constraint(e, Sense::Le, f64::from(ii * p.dist));
         }
     }
 
@@ -281,9 +278,8 @@ pub(crate) fn build_weighted(
                 continue;
             }
             let lat = target.op_latency(&un.op, un.width);
-            let mut e = (s_expr(&f, u) - s_expr(&f, w) + f64::from(lat)
-                - f64::from(ii * p.dist))
-                * t_cp;
+            let mut e =
+                (s_expr(&f, u) - s_expr(&f, w) + f64::from(lat) - f64::from(ii * p.dist)) * t_cp;
             if let Some(lu) = f.l_vars[u.index()] {
                 e.add_term(1.0, lu);
             }
@@ -314,8 +310,7 @@ pub(crate) fn build_weighted(
                     };
                     let lat = target.op_latency(&un.op, un.width);
                     // len_u ≥ S_w + II·d − S_u − lat − M(1 − c_{w,i})
-                    let mut e = s_expr(&f, w) - s_expr(&f, u)
-                        + f64::from(ii * sig.dist)
+                    let mut e = s_expr(&f, w) - s_expr(&f, u) + f64::from(ii * sig.dist)
                         - f64::from(lat)
                         - big_m;
                     e.add_term(big_m, ci);
@@ -331,8 +326,7 @@ pub(crate) fn build_weighted(
                     continue;
                 };
                 let lat = target.op_latency(&un.op, un.width);
-                let mut e = s_expr(&f, w) - s_expr(&f, u) + f64::from(ii * p.dist)
-                    - f64::from(lat);
+                let mut e = s_expr(&f, w) - s_expr(&f, u) + f64::from(ii * p.dist) - f64::from(lat);
                 e.add_term(-1.0, len_u);
                 f.model.add_constraint(e, Sense::Le, 0.0);
             }
@@ -352,11 +346,10 @@ pub(crate) fn build_weighted(
         // Optional DSP-count variable X_r (Eq. 14's usage variable),
         // minimized with weight γ; without γ only the hard limit applies.
         let count_var = if gamma > 0.0 && res == pipemap_ir::Resource::Mult {
-            Some(f.model.add_integer(
-                0.0,
-                limit.map_or(nodes.len() as f64, f64::from),
-                gamma,
-            ))
+            Some(
+                f.model
+                    .add_integer(0.0, limit.map_or(nodes.len() as f64, f64::from), gamma),
+            )
         } else {
             None
         };
@@ -484,13 +477,7 @@ impl Formulation {
 ///   **selected** cut (and of black-box ports),
 /// * `L_w ≥ L_u` for every same-effective-cycle ancestor that appears in
 ///   any **unselected** cut (propagated transitively through ports).
-fn seed_starts(
-    dfg: &Dfg,
-    target: &Target,
-    db: &CutDb,
-    ii: u32,
-    imp: &Implementation,
-) -> Vec<f64> {
+fn seed_starts(dfg: &Dfg, target: &Target, db: &CutDb, ii: u32, imp: &Implementation) -> Vec<f64> {
     let order = dfg.topo_order().expect("validated graph");
     let mut l = vec![0.0f64; dfg.len()];
     let same_cycle = |u: NodeId, dist: u32, w: NodeId| -> bool {
@@ -520,8 +507,7 @@ fn seed_starts(
             let pay = |u: NodeId, dist: u32, need: &mut f64| {
                 if same_cycle(u, dist, w) {
                     let un = dfg.node(u);
-                    *need =
-                        need.max(l[u.index()] + local_delay(target, &un.op, un.width));
+                    *need = need.max(l[u.index()] + local_delay(target, &un.op, un.width));
                 }
             };
             if node.op.is_lut_mappable() {
@@ -599,8 +585,7 @@ mod tests {
         let g = small();
         let target = Target::fig1();
         let db = CutDb::enumerate(&g, &CutConfig::for_target(&target));
-        let base =
-            crate::baseline::schedule_baseline(&g, &target, 1, &db).expect("baseline");
+        let base = crate::baseline::schedule_baseline(&g, &target, 1, &db).expect("baseline");
         let m = base.implementation.schedule.depth();
         let f = build(&g, &target, &db, base.ii, m, 0.5, 0.5);
         let seed = f

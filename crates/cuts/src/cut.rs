@@ -225,7 +225,11 @@ mod tests {
     #[test]
     fn cut_dedups_and_sorts() {
         let c = Cut::new(
-            vec![Signal::now(NodeId(3)), Signal::now(NodeId(1)), Signal::now(NodeId(3))],
+            vec![
+                Signal::now(NodeId(3)),
+                Signal::now(NodeId(1)),
+                Signal::now(NodeId(3)),
+            ],
             2,
             1,
         );

@@ -113,12 +113,7 @@ enum BitSup {
 
 /// Compute the per-output-bit support of `root` under the candidate
 /// `cut_signals` (must be sorted), bailing once any bit exceeds `limit`.
-pub(crate) fn cut_support(
-    dfg: &Dfg,
-    root: NodeId,
-    cut_signals: &[Signal],
-    limit: u32,
-) -> Support {
+pub(crate) fn cut_support(dfg: &Dfg, root: NodeId, cut_signals: &[Signal], limit: u32) -> Support {
     debug_assert!(cut_signals.windows(2).all(|w| w[0] < w[1]));
     let mut memo: HashMap<(NodeId, u32), BitSup> = HashMap::new();
     let mut cone: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
@@ -251,10 +246,7 @@ mod tests {
         let a = b.add(x, y);
         b.output("o", a);
         let g = b.finish().expect("valid");
-        assert_eq!(
-            deps_of(&g, a, 1),
-            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
-        );
+        assert_eq!(deps_of(&g, a, 1), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
         assert_eq!(deps_of(&g, a, 0), vec![(0, 0), (1, 0)]);
     }
 
@@ -347,13 +339,7 @@ mod tests {
         let cut = vec![Signal::now(x)];
         assert_eq!(cut_support(&g, a, &cut, 8), Support::Uncovered);
         // Cut {x, a@-1} covers.
-        let mut cov = vec![
-            Signal::now(x),
-            Signal {
-                node: a,
-                dist: 1,
-            },
-        ];
+        let mut cov = vec![Signal::now(x), Signal { node: a, dist: 1 }];
         cov.sort();
         assert!(matches!(
             cut_support(&g, a, &cov, 8),

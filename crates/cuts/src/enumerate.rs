@@ -116,10 +116,7 @@ impl CutDb {
                 sets[v.index()] = new_set;
                 for &(c, port) in &consumers[v.index()] {
                     let cn = dfg.node(c);
-                    if cn.ins[port].dist == 0
-                        && cn.op.is_lut_mappable()
-                        && !in_queue[c.index()]
-                    {
+                    if cn.ins[port].dist == 0 && cn.op.is_lut_mappable() && !in_queue[c.index()] {
                         in_queue[c.index()] = true;
                         queue.push(c);
                     }
@@ -266,9 +263,7 @@ fn merge_cuts(dfg: &Dfg, v: NodeId, sets: &[CutSet], cfg: &CutConfig) -> CutSet 
     }
 
     // Dominance filter: smaller cuts first so supersets are dropped.
-    cuts.sort_by(|a, b| {
-        (a.len(), a.inputs()).cmp(&(b.len(), b.inputs()))
-    });
+    cuts.sort_by(|a, b| (a.len(), a.inputs()).cmp(&(b.len(), b.inputs())));
     let mut kept: Vec<Cut> = Vec::new();
     for c in cuts {
         if !kept.iter().any(|k| k.dominates(&c)) {
@@ -365,15 +360,11 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         // C (the MSB-only compare) can absorb everything down to {t, s}.
-        assert!(db
-            .cuts(c)
-            .cuts()
-            .iter()
-            .any(|cut| cut.len() == 2
-                && cut
-                    .inputs()
-                    .iter()
-                    .all(|s| matches!(g.node(s.node).op, Op::Input))));
+        assert!(db.cuts(c).cuts().iter().any(|cut| cut.len() == 2
+            && cut
+                .inputs()
+                .iter()
+                .all(|s| matches!(g.node(s.node).op, Op::Input))));
         // E sees the loop: some cut contains the registered signal E@-1.
         assert!(db
             .cuts(e)
@@ -433,16 +424,31 @@ mod tests {
         b.output("o", root);
         let g = b.finish().expect("valid");
 
-        let db4 = CutDb::enumerate(&g, &CutConfig { k: 4, ..CutConfig::default() });
-        let best4 = db4.cuts(root).cuts().iter().map(Cut::len).max().expect("cuts");
+        let db4 = CutDb::enumerate(
+            &g,
+            &CutConfig {
+                k: 4,
+                ..CutConfig::default()
+            },
+        );
+        let best4 = db4
+            .cuts(root)
+            .cuts()
+            .iter()
+            .map(Cut::len)
+            .max()
+            .expect("cuts");
         assert_eq!(best4, 4, "4 leaves reachable at K=4");
 
-        let db8 = CutDb::enumerate(&g, &CutConfig { k: 8, ..CutConfig::default() });
+        let db8 = CutDb::enumerate(
+            &g,
+            &CutConfig {
+                k: 8,
+                ..CutConfig::default()
+            },
+        );
         assert!(
-            db8.cuts(root)
-                .cuts()
-                .iter()
-                .any(|c| c.len() == 8),
+            db8.cuts(root).cuts().iter().any(|c| c.len() == 8),
             "all 8 leaves in one cut at K=8"
         );
     }

@@ -149,12 +149,7 @@ impl DfgBuilder {
     }
 
     /// 2:1 multiplexer `sel ? a : b`; `sel` must be 1 bit wide.
-    pub fn mux(
-        &mut self,
-        sel: impl Into<Port>,
-        a: impl Into<Port>,
-        b: impl Into<Port>,
-    ) -> NodeId {
+    pub fn mux(&mut self, sel: impl Into<Port>, a: impl Into<Port>, b: impl Into<Port>) -> NodeId {
         let (sel, a, b) = (sel.into(), a.into(), b.into());
         let w = self.width_of(a.node);
         self.push(Op::Mux, w, vec![sel, a, b])
@@ -277,7 +272,12 @@ impl DfgBuilder {
     ///
     /// Returns [`IrError::NotAPlaceholder`] if `placeholder` was not created
     /// by [`placeholder`](Self::placeholder) or was already bound.
-    pub fn bind(&mut self, placeholder: NodeId, producer: NodeId, dist: u32) -> Result<(), IrError> {
+    pub fn bind(
+        &mut self,
+        placeholder: NodeId,
+        producer: NodeId,
+        dist: u32,
+    ) -> Result<(), IrError> {
         match self.placeholders.get_mut(&placeholder) {
             Some((_, slot @ None)) => {
                 *slot = Some((producer, dist));
@@ -341,6 +341,58 @@ impl DfgBuilder {
         dfg.validate()?;
         Ok(dfg)
     }
+
+    /// Finish the graph **without validation**, for static-analysis
+    /// tooling that must represent broken graphs instead of rejecting
+    /// them.
+    ///
+    /// Bound placeholders are resolved as in [`finish`](Self::finish);
+    /// unbound (or cyclically bound) placeholders are left as dangling
+    /// ports referencing their virtual ids, which `pipemap-verify`
+    /// reports as out-of-graph operands. No invariant of
+    /// [`Dfg::validate`] is checked.
+    pub fn finish_lenient(self) -> Dfg {
+        let mut resolved: HashMap<NodeId, (NodeId, u32)> = HashMap::new();
+        for (&ph, &(_, binding)) in &self.placeholders {
+            let Some((mut tgt, mut dist)) = binding else {
+                continue;
+            };
+            let mut hops = 0;
+            let mut ok = true;
+            while let Some(&(_, next)) = self.placeholders.get(&tgt) {
+                let Some((t2, d2)) = next else {
+                    ok = false;
+                    break;
+                };
+                tgt = t2;
+                dist += d2;
+                hops += 1;
+                if hops > self.placeholders.len() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                resolved.insert(ph, (tgt, dist));
+            }
+        }
+        let mut nodes = self.nodes;
+        for node in &mut nodes {
+            for port in &mut node.ins {
+                if let Some(&(tgt, extra)) = resolved.get(&port.node) {
+                    port.node = tgt;
+                    port.dist += extra;
+                }
+            }
+        }
+        Dfg::from_parts(
+            self.name,
+            nodes,
+            self.names,
+            self.memories,
+            self.init_values,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -359,10 +411,7 @@ mod tests {
         b.output("o", a);
         let g = b.finish().expect("chain resolves");
         // a reads itself at distance 2 (1 + 1 through the chain).
-        let (_, add) = g
-            .iter()
-            .find(|(_, n)| n.op == Op::Add)
-            .expect("add exists");
+        let (_, add) = g.iter().find(|(_, n)| n.op == Op::Add).expect("add exists");
         assert!(add.ins.iter().any(|p| p.dist == 2));
         // Placeholders are gone.
         assert_eq!(g.stats().inputs, 1);

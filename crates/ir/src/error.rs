@@ -80,7 +80,11 @@ impl fmt::Display for IrError {
                 write!(f, "node {node} has width {width}, expected 1..=64")
             }
             IrError::BadArity { node, op, got } => {
-                write!(f, "node {node} ({op}) has {got} inputs, expected {}", op.arity())
+                write!(
+                    f,
+                    "node {node} ({op}) has {got} inputs, expected {}",
+                    op.arity()
+                )
             }
             IrError::DanglingPort { node, to } => {
                 write!(f, "node {node} references non-existent node {to}")

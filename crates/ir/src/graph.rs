@@ -146,6 +146,26 @@ impl Dfg {
         }
     }
 
+    /// Construct a graph directly from its parts **without validation**.
+    ///
+    /// Unlike [`DfgBuilder::finish`](crate::DfgBuilder::finish), no
+    /// invariant is checked: the result may have dangling ports, width
+    /// mismatches, or combinational cycles. This is the entry point for
+    /// static-analysis tooling (e.g. `pipemap-verify`) that must be able
+    /// to represent — and diagnose — broken graphs. Run [`Dfg::validate`]
+    /// before handing such a graph to schedulers or the interpreter.
+    pub fn from_raw(
+        name: impl Into<String>,
+        nodes: Vec<Node>,
+        names: Vec<Option<String>>,
+        memories: Vec<Memory>,
+        init_values: HashMap<NodeId, u64>,
+    ) -> Self {
+        let mut names = names;
+        names.resize(nodes.len(), None);
+        Dfg::from_parts(name.into(), nodes, names, memories, init_values)
+    }
+
     /// The graph's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -403,7 +423,10 @@ impl Dfg {
             }
             for p in &n.ins {
                 if p.node.index() >= self.nodes.len() {
-                    return Err(IrError::DanglingPort { node: id, to: p.node });
+                    return Err(IrError::DanglingPort {
+                        node: id,
+                        to: p.node,
+                    });
                 }
                 let src = &self.nodes[p.node.index()];
                 if src.op == Op::Output {
@@ -544,7 +567,10 @@ mod tests {
         // The add participates in an SCC with itself via dist-1 edge.
         let sccs = g.sccs();
         assert!(sccs.iter().any(|c| c.len() == 1
-            && g.node(c[0]).ins.iter().any(|p| p.dist == 1 && p.node == c[0])));
+            && g.node(c[0])
+                .ins
+                .iter()
+                .any(|p| p.dist == 1 && p.node == c[0])));
     }
 
     #[test]
@@ -566,10 +592,7 @@ mod tests {
         let y = b.input("y", 8);
         let n = b.raw_node(Op::And, 4, vec![x.into(), y.into()]);
         b.output("o", n);
-        assert!(matches!(
-            b.finish(),
-            Err(IrError::WidthMismatch { .. })
-        ));
+        assert!(matches!(b.finish(), Err(IrError::WidthMismatch { .. })));
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod error;
 mod graph;
 mod interp;
 mod op;
+mod rand_dfg;
 mod target;
 mod text;
 
@@ -56,5 +57,9 @@ pub use error::IrError;
 pub use graph::{Dfg, DfgStats, Memory, Node, NodeId, Port};
 pub use interp::{eval_op, execute, mask, EvalError, InputStreams, Trace};
 pub use op::{CmpPred, DepClass, MemId, Op, Resource};
+pub use rand_dfg::{random_dfg, RandomDfgConfig, XorShift64};
 pub use target::{OpDelays, Target};
-pub use text::{parse_dfg, print_dfg, ParseDfgError};
+pub use text::{
+    parse_dfg, parse_dfg_spanned, parse_dfg_spanned_lenient, print_dfg, NodeSpans, ParseDfgError,
+    SourceSpan,
+};

@@ -198,14 +198,7 @@ impl Op {
         match self {
             Op::Input | Op::Const(_) => 0,
             Op::Output | Op::Not | Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Load(_) => 1,
-            Op::And
-            | Op::Or
-            | Op::Xor
-            | Op::Concat
-            | Op::Add
-            | Op::Sub
-            | Op::Cmp(_)
-            | Op::Mul => 2,
+            Op::And | Op::Or | Op::Xor | Op::Concat | Op::Add | Op::Sub | Op::Cmp(_) | Op::Mul => 2,
             Op::Mux => 3,
         }
     }
@@ -224,10 +217,7 @@ impl Op {
     /// `true` if the op is implemented in LUT fabric (i.e. participates in
     /// technology mapping). Sources, sinks and black boxes return `false`.
     pub fn is_lut_mappable(&self) -> bool {
-        !matches!(
-            self.dep_class(),
-            DepClass::BlackBox | DepClass::Source
-        )
+        !matches!(self.dep_class(), DepClass::BlackBox | DepClass::Source)
     }
 
     /// `true` for black-box operations (paper's *BB* ops): they keep their
@@ -239,7 +229,10 @@ impl Op {
     /// `true` for pure wiring ops that cost no logic when realized
     /// (constant shifts, slices, concatenations).
     pub fn is_wire(&self) -> bool {
-        matches!(self, Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Concat)
+        matches!(
+            self,
+            Op::Shl(_) | Op::Shr(_) | Op::Slice { .. } | Op::Concat
+        )
     }
 
     /// The resource class consumed by this op, if it is resource-limited.

@@ -1,0 +1,191 @@
+//! Deterministic random-graph generation for property testing and
+//! fuzzing — a dependency-free replacement for external property-test
+//! crates, usable in fully offline builds.
+//!
+//! [`random_dfg`] grows a valid CDFG by repeatedly applying one of the
+//! word-level operations to values drawn from a pool, optionally closing
+//! a loop-carried recurrence at the end. The same `(seed, config)` pair
+//! always yields the same graph.
+
+use crate::builder::DfgBuilder;
+use crate::graph::{Dfg, NodeId};
+use crate::op::CmpPred;
+
+/// A tiny xorshift64* PRNG — deterministic, seedable, `no_std`-friendly.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator; any seed (including 0) is accepted.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A biased coin: `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Shape knobs for [`random_dfg`].
+#[derive(Debug, Clone)]
+pub struct RandomDfgConfig {
+    /// Bit width of all generated values.
+    pub width: u32,
+    /// Minimum number of operation nodes.
+    pub min_ops: usize,
+    /// Maximum number of operation nodes (inclusive).
+    pub max_ops: usize,
+    /// Allow a loop-carried recurrence to be closed (probability 1/2).
+    pub allow_feedback: bool,
+}
+
+impl Default for RandomDfgConfig {
+    fn default() -> Self {
+        RandomDfgConfig {
+            width: 8,
+            min_ops: 3,
+            max_ops: 27,
+            allow_feedback: true,
+        }
+    }
+}
+
+/// Generate a valid random CDFG: two inputs, one constant, a chain of
+/// random LUT-mappable operations over a growing value pool, an optional
+/// distance-1..2 recurrence, and two outputs (`out` = last value, `mid`
+/// = pool midpoint).
+pub fn random_dfg(seed: u64, cfg: &RandomDfgConfig) -> Dfg {
+    let mut rng = XorShift64::new(seed);
+    let w = cfg.width;
+    let mut b = DfgBuilder::new(format!("rand{seed}"));
+    let mut pool: Vec<NodeId> = Vec::new();
+    pool.push(b.input("x", w));
+    pool.push(b.input("y", w));
+    pool.push(b.const_(0xA5, w));
+
+    let feedback = if cfg.allow_feedback && rng.chance(1, 2) {
+        let dist = 1 + rng.below(2) as u32;
+        let ph = b.placeholder(w);
+        pool.push(ph);
+        Some((ph, dist))
+    } else {
+        None
+    };
+
+    let span = (cfg.max_ops - cfg.min_ops + 1) as u64;
+    let n_ops = cfg.min_ops + rng.below(span) as usize;
+    for _ in 0..n_ops {
+        let pick =
+            |rng: &mut XorShift64, pool: &[NodeId]| pool[rng.below(pool.len() as u64) as usize];
+        let n = match rng.below(10) {
+            0 => {
+                let (a, c) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                b.and(a, c)
+            }
+            1 => {
+                let (a, c) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                b.or(a, c)
+            }
+            2 => {
+                let (a, c) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                b.xor(a, c)
+            }
+            3 => {
+                let a = pick(&mut rng, &pool);
+                b.not(a)
+            }
+            4 => {
+                let (a, c) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                b.add(a, c)
+            }
+            5 => {
+                let (a, c) = (pick(&mut rng, &pool), pick(&mut rng, &pool));
+                b.sub(a, c)
+            }
+            6 => {
+                let a = pick(&mut rng, &pool);
+                let s = rng.below(u64::from(w)) as u32;
+                b.shr(a, s)
+            }
+            7 => {
+                let a = pick(&mut rng, &pool);
+                let s = rng.below(u64::from(w)) as u32;
+                b.shl(a, s)
+            }
+            8 => {
+                let (s, a, c) = (
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                    pick(&mut rng, &pool),
+                );
+                let sel = b.bit(s, 0);
+                b.mux(sel, a, c)
+            }
+            _ => {
+                let a = pick(&mut rng, &pool);
+                let z = b.const_(0, w);
+                let cmp = b.cmp(CmpPred::Sge, a, z);
+                b.zext(cmp, w)
+            }
+        };
+        pool.push(n);
+    }
+
+    let last = *pool.last().expect("pool is never empty");
+    if let Some((ph, dist)) = feedback {
+        b.bind(ph, last, dist).expect("placeholder binds");
+    }
+    b.output("out", last);
+    b.output("mid", pool[pool.len() / 2]);
+    b.finish()
+        .expect("generated graph is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomDfgConfig::default();
+        let a = random_dfg(42, &cfg);
+        let b = random_dfg(42, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_vary_the_shape() {
+        let cfg = RandomDfgConfig::default();
+        let sizes: std::collections::HashSet<usize> =
+            (0..32).map(|s| random_dfg(s, &cfg).len()).collect();
+        assert!(sizes.len() > 4, "expected varied graph sizes");
+    }
+
+    #[test]
+    fn all_generated_graphs_validate() {
+        let cfg = RandomDfgConfig::default();
+        for seed in 0..64 {
+            let g = random_dfg(seed, &cfg);
+            g.validate().expect("valid");
+            assert_eq!(g.stats().outputs, 2);
+        }
+    }
+}

@@ -61,6 +61,47 @@ fn err(line: usize, message: impl Into<String>) -> ParseDfgError {
     }
 }
 
+/// Location of a node definition within a `.pmir` document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceSpan {
+    /// 1-based line number of the defining line.
+    pub line: usize,
+    /// 1-based column of the defined name.
+    pub col: usize,
+    /// Length of the defined name in characters.
+    pub len: usize,
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Node-id → source-location map produced by [`parse_dfg_spanned`], used
+/// by lint tooling to attach file positions to diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSpans {
+    spans: HashMap<NodeId, SourceSpan>,
+}
+
+impl NodeSpans {
+    /// The span of a node's defining line, if it came from source text.
+    pub fn get(&self, v: NodeId) -> Option<SourceSpan> {
+        self.spans.get(&v).copied()
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
 fn parse_u64(s: &str, line: usize) -> Result<u64, ParseDfgError> {
     let s = s.trim();
     let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -78,6 +119,35 @@ fn parse_u64(s: &str, line: usize) -> Result<u64, ParseDfgError> {
 /// Returns [`ParseDfgError`] with the offending line on syntax errors,
 /// unknown names, or graph-validation failures.
 pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
+    parse_dfg_spanned(src).map(|(dfg, _)| dfg)
+}
+
+/// Parse a `.pmir` document, additionally returning the source location
+/// of every node definition for diagnostics.
+///
+/// # Errors
+///
+/// Returns [`ParseDfgError`] exactly as [`parse_dfg`] does.
+pub fn parse_dfg_spanned(src: &str) -> Result<(Dfg, NodeSpans), ParseDfgError> {
+    parse_impl(src, false)
+}
+
+/// Parse a `.pmir` document **leniently** for static-analysis tooling:
+/// the graph is built without validation (see
+/// [`DfgBuilder::finish_lenient`]), undefined names are left as dangling
+/// ports instead of aborting, and `init` lines naming unknown values are
+/// ignored. The result may violate every structural invariant — run it
+/// through a verifier (e.g. `pipemap-verify`) rather than a scheduler.
+///
+/// # Errors
+///
+/// Only genuine syntax errors (malformed lines, unknown operations,
+/// missing header) are rejected.
+pub fn parse_dfg_spanned_lenient(src: &str) -> Result<(Dfg, NodeSpans), ParseDfgError> {
+    parse_impl(src, true)
+}
+
+fn parse_impl(src: &str, lenient: bool) -> Result<(Dfg, NodeSpans), ParseDfgError> {
     let mut name = String::from("parsed");
     let mut b: Option<DfgBuilder> = None;
     // name -> (node id, width); forward refs -> placeholders.
@@ -85,6 +155,7 @@ pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
     let mut forward: HashMap<String, NodeId> = HashMap::new();
     let mut mems: HashMap<String, MemId> = HashMap::new();
     let mut pending_inits: Vec<(usize, String, u64)> = Vec::new();
+    let mut spans = NodeSpans::default();
     let mut closed = false;
 
     for (li, raw) in src.lines().enumerate() {
@@ -165,9 +236,7 @@ pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
         };
 
         // Resolve one operand token like `x` or `x@-2`.
-        let mut resolve = |tok: &str,
-                           builder: &mut DfgBuilder|
-         -> Result<Port, ParseDfgError> {
+        let mut resolve = |tok: &str, builder: &mut DfgBuilder| -> Result<Port, ParseDfgError> {
             let tok = tok.trim();
             let (base, dist) = match tok.split_once("@-") {
                 Some((b2, d)) => (
@@ -308,6 +377,14 @@ pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
         if !matches!(opname, "input" | "output") {
             builder.name_node(id, nname);
         }
+        spans.spans.insert(
+            id,
+            SourceSpan {
+                line: line_no,
+                col: raw.len() - raw.trim_start().len() + 1,
+                len: nname.chars().count(),
+            },
+        );
         // Resolve any forward reference to this name.
         if let Some(ph) = forward.remove(nname) {
             builder
@@ -318,7 +395,7 @@ pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
     }
 
     let mut builder = b.ok_or_else(|| err(1, "missing `dfg name {` header"))?;
-    if !forward.is_empty() {
+    if !forward.is_empty() && !lenient {
         let names: Vec<&str> = forward.keys().map(String::as_str).collect();
         return Err(err(
             src.lines().count(),
@@ -326,15 +403,21 @@ pub fn parse_dfg(src: &str) -> Result<Dfg, ParseDfgError> {
         ));
     }
     for (line_no, n, v) in pending_inits {
-        let id = *defined
-            .get(&n)
-            .ok_or_else(|| err(line_no, format!("init of unknown name `{n}`")))?;
-        builder.set_init_value(id, v);
+        match defined.get(&n) {
+            Some(&id) => builder.set_init_value(id, v),
+            None if lenient => {}
+            None => return Err(err(line_no, format!("init of unknown name `{n}`"))),
+        }
     }
     let _ = name;
-    builder
-        .finish()
-        .map_err(|e| err(src.lines().count(), e.to_string()))
+    let dfg = if lenient {
+        builder.finish_lenient()
+    } else {
+        builder
+            .finish()
+            .map_err(|e| err(src.lines().count(), e.to_string()))?
+    };
+    Ok((dfg, spans))
 }
 
 /// Print a graph in the `.pmir` format accepted by [`parse_dfg`].

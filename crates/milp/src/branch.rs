@@ -171,9 +171,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         if node.bound >= incumbent_obj.min(cutoff_extra) - opts.absolute_gap {
             continue; // pruned by bound
         }
-        if nodes >= opts.node_limit
-            || deadline.is_some_and(|d| Instant::now() >= d)
-        {
+        if nodes >= opts.node_limit || deadline.is_some_and(|d| Instant::now() >= d) {
             hit_limit = true;
             best_bound = node.bound;
             break;
@@ -268,9 +266,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
                         incumbent_obj.min(cutoff_extra),
                         &mut lp_iters,
                     ) {
-                        if obj < incumbent_obj
-                            && model.check_feasible(&x, 1e-5).is_none()
-                        {
+                        if obj < incumbent_obj && model.check_feasible(&x, 1e-5).is_none() {
                             for &jc in &int_cols {
                                 x[jc] = x[jc].round();
                             }

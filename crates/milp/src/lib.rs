@@ -184,7 +184,13 @@ pub fn debug_solve_root_lp(model: &Model) -> String {
     let p = simplex::LpProblem::from_model(model);
     let t0 = Instant::now();
     match p.solve() {
-        Ok(s) => format!("{:?} obj={:.3} iters={} in {:?}", s.status, s.obj, s.iters, t0.elapsed()),
+        Ok(s) => format!(
+            "{:?} obj={:.3} iters={} in {:?}",
+            s.status,
+            s.obj,
+            s.iters,
+            t0.elapsed()
+        ),
         Err(e) => format!("abort {e:?} in {:?}", t0.elapsed()),
     }
 }
@@ -415,7 +421,11 @@ mod tests {
             let mut row_data = Vec::new();
             for _ in 0..rows {
                 let coeffs: Vec<f64> = (0..n).map(|_| (next() % 11) as f64 - 5.0).collect();
-                let sense = if next() % 2 == 0 { Sense::Le } else { Sense::Ge };
+                let sense = if next() % 2 == 0 {
+                    Sense::Le
+                } else {
+                    Sense::Ge
+                };
                 let rhs = (next() % 15) as f64 - 7.0;
                 let e: LinExpr = xs.iter().zip(&coeffs).map(|(&x, &c)| (c, x)).collect();
                 m.add_constraint(e, sense, rhs);

@@ -77,9 +77,8 @@ impl Factors {
         // Lazy min-heap over (count, column) for Markowitz-lite selection.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..m)
-            .map(|c| Reverse((col_count[c], c)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+            (0..m).map(|c| Reverse((col_count[c], c))).collect();
 
         let mut pivots = Vec::with_capacity(m);
         let mut l_ops = Vec::with_capacity(m);

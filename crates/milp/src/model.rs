@@ -367,11 +367,7 @@ impl Model {
 
     /// Evaluate the objective on an assignment.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.cols
-            .iter()
-            .zip(values)
-            .map(|(c, v)| c.obj * v)
-            .sum()
+        self.cols.iter().zip(values).map(|(c, v)| c.obj * v).sum()
     }
 
     /// Check a point against every constraint and bound with tolerance

@@ -451,9 +451,7 @@ impl<'a> Worker<'a> {
                 _ => self.nb_value(j),
             };
         }
-        let obj = (0..self.p.n_struct)
-            .map(|j| self.p.obj[j] * x_all[j])
-            .sum();
+        let obj = (0..self.p.n_struct).map(|j| self.p.obj[j] * x_all[j]).sum();
         // Duals from the final basis.
         let mut y = vec![0.0; self.p.m];
         for (pos, &j) in self.basis.iter().enumerate() {
@@ -512,8 +510,7 @@ impl<'a> Worker<'a> {
                                 enter = Some((j, d, dir));
                                 break;
                             }
-                            if enter
-                                .is_none_or(|(bj, bd, _)| self.merit(j, d) > self.merit(bj, bd))
+                            if enter.is_none_or(|(bj, bd, _)| self.merit(j, d) > self.merit(bj, bd))
                             {
                                 enter = Some((j, d, dir));
                             }
@@ -529,8 +526,7 @@ impl<'a> Worker<'a> {
                                 enter = Some((j, d, -1.0));
                                 break;
                             }
-                            if enter
-                                .is_none_or(|(bj, bd, _)| self.merit(j, d) > self.merit(bj, bd))
+                            if enter.is_none_or(|(bj, bd, _)| self.merit(j, d) > self.merit(bj, bd))
                             {
                                 enter = Some((j, d, -1.0));
                             }
@@ -578,11 +574,9 @@ impl<'a> Worker<'a> {
                 let better = if self.bland || self.always_bland {
                     // Bland: smallest basis column index among blocking rows.
                     lim < theta - 1e-10
-                        || (lim < theta + 1e-10
-                            && leave.is_none_or(|(lp, _)| self.basis[lp] > bj))
+                        || (lim < theta + 1e-10 && leave.is_none_or(|(lp, _)| self.basis[lp] > bj))
                 } else {
-                    lim < theta - 1e-10
-                        || (lim < theta + 1e-10 && wv.abs() > leave_piv.abs())
+                    lim < theta - 1e-10 || (lim < theta + 1e-10 && wv.abs() > leave_piv.abs())
                 };
                 if better {
                     theta = lim.min(theta);
@@ -819,8 +813,8 @@ mod tests {
             );
             // Reduced-cost conditions for structural variables.
             for (j, &v) in vars.iter().enumerate() {
-                let d: f64 = m.cols[j].obj
-                    - p.cols[j].iter().map(|&(r, c)| c * s.y[r]).sum::<f64>();
+                let d: f64 =
+                    m.cols[j].obj - p.cols[j].iter().map(|&(r, c)| c * s.y[r]).sum::<f64>();
                 let (lo, hi) = m.bounds(v);
                 let at_lower = (s.x[j] - lo).abs() < 1e-5;
                 let at_upper = (s.x[j] - hi).abs() < 1e-5;
@@ -833,6 +827,9 @@ mod tests {
                 }
             }
         }
-        assert!(optimal_count > 10, "too few optimal instances to be meaningful");
+        assert!(
+            optimal_count > 10,
+            "too few optimal instances to be meaningful"
+        );
     }
 }

@@ -2,10 +2,32 @@
 //! continuous variables), the B&B optimum must match explicit enumeration
 //! over all binary assignments, each completed by an LP solve of the
 //! continuous remainder (binaries pinned via bounds).
-
-use proptest::prelude::*;
+//!
+//! Models are drawn from a local deterministic PRNG (this crate is
+//! dependency-free, so no external property-testing framework): each of
+//! the 40 cases reproduces from its seed alone.
 
 use pipemap_milp::{LinExpr, Model, Sense, SolverOptions, Status};
+
+/// xorshift64* — the same generator `pipemap-ir` uses, inlined to keep
+/// this crate free of dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Uniform value in `lo..hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Spec {
@@ -15,27 +37,27 @@ struct Spec {
     rows: Vec<(Vec<i32>, bool, i32)>, // coeffs, is_le, rhs
 }
 
-fn spec() -> impl Strategy<Value = Spec> {
-    (2usize..6, 1usize..4).prop_flat_map(|(n_bin, n_cont)| {
-        let n = n_bin + n_cont;
-        (
-            prop::collection::vec(-6i32..7, n),
-            prop::collection::vec(
-                (
-                    prop::collection::vec(-4i32..5, n),
-                    any::<bool>(),
-                    -6i32..10,
-                ),
-                1..5,
-            ),
-        )
-            .prop_map(move |(obj, rows)| Spec {
-                n_bin,
-                n_cont,
-                obj,
-                rows,
-            })
-    })
+fn spec(seed: u64) -> Spec {
+    let mut r = Rng::new(seed);
+    let n_bin = r.range(2, 6) as usize;
+    let n_cont = r.range(1, 4) as usize;
+    let n = n_bin + n_cont;
+    let obj = (0..n).map(|_| r.range(-6, 7) as i32).collect();
+    let n_rows = r.range(1, 5) as usize;
+    let rows = (0..n_rows)
+        .map(|_| {
+            let coeffs = (0..n).map(|_| r.range(-4, 5) as i32).collect();
+            let is_le = r.next_u64() & 1 == 0;
+            let rhs = r.range(-6, 10) as i32;
+            (coeffs, is_le, rhs)
+        })
+        .collect();
+    Spec {
+        n_bin,
+        n_cont,
+        obj,
+        rows,
+    }
 }
 
 fn build(spec: &Spec, pin: Option<&[f64]>) -> Model {
@@ -66,11 +88,10 @@ fn build(spec: &Spec, pin: Option<&[f64]>) -> Model {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    #[test]
-    fn bb_matches_binary_enumeration(s in spec()) {
+#[test]
+fn bb_matches_binary_enumeration() {
+    for seed in 0..40u64 {
+        let s = spec(seed);
         let opts = SolverOptions::default();
         let bb = build(&s, None).solve(&opts).expect("bb solves");
 
@@ -85,12 +106,12 @@ proptest! {
         }
 
         match best {
-            None => prop_assert_eq!(bb.status, Status::Infeasible),
+            None => assert_eq!(bb.status, Status::Infeasible, "seed {seed}"),
             Some(b) => {
-                prop_assert_eq!(bb.status, Status::Optimal);
-                prop_assert!(
+                assert_eq!(bb.status, Status::Optimal, "seed {seed}");
+                assert!(
                     (bb.objective - b).abs() < 1e-5,
-                    "bb {} vs enumeration {}",
+                    "seed {seed}: bb {} vs enumeration {}",
                     bb.objective,
                     b
                 );

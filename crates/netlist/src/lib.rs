@@ -28,5 +28,5 @@ mod verilog;
 pub use qor::{arrival_times, dsp_count, ff_count, liveness, lut_count, Qor};
 pub use report::schedule_report;
 pub use schedule::{consumed_signals, verify, Cover, ImplError, Implementation, Schedule};
-pub use sim::{simulate, simulate_with_stats, verify_functional, SimError, SimStats};
+pub use sim::{simulate, simulate_with_stats, verify_functional, OutputTrace, SimError, SimStats};
 pub use verilog::{to_verilog, VerilogError};

@@ -93,16 +93,11 @@ pub fn lut_count(dfg: &Dfg, imp: &Implementation) -> u64 {
 
 /// Per-value liveness: availability cycle and last-consumption cycle of
 /// every signal-producing node (`None` when never consumed).
-pub fn liveness(
-    dfg: &Dfg,
-    target: &Target,
-    imp: &Implementation,
-) -> (Vec<u32>, Vec<Option<u32>>) {
+pub fn liveness(dfg: &Dfg, target: &Target, imp: &Implementation) -> (Vec<u32>, Vec<Option<u32>>) {
     let ii = imp.schedule.ii();
     let mut avail = vec![0u32; dfg.len()];
     for (id, node) in dfg.iter() {
-        avail[id.index()] =
-            imp.schedule.cycle(id) + target.op_latency(&node.op, node.width);
+        avail[id.index()] = imp.schedule.cycle(id) + target.op_latency(&node.op, node.width);
     }
     let mut last_use: Vec<Option<u32>> = vec![None; dfg.len()];
     for (consumer, sig) in consumed_signals(dfg, &imp.cover) {
@@ -199,11 +194,7 @@ mod tests {
         let g = b.finish().expect("valid");
         let target = Target::default();
         let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&target));
-        let cover = Cover::new(
-            g.node_ids()
-                .map(|v| db.cuts(v).unit().cloned())
-                .collect(),
-        );
+        let cover = Cover::new(g.node_ids().map(|v| db.cuts(v).unit().cloned()).collect());
         let d = target.lut_level_delay();
         let (cycles, starts) = if split_cycle {
             let mut c = vec![0; g.len()];
@@ -257,11 +248,7 @@ mod tests {
         let g = b.finish().expect("valid");
         let t = Target::default();
         let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&t));
-        let cover = Cover::new(
-            g.node_ids()
-                .map(|v| db.cuts(v).unit().cloned())
-                .collect(),
-        );
+        let cover = Cover::new(g.node_ids().map(|v| db.cuts(v).unit().cloned()).collect());
         let imp = Implementation {
             schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
             cover,
@@ -282,11 +269,7 @@ mod tests {
         let g = b.finish().expect("valid");
         let t = Target::default();
         let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&t));
-        let cover = Cover::new(
-            g.node_ids()
-                .map(|v| db.cuts(v).unit().cloned())
-                .collect(),
-        );
+        let cover = Cover::new(g.node_ids().map(|v| db.cuts(v).unit().cloned()).collect());
         let imp = Implementation {
             schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
             cover,

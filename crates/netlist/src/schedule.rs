@@ -47,6 +47,17 @@ impl Schedule {
     pub fn depth(&self) -> u32 {
         self.cycles.iter().copied().max().unwrap_or(0) + 1
     }
+
+    /// Number of nodes this schedule covers (length of the per-node
+    /// vectors). Accessing a node at or beyond this index panics.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` when the schedule covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
 }
 
 /// The LUT cover: which nodes are cone roots, and with which cut.
@@ -80,6 +91,17 @@ impl Cover {
         } else {
             !matches!(op, Op::Output)
         }
+    }
+
+    /// Number of nodes this cover describes (length of the selection
+    /// vector).
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// `true` when the cover describes no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
     }
 
     /// Ids of all LUT roots.
@@ -309,10 +331,7 @@ mod tests {
 
     fn unit_cover(dfg: &Dfg) -> Cover {
         let db = CutDb::enumerate(dfg, &CutConfig::trivial_only(&Target::default()));
-        let selected = dfg
-            .node_ids()
-            .map(|v| db.cuts(v).unit().cloned())
-            .collect();
+        let selected = dfg.node_ids().map(|v| db.cuts(v).unit().cloned()).collect();
         Cover::new(selected)
     }
 

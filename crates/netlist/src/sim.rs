@@ -111,6 +111,10 @@ pub struct SimStats {
     pub cycles: u64,
 }
 
+/// Per-iteration primary-output values, in output-id order, as returned
+/// by [`simulate`].
+pub type OutputTrace = Vec<Vec<(NodeId, u64)>>;
+
 /// Pipelined execution of `iterations` loop iterations; returns each
 /// iteration's primary-output values in output-id order.
 ///
@@ -124,7 +128,7 @@ pub fn simulate(
     imp: &Implementation,
     inputs: &InputStreams,
     iterations: usize,
-) -> Result<Vec<Vec<(NodeId, u64)>>, SimError> {
+) -> Result<OutputTrace, SimError> {
     simulate_with_stats(dfg, target, imp, inputs, iterations).map(|(o, _)| o)
 }
 
@@ -140,7 +144,7 @@ pub fn simulate_with_stats(
     imp: &Implementation,
     inputs: &InputStreams,
     iterations: usize,
-) -> Result<(Vec<Vec<(NodeId, u64)>>, SimStats), SimError> {
+) -> Result<(OutputTrace, SimStats), SimError> {
     let ii = u64::from(imp.schedule.ii());
     let depth = imp.schedule.depth();
     let (avail, last_use) = liveness(dfg, target, imp);
@@ -154,7 +158,7 @@ pub fn simulate_with_stats(
 
     // Register file: (node, iteration) -> value, pruned on expiry.
     let mut regs: HashMap<(NodeId, i64), u64> = HashMap::new();
-    let mut outputs: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); iterations];
+    let mut outputs: OutputTrace = vec![Vec::new(); iterations];
 
     // Reference streams: pre-resolve the values of every primary input.
     let input_ids = dfg.inputs();
@@ -257,8 +261,7 @@ pub fn simulate_with_stats(
                             )?);
                             widths.push(dfg.node(p.node).width);
                         }
-                        let val =
-                            eval_op(&node.op, node.width, &args, &widths, dfg.memories());
+                        let val = eval_op(&node.op, node.width, &args, &widths, dfg.memories());
                         regs.insert((v, k), val);
                     }
                     _ => {
@@ -291,8 +294,7 @@ pub fn simulate_with_stats(
                                 args.push(val);
                                 widths.push(dfg.node(p.node).width);
                             }
-                            let val =
-                                eval_op(&nn.op, nn.width, &args, &widths, dfg.memories());
+                            let val = eval_op(&nn.op, nn.width, &args, &widths, dfg.memories());
                             local.insert(n, val);
                         }
                         regs.insert((v, k), local[&v]);
@@ -374,11 +376,7 @@ mod tests {
 
     fn unit_cover(dfg: &Dfg, target: &Target) -> Cover {
         let db = CutDb::enumerate(dfg, &CutConfig::trivial_only(target));
-        Cover::new(
-            dfg.node_ids()
-                .map(|v| db.cuts(v).unit().cloned())
-                .collect(),
-        )
+        Cover::new(dfg.node_ids().map(|v| db.cuts(v).unit().cloned()).collect())
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Pass 1: IR well-formedness.
+//!
+//! A diagnostics-collecting superset of [`Dfg::validate`]: where `validate`
+//! stops at the first violated invariant, this pass is **total** — it walks
+//! the whole graph (including graphs built with [`Dfg::from_raw`] that
+//! `validate` would reject), never panics, and reports *every* violation
+//! plus a set of lints `validate` does not check at all (dead nodes, unused
+//! inputs, missing outputs, non-power-of-two memories).
+
+use std::collections::VecDeque;
+
+use pipemap_ir::{parse_dfg_spanned_lenient, Dfg, NodeId, NodeSpans, Op};
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+
+/// Parse a `.pmir` document and lint the result.
+///
+/// Parsing is **lenient** ([`parse_dfg_spanned_lenient`]): structural
+/// violations — dangling references, width nonsense, combinational
+/// cycles — survive into the graph so [`lint_dfg`] can report each with
+/// its own code and source span, instead of collapsing into one parse
+/// error. Only genuine syntax errors yield a single
+/// [`Code::ParseError`] with the graph `None`.
+pub fn lint_text(src: &str) -> (Diagnostics, Option<Dfg>) {
+    match parse_dfg_spanned_lenient(src) {
+        Ok((dfg, spans)) => {
+            let diags = lint_dfg(&dfg, Some(&spans));
+            (diags, Some(dfg))
+        }
+        Err(e) => {
+            let mut ds = Diagnostics::new();
+            ds.push(Diagnostic::new(Code::ParseError, e.to_string()));
+            (ds, None)
+        }
+    }
+}
+
+/// Lint a graph, reporting every violated invariant.
+///
+/// Safe to call on arbitrary graphs, including ones [`Dfg::validate`]
+/// rejects: dangling ports, width nonsense, and combinational cycles are
+/// reported as diagnostics, never panics. When `spans` is provided (from
+/// [`parse_dfg_spanned`]), findings carry source locations.
+pub fn lint_dfg(dfg: &Dfg, spans: Option<&NodeSpans>) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let n = dfg.len();
+    let mut at = |d: Diagnostic, id: NodeId| {
+        let d = d.with_node(id);
+        match spans.and_then(|s| s.get(id)) {
+            Some(sp) => ds.push(d.with_span(sp)),
+            None => ds.push(d),
+        }
+    };
+
+    for (id, node) in dfg.iter() {
+        let label = dfg.label(id);
+        if node.width == 0 || node.width > 64 {
+            at(
+                Diagnostic::new(
+                    Code::BadWidth,
+                    format!("`{label}` has width {}, outside 1..=64", node.width),
+                ),
+                id,
+            );
+        }
+        if node.ins.len() != node.op.arity() {
+            at(
+                Diagnostic::new(
+                    Code::BadArity,
+                    format!(
+                        "`{label}` ({}) has {} operand(s), expected {}",
+                        node.op,
+                        node.ins.len(),
+                        node.op.arity()
+                    ),
+                ),
+                id,
+            );
+        }
+        let mut ports_ok = true;
+        for (k, p) in node.ins.iter().enumerate() {
+            if p.node.index() >= n {
+                at(
+                    Diagnostic::new(
+                        Code::DanglingPort,
+                        format!(
+                            "operand {k} of `{label}` references {} but the graph has {n} node(s)",
+                            p.node
+                        ),
+                    ),
+                    id,
+                );
+                ports_ok = false;
+            } else if dfg.node(p.node).op == Op::Output {
+                at(
+                    Diagnostic::new(
+                        Code::OutputHasConsumer,
+                        format!(
+                            "`{label}` consumes output marker `{}` as data",
+                            dfg.label(p.node)
+                        ),
+                    ),
+                    id,
+                );
+            }
+        }
+        // Width rules only make sense once arity and ports are sane.
+        if ports_ok && node.ins.len() == node.op.arity() {
+            let w = |k: usize| dfg.node(node.ins[k].node).width;
+            let bad = match node.op {
+                Op::And | Op::Or | Op::Xor | Op::Add | Op::Sub => {
+                    w(0) != node.width || w(1) != node.width
+                }
+                Op::Not | Op::Shl(_) | Op::Shr(_) => w(0) != node.width,
+                Op::Mux => w(0) != 1 || w(1) != node.width || w(2) != node.width,
+                Op::Cmp(_) => node.width != 1 || w(0) != w(1),
+                Op::Slice { lo } => lo + node.width > w(0),
+                Op::Concat => w(0) + w(1) != node.width,
+                Op::Output => w(0) != node.width,
+                Op::Load(_) | Op::Mul | Op::Input | Op::Const(_) => false,
+            };
+            if bad {
+                let ws: Vec<String> = (0..node.ins.len()).map(|k| w(k).to_string()).collect();
+                at(
+                    Diagnostic::new(
+                        Code::WidthMismatch,
+                        format!(
+                            "`{label}` ({}) of width {} has operand width(s) [{}]",
+                            node.op,
+                            node.width,
+                            ws.join(", ")
+                        ),
+                    ),
+                    id,
+                );
+            }
+            if let Op::Load(m) = node.op {
+                if m.0 as usize >= dfg.memories().len() {
+                    at(
+                        Diagnostic::new(
+                            Code::BadMemoryRef,
+                            format!(
+                                "`{label}` loads from {m} but only {} memories are attached",
+                                dfg.memories().len()
+                            ),
+                        ),
+                        id,
+                    );
+                } else {
+                    let mem = dfg.memory(m);
+                    if mem.data.is_empty() {
+                        at(
+                            Diagnostic::new(
+                                Code::BadMemoryRef,
+                                format!("`{label}` loads from empty memory `{}`", mem.name),
+                            ),
+                            id,
+                        );
+                    }
+                    if mem.width != node.width {
+                        at(
+                            Diagnostic::new(
+                                Code::WidthMismatch,
+                                format!(
+                                    "`{label}` has width {} but memory `{}` is {} bits wide",
+                                    node.width, mem.name, mem.width
+                                ),
+                            ),
+                            id,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    for stuck in combinational_cycle_nodes(dfg) {
+        at(
+            Diagnostic::new(
+                Code::CombinationalCycle,
+                format!(
+                    "`{}` lies on a distance-0 combinational cycle",
+                    dfg.label(stuck)
+                ),
+            ),
+            stuck,
+        );
+    }
+
+    // Liveness: which nodes reach a primary output over any edge?
+    let outputs = dfg.outputs();
+    if outputs.is_empty() {
+        ds.push(Diagnostic::new(
+            Code::NoOutputs,
+            format!("graph `{}` has no primary outputs", dfg.name()),
+        ));
+    } else {
+        let mut live = vec![false; n];
+        let mut queue: VecDeque<NodeId> = outputs.iter().copied().collect();
+        for &o in &outputs {
+            live[o.index()] = true;
+        }
+        while let Some(v) = queue.pop_front() {
+            for p in &dfg.node(v).ins {
+                if p.node.index() < n && !live[p.node.index()] {
+                    live[p.node.index()] = true;
+                    queue.push_back(p.node);
+                }
+            }
+        }
+        let mut ds2 = Diagnostics::new();
+        for (id, node) in dfg.iter() {
+            if live[id.index()] {
+                continue;
+            }
+            let d = if node.op == Op::Input {
+                Diagnostic::new(
+                    Code::UnusedInput,
+                    format!("primary input `{}` never reaches an output", dfg.label(id)),
+                )
+            } else {
+                Diagnostic::new(
+                    Code::DeadNode,
+                    format!(
+                        "`{}` ({}) cannot reach any primary output",
+                        dfg.label(id),
+                        node.op
+                    ),
+                )
+            };
+            let d = d.with_node(id);
+            match spans.and_then(|s| s.get(id)) {
+                Some(sp) => ds2.push(d.with_span(sp)),
+                None => ds2.push(d),
+            }
+        }
+        ds.merge(ds2);
+    }
+
+    for mem in dfg.memories() {
+        if !mem.data.is_empty() && !mem.data.len().is_power_of_two() {
+            ds.push(Diagnostic::new(
+                Code::NonPow2Memory,
+                format!(
+                    "memory `{}` has {} entries; modulo indexing of a \
+                     non-power-of-two length costs extra logic",
+                    mem.name,
+                    mem.data.len()
+                ),
+            ));
+        }
+    }
+
+    ds
+}
+
+/// Nodes stuck on a distance-0 cycle, via Kahn's algorithm over the
+/// in-range distance-0 edges. Unlike [`Dfg::topo_order`] this never
+/// indexes out of bounds on dangling ports.
+fn combinational_cycle_nodes(dfg: &Dfg) -> Vec<NodeId> {
+    let n = dfg.len();
+    let mut indeg = vec![0usize; n];
+    for (id, node) in dfg.iter() {
+        indeg[id.index()] = node
+            .ins
+            .iter()
+            .filter(|p| p.dist == 0 && p.node.index() < n)
+            .count();
+    }
+    // consumers over in-range dist-0 edges only
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, node) in dfg.iter() {
+        for p in &node.ins {
+            if p.dist == 0 && p.node.index() < n {
+                consumers[p.node.index()].push(id.index());
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = queue.len();
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &c in &consumers[v] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+                seen += 1;
+            }
+        }
+    }
+    if seen == n {
+        Vec::new()
+    } else {
+        (0..n)
+            .filter(|&v| indeg[v] > 0)
+            .map(|v| NodeId(v as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{DfgBuilder, Node, Port};
+
+    fn clean() -> Dfg {
+        let mut b = DfgBuilder::new("clean");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let z = b.xor(x, y);
+        b.output("z", z);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn clean_graph_has_no_findings() {
+        let ds = lint_dfg(&clean(), None);
+        assert!(ds.is_empty(), "{:?}", ds);
+    }
+
+    #[test]
+    fn dangling_port_is_reported_not_panicked() {
+        let nodes = vec![
+            Node {
+                op: Op::Input,
+                width: 8,
+                ins: vec![],
+            },
+            Node {
+                op: Op::Not,
+                width: 8,
+                ins: vec![Port::this_iter(NodeId(99))],
+            },
+            Node {
+                op: Op::Output,
+                width: 8,
+                ins: vec![Port::this_iter(NodeId(1))],
+            },
+        ];
+        let g = Dfg::from_raw("bad", nodes, vec![], vec![], Default::default());
+        let ds = lint_dfg(&g, None);
+        assert!(ds.has_code(Code::DanglingPort), "{:?}", ds);
+        assert!(ds.has_errors());
+    }
+
+    #[test]
+    fn reports_multiple_violations_at_once() {
+        let nodes = vec![
+            Node {
+                op: Op::Input,
+                width: 0, // P0001
+                ins: vec![],
+            },
+            Node {
+                op: Op::And, // P0002: arity 2, got 1
+                width: 8,
+                ins: vec![Port::this_iter(NodeId(0))],
+            },
+        ];
+        let g = Dfg::from_raw("bad", nodes, vec![], vec![], Default::default());
+        let ds = lint_dfg(&g, None);
+        assert!(ds.has_code(Code::BadWidth));
+        assert!(ds.has_code(Code::BadArity));
+        assert!(ds.has_code(Code::NoOutputs));
+    }
+
+    #[test]
+    fn combinational_cycle_found() {
+        let nodes = vec![
+            Node {
+                op: Op::Not,
+                width: 4,
+                ins: vec![Port::this_iter(NodeId(1))],
+            },
+            Node {
+                op: Op::Not,
+                width: 4,
+                ins: vec![Port::this_iter(NodeId(0))],
+            },
+            Node {
+                op: Op::Output,
+                width: 4,
+                ins: vec![Port::this_iter(NodeId(0))],
+            },
+        ];
+        let g = Dfg::from_raw("cyc", nodes, vec![], vec![], Default::default());
+        let ds = lint_dfg(&g, None);
+        assert!(ds.has_code(Code::CombinationalCycle), "{:?}", ds);
+    }
+
+    #[test]
+    fn dead_node_and_unused_input_are_warnings() {
+        let mut b = DfgBuilder::new("dead");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8); // unused
+        let z = b.not(x);
+        let _dead = b.and(z, z); // never consumed
+        b.output("z", z);
+        let _ = y;
+        let g = b.finish().expect("valid");
+        let ds = lint_dfg(&g, None);
+        assert!(ds.has_code(Code::UnusedInput));
+        assert!(ds.has_code(Code::DeadNode));
+        assert!(!ds.has_errors(), "{:?}", ds);
+    }
+
+    #[test]
+    fn lint_text_reports_parse_error() {
+        let (ds, dfg) = lint_text("this is not pmir");
+        assert!(dfg.is_none());
+        assert!(ds.has_code(Code::ParseError));
+    }
+}

@@ -1,0 +1,575 @@
+//! Pass 3: structural lint over emitted Verilog.
+//!
+//! A text-level sanity pass for the RTL produced by
+//! [`pipemap_netlist::to_verilog`] (or any structurally similar netlist):
+//! declaration/use discipline, single-driver nets, width-preserving direct
+//! copies, `begin`/`end` balance, and combinational-loop detection over
+//! continuous assignments. This is deliberately *not* a Verilog parser —
+//! it understands exactly the restricted structural subset the exporter
+//! emits, which is what makes it small enough to trust.
+
+use std::collections::{HashMap, HashSet};
+
+use pipemap_ir::SourceSpan;
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+
+#[derive(Debug, Default)]
+struct Net {
+    width: Option<u32>,
+    span: SourceSpan,
+    is_port: bool,
+    is_mem: bool,
+    cont_drivers: u32,
+    proc_drivers: u32,
+    used: bool,
+    /// Identifiers read by this net's continuous assignment, for loop
+    /// detection.
+    rhs: Vec<String>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "always",
+    "initial",
+    "posedge",
+    "negedge",
+    "begin",
+    "end",
+    "assign",
+    "if",
+    "else",
+];
+
+/// Lint a structural Verilog netlist, reporting every finding with a
+/// line/column span into `src`.
+pub fn lint_verilog(src: &str) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let mut nets: HashMap<String, Net> = HashMap::new();
+    let mut order: Vec<String> = Vec::new(); // declaration order for stable reports
+    let mut undeclared_reported: HashSet<String> = HashSet::new();
+    let mut copies: Vec<(String, String, SourceSpan)> = Vec::new(); // lhs <= rhs direct copies
+    let mut has_module = false;
+    let mut has_endmodule = false;
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+
+    // First sweep: declarations only, so uses on early lines of nets
+    // declared later (ports!) resolve.
+    for (lno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw);
+        let trimmed = line.trim_start();
+        if let Some((name, net)) = parse_decl(trimmed, lno + 1, indent(raw)) {
+            if let Some(prev) = nets.get_mut(&name) {
+                // Redeclaration: treat as an extra driver site.
+                prev.cont_drivers += net.cont_drivers.max(1);
+            } else {
+                order.push(name.clone());
+                nets.insert(name, net);
+            }
+        }
+    }
+
+    // Second sweep: structure, drivers, and uses.
+    for (lno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        for (tok, _, _) in tokens(trimmed) {
+            match tok {
+                "module" => has_module = true,
+                "endmodule" => has_endmodule = true,
+                "begin" => begins += 1,
+                "end" => ends += 1,
+                _ => {}
+            }
+        }
+        if trimmed.starts_with("module") || trimmed == ");" || trimmed.starts_with("endmodule") {
+            continue;
+        }
+
+        let span_at = |col: usize, len: usize| SourceSpan {
+            line: lno + 1,
+            col,
+            len,
+        };
+        macro_rules! mark_uses {
+            ($segment:expr, $base_col:expr) => {
+                mark_uses(
+                    $segment,
+                    $base_col,
+                    lno + 1,
+                    &mut nets,
+                    &mut undeclared_reported,
+                    &mut ds,
+                )
+            };
+        }
+
+        if let Some(decl) = decl_body(trimmed) {
+            // Declaration line: the name itself is not a use; anything on
+            // the right of `=` is.
+            if let Some(eq) = decl.find('=') {
+                let rhs = &decl[eq + 1..];
+                let base = indent(raw) + (line.trim_start().len() - decl.len()) + eq + 1;
+                mark_uses!(rhs, base);
+                // Record direct copies and the rhs identifier set.
+                if let Some((name, _)) = first_ident(decl) {
+                    let rhs_ids: Vec<String> = tokens(rhs)
+                        .filter(|(t, _, p)| {
+                            !t.chars().next().is_some_and(|c| c.is_ascii_digit())
+                                && *p != Some('\'')
+                                && *p != Some('$')
+                                && !KEYWORDS.contains(t)
+                        })
+                        .map(|(t, _, _)| t.to_string())
+                        .collect();
+                    if let Some(net) = nets.get_mut(&name) {
+                        net.rhs = rhs_ids;
+                    }
+                    if let Some(rhs_name) = bare_ident(rhs) {
+                        copies.push((
+                            name.clone(),
+                            rhs_name.to_string(),
+                            nets.get(&name).map(|n| n.span).unwrap_or_default(),
+                        ));
+                    }
+                }
+            } else if let Some(idx) = decl.find('[') {
+                // memory bounds: no uses
+                let _ = idx;
+            }
+            continue;
+        }
+
+        if let Some(pos) = trimmed.find("<=") {
+            let (lhs, rhs) = (&trimmed[..pos], &trimmed[pos + 2..]);
+            let base = indent(raw);
+            if let Some((name, col)) = first_ident(lhs) {
+                match nets.get_mut(&name) {
+                    Some(net) => net.proc_drivers += 1,
+                    None => {
+                        if undeclared_reported.insert(name.clone()) {
+                            ds.push(
+                                Diagnostic::new(
+                                    Code::UndeclaredIdentifier,
+                                    format!("`{name}` is assigned but never declared"),
+                                )
+                                .with_span(span_at(base + col, name.chars().count())),
+                            );
+                        }
+                    }
+                }
+                if let Some(rhs_name) = bare_ident(rhs) {
+                    copies.push((
+                        name,
+                        rhs_name.to_string(),
+                        span_at(base + col, lhs.trim().chars().count()),
+                    ));
+                }
+            }
+            // Index expressions on the LHS are uses too.
+            if let Some(br) = lhs.find('[') {
+                mark_uses!(&lhs[br..], base + br);
+            }
+            mark_uses!(rhs, base + pos + 2);
+            continue;
+        }
+
+        if let Some(pos) = trimmed.find('=') {
+            // Blocking assignment inside an `initial` block: the target
+            // must exist, but initialization is not a driver.
+            let (lhs, rhs) = (&trimmed[..pos], &trimmed[pos + 1..]);
+            let base = indent(raw);
+            if let Some((name, col)) = first_ident(lhs) {
+                if !nets.contains_key(&name) && undeclared_reported.insert(name.clone()) {
+                    ds.push(
+                        Diagnostic::new(
+                            Code::UndeclaredIdentifier,
+                            format!("`{name}` is initialized but never declared"),
+                        )
+                        .with_span(span_at(base + col, name.chars().count())),
+                    );
+                }
+            }
+            if let Some(br) = lhs.find('[') {
+                mark_uses!(&lhs[br..], base + br);
+            }
+            mark_uses!(rhs, base + pos + 1);
+            continue;
+        }
+
+        // Structural line (`always @(posedge clk) begin`, `end`, …): plain
+        // identifier mentions still count as uses.
+        mark_uses!(trimmed, indent(raw));
+    }
+
+    if !has_module || !has_endmodule {
+        ds.push(Diagnostic::new(
+            Code::MissingModule,
+            if has_module {
+                "netlist has no `endmodule`"
+            } else {
+                "netlist has no `module` header"
+            },
+        ));
+    }
+    // `endmodule` is a distinct token and is never counted as `end`.
+    if begins != ends {
+        ds.push(Diagnostic::new(
+            Code::BeginEndImbalance,
+            format!("{begins} `begin` token(s) but {ends} `end` token(s)"),
+        ));
+    }
+
+    for name in &order {
+        let net = &nets[name];
+        let drivers = net.cont_drivers + net.proc_drivers;
+        if drivers > 1 {
+            ds.push(
+                Diagnostic::new(
+                    Code::MultiplyDrivenNet,
+                    format!("net `{name}` has {drivers} drivers"),
+                )
+                .with_span(net.span),
+            );
+        }
+        if !net.used && !net.is_port && !net.is_mem {
+            ds.push(
+                Diagnostic::new(Code::UnusedNet, format!("net `{name}` is never read"))
+                    .with_span(net.span),
+            );
+        }
+    }
+
+    for (lhs, rhs, span) in &copies {
+        let (Some(l), Some(r)) = (nets.get(lhs), nets.get(rhs)) else {
+            continue;
+        };
+        if let (Some(lw), Some(rw)) = (l.width, r.width) {
+            if lw != rw && !r.is_mem {
+                ds.push(
+                    Diagnostic::new(
+                        Code::NetWidthMismatch,
+                        format!("`{lhs}` ({lw} bits) copied directly from `{rhs}` ({rw} bits)"),
+                    )
+                    .with_span(*span),
+                );
+            }
+        }
+    }
+
+    // Combinational loops over continuous assignments: edge u -> v when
+    // wire v's expression reads wire u.
+    let cont: HashSet<&String> = order
+        .iter()
+        .filter(|n| nets[*n].cont_drivers > 0 && !nets[*n].is_mem)
+        .collect();
+    let mut indeg: HashMap<&String, usize> = cont.iter().map(|&n| (n, 0)).collect();
+    let mut fanout: HashMap<&String, Vec<&String>> = HashMap::new();
+    for name in &order {
+        if !cont.contains(name) {
+            continue;
+        }
+        for dep in &nets[name].rhs {
+            if let Some(&dep_key) = cont.get(dep) {
+                if dep_key != name {
+                    *indeg.get_mut(name).expect("cont net") += 1;
+                    fanout.entry(dep_key).or_default().push(name);
+                } else {
+                    // direct self-loop
+                    *indeg.get_mut(name).expect("cont net") += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<&String> = order
+        .iter()
+        .filter(|n| indeg.get(n).is_some_and(|&d| d == 0))
+        .collect();
+    let mut resolved = queue.len();
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        if let Some(outs) = fanout.get(v) {
+            for &c in outs {
+                let d = indeg.get_mut(c).expect("cont net");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                    resolved += 1;
+                }
+            }
+        }
+    }
+    if resolved < cont.len() {
+        let mut looped: Vec<&str> = indeg
+            .iter()
+            .filter(|(_, &d)| d > 0)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        looped.sort();
+        ds.push(Diagnostic::new(
+            Code::CombinationalNetLoop,
+            format!(
+                "combinational loop through continuous assignment(s): {}",
+                looped.join(", ")
+            ),
+        ));
+    }
+
+    ds
+}
+
+/// Mark identifier uses in a line fragment, reporting undeclared names.
+fn mark_uses(
+    segment: &str,
+    base_col: usize,
+    line: usize,
+    nets: &mut HashMap<String, Net>,
+    undeclared_reported: &mut HashSet<String>,
+    ds: &mut Diagnostics,
+) {
+    for (tok, col, prev) in tokens(segment) {
+        if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue; // numeric literal
+        }
+        if prev == Some('\'') || prev == Some('$') {
+            continue; // literal base (8'hFF) or system function
+        }
+        if KEYWORDS.contains(&tok) {
+            continue;
+        }
+        if let Some(net) = nets.get_mut(tok) {
+            net.used = true;
+        } else if undeclared_reported.insert(tok.to_string()) {
+            ds.push(
+                Diagnostic::new(
+                    Code::UndeclaredIdentifier,
+                    format!("`{tok}` is used but never declared"),
+                )
+                .with_span(SourceSpan {
+                    line,
+                    col: base_col + col,
+                    len: tok.chars().count(),
+                }),
+            );
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn indent(raw: &str) -> usize {
+    raw.len() - raw.trim_start().len()
+}
+
+/// Iterate `(identifier, byte offset, previous non-space char)` over a
+/// line fragment.
+fn tokens(s: &str) -> impl Iterator<Item = (&str, usize, Option<char>)> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut prev: Option<char> = None;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push((&s[start..i], start, prev));
+            prev = Some('x');
+        } else {
+            if !c.is_whitespace() {
+                prev = Some(c);
+            }
+            i += 1;
+        }
+    }
+    out.into_iter()
+}
+
+/// The body of a declaration line (after the `input wire` / `output reg`
+/// / `wire` / `reg` prefix and optional `[msb:lsb]`), or `None`.
+fn decl_body(trimmed: &str) -> Option<&str> {
+    for prefix in [
+        "input wire ",
+        "output reg ",
+        "output wire ",
+        "wire ",
+        "reg ",
+    ] {
+        if let Some(rest) = trimmed.strip_prefix(prefix) {
+            let rest = rest.trim_start();
+            let rest = match rest.strip_prefix('[') {
+                Some(r) => r.split_once(']')?.1.trim_start(),
+                None => rest,
+            };
+            return Some(rest);
+        }
+    }
+    None
+}
+
+/// Parse a declaration into `(name, Net)`.
+fn parse_decl(trimmed: &str, line: usize, base_col: usize) -> Option<(String, Net)> {
+    let is_port = trimmed.starts_with("input ") || trimmed.starts_with("output ");
+    let width = match trimmed.find('[') {
+        Some(i) if trimmed[..i].find('=').is_none() => {
+            let inner = &trimmed[i + 1..trimmed.find(']')?];
+            let msb: u32 = inner.split(':').next()?.trim().parse().ok()?;
+            Some(msb + 1)
+        }
+        _ => Some(1),
+    };
+    let body = decl_body(trimmed)?;
+    let (name, col) = first_ident(body)?;
+    let after = body[col + name.len()..].trim_start();
+    let is_mem = after.starts_with('[');
+    let cont_drivers = u32::from(after.starts_with('='));
+    // `input wire clk,` has no bracket: width defaults to 1 above.
+    let name_col = base_col + (trimmed.len() - body.len()) + col + 1;
+    Some((
+        name.clone(),
+        Net {
+            width,
+            span: SourceSpan {
+                line,
+                col: name_col,
+                len: name.chars().count(),
+            },
+            is_port,
+            is_mem,
+            cont_drivers,
+            proc_drivers: 0,
+            used: false,
+            rhs: Vec::new(),
+        },
+    ))
+}
+
+/// The first identifier in a fragment and its byte offset.
+fn first_ident(s: &str) -> Option<(String, usize)> {
+    tokens(s)
+        .find(|(t, _, _)| !t.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .map(|(t, c, _)| (t.to_string(), c))
+}
+
+/// `Some(name)` when the fragment is exactly one identifier (a direct
+/// net-to-net copy), ignoring whitespace and a trailing `;` or `,`.
+fn bare_ident(s: &str) -> Option<&str> {
+    let s = s.trim().trim_end_matches([';', ',']).trim_end();
+    let ok = !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.starts_with(|c: char| c.is_ascii_digit());
+    ok.then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_exported_netlist_is_lint_free() {
+        use pipemap_cuts::{CutConfig, CutDb};
+        use pipemap_ir::{DfgBuilder, Target};
+        use pipemap_netlist::{to_verilog, Cover, Implementation, Schedule};
+
+        let mut b = DfgBuilder::new("t");
+        let m = b.add_memory("tbl", 8, vec![1, 2, 3, 4]);
+        let a = b.input("a", 2);
+        let x = b.input("x", 8);
+        let l = b.load(m, a);
+        let n1 = b.not(x);
+        let n2 = b.xor(n1, l);
+        let o = b.output("o", n2);
+        let g = b.finish().expect("valid");
+        let target = Target::default();
+        let db = CutDb::enumerate(&g, &CutConfig::trivial_only(&target));
+        let cover = Cover::new(g.node_ids().map(|v| db.cuts(v).unit().cloned()).collect());
+        let mut cycles = vec![0; g.len()];
+        cycles[n2.index()] = 1;
+        cycles[o.index()] = 1;
+        let imp = Implementation {
+            schedule: Schedule::new(1, cycles, vec![0.0; g.len()]),
+            cover,
+        };
+        let v = to_verilog(&g, &target, &imp, "clean").expect("exports");
+        let ds = lint_verilog(&v);
+        assert!(ds.is_empty(), "{}\n{v}", ds.render_human("clean.v"));
+    }
+
+    #[test]
+    fn multiply_driven_net() {
+        let src = "module m (\n  input wire clk,\n  output reg [3:0] o\n);\n\
+                   wire [3:0] a = 4'h1;\nwire [3:0] a = 4'h2;\n\
+                   always @(posedge clk) begin\n  o <= a;\nend\nendmodule\n";
+        let ds = lint_verilog(src);
+        assert!(ds.has_code(Code::MultiplyDrivenNet), "{:?}", ds);
+    }
+
+    #[test]
+    fn undeclared_identifier_with_span() {
+        let src = "module m (\n  input wire clk,\n  output reg [3:0] o\n);\n\
+                   always @(posedge clk) begin\n  o <= ghost;\nend\nendmodule\n";
+        let ds = lint_verilog(src);
+        let d = ds
+            .iter()
+            .find(|d| d.code == Code::UndeclaredIdentifier)
+            .expect("reported");
+        assert!(d.message.contains("ghost"));
+        assert_eq!(d.span.expect("has span").line, 6);
+    }
+
+    #[test]
+    fn unused_net_is_warning() {
+        let src = "module m (\n  input wire clk,\n  output reg [3:0] o\n);\n\
+                   wire [3:0] dead = 4'h0;\n\
+                   always @(posedge clk) begin\n  o <= 4'h1;\nend\nendmodule\n";
+        let ds = lint_verilog(src);
+        assert!(ds.has_code(Code::UnusedNet));
+        assert!(!ds.has_errors(), "{:?}", ds);
+    }
+
+    #[test]
+    fn width_mismatch_on_direct_copy() {
+        let src = "module m (\n  input wire [7:0] x,\n  output reg [3:0] o\n);\n\
+                   always @(posedge clk) begin\n  o <= x;\nend\nendmodule\n";
+        let ds = lint_verilog(src);
+        assert!(ds.has_code(Code::NetWidthMismatch), "{:?}", ds);
+    }
+
+    #[test]
+    fn begin_end_imbalance_and_missing_endmodule() {
+        let src = "module m (\n  input wire clk\n);\nalways @(posedge clk) begin\n";
+        let ds = lint_verilog(src);
+        assert!(ds.has_code(Code::BeginEndImbalance));
+        assert!(ds.has_code(Code::MissingModule));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let src = "module m (\n  output reg [0:0] o\n);\n\
+                   wire [0:0] a = b;\nwire [0:0] b = a;\n\
+                   always @(posedge clk) begin\n  o <= a;\nend\nendmodule\n";
+        let ds = lint_verilog(src);
+        assert!(ds.has_code(Code::CombinationalNetLoop), "{:?}", ds);
+    }
+}

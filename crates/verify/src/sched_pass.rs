@@ -1,0 +1,541 @@
+//! Pass 2: schedule & cover legality.
+//!
+//! A diagnostics-collecting superset of
+//! [`pipemap_netlist::verify`](pipemap_netlist::verify): where the netlist
+//! crate's checker returns the *first* violated invariant as an
+//! [`ImplError`](pipemap_netlist::ImplError), this pass reports **every**
+//! violation, tolerates malformed inputs (wrong-length schedules/covers)
+//! without panicking, and adds checks the fast path omits: cut
+//! K-feasibility, cone consistency, intra-cycle start-time sanity, and an
+//! independent QoR recount cross-checked against
+//! [`pipemap_netlist::Qor`].
+
+use std::collections::HashMap;
+
+use pipemap_cuts::{Cut, Signal};
+use pipemap_ir::{Dfg, NodeId, Op, Target};
+use pipemap_netlist::{consumed_signals, Implementation, Qor};
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+
+/// Check every legality invariant of an implementation, collecting all
+/// violations.
+///
+/// The paper-facing invariants mirror the MILP's constraint system:
+/// cover legality (Eqs. 2–4), dependences modulo II (Eq. 7), cycle time
+/// (Eqs. 8–9), and modulo resources (Eq. 14) — plus structural checks
+/// (vector sizes, start times, K-feasibility, cone consistency) and a QoR
+/// recount. Never panics, even on corrupted inputs.
+pub fn check_implementation(dfg: &Dfg, target: &Target, imp: &Implementation) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let n = dfg.len();
+    let sched = &imp.schedule;
+    let cover = &imp.cover;
+
+    if sched.len() != n {
+        ds.push(Diagnostic::new(
+            Code::ScheduleSizeMismatch,
+            format!(
+                "schedule covers {} node(s) but the graph has {n}",
+                sched.len()
+            ),
+        ));
+    }
+    if cover.len() != n {
+        ds.push(Diagnostic::new(
+            Code::ScheduleSizeMismatch,
+            format!(
+                "cover describes {} node(s) but the graph has {n}",
+                cover.len()
+            ),
+        ));
+    }
+    // Every later check indexes schedule/cover by node id; with
+    // mismatched sizes that would panic, so stop here.
+    if sched.len() != n || cover.len() != n {
+        return ds;
+    }
+
+    let ii = sched.ii();
+
+    for id in dfg.node_ids() {
+        let s = sched.start(id);
+        if s.is_nan() || s < 0.0 || s > target.t_cp + 1e-6 {
+            ds.push(
+                Diagnostic::new(
+                    Code::InvalidStartTime,
+                    format!(
+                        "`{}` starts at {s} ns, outside [0, {}]",
+                        dfg.label(id),
+                        target.t_cp
+                    ),
+                )
+                .with_node(id),
+            );
+        }
+    }
+
+    // Cover legality (Eq. 2): every consumed signal has a producing root.
+    let consumed = consumed_signals(dfg, cover);
+    for &(consumer, sig) in &consumed {
+        if !cover.produces_signal(dfg, sig.node) {
+            ds.push(
+                Diagnostic::new(
+                    Code::MissingRoot,
+                    format!(
+                        "`{}` reads `{}`, which is neither a mapped root nor a \
+                         native signal",
+                        dfg.label(consumer),
+                        dfg.label(sig.node)
+                    ),
+                )
+                .with_node(consumer),
+            );
+        }
+    }
+    // Primary outputs are fed by roots (Eq. 3).
+    for o in dfg.outputs() {
+        let Some(p) = dfg.node(o).ins.first() else {
+            continue; // arity violation: the IR pass reports it
+        };
+        let src = p.node;
+        if src.index() < n
+            && !cover.produces_signal(dfg, src)
+            && !matches!(dfg.node(src).op, Op::Const(_))
+        {
+            ds.push(
+                Diagnostic::new(
+                    Code::OutputNotRoot,
+                    format!(
+                        "primary output `{}` is fed by `{}`, which is not a root",
+                        dfg.label(o),
+                        dfg.label(src)
+                    ),
+                )
+                .with_node(o),
+            );
+        }
+    }
+
+    // Cut K-feasibility and cone consistency. Unit cuts (direct fan-in
+    // boundary) are exempt from the K bound: they model the op's native
+    // implementation — e.g. a carry chain for a wide adder — exactly as
+    // cut enumeration keeps them regardless of bit support.
+    for root in cover.roots() {
+        let cut = cover.cut(root).expect("roots() yields selected nodes");
+        if !is_unit_cut(dfg, root, cut) && cut.max_bit_support() > target.k {
+            ds.push(
+                Diagnostic::new(
+                    Code::CutNotKFeasible,
+                    format!(
+                        "cut {cut} of `{}` needs {} bit inputs but the device \
+                         has {}-input LUTs",
+                        dfg.label(root),
+                        cut.max_bit_support(),
+                        target.k
+                    ),
+                )
+                .with_node(root),
+            );
+        }
+        if !dfg.node(root).op.is_lut_mappable() {
+            ds.push(
+                Diagnostic::new(
+                    Code::ConeInconsistent,
+                    format!(
+                        "`{}` ({}) is not LUT-mappable but carries a cut",
+                        dfg.label(root),
+                        dfg.node(root).op
+                    ),
+                )
+                .with_node(root),
+            );
+            continue;
+        }
+        if let Err(msg) = walk_cone(dfg, root, cut) {
+            ds.push(
+                Diagnostic::new(
+                    Code::ConeInconsistent,
+                    format!("cone of `{}` is inconsistent: {msg}", dfg.label(root)),
+                )
+                .with_node(root),
+            );
+        }
+    }
+
+    // Dependences with latency (Eq. 7 generalized).
+    for &(consumer, sig) in &consumed {
+        if sig.node.index() >= n {
+            continue; // dangling: the IR pass reports it
+        }
+        let u = sig.node;
+        let un = dfg.node(u);
+        let lat = target.op_latency(&un.op, un.width);
+        let avail = sched.cycle(u) + lat;
+        let need = sched.cycle(consumer) + ii * sig.dist;
+        if avail > need {
+            ds.push(
+                Diagnostic::new(
+                    Code::DependenceViolated,
+                    format!(
+                        "`{}` (ready cycle {avail}) not available when `{}` \
+                         starts (cycle {need})",
+                        dfg.label(u),
+                        dfg.label(consumer)
+                    ),
+                )
+                .with_node(consumer),
+            );
+        }
+    }
+
+    // Cycle time (Eqs. 8-9) needs a topological order; on a cyclic graph
+    // the IR pass owns the report.
+    if dfg.topo_order().is_ok() {
+        let sta = pipemap_netlist::arrival_times(dfg, target, imp);
+        let worst = sta.iter().cloned().fold(0.0, f64::max);
+        if worst > target.t_cp + 1e-6 {
+            ds.push(Diagnostic::new(
+                Code::CycleTimeExceeded,
+                format!(
+                    "critical path {worst:.3} ns exceeds the {:.3} ns target period",
+                    target.t_cp
+                ),
+            ));
+        }
+
+        // Independent QoR recount, cross-checked against the netlist
+        // crate's evaluator — a divergence means one of the two area
+        // models is wrong.
+        let reported = Qor::evaluate(dfg, target, imp);
+        let (luts, ffs) = recount_area(dfg, target, imp);
+        if reported.luts != luts {
+            ds.push(Diagnostic::new(
+                Code::QorMismatch,
+                format!(
+                    "LUT recount disagrees: evaluator reports {}, recount \
+                     finds {luts}",
+                    reported.luts
+                ),
+            ));
+        }
+        if reported.ffs != ffs {
+            ds.push(Diagnostic::new(
+                Code::QorMismatch,
+                format!(
+                    "FF recount disagrees: evaluator reports {}, recount \
+                     finds {ffs}",
+                    reported.ffs
+                ),
+            ));
+        }
+    }
+
+    // Modulo resource constraints (Eq. 14).
+    let mut usage: HashMap<(pipemap_ir::Resource, u32), u32> = HashMap::new();
+    for (id, node) in dfg.iter() {
+        if let Some(res) = node.op.resource() {
+            let slot = sched.cycle(id) % ii;
+            *usage.entry((res, slot)).or_insert(0) += 1;
+        }
+    }
+    let mut over: Vec<_> = usage
+        .into_iter()
+        .filter_map(|((res, slot), used)| {
+            let limit = target.resource_limit(res)?;
+            (used > limit).then_some((res, slot, used, limit))
+        })
+        .collect();
+    over.sort_by_key(|&(res, slot, _, _)| (res, slot));
+    for (res, slot, used, limit) in over {
+        ds.push(Diagnostic::new(
+            Code::ResourceOversubscribed,
+            format!("resource {res} used {used} time(s) in modulo slot {slot}, limit {limit}"),
+        ));
+    }
+
+    ds
+}
+
+/// `true` when `cut` is exactly the root's unit cut: its boundary is the
+/// direct (non-constant) fan-in signal set.
+fn is_unit_cut(dfg: &Dfg, root: NodeId, cut: &Cut) -> bool {
+    let mut unit: Vec<Signal> = dfg
+        .node(root)
+        .ins
+        .iter()
+        .filter(|p| p.node.index() < dfg.len())
+        .filter(|p| !matches!(dfg.node(p.node).op, Op::Const(_)))
+        .map(|p| Signal {
+            node: p.node,
+            dist: p.dist,
+        })
+        .collect();
+    unit.sort();
+    unit.dedup();
+    unit == cut.inputs()
+}
+
+/// Walk a root's cone over distance-0 fan-in edges, stopping at cut
+/// signals and constants. Unlike
+/// [`pipemap_cuts::cone_nodes`](pipemap_cuts::cone_nodes) this never
+/// panics: register crossings, unmappable interiors, and dangling ports
+/// are returned as an error description.
+fn walk_cone(dfg: &Dfg, root: NodeId, cut: &Cut) -> Result<Vec<NodeId>, String> {
+    let n = dfg.len();
+    let mut order = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(root);
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for p in &dfg.node(v).ins {
+            let sig = Signal {
+                node: p.node,
+                dist: p.dist,
+            };
+            if cut.inputs().binary_search(&sig).is_ok() {
+                continue; // boundary signal
+            }
+            if p.node.index() >= n {
+                return Err(format!("reaches dangling node {}", p.node));
+            }
+            let sub = dfg.node(p.node);
+            if matches!(sub.op, Op::Const(_)) {
+                continue; // absorbed constant
+            }
+            if p.dist != 0 {
+                return Err(format!(
+                    "crosses a register edge `{}@-{}` not in the cut",
+                    dfg.label(p.node),
+                    p.dist
+                ));
+            }
+            if !sub.op.is_lut_mappable() {
+                return Err(format!(
+                    "reaches unmappable node `{}` ({}) not in the cut",
+                    dfg.label(p.node),
+                    sub.op
+                ));
+            }
+            if visited.insert(p.node) {
+                stack.push(p.node);
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Independent LUT/FF recount — a from-scratch reimplementation of the
+/// paper's area model (Bits(v) per non-wiring root; Eqs. 10–13 liveness
+/// for registers) sharing no code with `pipemap_netlist::qor`.
+fn recount_area(dfg: &Dfg, target: &Target, imp: &Implementation) -> (u64, u64) {
+    let ii = imp.schedule.ii();
+    let mut luts = 0u64;
+    for root in imp.cover.roots() {
+        let node = dfg.node(root);
+        if !node.op.is_lut_mappable() {
+            continue;
+        }
+        let cut = imp.cover.cut(root).expect("root has a cut");
+        let has_logic = match walk_cone(dfg, root, cut) {
+            Ok(cone) => cone.iter().any(|&v| !dfg.node(v).op.is_wire()),
+            Err(_) => true, // broken cone: counted conservatively
+        };
+        if has_logic {
+            luts += u64::from(node.width);
+        }
+    }
+
+    // FF recount: a value occupies Bits(v) registers for each cycle
+    // between its availability and its last consumption.
+    let mut last_use: Vec<Option<u32>> = vec![None; dfg.len()];
+    let mut note = |sig: Signal, at: u32| {
+        let slot = &mut last_use[sig.node.index()];
+        *slot = Some(slot.map_or(at, |x| x.max(at)));
+    };
+    for (id, node) in dfg.iter() {
+        if node.op.is_lut_mappable() {
+            if let Some(cut) = imp.cover.cut(id) {
+                for &s in cut.inputs() {
+                    note(s, imp.schedule.cycle(id) + ii * s.dist);
+                }
+            }
+        } else if !matches!(node.op, Op::Input | Op::Const(_)) {
+            for p in &node.ins {
+                if matches!(dfg.node(p.node).op, Op::Const(_)) {
+                    continue;
+                }
+                note(
+                    Signal {
+                        node: p.node,
+                        dist: p.dist,
+                    },
+                    imp.schedule.cycle(id) + ii * p.dist,
+                );
+            }
+        }
+    }
+    let mut ffs = 0u64;
+    for (id, node) in dfg.iter() {
+        if matches!(node.op, Op::Const(_) | Op::Output) {
+            continue;
+        }
+        if !imp.cover.produces_signal(dfg, id) {
+            continue;
+        }
+        if let Some(last) = last_use[id.index()] {
+            let avail = imp.schedule.cycle(id) + target.op_latency(&node.op, node.width);
+            ffs += u64::from(node.width) * u64::from(last.saturating_sub(avail));
+        }
+    }
+    (luts, ffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_cuts::{CutConfig, CutDb};
+    use pipemap_ir::DfgBuilder;
+    use pipemap_netlist::{Cover, Schedule};
+
+    fn simple() -> (Dfg, Vec<NodeId>) {
+        let mut b = DfgBuilder::new("s");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let t = b.xor(x, y);
+        let u = b.and(t, x);
+        let o = b.output("o", u);
+        (b.finish().expect("valid"), vec![x, y, t, u, o])
+    }
+
+    fn unit_cover(dfg: &Dfg, target: &Target) -> Cover {
+        let db = CutDb::enumerate(dfg, &CutConfig::trivial_only(target));
+        Cover::new(dfg.node_ids().map(|v| db.cuts(v).unit().cloned()).collect())
+    }
+
+    fn legal_imp(dfg: &Dfg, target: &Target, ids: &[NodeId]) -> Implementation {
+        let d = target.lut_level_delay();
+        let mut starts = vec![0.0; dfg.len()];
+        starts[ids[3].index()] = d;
+        Implementation {
+            schedule: Schedule::new(1, vec![0; dfg.len()], starts),
+            cover: unit_cover(dfg, target),
+        }
+    }
+
+    #[test]
+    fn legal_implementation_is_clean() {
+        let (g, ids) = simple();
+        let t = Target::default();
+        let imp = legal_imp(&g, &t, &ids);
+        let ds = check_implementation(&g, &t, &imp);
+        assert!(ds.is_empty(), "{:?}", ds);
+    }
+
+    #[test]
+    fn wrong_length_schedule_is_rejected_not_panicked() {
+        let (g, _) = simple();
+        let t = Target::default();
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; 2], vec![0.0; 2]),
+            cover: unit_cover(&g, &t),
+        };
+        let ds = check_implementation(&g, &t, &imp);
+        assert!(ds.has_code(Code::ScheduleSizeMismatch), "{:?}", ds);
+    }
+
+    #[test]
+    fn invalid_start_time_is_reported() {
+        let (g, ids) = simple();
+        let t = Target::default();
+        let mut imp = legal_imp(&g, &t, &ids);
+        let mut starts = vec![0.0; g.len()];
+        starts[ids[2].index()] = f64::NAN;
+        starts[ids[3].index()] = -1.0;
+        imp.schedule = Schedule::new(1, vec![0; g.len()], starts);
+        let ds = check_implementation(&g, &t, &imp);
+        assert!(ds.has_code(Code::InvalidStartTime));
+        assert!(
+            ds.iter()
+                .filter(|d| d.code == Code::InvalidStartTime)
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn collects_multiple_dependence_violations() {
+        let (g, ids) = simple();
+        let t = Target::default();
+        let mut cycles = vec![0; g.len()];
+        cycles[ids[2].index()] = 3; // xor after both consumers
+        let imp = Implementation {
+            schedule: Schedule::new(1, cycles, vec![0.0; g.len()]),
+            cover: unit_cover(&g, &t),
+        };
+        let ds = check_implementation(&g, &t, &imp);
+        // and-node and the output both read the late xor transitively;
+        // at least the direct consumer must be flagged.
+        assert!(ds.has_code(Code::DependenceViolated), "{:?}", ds);
+    }
+
+    #[test]
+    fn k_infeasible_cut_is_rejected() {
+        // Enumerate with K=6, then check against a K=4 device: any
+        // selected cut with 5- or 6-bit support must be flagged.
+        let mut b = DfgBuilder::new("wide");
+        let mut pool = Vec::new();
+        for i in 0..6 {
+            pool.push(b.input(format!("i{i}"), 1));
+        }
+        let mut acc = pool[0];
+        for &p in &pool[1..] {
+            acc = b.xor(acc, p);
+        }
+        b.output("o", acc);
+        let g = b.finish().expect("valid");
+        let k6 = Target::k6();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&k6));
+        let wide = db
+            .cuts(acc)
+            .cuts()
+            .iter()
+            .find(|c| c.max_bit_support() > 4)
+            .expect("a >4-input cut exists under K=6")
+            .clone();
+        let mut selected: Vec<Option<pipemap_cuts::Cut>> =
+            g.node_ids().map(|v| db.cuts(v).unit().cloned()).collect();
+        selected[acc.index()] = Some(wide);
+        let imp = Implementation {
+            schedule: Schedule::new(1, vec![0; g.len()], vec![0.0; g.len()]),
+            cover: Cover::new(selected),
+        };
+        let k4 = Target::default();
+        let ds = check_implementation(&g, &k4, &imp);
+        assert!(ds.has_code(Code::CutNotKFeasible), "{:?}", ds);
+    }
+
+    #[test]
+    fn matches_netlist_verify_on_violations() {
+        // Where the fast checker finds its first error, this pass must
+        // find (at least) the same class.
+        let (g, ids) = simple();
+        let t = Target::default();
+        let mut cover = unit_cover(&g, &t);
+        let imp_ok = legal_imp(&g, &t, &ids);
+        cover = {
+            let mut sel: Vec<Option<pipemap_cuts::Cut>> =
+                g.node_ids().map(|v| cover.cut(v).cloned()).collect();
+            sel[ids[2].index()] = None; // absorb xor into nothing
+            Cover::new(sel)
+        };
+        let imp = Implementation {
+            schedule: imp_ok.schedule.clone(),
+            cover,
+        };
+        assert!(pipemap_netlist::verify(&g, &t, &imp).is_err());
+        let ds = check_implementation(&g, &t, &imp);
+        assert!(ds.has_code(Code::MissingRoot), "{:?}", ds);
+    }
+}

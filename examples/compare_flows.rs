@@ -15,6 +15,7 @@ use pipemap::bench_suite::by_name;
 use pipemap::core::{run_flow, Flow, FlowOptions};
 use pipemap::ir::InputStreams;
 use pipemap::netlist::verify_functional;
+use pipemap::verify::{check_flows, FlowCheckOptions};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "GFMUL".into());
@@ -26,7 +27,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let stats = bench.dfg.stats();
     println!(
         "{} — {} ({}): {} nodes, {} LUT ops, {} black boxes\n",
-        bench.name, bench.description, bench.domain, stats.nodes, stats.lut_ops, stats.black_box_ops
+        bench.name,
+        bench.description,
+        bench.domain,
+        stats.nodes,
+        stats.lut_ops,
+        stats.black_box_ops
     );
 
     let opts = FlowOptions {
@@ -38,6 +44,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "{:<10} {:>7} {:>6} {:>6} {:>6} {:>4}",
         "method", "CP(ns)", "LUT", "FF", "depth", "II"
     );
+    let mut results = Vec::new();
     for flow in Flow::EXTENDED {
         let r = run_flow(&bench.dfg, &bench.target, flow, &opts)?;
         verify_functional(&bench.dfg, &bench.target, &r.implementation, &ins, 32)?;
@@ -56,7 +63,30 @@ fn main() -> Result<(), Box<dyn Error>> {
                 s.status, s.solve_time, s.nodes, s.variables, s.constraints, s.total_cuts
             );
         }
+        results.push(r);
     }
-    println!("\nall three implementations verified against the reference interpreter");
+
+    // Every flow output must also be clean under the full static verifier
+    // (legality, QoR recount, RTL lint, differential simulation).
+    let labeled: Vec<(&str, _)> = results
+        .iter()
+        .map(|r| (r.flow.label(), &r.implementation))
+        .collect();
+    let ds = check_flows(
+        &bench.dfg,
+        &bench.target,
+        &labeled,
+        &FlowCheckOptions::default(),
+    );
+    if ds.has_errors() {
+        eprintln!("{}", ds.render_human(bench.name));
+        return Err(format!("verifier found {} error(s)", ds.error_count()).into());
+    }
+    println!(
+        "\nall {} implementations verifier-clean ({} warning(s)) and \
+         equivalent to the reference interpreter",
+        labeled.len(),
+        ds.warning_count()
+    );
     Ok(())
 }

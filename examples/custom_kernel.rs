@@ -76,7 +76,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     for flow in Flow::ALL {
         let r = run_flow(&dfg, &target, flow, &opts)?;
         verify_functional(&dfg, &target, &r.implementation, &ver_ins, 40)?;
-        let Qor { luts, ffs, cp_ns, depth, ii, .. } = r.qor;
+        let Qor {
+            luts,
+            ffs,
+            cp_ns,
+            depth,
+            ii,
+            ..
+        } = r.qor;
         println!(
             "{:<10} -> {luts:>3} LUTs, {ffs:>3} FFs, CP {cp_ns:>5.2} ns, depth {depth}, II {ii}",
             r.flow.label()

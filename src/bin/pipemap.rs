@@ -6,10 +6,19 @@
 //! pipemap dot      <file.pmir> [--flow FLOW ...]      # graphviz to stdout
 //! pipemap schedule <file.pmir> [--flow FLOW] [--limit SECS] [--ii N] [--k N]
 //! pipemap verilog  <file.pmir> [--flow FLOW] [--module NAME] [...]
+//! pipemap lint     <file.pmir> [--json]               # static IR lint (P0xxx)
+//! pipemap lint     --codes                            # lint-code registry
+//! pipemap verify   <file.pmir> [--limit SECS] [--ii N] [--k N] [--json]
 //! pipemap bench    <NAME>      [--limit SECS]         # built-in benchmark
 //! ```
 //!
 //! `FLOW` is one of `hls`, `base`, `map` (default), `heur`.
+//!
+//! `lint` parses the textual IR and runs the well-formedness pass,
+//! reporting every finding with its stable `P0xxx` code and source span;
+//! `verify` additionally runs *all* scheduling flows and the differential
+//! flow checker (legality, QoR recount, simulation equivalence, RTL
+//! lint). Both exit non-zero when any error-severity diagnostic fires.
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -18,6 +27,7 @@ use std::time::Duration;
 use pipemap::core::{run_flow, Flow, FlowOptions};
 use pipemap::ir::{parse_dfg, to_dot, Dfg, InputStreams, Target};
 use pipemap::netlist::{schedule_report, to_verilog, verify_functional};
+use pipemap::verify::{check_flows, lint_text, Code, FlowCheckOptions};
 
 struct Args {
     positional: Vec<String>,
@@ -26,6 +36,8 @@ struct Args {
     ii: u32,
     k: u32,
     module: String,
+    json: bool,
+    codes: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -36,6 +48,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         ii: 1,
         k: 4,
         module: "pipeline".into(),
+        json: false,
+        codes: false,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -70,6 +84,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--module" => {
                 a.module = argv.next().ok_or("--module needs a name")?;
             }
+            "--json" => a.json = true,
+            "--codes" => a.codes = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -102,7 +118,7 @@ fn target(a: &Args) -> Target {
 fn run() -> Result<(), Box<dyn Error>> {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        eprintln!("usage: pipemap <info|dot|schedule|verilog|bench> ...");
+        eprintln!("usage: pipemap <info|dot|schedule|verilog|lint|verify|bench> ...");
         return Err("missing subcommand".into());
     };
     let a = parse_args(argv).map_err(|e| -> Box<dyn Error> { e.into() })?;
@@ -118,7 +134,10 @@ fn run() -> Result<(), Box<dyn Error>> {
             println!("black box : {}", s.black_box_ops);
             println!("inputs    : {}", s.inputs);
             println!("outputs   : {}", s.outputs);
-            println!("edges     : {} ({} loop-carried)", s.edges, s.loop_carried_edges);
+            println!(
+                "edges     : {} ({} loop-carried)",
+                s.edges, s.loop_carried_edges
+            );
             println!("memories  : {}", dfg.memories().len());
         }
         "dot" => {
@@ -150,6 +169,71 @@ fn run() -> Result<(), Box<dyn Error>> {
             let t = target(&a);
             let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
             print!("{}", to_verilog(&dfg, &t, &r.implementation, &a.module)?);
+        }
+        "lint" => {
+            if a.codes {
+                println!("{:<6} {:<8} summary", "code", "severity");
+                for &c in Code::ALL {
+                    println!(
+                        "{:<6} {:<8} {}",
+                        c.as_str(),
+                        c.severity().to_string(),
+                        c.summary()
+                    );
+                }
+                return Ok(());
+            }
+            let path = a.positional.first().ok_or("lint needs a .pmir file")?;
+            let src = std::fs::read_to_string(path)?;
+            let (mut ds, _) = lint_text(&src);
+            ds.sort();
+            if a.json {
+                println!("{}", ds.render_json());
+            } else if ds.is_empty() {
+                println!("{path}: clean ({} lints checked)", Code::ALL.len());
+            } else {
+                print!("{}", ds.render_human(path));
+            }
+            if ds.has_errors() {
+                return Err(format!(
+                    "{} error(s), {} warning(s)",
+                    ds.error_count(),
+                    ds.warning_count()
+                )
+                .into());
+            }
+        }
+        "verify" => {
+            let path = a.positional.first().ok_or("verify needs a .pmir file")?;
+            let src = std::fs::read_to_string(path)?;
+            let (mut ds, dfg) = lint_text(&src);
+            if let Some(dfg) = dfg.filter(|_| !ds.has_errors()) {
+                let t = target(&a);
+                let opts = options(&a);
+                let mut results = Vec::new();
+                for flow in Flow::ALL {
+                    results.push((flow.label(), run_flow(&dfg, &t, flow, &opts)?));
+                }
+                let flows: Vec<(&str, _)> = results
+                    .iter()
+                    .map(|(l, r)| (*l, &r.implementation))
+                    .collect();
+                ds.merge(check_flows(&dfg, &t, &flows, &FlowCheckOptions::default()));
+            }
+            ds.sort();
+            if a.json {
+                println!("{}", ds.render_json());
+            } else if ds.is_empty() {
+                println!(
+                    "{path}: all {} flows verifier-clean and simulation-equivalent",
+                    Flow::ALL.len()
+                );
+            } else {
+                print!("{}", ds.render_human(path));
+            }
+            if ds.has_errors() {
+                return Err(format!("{} error(s)", ds.error_count()).into());
+            }
         }
         "bench" => {
             let name = a.positional.first().ok_or("bench needs a benchmark name")?;

@@ -26,6 +26,8 @@
 //!   simulation (the Vivado stand-in),
 //! * [`core`] — the three scheduling flows of the paper's evaluation
 //!   (heuristic baseline, MILP-base, MILP-map),
+//! * [`verify`] — diagnostics-driven static verifier and lint passes
+//!   (stable `P0xxx` codes) over IR, schedules, covers, and emitted RTL,
 //! * [`bench_suite`] — the nine benchmarks of Table 1/2 as CDFG
 //!   generators.
 //!
@@ -55,3 +57,4 @@ pub use pipemap_cuts as cuts;
 pub use pipemap_ir as ir;
 pub use pipemap_milp as milp;
 pub use pipemap_netlist as netlist;
+pub use pipemap_verify as verify;

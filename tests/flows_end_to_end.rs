@@ -134,9 +134,8 @@ fn simulated_occupancy_never_exceeds_priced_ffs() {
         for flow in Flow::ALL {
             let r = run_flow(&b.dfg, &b.target, flow, &o).expect("flow");
             let ins = InputStreams::random(&b.dfg, 24, 21);
-            let (_, stats) =
-                simulate_with_stats(&b.dfg, &b.target, &r.implementation, &ins, 24)
-                    .expect("simulates");
+            let (_, stats) = simulate_with_stats(&b.dfg, &b.target, &r.implementation, &ins, 24)
+                .expect("simulates");
             let ffs = ff_count(&b.dfg, &b.target, &r.implementation);
             assert!(
                 stats.peak_register_bits <= ffs,
@@ -156,8 +155,7 @@ fn combinational_map_results_occupy_no_registers() {
     assert_eq!(map.qor.ffs, 0);
     let ins = InputStreams::random(&b.dfg, 16, 2);
     let (_, stats) =
-        simulate_with_stats(&b.dfg, &b.target, &map.implementation, &ins, 16)
-            .expect("simulates");
+        simulate_with_stats(&b.dfg, &b.target, &map.implementation, &ins, 16).expect("simulates");
     assert_eq!(stats.peak_register_bits, 0);
 }
 

@@ -1,169 +1,86 @@
 //! Property tests over randomly generated CDFGs: cut enumeration
-//! invariants, scheduler legality, and functional equivalence of every
-//! produced pipeline with the reference interpreter.
-
-use proptest::prelude::*;
+//! invariants, scheduler legality, functional equivalence of every
+//! produced pipeline with the reference interpreter, and zero-error
+//! verification of every flow by the `pipemap-verify` static checker.
+//!
+//! Graphs come from [`pipemap::ir::random_dfg`] — a deterministic,
+//! dependency-free generator (the offline stand-in for an external
+//! property-testing crate). Each property sweeps a fixed seed range, so
+//! a failure reproduces from its seed alone.
 
 use pipemap::core::{run_flow, schedule_baseline, schedule_mapped_heuristic, Flow, FlowOptions};
 use pipemap::cuts::{cone_nodes, CutConfig, CutDb};
-use pipemap::ir::{CmpPred, Dfg, DfgBuilder, InputStreams, NodeId, Target};
+use pipemap::ir::{random_dfg, InputStreams, RandomDfgConfig, Target};
 use pipemap::netlist::{verify, verify_functional};
+use pipemap::verify::{check_flows, FlowCheckOptions};
 
-const W: u32 = 8;
+const CASES: u64 = 48;
 
-/// One graph-building step; operand indices select from the value pool
-/// modulo its size.
-#[derive(Debug, Clone)]
-enum Cmd {
-    And(usize, usize),
-    Or(usize, usize),
-    Xor(usize, usize),
-    Not(usize),
-    Add(usize, usize),
-    Sub(usize, usize),
-    Shr(usize, u32),
-    Shl(usize, u32),
-    Mux(usize, usize, usize),
-    CmpGe0(usize),
+fn cfg() -> RandomDfgConfig {
+    RandomDfgConfig::default()
 }
 
-fn cmd_strategy() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Cmd::And(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Cmd::Or(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Cmd::Xor(a, b)),
-        any::<usize>().prop_map(Cmd::Not),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Cmd::Add(a, b)),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Cmd::Sub(a, b)),
-        (any::<usize>(), 0u32..W).prop_map(|(a, s)| Cmd::Shr(a, s)),
-        (any::<usize>(), 0u32..W).prop_map(|(a, s)| Cmd::Shl(a, s)),
-        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(s, a, b)| Cmd::Mux(s, a, b)),
-        any::<usize>().prop_map(Cmd::CmpGe0),
-    ]
-}
-
-#[derive(Debug, Clone)]
-struct Spec {
-    cmds: Vec<Cmd>,
-    /// Optional recurrence: (consumer command index, distance).
-    feedback: Option<(usize, u32)>,
-}
-
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    (
-        prop::collection::vec(cmd_strategy(), 3..28),
-        prop::option::of((any::<usize>(), 1u32..3)),
-    )
-        .prop_map(|(cmds, feedback)| Spec { cmds, feedback })
-}
-
-/// Materialize a spec into a validated graph.
-fn build(spec: &Spec) -> Dfg {
-    let mut b = DfgBuilder::new("prop");
-    let mut pool: Vec<NodeId> = Vec::new();
-    pool.push(b.input("x", W));
-    pool.push(b.input("y", W));
-    let c = b.const_(0xA5, W);
-    pool.push(c);
-
-    // Optional feedback placeholder participates in the pool from the
-    // start, bound to the last created value at the end.
-    let fb = spec.feedback.map(|(_, dist)| (b.placeholder(W), dist));
-    if let Some((ph, _)) = fb {
-        pool.push(ph);
-    }
-
-    for cmd in &spec.cmds {
-        let pick = |i: usize| pool[i % pool.len()];
-        let n = match *cmd {
-            Cmd::And(a, x) => b.and(pick(a), pick(x)),
-            Cmd::Or(a, x) => b.or(pick(a), pick(x)),
-            Cmd::Xor(a, x) => b.xor(pick(a), pick(x)),
-            Cmd::Not(a) => b.not(pick(a)),
-            Cmd::Add(a, x) => b.add(pick(a), pick(x)),
-            Cmd::Sub(a, x) => b.sub(pick(a), pick(x)),
-            Cmd::Shr(a, s) => b.shr(pick(a), s),
-            Cmd::Shl(a, s) => b.shl(pick(a), s),
-            Cmd::Mux(s, a, x) => {
-                let sel = b.bit(pick(s), 0);
-                b.mux(sel, pick(a), pick(x))
-            }
-            Cmd::CmpGe0(a) => {
-                let z = b.const_(0, W);
-                let cmp = b.cmp(CmpPred::Sge, pick(a), z);
-                b.zext(cmp, W)
-            }
-        };
-        pool.push(n);
-    }
-    let last = *pool.last().expect("pool non-empty");
-    if let Some((ph, dist)) = fb {
-        b.bind(ph, last, dist).expect("feedback binds");
-    }
-    b.output("out", last);
-    b.output("mid", pool[pool.len() / 2]);
-    b.finish().expect("generated graph is valid")
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Every enumerated non-unit cut is K-feasible, the unit cut comes
-    /// first, and every cut's cone is extractable.
-    #[test]
-    fn cut_enumeration_invariants(spec in spec_strategy()) {
-        let dfg = build(&spec);
+/// Every enumerated non-unit cut is K-feasible, the unit cut comes
+/// first, and every cut's cone is extractable.
+#[test]
+fn cut_enumeration_invariants() {
+    for seed in 0..CASES {
+        let dfg = random_dfg(seed, &cfg());
         let target = Target::default();
-        let cfg = CutConfig::for_target(&target);
-        let db = CutDb::enumerate(&dfg, &cfg);
+        let cut_cfg = CutConfig::for_target(&target);
+        let db = CutDb::enumerate(&dfg, &cut_cfg);
         for (id, node) in dfg.iter() {
             let set = db.cuts(id);
             if !node.op.is_lut_mappable() {
-                prop_assert!(set.is_empty());
+                assert!(set.is_empty());
                 continue;
             }
-            prop_assert!(!set.is_empty(), "missing unit cut for {id}");
+            assert!(!set.is_empty(), "seed {seed}: missing unit cut for {id}");
             for (i, cut) in set.cuts().iter().enumerate() {
                 if i > 0 {
-                    prop_assert!(
-                        cut.max_bit_support() <= cfg.k,
-                        "cut {cut} of {id} exceeds K"
+                    assert!(
+                        cut.max_bit_support() <= cut_cfg.k,
+                        "seed {seed}: cut {cut} of {id} exceeds K"
                     );
                 }
                 let cone = cone_nodes(&dfg, id, cut);
-                prop_assert!(cone.contains(&id));
+                assert!(cone.contains(&id));
                 // The traced (bit-level) cone may be smaller than the
                 // structural one when bits are shifted out or masked.
-                prop_assert!(
+                assert!(
                     cone.len() as u32 >= cut.cone_size() || i == 0,
-                    "structural cone {} < traced {}",
+                    "seed {seed}: structural cone {} < traced {}",
                     cone.len(),
                     cut.cone_size()
                 );
             }
         }
     }
+}
 
-    /// The baseline flow always produces a legal, functionally correct
-    /// pipeline (II is bumped if needed).
-    #[test]
-    fn baseline_always_legal_and_correct(spec in spec_strategy()) {
-        let dfg = build(&spec);
+/// The baseline flow always produces a legal, functionally correct
+/// pipeline (II is bumped if needed).
+#[test]
+fn baseline_always_legal_and_correct() {
+    for seed in 0..CASES {
+        let dfg = random_dfg(seed, &cfg());
         let target = Target::default();
         let db = CutDb::enumerate(&dfg, &CutConfig::for_target(&target));
         let base = schedule_baseline(&dfg, &target, 1, &db).expect("baseline schedules");
         verify(&dfg, &target, &base.implementation).expect("legal");
         let ins = InputStreams::random(&dfg, 12, 0xFACE);
         verify_functional(&dfg, &target, &base.implementation, &ins, 12)
-            .expect("functional");
+            .unwrap_or_else(|e| panic!("seed {seed}: functional: {e}"));
     }
+}
 
-    /// The mapping-aware heuristic, when it succeeds, is legal and
-    /// functionally correct, and never uses a longer pipeline than the
-    /// additive baseline at the same II.
-    #[test]
-    fn mapped_heuristic_legal_and_no_deeper(spec in spec_strategy()) {
-        let dfg = build(&spec);
+/// The mapping-aware heuristic, when it succeeds, is legal and
+/// functionally correct, and never uses a longer pipeline than the
+/// additive baseline at the same II.
+#[test]
+fn mapped_heuristic_legal_and_no_deeper() {
+    for seed in 0..CASES {
+        let dfg = random_dfg(seed, &cfg());
         let target = Target::default();
         let db = CutDb::enumerate(&dfg, &CutConfig::for_target(&target));
         let base = schedule_baseline(&dfg, &target, 1, &db).expect("baseline schedules");
@@ -171,25 +88,23 @@ proptest! {
             verify(&dfg, &target, &h.implementation).expect("legal");
             let ins = InputStreams::random(&dfg, 12, 0xF00D);
             verify_functional(&dfg, &target, &h.implementation, &ins, 12)
-                .expect("functional");
+                .unwrap_or_else(|e| panic!("seed {seed}: functional: {e}"));
             if h.ii == base.ii {
-                prop_assert!(
-                    h.implementation.schedule.depth()
-                        <= base.implementation.schedule.depth()
+                assert!(
+                    h.implementation.schedule.depth() <= base.implementation.schedule.depth(),
+                    "seed {seed}: heuristic deeper than baseline"
                 );
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
-
-    /// The full MILP-map flow on random graphs: legal, functional, and no
-    /// worse than the heuristic baseline in the Eq. 15 objective.
-    #[test]
-    fn milp_map_flow_on_random_graphs(spec in spec_strategy()) {
-        let dfg = build(&spec);
+/// The full MILP-map flow on random graphs: legal, functional, and no
+/// worse than the heuristic baseline in the Eq. 15 objective.
+#[test]
+fn milp_map_flow_on_random_graphs() {
+    for seed in 0..8 {
+        let dfg = random_dfg(seed, &cfg());
         let target = Target::default();
         let opts = FlowOptions {
             time_limit: std::time::Duration::from_secs(2),
@@ -199,17 +114,50 @@ proptest! {
         let map = run_flow(&dfg, &target, Flow::MilpMap, &opts).expect("map");
         let ins = InputStreams::random(&dfg, 12, 0xBEE);
         verify_functional(&dfg, &target, &map.implementation, &ins, 12)
-            .expect("functional");
+            .unwrap_or_else(|e| panic!("seed {seed}: functional: {e}"));
         if map.ii == hls.ii {
-            let cost = |q: &pipemap::netlist::Qor| {
-                opts.alpha * q.luts as f64 + opts.beta * q.ffs as f64
-            };
-            prop_assert!(
+            let cost =
+                |q: &pipemap::netlist::Qor| opts.alpha * q.luts as f64 + opts.beta * q.ffs as f64;
+            assert!(
                 cost(&map.qor) <= cost(&hls.qor) + 1e-9,
-                "map {:?} worse than hls {:?}",
+                "seed {seed}: map {:?} worse than hls {:?}",
                 map.qor,
                 hls.qor
             );
         }
+    }
+}
+
+/// Every schedule produced by all three paper flows passes the full
+/// static verifier with zero error diagnostics, and the flows are
+/// simulation-equivalent (differential check, including the RTL lint at
+/// II = 1).
+#[test]
+fn all_flows_verifier_clean() {
+    for seed in 0..12 {
+        let dfg = random_dfg(seed, &cfg());
+        let target = Target::default();
+        let opts = FlowOptions {
+            time_limit: std::time::Duration::from_secs(2),
+            ..FlowOptions::default()
+        };
+        let results: Vec<_> = Flow::ALL
+            .iter()
+            .map(|&f| {
+                let r = run_flow(&dfg, &target, f, &opts)
+                    .unwrap_or_else(|e| panic!("seed {seed}: flow {}: {e}", f.label()));
+                (f.label(), r)
+            })
+            .collect();
+        let flows: Vec<(&str, _)> = results
+            .iter()
+            .map(|(l, r)| (*l, &r.implementation))
+            .collect();
+        let ds = check_flows(&dfg, &target, &flows, &FlowCheckOptions::default());
+        assert!(
+            !ds.has_errors(),
+            "seed {seed}: verifier errors:\n{}",
+            ds.render_human(dfg.name())
+        );
     }
 }

@@ -15,22 +15,32 @@ fn all_ii1_benchmarks_export_verilog() {
     };
     let mut exported = 0;
     for bench in all() {
-        let r = run_flow(&bench.dfg, &bench.target, Flow::HlsTool, &opts)
-            .expect("baseline flow runs");
+        let r =
+            run_flow(&bench.dfg, &bench.target, Flow::HlsTool, &opts).expect("baseline flow runs");
         if r.ii != 1 {
             continue; // exporter is II = 1 only
         }
-        let rtl = to_verilog(&bench.dfg, &bench.target, &r.implementation, bench.name)
-            .expect("exports");
+        let rtl =
+            to_verilog(&bench.dfg, &bench.target, &r.implementation, bench.name).expect("exports");
         exported += 1;
-        assert!(rtl.contains(&format!("module {}", bench.name)), "{}", bench.name);
+        assert!(
+            rtl.contains(&format!("module {}", bench.name)),
+            "{}",
+            bench.name
+        );
         assert!(rtl.trim_end().ends_with("endmodule"));
         // Port coverage: every primary input and output appears.
         for id in bench.dfg.inputs().iter().chain(&bench.dfg.outputs()) {
             let label = bench.dfg.label(*id);
             let mangled: String = label
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             assert!(
                 rtl.contains(&mangled),
@@ -58,8 +68,8 @@ fn reports_render_for_all_benchmarks() {
         ..FlowOptions::default()
     };
     for bench in all() {
-        let r = run_flow(&bench.dfg, &bench.target, Flow::HlsTool, &opts)
-            .expect("baseline flow runs");
+        let r =
+            run_flow(&bench.dfg, &bench.target, Flow::HlsTool, &opts).expect("baseline flow runs");
         let report = schedule_report(&bench.dfg, &bench.target, &r.implementation);
         assert!(report.contains("cycle 0:"), "{}", bench.name);
         assert!(report.contains("LUTs"), "{}", bench.name);
