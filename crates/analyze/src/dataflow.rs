@@ -1,0 +1,824 @@
+//! Fixpoint driver for the three dataflow analyses.
+//!
+//! Forward pass: [`Fact`]s (known bits + range) are computed in
+//! topological order and iterated to a least fixpoint over loop-carried
+//! edges; a loop-carried read joins the producer's fact with the
+//! constant fact of the node's initial value, so the result covers every
+//! iteration including the pre-loop window. Ranges are widened to the
+//! full interval after a few rounds to bound the chain length; known
+//! bits form a finite lattice and need no widening.
+//!
+//! Backward pass: per-node liveness masks are seeded at `Output` nodes
+//! and propagated against the edges with per-operand *demand* transfer
+//! functions (see [`Analysis::operand_demand`]), refined by the forward
+//! facts (e.g. an `and` with a known-zero bit on one side demands
+//! nothing from the other side at that position, a `mux` with a known
+//! select demands only the chosen leg, a load from a power-of-two-sized
+//! memory demands only the low address bits).
+
+use pipemap_ir::{mask, CmpPred, Dfg, IrError, Memory, Node, NodeId, NodeStyle, Op, Port, Trace};
+
+use crate::facts::{add_known, Fact, KnownBits, Range, Trit};
+
+/// Rounds before ranges are widened to full intervals.
+const WIDEN_AT: usize = 8;
+/// Hard cap on fixpoint rounds (defense in depth; the lattice is finite).
+const MAX_ROUNDS: usize = 200;
+
+/// The results of running all three analyses over one graph.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    facts: Vec<Fact>,
+    live: Vec<u64>,
+}
+
+impl Analysis {
+    /// Run known-bits, range, and liveness analysis to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph fails [`Dfg::validate`] — the
+    /// transfer functions rely on the width invariants it establishes.
+    pub fn run(dfg: &Dfg) -> Result<Analysis, IrError> {
+        dfg.validate()?;
+        let order = dfg.topo_order()?;
+        let n = dfg.len();
+
+        // Forward: known bits + ranges.
+        let mut facts: Vec<Option<Fact>> = vec![None; n];
+        for round in 0..MAX_ROUNDS {
+            let mut changed = false;
+            for &v in &order {
+                let node = dfg.node(v);
+                let new = transfer(dfg, node, &facts);
+                match facts[v.index()] {
+                    None => {
+                        facts[v.index()] = Some(new);
+                        changed = true;
+                    }
+                    Some(old) => {
+                        let mut j = old.join(new);
+                        if round >= WIDEN_AT && j.range != old.range {
+                            j.range = Range::full(node.width);
+                        }
+                        let j = j.refine(node.width);
+                        if j != old {
+                            facts[v.index()] = Some(j);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let facts: Vec<Fact> = facts
+            .into_iter()
+            .zip(dfg.iter())
+            .map(|(f, (_, n))| f.unwrap_or_else(|| Fact::top(n.width)))
+            .collect();
+
+        // Backward: liveness. Monotone (masks only gain bits), finite.
+        let mut live = vec![0u64; n];
+        for (id, node) in dfg.iter() {
+            if node.op == Op::Output {
+                live[id.index()] = mask(node.width);
+            }
+        }
+        loop {
+            let mut changed = false;
+            for &v in order.iter().rev() {
+                let node = dfg.node(v);
+                let l = live[v.index()];
+                for (k, p) in node.ins.iter().enumerate() {
+                    let d =
+                        operand_demand_impl(dfg, node, k, l, &facts) & mask(dfg.node(p.node).width);
+                    let cell = &mut live[p.node.index()];
+                    if *cell | d != *cell {
+                        *cell |= d;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Ok(Analysis { facts, live })
+    }
+
+    /// The forward fact for a node (covers every iteration).
+    pub fn fact(&self, v: NodeId) -> Fact {
+        self.facts[v.index()]
+    }
+
+    /// The fact observed through a port: for a loop-carried read this
+    /// joins the producer's fact with the node's initial value, which is
+    /// what reads before iteration `dist` actually see.
+    pub fn port_fact(&self, dfg: &Dfg, p: Port) -> Fact {
+        let w = dfg.node(p.node).width;
+        let f = self.facts[p.node.index()];
+        if p.dist == 0 {
+            f
+        } else {
+            f.join(Fact::constant(dfg.init_value(p.node) & mask(w), w))
+                .refine(w)
+        }
+    }
+
+    /// Mask of bits of `v` that can reach a primary output (demand).
+    pub fn live(&self, v: NodeId) -> u64 {
+        self.live[v.index()]
+    }
+
+    /// Mask of provably dead bits of `v`.
+    pub fn dead(&self, dfg: &Dfg, v: NodeId) -> u64 {
+        mask(dfg.node(v).width) & !self.live[v.index()]
+    }
+
+    /// Demand mask operand `k` of node `v` must satisfy so that the live
+    /// bits of `v` keep their values. Bits outside the mask may change
+    /// without any live bit of `v` (and hence any output) changing, as
+    /// long as every *known* bit in the graph keeps its value — the
+    /// invariant all `simplify` rewrites maintain.
+    pub fn operand_demand(&self, dfg: &Dfg, v: NodeId, k: usize) -> u64 {
+        let node = dfg.node(v);
+        operand_demand_impl(dfg, node, k, self.live[v.index()], &self.facts)
+            & mask(dfg.node(node.ins[k].node).width)
+    }
+
+    /// Per-bit pattern of a node's fact, MSB first: `0`/`1` for known
+    /// bits, `-` for live-but-unknown, `x` for provably dead.
+    pub fn pattern(&self, dfg: &Dfg, v: NodeId) -> String {
+        let w = dfg.node(v).width;
+        let f = self.facts[v.index()];
+        let live = self.live[v.index()];
+        (0..w)
+            .rev()
+            .map(|j| {
+                let b = 1u64 << j;
+                if live & b == 0 && dfg.node(v).op != Op::Output {
+                    'x'
+                } else if f.bits.ones & b != 0 {
+                    '1'
+                } else if f.bits.zeros & b != 0 {
+                    '0'
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    }
+
+    /// A DOT [`NodeStyle`] visualizing the facts: green fill for nodes
+    /// proven constant, grey dashed for fully dead nodes, and the bit
+    /// pattern from [`Analysis::pattern`] as a note when anything is
+    /// known or dead.
+    pub fn dot_style(&self, dfg: &Dfg, v: NodeId) -> NodeStyle {
+        let node = dfg.node(v);
+        let mut s = NodeStyle::default();
+        if matches!(node.op, Op::Input | Op::Const(_) | Op::Output) {
+            return s;
+        }
+        let w = node.width;
+        let f = self.facts[v.index()];
+        let live = self.live[v.index()];
+        if live == 0 {
+            s.fill = Some("#dddddd".to_string());
+            s.dashed = true;
+            s.note = Some("dead".to_string());
+        } else if let Some(c) = f.constant_value(w) {
+            s.fill = Some("#d8f2d0".to_string());
+            s.dashed = true;
+            s.note = Some(format!("= 0x{c:x}"));
+        } else if f.bits.known() != 0 || live != mask(w) {
+            s.fill = Some("#fff3b0".to_string());
+            s.note = Some(self.pattern(dfg, v));
+        }
+        s
+    }
+
+    /// Check every forward fact against an executed [`Trace`]: a bit
+    /// claimed known or a range bound must never disagree with any
+    /// simulated value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated fact.
+    pub fn check_against_trace(
+        &self,
+        dfg: &Dfg,
+        trace: &Trace,
+        iterations: usize,
+    ) -> Result<(), String> {
+        for iter in 0..iterations.min(trace.iterations()) {
+            for (id, node) in dfg.iter() {
+                let v = trace.value(iter, id) & mask(node.width);
+                let f = self.facts[id.index()];
+                if !f.bits.covers(v) {
+                    return Err(format!(
+                        "node {id} ({}) iteration {iter}: value {v:#x} violates known bits \
+                         zeros={:#x} ones={:#x}",
+                        node.op.mnemonic(),
+                        f.bits.zeros,
+                        f.bits.ones
+                    ));
+                }
+                if !f.range.contains(v) {
+                    return Err(format!(
+                        "node {id} ({}) iteration {iter}: value {v:#x} outside range \
+                         [{:#x}, {:#x}]",
+                        node.op.mnemonic(),
+                        f.range.lo,
+                        f.range.hi
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// [`Analysis::port_fact`] over a completed fact vector.
+fn port_fact_complete(dfg: &Dfg, p: Port, facts: &[Fact]) -> Fact {
+    let w = dfg.node(p.node).width;
+    let f = facts[p.node.index()];
+    if p.dist == 0 {
+        f
+    } else {
+        f.join(Fact::constant(dfg.init_value(p.node) & mask(w), w))
+            .refine(w)
+    }
+}
+
+fn port_fact_partial(dfg: &Dfg, p: Port, facts: &[Option<Fact>]) -> Fact {
+    let w = dfg.node(p.node).width;
+    let producer = facts[p.node.index()];
+    if p.dist == 0 {
+        // Distance-0 producers precede the consumer in topological order,
+        // so the fact is present from round one.
+        producer.unwrap_or_else(|| Fact::top(w))
+    } else {
+        let init = Fact::constant(dfg.init_value(p.node) & mask(w), w);
+        match producer {
+            // Before the producer's fact exists, loop-carried reads are
+            // modeled by the initial value alone; later rounds join in the
+            // producer and the fixpoint covers both.
+            None => init,
+            Some(f) => f.join(init).refine(w),
+        }
+    }
+}
+
+/// Forward transfer function for one node.
+fn transfer(dfg: &Dfg, node: &Node, facts: &[Option<Fact>]) -> Fact {
+    let w = node.width;
+    let m = mask(w);
+    let pf = |k: usize| port_fact_partial(dfg, node.ins[k], facts);
+    let in_w = |k: usize| dfg.node(node.ins[k].node).width;
+
+    let f = match node.op {
+        Op::Input => Fact::top(w),
+        Op::Const(c) => Fact::constant(c & m, w),
+        Op::Output => pf(0),
+        Op::And => {
+            let (a, b) = (pf(0), pf(1));
+            Fact {
+                bits: KnownBits {
+                    ones: a.bits.ones & b.bits.ones,
+                    zeros: (a.bits.zeros | b.bits.zeros) & m,
+                },
+                range: Range {
+                    lo: 0,
+                    hi: a.range.hi.min(b.range.hi),
+                },
+            }
+        }
+        Op::Or => {
+            let (a, b) = (pf(0), pf(1));
+            Fact {
+                bits: KnownBits {
+                    ones: (a.bits.ones | b.bits.ones) & m,
+                    zeros: a.bits.zeros & b.bits.zeros,
+                },
+                range: Range {
+                    lo: a.range.lo.max(b.range.lo),
+                    hi: smear(a.range.hi) | smear(b.range.hi),
+                },
+            }
+        }
+        Op::Xor => {
+            let (a, b) = (pf(0), pf(1));
+            Fact {
+                bits: KnownBits {
+                    ones: (a.bits.ones & b.bits.zeros) | (a.bits.zeros & b.bits.ones),
+                    zeros: (a.bits.ones & b.bits.ones) | (a.bits.zeros & b.bits.zeros),
+                },
+                range: Range {
+                    lo: 0,
+                    hi: smear(a.range.hi) | smear(b.range.hi),
+                },
+            }
+        }
+        Op::Not => {
+            let a = pf(0);
+            Fact {
+                bits: a.bits.not(w),
+                range: Range {
+                    lo: m - a.range.hi.min(m),
+                    hi: m - a.range.lo.min(m),
+                },
+            }
+        }
+        Op::Mux => {
+            let sel = pf(0);
+            match sel.bits.trit(0) {
+                Trit::One => pf(1),
+                Trit::Zero => pf(2),
+                Trit::Top => pf(1).join(pf(2)),
+            }
+        }
+        Op::Shl(s) => {
+            let a = pf(0);
+            if s >= 64 {
+                Fact::constant(0, w)
+            } else {
+                // Shifted-in low bits are zero; out bit j (j >= s) copies
+                // in bit j-s.
+                let mut zeros = ((1u64 << s) - 1) & m;
+                let mut ones = 0u64;
+                for j in s..w {
+                    let src = 1u64 << (j - s);
+                    if a.bits.zeros & src != 0 {
+                        zeros |= 1u64 << j;
+                    } else if a.bits.ones & src != 0 {
+                        ones |= 1u64 << j;
+                    }
+                }
+                let range = if (a.range.hi as u128) << s <= m as u128 {
+                    Range {
+                        lo: a.range.lo << s,
+                        hi: a.range.hi << s,
+                    }
+                } else {
+                    Range::full(w)
+                };
+                Fact {
+                    bits: KnownBits { zeros, ones },
+                    range,
+                }
+            }
+        }
+        Op::Shr(s) => {
+            let a = pf(0);
+            if s >= 64 {
+                Fact::constant(0, w)
+            } else {
+                // Out bit j reads in bit j+s; bits past the producer width
+                // are zero.
+                let iw = in_w(0);
+                let mut zeros = 0u64;
+                let mut ones = 0u64;
+                for j in 0..w {
+                    let src = j + s;
+                    if src >= iw || a.bits.zeros & (1u64 << src) != 0 {
+                        zeros |= 1u64 << j;
+                    } else if a.bits.ones & (1u64 << src) != 0 {
+                        ones |= 1u64 << j;
+                    }
+                }
+                Fact {
+                    bits: KnownBits { zeros, ones },
+                    range: Range {
+                        lo: a.range.lo >> s,
+                        hi: a.range.hi >> s,
+                    },
+                }
+            }
+        }
+        Op::Slice { lo } => {
+            let a = pf(0);
+            let bits = KnownBits {
+                ones: (a.bits.ones >> lo) & m,
+                zeros: (a.bits.zeros >> lo) & m,
+            };
+            let range = if a.range.hi >> lo <= m {
+                Range {
+                    lo: a.range.lo >> lo,
+                    hi: a.range.hi >> lo,
+                }
+            } else {
+                Range::full(w)
+            };
+            Fact { bits, range }
+        }
+        Op::Concat => {
+            let (hi, lo) = (pf(0), pf(1));
+            let wl = in_w(1);
+            Fact {
+                bits: KnownBits {
+                    ones: ((hi.bits.ones << wl) | lo.bits.ones) & m,
+                    zeros: ((hi.bits.zeros << wl) | lo.bits.zeros) & m,
+                },
+                // Fields are disjoint: exact interval arithmetic.
+                range: Range {
+                    lo: (hi.range.lo << wl) | lo.range.lo,
+                    hi: (hi.range.hi << wl) | lo.range.hi,
+                },
+            }
+        }
+        Op::Add => {
+            let (a, b) = (pf(0), pf(1));
+            let bits = add_known(a.bits, b.bits, Trit::Zero, w);
+            let range = match (a.range.hi as u128) + (b.range.hi as u128) {
+                s if s <= m as u128 => Range {
+                    lo: a.range.lo + b.range.lo,
+                    hi: a.range.hi + b.range.hi,
+                },
+                _ => Range::full(w),
+            };
+            Fact { bits, range }
+        }
+        Op::Sub => {
+            let (a, b) = (pf(0), pf(1));
+            let bits = add_known(a.bits, b.bits.not(w), Trit::One, w);
+            let range = if a.range.lo >= b.range.hi {
+                Range {
+                    lo: a.range.lo - b.range.hi,
+                    hi: a.range.hi - b.range.lo,
+                }
+            } else {
+                Range::full(w)
+            };
+            Fact { bits, range }
+        }
+        Op::Cmp(pred) => {
+            let (a, b) = (pf(0), pf(1));
+            match cmp_decide(pred, a, b, in_w(0)) {
+                Some(t) => Fact::constant(u64::from(t), 1),
+                None => Fact::top(1),
+            }
+        }
+        Op::Mul => {
+            let (a, b) = (pf(0), pf(1));
+            if let (Some(x), Some(y)) = (a.constant_value(in_w(0)), b.constant_value(in_w(1))) {
+                Fact::constant(x.wrapping_mul(y) & m, w)
+            } else if a.range.hi == 0 || b.range.hi == 0 {
+                Fact::constant(0, w)
+            } else {
+                let range = match (a.range.hi as u128) * (b.range.hi as u128) {
+                    p if p <= m as u128 => Range {
+                        lo: a.range.lo * b.range.lo,
+                        hi: a.range.hi * b.range.hi,
+                    },
+                    _ => Range::full(w),
+                };
+                Fact {
+                    bits: KnownBits::top(),
+                    range,
+                }
+            }
+        }
+        Op::Load(mem) => load_fact(dfg.memory(mem), pf(0), w),
+    };
+    f.refine(w)
+}
+
+/// Fact for a memory load given the address fact.
+fn load_fact(mem: &Memory, addr: Fact, w: u32) -> Fact {
+    let m = mask(w);
+    let len = mem.data.len() as u64;
+    // Which entries can be addressed? `load` indexes data[addr % len].
+    let candidates: Box<dyn Iterator<Item = u64> + '_> =
+        if addr.range.hi.saturating_sub(addr.range.lo) + 1 >= len || len > 4096 {
+            Box::new(mem.data.iter().copied())
+        } else {
+            Box::new((addr.range.lo..=addr.range.hi).map(move |i| mem.data[(i % len) as usize]))
+        };
+    let mut it = candidates.map(|d| d & m);
+    let Some(first) = it.next() else {
+        return Fact::top(w);
+    };
+    let mut f = Fact::constant(first, w);
+    for d in it {
+        f = f.join(Fact::constant(d, w));
+    }
+    f.refine(w)
+}
+
+/// All-ones up to and including the most significant set bit of `x`.
+fn smear(x: u64) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        u64::MAX >> x.leading_zeros()
+    }
+}
+
+/// Decide a comparison from the operand facts, if possible.
+fn cmp_decide(pred: CmpPred, a: Fact, b: Fact, w: u32) -> Option<bool> {
+    // Bit-level disequality: some position is known with opposite values.
+    let conflict = ((a.bits.ones & b.bits.zeros) | (a.bits.zeros & b.bits.ones)) != 0;
+    let eq = match (a.range.constant_value(), b.range.constant_value()) {
+        (Some(x), Some(y)) => Some(x == y),
+        _ if conflict || a.range.hi < b.range.lo || b.range.hi < a.range.lo => Some(false),
+        _ => None,
+    };
+    // Unsigned interval ordering.
+    let ult = if a.range.hi < b.range.lo {
+        Some(true)
+    } else if a.range.lo >= b.range.hi {
+        Some(false)
+    } else {
+        None
+    };
+    let ule = if a.range.hi <= b.range.lo {
+        Some(true)
+    } else if a.range.lo > b.range.hi {
+        Some(false)
+    } else {
+        None
+    };
+    match pred {
+        CmpPred::Eq => eq,
+        CmpPred::Ne => eq.map(|t| !t),
+        CmpPred::Ult => ult,
+        CmpPred::Uge => ult.map(|t| !t),
+        CmpPred::Ule => ule,
+        CmpPred::Ugt => ule.map(|t| !t),
+        CmpPred::Slt | CmpPred::Sge | CmpPred::Sle | CmpPred::Sgt => {
+            // Signed order from sign knowledge + unsigned order within a
+            // sign class (two's complement preserves order inside each
+            // half). Facts are refined, so a known sign bit is reflected
+            // in the range bounds.
+            let sa = a.bits.trit(w - 1);
+            let sb = b.bits.trit(w - 1);
+            let slt = match (sa, sb) {
+                (Trit::One, Trit::Zero) => Some(true),
+                (Trit::Zero, Trit::One) => Some(false),
+                (Trit::One, Trit::One) | (Trit::Zero, Trit::Zero) => ult,
+                _ => None,
+            };
+            let sle = match (sa, sb) {
+                (Trit::One, Trit::Zero) => Some(true),
+                (Trit::Zero, Trit::One) => Some(false),
+                (Trit::One, Trit::One) | (Trit::Zero, Trit::Zero) => ule,
+                _ => None,
+            };
+            match pred {
+                CmpPred::Slt => slt,
+                CmpPred::Sge => slt.map(|t| !t),
+                CmpPred::Sle => sle,
+                CmpPred::Sgt => sle.map(|t| !t),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Demand transfer: which bits of operand `k` must keep their values for
+/// the live bits `l` of `node` to keep theirs (given the forward facts).
+fn operand_demand_impl(dfg: &Dfg, node: &Node, k: usize, l: u64, facts: &[Fact]) -> u64 {
+    let pf = |k: usize| port_fact_complete(dfg, node.ins[k], facts);
+    let in_w = |k: usize| dfg.node(node.ins[k].node).width;
+    if l == 0 {
+        return 0;
+    }
+    let msb_demand = |k: usize| {
+        // Cumulative (arithmetic) ops: output bit j depends on input bits
+        // 0..=j, so the demand reaches up to the highest live bit.
+        let h = 63 - l.leading_zeros();
+        mask((h + 1).min(in_w(k)))
+    };
+    match node.op {
+        Op::Input | Op::Const(_) => 0,
+        Op::Output => l,
+        Op::And => {
+            let other = pf(1 - k);
+            l & !other.bits.zeros
+        }
+        Op::Or => {
+            let other = pf(1 - k);
+            l & !other.bits.ones
+        }
+        Op::Xor | Op::Not => l,
+        Op::Mux => {
+            let sel = pf(0);
+            match sel.bits.trit(0) {
+                Trit::One => [0, l, 0][k],
+                Trit::Zero => [0, 0, l][k],
+                Trit::Top => [1, l, l][k],
+            }
+        }
+        Op::Shl(s) => {
+            if s >= 64 {
+                0
+            } else {
+                l >> s
+            }
+        }
+        Op::Shr(s) => {
+            if s >= 64 {
+                0
+            } else {
+                l << s.min(63)
+            }
+        }
+        Op::Slice { lo } => l << lo.min(63),
+        Op::Concat => {
+            let wl = in_w(1);
+            if k == 0 {
+                l >> wl
+            } else {
+                l & mask(wl)
+            }
+        }
+        Op::Add | Op::Sub | Op::Mul => msb_demand(k),
+        Op::Cmp(pred) => {
+            let rhs = dfg.node(node.ins[1].node);
+            let zero_rhs = matches!(rhs.op, Op::Const(c) if c == 0);
+            if pred.msb_test_vs_zero() && zero_rhs {
+                if k == 0 {
+                    1u64 << (in_w(0) - 1)
+                } else {
+                    0
+                }
+            } else {
+                mask(in_w(k))
+            }
+        }
+        Op::Load(mem) => {
+            let len = dfg.memory(mem).data.len() as u64;
+            if len.is_power_of_two() {
+                mask((64 - (len - 1).leading_zeros()).clamp(1, in_w(0)))
+            } else {
+                mask(in_w(0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, DfgBuilder, InputStreams};
+
+    #[test]
+    fn constants_fold_through_logic() {
+        let mut b = DfgBuilder::new("c");
+        let x = b.input("x", 8);
+        let c5 = b.const_(5, 8);
+        let c3 = b.const_(3, 8);
+        let s = b.add(c5, c3);
+        let a = b.and(x, s);
+        b.output("o", a);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.fact(s).constant_value(8), Some(8));
+        // x & 8: all bits except bit 3 known zero.
+        assert_eq!(an.fact(a).bits.zeros, 0xF7);
+        assert_eq!(an.fact(a).range, Range { lo: 0, hi: 8 });
+    }
+
+    #[test]
+    fn shift_and_slice_facts() {
+        let mut b = DfgBuilder::new("s");
+        let x = b.input("x", 8);
+        let sh = b.shr(x, 6); // [0, 3]
+        let sl = b.slice(x, 5, 2); // bits 6..5
+        b.output("a", sh);
+        b.output("b", sl);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.fact(sh).range, Range { lo: 0, hi: 3 });
+        assert_eq!(an.fact(sh).bits.zeros, 0xFC);
+        assert_eq!(an.fact(sl).range, Range { lo: 0, hi: 3 });
+    }
+
+    #[test]
+    fn mux_with_known_select_copies_leg() {
+        let mut b = DfgBuilder::new("m");
+        let x = b.input("x", 4);
+        let one = b.const_(1, 1);
+        let c9 = b.const_(9, 4);
+        let m = b.raw_node(Op::Mux, 4, vec![one.into(), c9.into(), x.into()]);
+        b.output("o", m);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.fact(m).constant_value(4), Some(9));
+    }
+
+    #[test]
+    fn loop_carried_accumulator_joins_init() {
+        // q = (q@-1 | 0x3): starts at init 0 so bits accumulate; the fact
+        // must cover both 0 (first read) and 3 (steady state).
+        let mut b = DfgBuilder::new("l");
+        let c3 = b.const_(3, 4);
+        let prev = b.placeholder(4);
+        let q = b.or(c3, prev);
+        b.bind(prev, q, 1).expect("bind");
+        b.output("o", q);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        // q itself is always 3 | previous ⊇ 3.
+        assert_eq!(an.fact(q).bits.ones & 0x3, 0x3);
+        assert_eq!(an.fact(q).bits.zeros, 0xC);
+        let ins = InputStreams::random(&g, 8, 7);
+        let t = execute(&g, &ins, 8).expect("runs");
+        an.check_against_trace(&g, &t, 8).expect("sound");
+    }
+
+    #[test]
+    fn cmp_decisions() {
+        let mut b = DfgBuilder::new("q");
+        let x = b.input("x", 8);
+        let hi = b.shr(x, 4); // [0, 15]
+        let c16 = b.const_(16, 8);
+        let lt = b.cmp(CmpPred::Ult, hi, c16); // always true
+        let ge = b.cmp(CmpPred::Sge, hi, c16); // 0..15 >= 16 signed: false
+        b.output("lt", lt);
+        b.output("ge", ge);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.fact(lt).constant_value(1), Some(1));
+        assert_eq!(an.fact(ge).constant_value(1), Some(0));
+    }
+
+    #[test]
+    fn liveness_through_slice_and_masks() {
+        let mut b = DfgBuilder::new("lv");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let t = b.xor(x, y);
+        let s = b.slice(t, 0, 4); // only low nibble observed
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.live(t), 0x0F);
+        assert_eq!(an.live(x), 0x0F);
+        assert_eq!(an.dead(&g, y), 0xF0);
+        // and with a constant mask kills the other side's bits.
+        let mut b = DfgBuilder::new("lv2");
+        let x = b.input("x", 8);
+        let c = b.const_(0x0F, 8);
+        let a = b.and(x, c);
+        b.output("o", a);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.live(x), 0x0F);
+    }
+
+    #[test]
+    fn msb_only_cmp_demand() {
+        let mut b = DfgBuilder::new("msb");
+        let x = b.input("x", 8);
+        let z = b.const_(0, 8);
+        let c = b.cmp(CmpPred::Sge, x, z);
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.live(x), 0x80);
+        // sle reads every bit (x <= 0 includes x == 0).
+        let mut b = DfgBuilder::new("msb2");
+        let x = b.input("x", 8);
+        let z = b.const_(0, 8);
+        let c = b.cmp(CmpPred::Sle, x, z);
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        assert_eq!(an.live(x), 0xFF);
+    }
+
+    #[test]
+    fn load_facts_join_table_entries() {
+        let mut b = DfgBuilder::new("ld");
+        let mem = b.add_memory("t", 8, vec![0x10, 0x12, 0x16, 0x14]);
+        let x = b.input("x", 2);
+        let v = b.load(mem, x);
+        b.output("o", v);
+        let g = b.finish().expect("valid");
+        let an = Analysis::run(&g).expect("runs");
+        // All entries share 0b000101?0 pattern: bit 4 set, bits 0,3,5..7
+        // clear.
+        let f = an.fact(v);
+        assert_eq!(f.bits.ones, 0x10);
+        assert_eq!(f.bits.zeros, !0x16u64 & 0xFF);
+        assert_eq!(f.range, Range { lo: 0x10, hi: 0x16 });
+        // Power-of-two table: address demand is the low bits only.
+        assert_eq!(an.live(x), 0x3);
+    }
+
+    #[test]
+    fn facts_sound_on_random_graph() {
+        for seed in 0..20 {
+            let g = pipemap_ir::random_dfg(seed, &Default::default());
+            let an = Analysis::run(&g).expect("runs");
+            let ins = InputStreams::random(&g, 16, seed ^ 0xABCD);
+            let t = execute(&g, &ins, 16).expect("runs");
+            an.check_against_trace(&g, &t, 16)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

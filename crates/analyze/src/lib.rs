@@ -1,0 +1,54 @@
+//! Bit-level dataflow analysis and proof-carrying simplification for
+//! pipemap IR.
+//!
+//! This crate derives three families of facts over a [`pipemap_ir::Dfg`]
+//! by fixpoint iteration:
+//!
+//! * **known bits** — per-bit three-valued abstraction (`0`/`1`/unknown)
+//!   pushed forward through every operation, including carry propagation
+//!   through `add`/`sub` and decided comparisons;
+//! * **value ranges** — unsigned intervals `[lo, hi]`, mutually refined
+//!   against the known bits;
+//! * **dead-bit liveness** — a backward demand mask per node: which bits
+//!   can still influence a primary output or memory address.
+//!
+//! On top of the facts, [`simplify`] performs a conservative,
+//! *proof-carrying* rewrite of the graph: constant folding, identity
+//! forwarding, dead-operand pruning, range-based width narrowing, and
+//! dead-code elimination. Every rewrite records a [`Justification`] that
+//! an independent checker (see `pipemap-verify`) can re-derive from the
+//! original graph, and the contract — rewrites preserve every *known*
+//! bit and may change only *dead* bits — makes the composition
+//! output-equivalent by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use pipemap_ir::DfgBuilder;
+//! use pipemap_analyze::{Analysis, simplify};
+//!
+//! let mut b = DfgBuilder::new("demo");
+//! let x = b.input("x", 8);
+//! let c = b.const_(0x0F, 8);
+//! let lo = b.and(x, c);
+//! b.output("o", lo);
+//! let dfg = b.finish().unwrap();
+//!
+//! let a = Analysis::run(&dfg).unwrap();
+//! assert_eq!(a.fact(lo).bits.zeros, 0xF0); // high nibble proven zero
+//!
+//! let out = simplify(&dfg).unwrap();
+//! assert!(out.rewrites.is_empty() || out.dfg.len() <= dfg.len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataflow;
+mod facts;
+mod simplify;
+
+pub use dataflow::Analysis;
+pub use facts::{Fact, KnownBits, Range};
+pub use simplify::{
+    simplify, simplify_with, Justification, Rewrite, RewriteKind, SimplifyOutcome, SimplifyStats,
+};

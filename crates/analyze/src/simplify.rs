@@ -1,0 +1,699 @@
+//! Proof-carrying simplification on top of the analysis facts.
+//!
+//! Five rewrite families, applied in order:
+//!
+//! 1. **Constant folding** — a node whose fact pins every bit becomes an
+//!    `Op::Const` (its initial value is preserved, so loop-carried reads
+//!    of the pre-loop window are unaffected).
+//! 2. **Forwarding** — identity operations (`x & 1…1`, `x | 0`, `x ^ 0`,
+//!    `x + 0`, `x - 0`, `x * 1`, `shl/shr` by 0, full-width `slice` at 0,
+//!    `mux` with a known select) rewire their consumers to the operand.
+//! 3. **Dead-operand pruning** — an operand none of whose bits can affect
+//!    a live bit of the consumer is replaced by a constant that agrees
+//!    with the operand's known bits, unhooking its cone.
+//! 4. **Width narrowing** — an `add`/`sub` whose range proves the top
+//!    bits zero is re-expressed at the narrow width and zero-extended.
+//! 5. **Dead-code elimination** — nodes no longer reachable from an
+//!    output are removed (`Input`/`Output` nodes are always kept so the
+//!    I/O interface, and hence seeded input streams, line up).
+//!
+//! Every rewrite carries a [`Justification`] that an independent checker
+//! can re-derive from the *original* graph (see `pipemap-verify`'s
+//! analyze pass). The global soundness contract: each rewrite preserves
+//! the value of every bit the analysis claims **known**, and may change
+//! only bits the liveness analysis proves **dead** — by induction no
+//! output bit ever changes.
+
+use std::collections::HashMap;
+
+use pipemap_ir::{mask, Dfg, IrError, Node, NodeId, Op, Port};
+
+use crate::dataflow::Analysis;
+
+/// The machine-checkable reason a rewrite is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Justification {
+    /// The analysis pins every bit of the node to `value`.
+    KnownValue {
+        /// The proven constant.
+        value: u64,
+    },
+    /// The mux select bit is proven constant.
+    KnownSelect {
+        /// The proven select value.
+        value: bool,
+    },
+    /// Operand `operand` is proven to be the operation's identity element
+    /// `value` (all-ones for `and`, `0` for `or`/`xor`/`add`/`sub`, `1`
+    /// for `mul`).
+    IdentityOperand {
+        /// Index of the identity operand.
+        operand: usize,
+        /// The identity element it is proven to equal.
+        value: u64,
+    },
+    /// The operation is structurally a wire (`shl 0`, `shr 0`,
+    /// full-width `slice` at bit 0).
+    IdentityWire,
+    /// A comparison of a value with itself decides by reflexivity.
+    ReflexiveCmp,
+    /// The range analysis bounds the result below `2^kept`.
+    RangeNarrow {
+        /// Bits that must be kept.
+        kept: u32,
+    },
+    /// No live bit of the node depends on this operand.
+    DeadBits {
+        /// Index of the dead operand.
+        operand: usize,
+    },
+    /// The node can no longer reach any primary output.
+    Unreachable,
+}
+
+/// What a rewrite did (node ids refer to the **original** graph; ports
+/// are single-hop, pre-resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteKind {
+    /// The node was replaced by `Op::Const(value)`.
+    ConstFold {
+        /// Folded value.
+        value: u64,
+    },
+    /// Consumers of the node were rewired to read `to` instead.
+    Forward {
+        /// Replacement port (distances compose additively).
+        to: Port,
+    },
+    /// Operand `operand` was replaced by a constant `value`.
+    DeadOperand {
+        /// Index of the replaced operand.
+        operand: usize,
+        /// Constant it was replaced with (agrees with all known bits).
+        value: u64,
+    },
+    /// The node was re-expressed at width `to` and zero-extended back to
+    /// `from`.
+    Narrow {
+        /// Original width.
+        from: u32,
+        /// Narrow width.
+        to: u32,
+    },
+    /// The node was deleted.
+    RemoveDead,
+}
+
+/// One applied rewrite with its justification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rewrite {
+    /// The rewritten node, in original-graph ids.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: RewriteKind,
+    /// Why it is sound.
+    pub justification: Justification,
+}
+
+/// Aggregate statistics of one simplification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Nodes before.
+    pub nodes_before: usize,
+    /// Nodes after (DCE and helper nodes included).
+    pub nodes_after: usize,
+    /// Constant-folded nodes.
+    pub const_folded: usize,
+    /// Forwarded (bypassed) nodes.
+    pub forwarded: usize,
+    /// Operands replaced by constants.
+    pub dead_operands: usize,
+    /// Narrowed arithmetic nodes.
+    pub narrowed: usize,
+    /// Nodes removed by DCE.
+    pub removed: usize,
+    /// Bits proven constant across all non-source nodes.
+    pub bits_known: u64,
+    /// Bits proven dead across all non-output nodes.
+    pub bits_dead: u64,
+    /// Bits of logic pruned: widths of removed nodes plus widths saved by
+    /// narrowing.
+    pub bits_pruned: u64,
+}
+
+/// The simplified graph plus the evidence trail.
+#[derive(Debug, Clone)]
+pub struct SimplifyOutcome {
+    /// The simplified, validated graph.
+    pub dfg: Dfg,
+    /// Every rewrite applied, in application order.
+    pub rewrites: Vec<Rewrite>,
+    /// Map from original node ids to ids in the simplified graph
+    /// (`None` for removed nodes).
+    pub node_map: Vec<Option<NodeId>>,
+    /// Aggregate statistics.
+    pub stats: SimplifyStats,
+}
+
+/// Working copy of the graph being rewritten, with a pool of shared
+/// helper constants.
+struct Work {
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    inits: Vec<u64>,
+    const_pool: HashMap<(u32, u64), NodeId>,
+}
+
+impl Work {
+    fn intern_const(&mut self, width: u32, value: u64) -> NodeId {
+        let c = value & mask(width);
+        if let Some(&id) = self.const_pool.get(&(width, c)) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op: Op::Const(c),
+            width,
+            ins: vec![],
+        });
+        self.names.push(None);
+        self.inits.push(0);
+        self.const_pool.insert((width, c), id);
+        id
+    }
+
+    /// A `kept`-wide view of `p`: constants are re-interned narrow,
+    /// anything else gets a low slice.
+    fn narrow_port(&mut self, p: Port, kept: u32) -> Port {
+        if let Op::Const(c) = self.nodes[p.node.index()].op {
+            Port::this_iter(self.intern_const(kept, c))
+        } else {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Node {
+                op: Op::Slice { lo: 0 },
+                width: kept,
+                ins: vec![p],
+            });
+            self.names.push(None);
+            self.inits.push(0);
+            Port::this_iter(id)
+        }
+    }
+}
+
+/// Run the analyses and simplify `dfg`.
+///
+/// # Errors
+///
+/// Fails only if `dfg` itself does not validate (the rewritten graph is
+/// re-validated; a failure there would be an internal bug and is also
+/// reported as an error rather than a panic).
+pub fn simplify(dfg: &Dfg) -> Result<SimplifyOutcome, IrError> {
+    let analysis = Analysis::run(dfg)?;
+    simplify_with(dfg, &analysis)
+}
+
+/// [`simplify`] with a pre-computed analysis.
+pub fn simplify_with(dfg: &Dfg, analysis: &Analysis) -> Result<SimplifyOutcome, IrError> {
+    let n = dfg.len();
+    let mut w = Work {
+        nodes: dfg.iter().map(|(_, nd)| nd.clone()).collect(),
+        names: dfg
+            .node_ids()
+            .map(|id| dfg.node_name(id).map(String::from))
+            .collect(),
+        inits: dfg.node_ids().map(|id| dfg.init_value(id)).collect(),
+        const_pool: HashMap::new(),
+    };
+    let mut rewrites: Vec<Rewrite> = Vec::new();
+    let mut stats = SimplifyStats {
+        nodes_before: n,
+        ..SimplifyStats::default()
+    };
+    for (id, nd) in dfg.iter() {
+        if !matches!(nd.op, Op::Input | Op::Const(_)) {
+            stats.bits_known += u64::from(analysis.fact(id).bits.known().count_ones());
+        }
+        if nd.op != Op::Output {
+            stats.bits_dead += u64::from(analysis.dead(dfg, id).count_ones());
+        }
+    }
+
+    // Pass 1: constant folding (and reflexive compares).
+    for id in dfg.node_ids() {
+        let nd = &w.nodes[id.index()];
+        if matches!(nd.op, Op::Input | Op::Output | Op::Const(_)) {
+            continue;
+        }
+        let width = nd.width;
+        if let Some(c) = analysis.fact(id).constant_value(width) {
+            rewrites.push(Rewrite {
+                node: id,
+                kind: RewriteKind::ConstFold { value: c },
+                justification: Justification::KnownValue { value: c },
+            });
+            w.nodes[id.index()] = Node {
+                op: Op::Const(c),
+                width,
+                ins: vec![],
+            };
+            stats.const_folded += 1;
+        } else if let Op::Cmp(p) = nd.op {
+            if nd.ins[0] == nd.ins[1] {
+                let c = u64::from(p.reflexive_value());
+                rewrites.push(Rewrite {
+                    node: id,
+                    kind: RewriteKind::ConstFold { value: c },
+                    justification: Justification::ReflexiveCmp,
+                });
+                w.nodes[id.index()] = Node {
+                    op: Op::Const(c),
+                    width: 1,
+                    ins: vec![],
+                };
+                stats.const_folded += 1;
+            }
+        }
+    }
+
+    // Pass 2: forwarding. Candidates are justified against the original
+    // facts; chains are resolved per consumer edge with the loop-carried
+    // guard (a read at distance > 0 may only hop when the initial values
+    // agree, since the pre-loop window switches from the bypassed node's
+    // init to the target's).
+    let mut fwd: Vec<Option<Port>> = vec![None; n];
+    for id in dfg.node_ids() {
+        let nd = &w.nodes[id.index()];
+        let width = nd.width;
+        let known_port = |k: usize| analysis.port_fact(dfg, nd.ins[k]);
+        let candidate = match nd.op {
+            Op::Mux => known_port(0).bits.constant_value(1).map(|s| {
+                let leg = if s == 1 { 1 } else { 2 };
+                (nd.ins[leg], Justification::KnownSelect { value: s == 1 })
+            }),
+            Op::And => [0, 1].into_iter().find_map(|k| {
+                (known_port(k).bits.ones == mask(width)).then(|| {
+                    (
+                        nd.ins[1 - k],
+                        Justification::IdentityOperand {
+                            operand: k,
+                            value: mask(width),
+                        },
+                    )
+                })
+            }),
+            Op::Or | Op::Xor | Op::Add => [0, 1].into_iter().find_map(|k| {
+                (known_port(k).constant_value(width) == Some(0)).then(|| {
+                    (
+                        nd.ins[1 - k],
+                        Justification::IdentityOperand {
+                            operand: k,
+                            value: 0,
+                        },
+                    )
+                })
+            }),
+            Op::Sub => (known_port(1).constant_value(width) == Some(0)).then(|| {
+                (
+                    nd.ins[0],
+                    Justification::IdentityOperand {
+                        operand: 1,
+                        value: 0,
+                    },
+                )
+            }),
+            Op::Mul => [0, 1].into_iter().find_map(|k| {
+                let kw = dfg.node(nd.ins[k].node).width;
+                (known_port(k).constant_value(kw) == Some(1)).then(|| {
+                    (
+                        nd.ins[1 - k],
+                        Justification::IdentityOperand {
+                            operand: k,
+                            value: 1,
+                        },
+                    )
+                })
+            }),
+            Op::Shl(0) | Op::Shr(0) => Some((nd.ins[0], Justification::IdentityWire)),
+            Op::Slice { lo: 0 } if width == dfg.node(nd.ins[0].node).width => {
+                Some((nd.ins[0], Justification::IdentityWire))
+            }
+            _ => None,
+        };
+        if let Some((to, justification)) = candidate {
+            // A forward must preserve the width seen by consumers.
+            if w.nodes[to.node.index()].width != width {
+                continue;
+            }
+            fwd[id.index()] = Some(to);
+            rewrites.push(Rewrite {
+                node: id,
+                kind: RewriteKind::Forward { to },
+                justification,
+            });
+            stats.forwarded += 1;
+        }
+    }
+    for i in 0..w.nodes.len() {
+        let mut ins = std::mem::take(&mut w.nodes[i].ins);
+        for p in ins.iter_mut() {
+            let mut hops = 0;
+            while let Some(t) = fwd[p.node.index()] {
+                let init_ok = w.inits[p.node.index()] & mask(w.nodes[p.node.index()].width)
+                    == w.inits[t.node.index()] & mask(w.nodes[t.node.index()].width);
+                if !(p.dist == 0 || (t.dist == 0 && init_ok)) || hops > n {
+                    break;
+                }
+                *p = Port {
+                    node: t.node,
+                    dist: p.dist + t.dist,
+                };
+                hops += 1;
+            }
+        }
+        w.nodes[i].ins = ins;
+    }
+
+    // Pass 3: dead-operand pruning. The replacement constant agrees with
+    // every known bit of the operand (through the port, so loop-carried
+    // initial windows are covered), keeping all downstream facts valid.
+    for id in dfg.node_ids() {
+        let nd = &w.nodes[id.index()];
+        if matches!(nd.op, Op::Output | Op::Const(_) | Op::Input) {
+            continue;
+        }
+        for k in 0..w.nodes[id.index()].ins.len() {
+            let p = w.nodes[id.index()].ins[k];
+            // Helper nodes (>= n) are already constants; skip constants
+            // either way.
+            if matches!(w.nodes[p.node.index()].op, Op::Const(_)) || p.node.index() >= n {
+                continue;
+            }
+            if analysis.operand_demand(dfg, id, k) != 0 {
+                continue;
+            }
+            let pw = w.nodes[p.node.index()].width;
+            let c = analysis.port_fact(dfg, p).bits.ones;
+            let cid = w.intern_const(pw, c);
+            w.nodes[id.index()].ins[k] = Port::this_iter(cid);
+            rewrites.push(Rewrite {
+                node: id,
+                kind: RewriteKind::DeadOperand {
+                    operand: k,
+                    value: c & mask(pw),
+                },
+                justification: Justification::DeadBits { operand: k },
+            });
+            stats.dead_operands += 1;
+        }
+    }
+
+    // Pass 4: range-based narrowing of add/sub. The node keeps its id (it
+    // becomes the zero-extending concat), so consumers and loop-carried
+    // initial values are untouched.
+    const NARROW_MIN_SAVED: u32 = 4;
+    for id in dfg.node_ids() {
+        let nd = w.nodes[id.index()].clone();
+        if !matches!(nd.op, Op::Add | Op::Sub) {
+            continue;
+        }
+        let width = nd.width;
+        let hi = analysis.fact(id).range.hi;
+        let kept = (64 - hi.leading_zeros()).max(1);
+        if kept >= width || width - kept < NARROW_MIN_SAVED {
+            continue;
+        }
+        let pa = w.narrow_port(nd.ins[0], kept);
+        let pb = w.narrow_port(nd.ins[1], kept);
+        let nid = NodeId(w.nodes.len() as u32);
+        w.nodes.push(Node {
+            op: nd.op,
+            width: kept,
+            ins: vec![pa, pb],
+        });
+        w.names.push(None);
+        w.inits.push(0);
+        let zid = w.intern_const(width - kept, 0);
+        w.nodes[id.index()] = Node {
+            op: Op::Concat,
+            width,
+            ins: vec![Port::this_iter(zid), Port::this_iter(nid)],
+        };
+        rewrites.push(Rewrite {
+            node: id,
+            kind: RewriteKind::Narrow {
+                from: width,
+                to: kept,
+            },
+            justification: Justification::RangeNarrow { kept },
+        });
+        stats.narrowed += 1;
+        stats.bits_pruned += u64::from(width - kept);
+    }
+
+    // Pass 5: DCE. Inputs and outputs are interface and always survive.
+    let total = w.nodes.len();
+    let mut reach = vec![false; total];
+    let mut stack: Vec<usize> = (0..total)
+        .filter(|&i| matches!(w.nodes[i].op, Op::Output | Op::Input))
+        .collect();
+    for &i in &stack {
+        reach[i] = true;
+    }
+    while let Some(i) = stack.pop() {
+        for p in &w.nodes[i].ins {
+            let j = p.node.index();
+            if !reach[j] {
+                reach[j] = true;
+                stack.push(j);
+            }
+        }
+    }
+    let mut remap: Vec<Option<NodeId>> = vec![None; total];
+    let mut next = 0u32;
+    for (i, r) in reach.iter().enumerate() {
+        if *r {
+            remap[i] = Some(NodeId(next));
+            next += 1;
+        }
+    }
+    for (i, r) in reach.iter().enumerate().take(n) {
+        if !*r {
+            rewrites.push(Rewrite {
+                node: NodeId(i as u32),
+                kind: RewriteKind::RemoveDead,
+                justification: Justification::Unreachable,
+            });
+            stats.removed += 1;
+            stats.bits_pruned += u64::from(dfg.node(NodeId(i as u32)).width);
+        }
+    }
+
+    let mut new_nodes = Vec::with_capacity(next as usize);
+    let mut new_names = Vec::with_capacity(next as usize);
+    let mut new_inits = HashMap::new();
+    for i in 0..total {
+        let Some(new_id) = remap[i] else { continue };
+        let mut nd = w.nodes[i].clone();
+        for p in nd.ins.iter_mut() {
+            p.node = remap[p.node.index()].expect("reachable nodes only point at reachable nodes");
+        }
+        new_nodes.push(nd);
+        new_names.push(w.names[i].clone());
+        if w.inits[i] != 0 {
+            new_inits.insert(new_id, w.inits[i]);
+        }
+    }
+    let out = Dfg::from_raw(
+        dfg.name(),
+        new_nodes,
+        new_names,
+        dfg.memories().to_vec(),
+        new_inits,
+    );
+    out.validate()?;
+
+    stats.nodes_after = out.len();
+    Ok(SimplifyOutcome {
+        dfg: out,
+        rewrites,
+        node_map: remap[..n].to_vec(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::{execute, CmpPred, DfgBuilder, InputStreams};
+
+    fn assert_equivalent(orig: &Dfg, out: &SimplifyOutcome, iters: usize, seed: u64) {
+        let t1 = execute(orig, &InputStreams::random(orig, iters, seed), iters).expect("orig");
+        let t2 = execute(
+            &out.dfg,
+            &InputStreams::random(&out.dfg, iters, seed),
+            iters,
+        )
+        .expect("simplified");
+        let (o1, o2) = (orig.outputs(), out.dfg.outputs());
+        assert_eq!(o1.len(), o2.len(), "output count");
+        for it in 0..iters {
+            for (a, b) in o1.iter().zip(o2.iter()) {
+                assert_eq!(
+                    t1.value(it, *a),
+                    t2.value(it, *b),
+                    "iteration {it}, output {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn folds_constant_cone_and_removes_it() {
+        let mut b = DfgBuilder::new("f");
+        let x = b.input("x", 8);
+        let c1 = b.const_(0xF0, 8);
+        let c2 = b.const_(0x0F, 8);
+        let z = b.and(c1, c2); // = 0
+        let o = b.or(x, z); // = x
+        b.output("o", o);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert!(out.stats.const_folded >= 1);
+        assert!(out.stats.forwarded >= 1, "{:?}", out.stats);
+        // The whole and/const cone is gone; x flows straight to the
+        // output.
+        assert!(out.dfg.len() < g.len());
+        assert_equivalent(&g, &out, 8, 11);
+        // Rewrites carry justifications referencing original ids.
+        assert!(out
+            .rewrites
+            .iter()
+            .any(|r| matches!(r.kind, RewriteKind::ConstFold { value: 0 }) && r.node == z));
+    }
+
+    #[test]
+    fn mux_with_known_select_bypassed() {
+        let mut b = DfgBuilder::new("m");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let z = b.const_(0, 8);
+        let t = b.cmp(CmpPred::Uge, x, z); // always true
+        let m = b.mux(t, x, y);
+        b.output("o", m);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert!(out
+            .rewrites
+            .iter()
+            .any(|r| matches!(r.justification, Justification::KnownSelect { value: true })));
+        assert_equivalent(&g, &out, 8, 3);
+    }
+
+    #[test]
+    fn reflexive_cmp_folds() {
+        let mut b = DfgBuilder::new("r");
+        let x = b.input("x", 8);
+        let s = b.shr(x, 1);
+        let c = b.cmp(CmpPred::Sge, s, s);
+        let nn = b.cmp(CmpPred::Ult, s, s);
+        b.output("a", c);
+        b.output("b", nn);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert_eq!(
+            out.rewrites
+                .iter()
+                .filter(|r| r.justification == Justification::ReflexiveCmp)
+                .count(),
+            2
+        );
+        assert_equivalent(&g, &out, 8, 5);
+    }
+
+    #[test]
+    fn narrow_add_with_proven_range() {
+        let mut b = DfgBuilder::new("n");
+        let x = b.input("x", 16);
+        let c = b.const_(0x0F, 16);
+        let lo = b.and(x, c); // [0, 15]
+        let c3 = b.const_(3, 16);
+        let s = b.add(lo, c3); // [3, 18] -> 5 bits
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert!(
+            out.rewrites
+                .iter()
+                .any(|r| matches!(r.kind, RewriteKind::Narrow { from: 16, to: 5 })),
+            "{:?}",
+            out.rewrites
+        );
+        assert_equivalent(&g, &out, 12, 17);
+    }
+
+    #[test]
+    fn dead_operand_pruned_through_shift() {
+        // Only the low 3 bits of the or survive the slice, so the shl
+        // contributes nothing observable (its low 3 bits are shifted-in
+        // zeros) and y's cone unhooks.
+        let mut b = DfgBuilder::new("d");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let yy = b.not(y); // give y a cone
+        let sh = b.shl(yy, 3);
+        let mix = b.or(sh, x);
+        let s = b.slice(mix, 0, 3);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert!(
+            out.rewrites
+                .iter()
+                .any(|r| matches!(r.kind, RewriteKind::DeadOperand { .. })),
+            "{:?}",
+            out.rewrites
+        );
+        // not(y) is unreachable afterwards.
+        assert!(out.node_map[yy.index()].is_none(), "{:?}", out.node_map);
+        assert_equivalent(&g, &out, 10, 23);
+    }
+
+    #[test]
+    fn loop_carried_forward_keeps_init_semantics() {
+        // s = add(or(x, 0), prev(s)) with s init 5: the or forwards to x,
+        // and the loop-carried read of s keeps seeing init 5 before
+        // iteration 1.
+        let mut b = DfgBuilder::new("lc");
+        let x = b.input("x", 8);
+        let prev = b.placeholder(8);
+        let z = b.const_(0, 8);
+        let q = b.or(x, z); // forwards to x
+        let s = b.add(q, prev);
+        b.bind(prev, s, 1).expect("bind");
+        b.set_init_value(s, 5);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert!(out.stats.forwarded >= 1, "{:?}", out.stats);
+        assert_equivalent(&g, &out, 10, 31);
+    }
+
+    #[test]
+    fn no_rewrites_means_identical_graph() {
+        let mut b = DfgBuilder::new("id");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.add(x, y);
+        b.output("o", s);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        assert!(out.rewrites.is_empty(), "{:?}", out.rewrites);
+        assert_eq!(out.dfg, g);
+        assert!(out
+            .node_map
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.map(|id| id.index() == i).unwrap_or(false)));
+    }
+}

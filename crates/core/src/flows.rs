@@ -4,6 +4,7 @@
 
 use std::time::{Duration, Instant};
 
+use pipemap_analyze::Analysis;
 use pipemap_cuts::{Cut, CutConfig, CutDb};
 use pipemap_ir::{Dfg, Target};
 use pipemap_milp::{SolverOptions, Status};
@@ -82,6 +83,11 @@ pub struct FlowOptions {
     pub extra_latency: u32,
     /// Seed the MILP with the baseline solution as the initial incumbent.
     pub seed_with_baseline: bool,
+    /// Run the `pipemap-analyze` simplification pre-pass before the
+    /// mapping-aware MILP flow (on by default). The rewritten graph is
+    /// audited by replaying seeded vectors against the original before it
+    /// is trusted; on any doubt the flow falls back to the original graph.
+    pub analyze: bool,
 }
 
 impl Default for FlowOptions {
@@ -96,6 +102,7 @@ impl Default for FlowOptions {
             time_limit: Duration::from_secs(60),
             extra_latency: 0,
             seed_with_baseline: true,
+            analyze: true,
         }
     }
 }
@@ -106,6 +113,7 @@ impl FlowOptions {
             k: target.k,
             max_cuts: self.max_cuts,
             max_cone: self.max_cone,
+            live_bits: None,
         }
     }
 }
@@ -133,6 +141,23 @@ pub struct MilpStats {
     pub total_cuts: usize,
 }
 
+/// What the `pipemap-analyze` pre-pass bought for one flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrePassStats {
+    /// Nodes in the original graph.
+    pub nodes_before: usize,
+    /// Nodes in the simplified graph the flow actually scheduled.
+    pub nodes_after: usize,
+    /// Proof-carrying rewrites applied.
+    pub rewrites: usize,
+    /// Bits of logic pruned (removed node widths + narrowing savings).
+    pub bits_pruned: u64,
+    /// Enumerated cuts on the original graph with the flow's config.
+    pub cuts_before: usize,
+    /// Enumerated cuts on the simplified graph (with liveness pruning).
+    pub cuts_after: usize,
+}
+
 /// Outcome of one flow on one benchmark.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
@@ -140,12 +165,20 @@ pub struct FlowResult {
     pub flow: Flow,
     /// Achieved initiation interval.
     pub ii: u32,
-    /// The schedule + cover.
+    /// The graph the flow actually scheduled — the original, or the
+    /// `pipemap-analyze`-simplified rewrite when the pre-pass ran. The
+    /// implementation's node indices refer to **this** graph; verify it
+    /// with `check_flows_with_graphs`.
+    pub dfg: Dfg,
+    /// The schedule + cover (over [`FlowResult::dfg`]).
     pub implementation: Implementation,
     /// Area/timing numbers through the shared physical model.
     pub qor: Qor,
     /// Solver statistics (`None` for the heuristic flow).
     pub milp: Option<MilpStats>,
+    /// Pre-pass savings (`None` when the pre-pass did not run or did not
+    /// change the graph).
+    pub analysis: Option<PrePassStats>,
 }
 
 /// Run one flow end to end.
@@ -160,40 +193,89 @@ pub fn run_flow(
     flow: Flow,
     opts: &FlowOptions,
 ) -> Result<FlowResult, CoreError> {
+    // The mapping-aware flow first runs the analyze pre-pass: the MILP
+    // then models the simplified graph with liveness-pruned cut sets.
+    let (work, mut pre, live) = if opts.analyze && flow == Flow::MilpMap {
+        analyze_pre_pass(dfg, target, opts)
+    } else {
+        (dfg.clone(), None, None)
+    };
     // The downstream mapper of the baseline flow always sees real cuts.
-    let db_map = CutDb::enumerate(dfg, &opts.cut_config(target));
-    let baseline = schedule_baseline(dfg, target, opts.ii, &db_map)?;
+    let mut map_cfg = opts.cut_config(target);
+    map_cfg.live_bits = live;
+    let db_map = CutDb::enumerate(&work, &map_cfg);
+    if let Some(p) = pre.as_mut() {
+        p.cuts_after = db_map.total_cuts();
+    }
+    let baseline = schedule_baseline(&work, target, opts.ii, &db_map)?;
     match flow {
         Flow::HlsTool => {
-            let qor = Qor::evaluate(dfg, target, &baseline.implementation);
+            let qor = Qor::evaluate(&work, target, &baseline.implementation);
             Ok(FlowResult {
                 flow,
                 ii: baseline.ii,
+                dfg: work,
                 implementation: baseline.implementation,
                 qor,
                 milp: None,
+                analysis: pre,
             })
         }
         Flow::MappedHeuristic => {
             // The future-work heuristic; fall back to the baseline when
             // the mapped list schedule cannot be covered.
-            let r = crate::baseline::schedule_mapped_heuristic(dfg, target, opts.ii, &db_map)
+            let r = crate::baseline::schedule_mapped_heuristic(&work, target, opts.ii, &db_map)
                 .unwrap_or(baseline);
-            let qor = Qor::evaluate(dfg, target, &r.implementation);
+            let qor = Qor::evaluate(&work, target, &r.implementation);
             Ok(FlowResult {
                 flow,
                 ii: r.ii,
+                dfg: work,
                 implementation: r.implementation,
                 qor,
                 milp: None,
+                analysis: pre,
             })
         }
         Flow::MilpBase => {
-            let db = CutDb::enumerate(dfg, &CutConfig::trivial_only(target));
-            run_milp(dfg, target, flow, opts, &db, &db_map, &baseline)
+            let db = CutDb::enumerate(&work, &CutConfig::trivial_only(target));
+            run_milp(&work, target, flow, opts, &db, &db_map, &baseline, pre)
         }
-        Flow::MilpMap => run_milp(dfg, target, flow, opts, &db_map, &db_map, &baseline),
+        Flow::MilpMap => run_milp(&work, target, flow, opts, &db_map, &db_map, &baseline, pre),
     }
+}
+
+/// Simplify `dfg` with `pipemap-analyze` and derive liveness masks for
+/// cut pruning. The rewrite is only trusted after a seeded replay against
+/// the original; any failure falls back to the original graph (the
+/// pre-pass is an optimization, never a correctness risk).
+fn analyze_pre_pass(
+    dfg: &Dfg,
+    target: &Target,
+    opts: &FlowOptions,
+) -> (Dfg, Option<PrePassStats>, Option<Vec<u64>>) {
+    let Ok(out) = pipemap_analyze::simplify(dfg) else {
+        return (dfg.clone(), None, None);
+    };
+    if pipemap_verify::check_graph_equivalence("analyze pre-pass", dfg, &out.dfg, 16, 0xC0FFEE)
+        .has_errors()
+    {
+        return (dfg.clone(), None, None);
+    }
+    let Ok(analysis) = Analysis::run(&out.dfg) else {
+        return (dfg.clone(), None, None);
+    };
+    let live: Vec<u64> = out.dfg.node_ids().map(|v| analysis.live(v)).collect();
+    let cuts_before = CutDb::enumerate(dfg, &opts.cut_config(target)).total_cuts();
+    let stats = PrePassStats {
+        nodes_before: out.stats.nodes_before,
+        nodes_after: out.stats.nodes_after,
+        rewrites: out.rewrites.len(),
+        bits_pruned: out.stats.bits_pruned,
+        cuts_before,
+        cuts_after: 0, // filled in once the flow's cut database exists
+    };
+    (out.dfg, Some(stats), Some(live))
 }
 
 /// Convenience: run all three flows.
@@ -212,6 +294,7 @@ pub fn run_all_flows(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_milp(
     dfg: &Dfg,
     target: &Target,
@@ -220,6 +303,7 @@ fn run_milp(
     db: &CutDb,
     db_map: &CutDb,
     baseline: &BaselineResult,
+    pre: Option<PrePassStats>,
 ) -> Result<FlowResult, CoreError> {
     let ii = baseline.ii;
     let m = baseline.implementation.schedule.depth() + opts.extra_latency;
@@ -329,8 +413,10 @@ fn run_milp(
     Ok(FlowResult {
         flow,
         ii,
+        dfg: dfg.clone(),
         implementation,
         qor,
+        analysis: pre,
         milp: Some(MilpStats {
             status,
             objective,

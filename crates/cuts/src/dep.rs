@@ -73,9 +73,13 @@ pub fn for_each_dep<F: FnMut(usize, u32)>(dfg: &Dfg, n: NodeId, j: u32, mut f: F
         }
         Op::Cmp(pred) => {
             // Sign test against a constant zero: only the MSB matters.
+            // This holds for `slt`/`sge` but NOT for `sle`/`sgt`, which
+            // also test whether the low bits are all zero (x <= 0 is
+            // "negative or exactly zero"), so `is_signed()` would be wrong
+            // here.
             let rhs = dfg.node(node.ins[1].node);
             let zero_rhs = matches!(rhs.op, Op::Const(c) if c == 0);
-            if pred.is_signed() && zero_rhs {
+            if pred.msb_test_vs_zero() && zero_rhs {
                 f(0, in_width(0) - 1);
                 return;
             }

@@ -23,6 +23,12 @@ pub struct CutConfig {
     pub max_cuts: usize,
     /// Largest cone (in word-level nodes) a cut may cover.
     pub max_cone: u32,
+    /// Optional per-node liveness masks (indexed by `NodeId`), as computed
+    /// by `pipemap-analyze`. A node whose mask is `0` cannot influence any
+    /// primary output: it keeps only its unit cut and is skipped by the
+    /// merge work list, shrinking the cut database (and hence the MILP)
+    /// without changing the mapping of live logic.
+    pub live_bits: Option<Vec<u64>>,
 }
 
 impl Default for CutConfig {
@@ -31,6 +37,7 @@ impl Default for CutConfig {
             k: 4,
             max_cuts: 8,
             max_cone: 24,
+            live_bits: None,
         }
     }
 }
@@ -51,6 +58,7 @@ impl CutConfig {
             k: target.k,
             max_cuts: 1,
             max_cone: 1,
+            live_bits: None,
         }
     }
 }
@@ -88,13 +96,22 @@ impl CutDb {
             return CutDb { k: cfg.k, sets };
         }
 
+        // Fully-dead nodes (no live bit reaches an output) keep only their
+        // unit cut: enumerating deeper cuts for them would only inflate
+        // the MILP with variables the objective cannot profit from.
+        let is_dead = |v: NodeId| {
+            cfg.live_bits
+                .as_ref()
+                .is_some_and(|l| l.get(v.index()).copied() == Some(0))
+        };
+
         // Work list over distance-0 consumer edges, as in Algorithm 1.
         let consumers = dfg.consumers();
         let mut queue: Vec<NodeId> = dfg
             .topo_order()
             .expect("validated graph")
             .into_iter()
-            .filter(|&v| dfg.node(v).op.is_lut_mappable())
+            .filter(|&v| dfg.node(v).op.is_lut_mappable() && !is_dead(v))
             .collect();
         let mut in_queue = vec![false; dfg.len()];
         for &v in &queue {
@@ -116,7 +133,11 @@ impl CutDb {
                 sets[v.index()] = new_set;
                 for &(c, port) in &consumers[v.index()] {
                     let cn = dfg.node(c);
-                    if cn.ins[port].dist == 0 && cn.op.is_lut_mappable() && !in_queue[c.index()] {
+                    if cn.ins[port].dist == 0
+                        && cn.op.is_lut_mappable()
+                        && !in_queue[c.index()]
+                        && !is_dead(c)
+                    {
                         in_queue[c.index()] = true;
                         queue.push(c);
                     }
@@ -477,6 +498,28 @@ mod tests {
                 !cut.inputs().contains(&Signal::now(y)),
                 "cut of o expanded through the black box: {cut}"
             );
+        }
+    }
+
+    #[test]
+    fn dead_nodes_keep_only_unit_cuts() {
+        let (g, [a, bb, c, d, e]) = rs_mini();
+        // Pretend B's cone is dead: it and nodes merging through it stay at
+        // the unit cut, while untouched nodes still enumerate deep cuts.
+        let mut live = vec![u64::MAX; g.len()];
+        live[bb.index()] = 0;
+        let db = CutDb::enumerate(
+            &g,
+            &CutConfig {
+                live_bits: Some(live),
+                ..CutConfig::default()
+            },
+        );
+        assert_eq!(db.cuts(bb).len(), 1, "dead node only keeps its unit cut");
+        let full = CutDb::enumerate(&g, &CutConfig::default());
+        assert!(db.total_cuts() < full.total_cuts());
+        for v in [a, c, d, e] {
+            assert!(!db.cuts(v).is_empty());
         }
     }
 

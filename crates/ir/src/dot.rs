@@ -6,12 +6,44 @@ use std::fmt::Write as _;
 use crate::graph::{Dfg, NodeId};
 use crate::op::Op;
 
+/// Visual annotation for one node in [`to_dot_styled`].
+///
+/// Producers of analysis facts (for example the `analyze` crate) build
+/// these without this crate having to know anything about lattices: the
+/// style carries only what the renderer needs. The default style is the
+/// plain `to_dot` appearance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStyle {
+    /// Fill color (e.g. `"#d8f2d0"`). `None` leaves the node unfilled
+    /// unless a `cycle` callback colors it.
+    pub fill: Option<String>,
+    /// Extra line appended to the node label (e.g. a known-bits mask or
+    /// `"dead"`). Escaped for DOT automatically.
+    pub note: Option<String>,
+    /// Render with a dashed border — used for nodes the simplifier may
+    /// remove entirely (every output bit dead or constant).
+    pub dashed: bool,
+}
+
 /// Render the graph in Graphviz DOT syntax.
 ///
 /// Loop-carried edges are dashed and annotated with their distance;
 /// sources, black boxes and outputs get distinct shapes. An optional
 /// `cycle` callback colors nodes by pipeline stage.
 pub fn to_dot(dfg: &Dfg, cycle: Option<&dyn Fn(NodeId) -> u32>) -> String {
+    to_dot_styled(dfg, cycle, None)
+}
+
+/// [`to_dot`] with per-node visual annotations.
+///
+/// `style` (when present) is consulted for every node; it wins over the
+/// `cycle` palette for the fill color so analysis shading survives when
+/// both are requested.
+pub fn to_dot_styled(
+    dfg: &Dfg,
+    cycle: Option<&dyn Fn(NodeId) -> u32>,
+    style: Option<&dyn Fn(NodeId) -> NodeStyle>,
+) -> String {
     const PALETTE: [&str; 6] = [
         "#cfe8ff", "#ffe2cc", "#d8f2d0", "#f2d0ef", "#fff3b0", "#d0d7f2",
     ];
@@ -26,19 +58,39 @@ pub fn to_dot(dfg: &Dfg, cycle: Option<&dyn Fn(NodeId) -> u32>) -> String {
             ref op if op.is_black_box() => "box3d",
             _ => "box",
         };
-        let mut attrs = format!(
-            "label=\"{}\\n{} [{}]\" shape={shape}",
+        let s = style.map(|f| f(id)).unwrap_or_default();
+        let mut label = format!(
+            "{}\\n{} [{}]",
             dfg.label(id),
             node.op.mnemonic(),
             node.width
         );
-        if let Some(f) = cycle {
-            let c = f(id) as usize;
+        if let Some(note) = &s.note {
             let _ = write!(
-                attrs,
-                " style=filled fillcolor=\"{}\"",
-                PALETTE[c % PALETTE.len()]
+                label,
+                "\\n{}",
+                note.replace('\\', "\\\\").replace('"', "\\\"")
             );
+        }
+        let mut attrs = format!("label=\"{label}\" shape={shape}");
+        let fill = s
+            .fill
+            .clone()
+            .or_else(|| cycle.map(|f| PALETTE[f(id) as usize % PALETTE.len()].to_string()));
+        if let Some(fill) = fill {
+            let _ = write!(attrs, " style=filled fillcolor=\"{fill}\"");
+        }
+        if s.dashed {
+            let sep = if attrs.contains("style=filled") {
+                // DOT accepts a comma-separated style list.
+                attrs = attrs.replace("style=filled", "style=\"filled,dashed\"");
+                false
+            } else {
+                true
+            };
+            if sep {
+                let _ = write!(attrs, " style=dashed");
+            }
         }
         let _ = writeln!(out, "  \"{id}\" [{attrs}];");
     }
@@ -91,5 +143,26 @@ mod tests {
         let g = b.finish().expect("valid");
         let dot = to_dot(&g, Some(&|v| v.0));
         assert!(dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn styled_notes_fills_and_dashing_render() {
+        let mut b = DfgBuilder::new("s");
+        let x = b.input("x", 4);
+        let n = b.not(x);
+        b.output("o", n);
+        let g = b.finish().expect("valid");
+        let style = |v: NodeId| NodeStyle {
+            fill: (v.index() == 1).then(|| "#eeeeee".to_string()),
+            note: (v.index() == 1).then(|| "bits ??01".to_string()),
+            dashed: v.index() == 1,
+        };
+        let dot = to_dot_styled(&g, None, Some(&style));
+        assert!(dot.contains("bits ??01"));
+        assert!(dot.contains("fillcolor=\"#eeeeee\""));
+        assert!(dot.contains("style=\"filled,dashed\""));
+        // Style fill wins over cycle palette.
+        let dot2 = to_dot_styled(&g, Some(&|_| 0), Some(&style));
+        assert!(dot2.contains("fillcolor=\"#eeeeee\""));
     }
 }

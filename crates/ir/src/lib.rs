@@ -52,7 +52,7 @@ mod target;
 mod text;
 
 pub use builder::DfgBuilder;
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_styled, NodeStyle};
 pub use error::IrError;
 pub use graph::{Dfg, DfgStats, Memory, Node, NodeId, Port};
 pub use interp::{eval_op, execute, mask, EvalError, InputStreams, Trace};

@@ -55,6 +55,10 @@ pub enum CmpPred {
     Slt,
     /// Signed greater-or-equal.
     Sge,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
 }
 
 impl CmpPred {
@@ -77,12 +81,35 @@ impl CmpPred {
             CmpPred::Uge => a >= b,
             CmpPred::Slt => sext(a) < sext(b),
             CmpPred::Sge => sext(a) >= sext(b),
+            CmpPred::Sle => sext(a) <= sext(b),
+            CmpPred::Sgt => sext(a) > sext(b),
         }
     }
 
-    /// `true` for the signed predicates (`Slt`, `Sge`).
+    /// `true` for the signed predicates (`Slt`, `Sge`, `Sle`, `Sgt`).
     pub fn is_signed(self) -> bool {
+        matches!(
+            self,
+            CmpPred::Slt | CmpPred::Sge | CmpPred::Sle | CmpPred::Sgt
+        )
+    }
+
+    /// `true` for the predicates that, against a constant-zero right-hand
+    /// side, test **only the sign bit** (paper §3.1, node *C* of Fig. 2):
+    /// `x < 0` and `x >= 0`. Note `x <= 0` and `x > 0` also depend on
+    /// whether the low bits are all zero, so `Sle`/`Sgt` are excluded even
+    /// though they are signed.
+    pub fn msb_test_vs_zero(self) -> bool {
         matches!(self, CmpPred::Slt | CmpPred::Sge)
+    }
+
+    /// The predicate's truth value when both operands are the same value
+    /// (`a <pred> a`).
+    pub fn reflexive_value(self) -> bool {
+        matches!(
+            self,
+            CmpPred::Eq | CmpPred::Ule | CmpPred::Uge | CmpPred::Sle | CmpPred::Sge
+        )
     }
 }
 
@@ -97,6 +124,8 @@ impl fmt::Display for CmpPred {
             CmpPred::Uge => "uge",
             CmpPred::Slt => "slt",
             CmpPred::Sge => "sge",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
         };
         f.write_str(s)
     }
@@ -314,6 +343,52 @@ mod tests {
         assert!(CmpPred::Sge.eval(0b0111, 0, 4));
         // 64-bit boundary.
         assert!(CmpPred::Slt.eval(u64::MAX, 0, 64));
+    }
+
+    #[test]
+    fn cmp_pred_sle_sgt_eval() {
+        // 4-bit: 0b1111 = -1 signed.
+        assert!(CmpPred::Sle.eval(0b1111, 0, 4));
+        assert!(!CmpPred::Sgt.eval(0b1111, 0, 4));
+        assert!(CmpPred::Sle.eval(0, 0, 4));
+        assert!(!CmpPred::Sgt.eval(0, 0, 4));
+        assert!(CmpPred::Sgt.eval(0b0111, 0, 4));
+        assert!(CmpPred::Sgt.eval(1, u64::MAX, 64));
+        assert!(CmpPred::Sle.eval(u64::MAX, 1, 64));
+    }
+
+    #[test]
+    fn cmp_pred_classification() {
+        assert!(CmpPred::Sle.is_signed());
+        assert!(CmpPred::Sgt.is_signed());
+        // Only slt/sge are pure sign tests against zero: x <= 0 and x > 0
+        // also depend on the low bits.
+        assert!(CmpPred::Slt.msb_test_vs_zero());
+        assert!(CmpPred::Sge.msb_test_vs_zero());
+        assert!(!CmpPred::Sle.msb_test_vs_zero());
+        assert!(!CmpPred::Sgt.msb_test_vs_zero());
+        assert!(!CmpPred::Ult.msb_test_vs_zero());
+        // a <pred> a.
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ule,
+            CmpPred::Uge,
+            CmpPred::Sle,
+            CmpPred::Sge,
+        ] {
+            assert!(p.reflexive_value(), "{p}");
+            assert!(p.eval(5, 5, 8));
+        }
+        for p in [
+            CmpPred::Ne,
+            CmpPred::Ult,
+            CmpPred::Ugt,
+            CmpPred::Slt,
+            CmpPred::Sgt,
+        ] {
+            assert!(!p.reflexive_value(), "{p}");
+            assert!(!p.eval(5, 5, 8));
+        }
     }
 
     #[test]

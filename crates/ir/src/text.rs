@@ -357,6 +357,8 @@ fn parse_impl(src: &str, lenient: bool) -> Result<(Dfg, NodeSpans), ParseDfgErro
                     "uge" => CmpPred::Uge,
                     "slt" => CmpPred::Slt,
                     "sge" => CmpPred::Sge,
+                    "sle" => CmpPred::Sle,
+                    "sgt" => CmpPred::Sgt,
                     p => return Err(err(line_no, format!("unknown predicate `{p}`"))),
                 };
                 let a = resolve(toks[0], builder)?;
@@ -548,6 +550,27 @@ dfg rom {
         let src = "dfg x {\n  a: 8 = not missing\n  o: 8 = output a\n}\n";
         let e = parse_dfg(src).expect_err("undefined name");
         assert!(e.message.contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn sle_sgt_parse_print_roundtrip() {
+        let src = "dfg s {\n  x: 4 = input\n  z: 4 = const(0x0)\n  \
+                   a: 1 = cmp.sle x, z\n  b: 1 = cmp.sgt x, z\n  \
+                   o: 1 = output a\n  p: 1 = output b\n}\n";
+        let g = parse_dfg(src).expect("parses");
+        let printed = print_dfg(&g);
+        assert!(printed.contains("cmp.sle"), "{printed}");
+        assert!(printed.contains("cmp.sgt"), "{printed}");
+        let g2 = parse_dfg(&printed).expect("re-parses");
+        assert_eq!(g.len(), g2.len());
+        // x = 0b1000 (-8): sle true, sgt false; x = 1: sle false, sgt true.
+        for (x, sle, sgt) in [(0b1000u64, 1u64, 0u64), (1, 0, 1), (0, 1, 0)] {
+            let mut ins = InputStreams::new();
+            ins.set(g.inputs()[0], vec![x]);
+            let t = execute(&g, &ins, 1).expect("runs");
+            assert_eq!(t.value(0, g.outputs()[0]), sle, "sle({x})");
+            assert_eq!(t.value(0, g.outputs()[1]), sgt, "sgt({x})");
+        }
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Pass 5: dataflow-analysis and simplification audit (`P04xx`).
+//!
+//! `pipemap-analyze` derives facts and rewrites graphs; this pass is the
+//! independent judge. [`check_analysis`] confronts every claimed fact
+//! with seeded simulation (a known bit or range bound that any executed
+//! value violates is a hard error) and lints suspicious-but-sound
+//! results (constant output bits, dead input bits). For a rewritten
+//! graph, [`check_simplification`] re-derives the analysis from the
+//! *original* graph, re-validates every [`Justification`] against the
+//! fresh facts, re-runs the simplifier to confirm the recorded outcome is
+//! reproducible, and replays seeded input vectors through both graphs to
+//! confirm output equivalence.
+
+use pipemap_analyze::{
+    simplify_with, Analysis, Justification, Rewrite, RewriteKind, SimplifyOutcome,
+};
+use pipemap_ir::{execute, mask, Dfg, InputStreams, Op};
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+use crate::ir_pass::lint_dfg;
+
+/// Audit the dataflow analysis of one graph against simulation.
+///
+/// Runs `pipemap-analyze`, executes `vectors` seeded random input
+/// vectors, and reports:
+///
+/// * [`Code::FactUnsound`] (error) — a known bit or range bound is
+///   contradicted by an executed value,
+/// * [`Code::ConstantOutputBit`] (warning) — bits of a primary output
+///   are proven constant,
+/// * [`Code::DeadInputBit`] (warning) — bits of a primary input can
+///   never influence any output.
+pub fn check_analysis(dfg: &Dfg, vectors: usize, seed: u64) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let graph_ds = lint_dfg(dfg, None);
+    if graph_ds.has_errors() {
+        ds.merge(graph_ds);
+        return ds;
+    }
+
+    let analysis = match Analysis::run(dfg) {
+        Ok(a) => a,
+        Err(e) => {
+            ds.push(Diagnostic::new(
+                Code::FactUnsound,
+                format!("analysis failed on a lint-clean graph: {e}"),
+            ));
+            return ds;
+        }
+    };
+
+    let iters = vectors.max(1);
+    match execute(dfg, &InputStreams::random(dfg, iters, seed), iters) {
+        Ok(trace) => {
+            if let Err(msg) = analysis.check_against_trace(dfg, &trace, iters) {
+                ds.push(Diagnostic::new(Code::FactUnsound, msg));
+            }
+        }
+        Err(e) => {
+            ds.push(Diagnostic::new(
+                Code::FactUnsound,
+                format!("reference interpreter failed: {e}"),
+            ));
+            return ds;
+        }
+    }
+
+    for (id, node) in dfg.iter() {
+        match node.op {
+            Op::Output => {
+                let known = analysis.fact(id).bits.known();
+                if known != 0 {
+                    ds.push(
+                        Diagnostic::new(
+                            Code::ConstantOutputBit,
+                            format!(
+                                "output `{}` has {} constant bit(s): {}",
+                                dfg.label(id),
+                                known.count_ones(),
+                                analysis.pattern(dfg, id)
+                            ),
+                        )
+                        .with_node(id),
+                    );
+                }
+            }
+            Op::Input => {
+                let dead = analysis.dead(dfg, id);
+                if dead != 0 {
+                    ds.push(
+                        Diagnostic::new(
+                            Code::DeadInputBit,
+                            format!(
+                                "input `{}` has {} bit(s) that cannot reach any output \
+                                 (mask {dead:#x})",
+                                dfg.label(id),
+                                dead.count_ones()
+                            ),
+                        )
+                        .with_node(id),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    ds
+}
+
+/// Replay `vectors` seeded input vectors through two graphs and report
+/// [`Code::SimplifyDiverged`] if any output ever differs. Outputs
+/// correspond positionally (simplification preserves the I/O interface).
+pub fn check_graph_equivalence(
+    label: &str,
+    orig: &Dfg,
+    opt: &Dfg,
+    vectors: usize,
+    seed: u64,
+) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let (o1, o2) = (orig.outputs(), opt.outputs());
+    if o1.len() != o2.len() {
+        ds.push(Diagnostic::new(
+            Code::SimplifyDiverged,
+            format!(
+                "{label}: output count changed ({} -> {})",
+                o1.len(),
+                o2.len()
+            ),
+        ));
+        return ds;
+    }
+    let iters = vectors.max(1);
+    let t1 = execute(orig, &InputStreams::random(orig, iters, seed), iters);
+    let t2 = execute(opt, &InputStreams::random(opt, iters, seed), iters);
+    let (t1, t2) = match (t1, t2) {
+        (Ok(a), Ok(b)) => (a, b),
+        (r1, r2) => {
+            ds.push(Diagnostic::new(
+                Code::SimplifyDiverged,
+                format!(
+                    "{label}: interpreter failed (original: {:?}, rewritten: {:?})",
+                    r1.err(),
+                    r2.err()
+                ),
+            ));
+            return ds;
+        }
+    };
+    for iter in 0..iters {
+        for (a, b) in o1.iter().zip(o2.iter()) {
+            let (va, vb) = (t1.value(iter, *a), t2.value(iter, *b));
+            if va != vb {
+                ds.push(
+                    Diagnostic::new(
+                        Code::SimplifyDiverged,
+                        format!(
+                            "{label}: output `{}` iteration {iter}: original {va:#x}, \
+                             rewritten {vb:#x}",
+                            orig.label(*a)
+                        ),
+                    )
+                    .with_node(*a),
+                );
+                return ds; // first divergence is enough
+            }
+        }
+    }
+    ds
+}
+
+/// Audit a recorded simplification of `dfg`.
+///
+/// Everything is re-derived from scratch — the recorded outcome is
+/// treated as an untrusted claim:
+///
+/// * every [`Justification`] is re-validated against a fresh analysis of
+///   the original graph ([`Code::JustificationInvalid`], error),
+/// * the simplifier is re-run and must reproduce the recorded graph
+///   ([`Code::JustificationInvalid`], error),
+/// * both graphs replay `vectors` seeded input vectors and must agree on
+///   every output ([`Code::SimplifyDiverged`], error).
+pub fn check_simplification(
+    dfg: &Dfg,
+    outcome: &SimplifyOutcome,
+    vectors: usize,
+    seed: u64,
+) -> Diagnostics {
+    let mut ds = Diagnostics::new();
+    let graph_ds = lint_dfg(dfg, None);
+    if graph_ds.has_errors() {
+        ds.merge(graph_ds);
+        return ds;
+    }
+    let analysis = match Analysis::run(dfg) {
+        Ok(a) => a,
+        Err(e) => {
+            ds.push(Diagnostic::new(
+                Code::FactUnsound,
+                format!("analysis failed on a lint-clean graph: {e}"),
+            ));
+            return ds;
+        }
+    };
+
+    for rw in &outcome.rewrites {
+        if let Err(msg) = justification_ok(dfg, &analysis, outcome, rw) {
+            ds.push(
+                Diagnostic::new(
+                    Code::JustificationInvalid,
+                    format!("rewrite of node {}: {msg}", rw.node),
+                )
+                .with_node(rw.node),
+            );
+        }
+    }
+
+    match simplify_with(dfg, &analysis) {
+        Ok(fresh) => {
+            if fresh.dfg != outcome.dfg {
+                ds.push(Diagnostic::new(
+                    Code::JustificationInvalid,
+                    "independent re-run of the simplifier produces a different graph",
+                ));
+            }
+        }
+        Err(e) => {
+            ds.push(Diagnostic::new(
+                Code::JustificationInvalid,
+                format!("independent re-run of the simplifier failed: {e}"),
+            ));
+        }
+    }
+
+    ds.merge(check_graph_equivalence(
+        "simplification",
+        dfg,
+        &outcome.dfg,
+        vectors,
+        seed,
+    ));
+    ds
+}
+
+/// Re-derive one rewrite's justification from the original graph.
+fn justification_ok(
+    dfg: &Dfg,
+    analysis: &Analysis,
+    outcome: &SimplifyOutcome,
+    rw: &Rewrite,
+) -> Result<(), String> {
+    if rw.node.index() >= dfg.len() {
+        return Err("node id outside the original graph".into());
+    }
+    let node = dfg.node(rw.node);
+    let w = node.width;
+    match (rw.kind, rw.justification) {
+        (RewriteKind::ConstFold { value }, Justification::KnownValue { value: v }) => {
+            if v != value {
+                return Err("folded value disagrees with the justification".into());
+            }
+            match analysis.fact(rw.node).constant_value(w) {
+                Some(c) if c == value & mask(w) => Ok(()),
+                Some(c) => Err(format!("facts pin the node to {c:#x}, not {value:#x}")),
+                None => Err("facts do not pin the node to a constant".into()),
+            }
+        }
+        (RewriteKind::ConstFold { value }, Justification::ReflexiveCmp) => match node.op {
+            Op::Cmp(p) if node.ins[0] == node.ins[1] => {
+                if u64::from(p.reflexive_value()) == value {
+                    Ok(())
+                } else {
+                    Err(format!("cmp.{p} over equal operands is not {value}"))
+                }
+            }
+            _ => Err("node is not a compare of a value with itself".into()),
+        },
+        (RewriteKind::Forward { to }, Justification::KnownSelect { value }) => {
+            if node.op != Op::Mux {
+                return Err("known-select forwarding on a non-mux".into());
+            }
+            let sel = analysis.port_fact(dfg, node.ins[0]);
+            if sel.bits.constant_value(1) != Some(u64::from(value)) {
+                return Err("facts do not pin the select".into());
+            }
+            let leg = if value { 1 } else { 2 };
+            (to == node.ins[leg])
+                .then_some(())
+                .ok_or_else(|| "forward target is not the selected leg".into())
+        }
+        (RewriteKind::Forward { to }, Justification::IdentityOperand { operand, value }) => {
+            if operand >= node.ins.len() {
+                return Err("identity operand index out of range".into());
+            }
+            let ow = dfg.node(node.ins[operand].node).width;
+            if analysis
+                .port_fact(dfg, node.ins[operand])
+                .constant_value(ow)
+                != Some(value)
+            {
+                return Err("facts do not pin the identity operand".into());
+            }
+            let identity = match node.op {
+                Op::And => value == mask(w),
+                Op::Or | Op::Xor | Op::Add => value == 0,
+                Op::Sub => operand == 1 && value == 0,
+                Op::Mul => value == 1,
+                _ => false,
+            };
+            if !identity {
+                return Err(format!(
+                    "{value:#x} is not the identity of {}",
+                    node.op.mnemonic()
+                ));
+            }
+            let expect = node.ins[if node.op == Op::Sub { 0 } else { 1 - operand }];
+            (to == expect)
+                .then_some(())
+                .ok_or_else(|| "forward target is not the surviving operand".into())
+        }
+        (RewriteKind::Forward { to }, Justification::IdentityWire) => {
+            let wire = match node.op {
+                Op::Shl(0) | Op::Shr(0) => true,
+                Op::Slice { lo: 0 } => w == dfg.node(node.ins[0].node).width,
+                _ => false,
+            };
+            if !wire {
+                return Err(format!("{} is not a wire", node.op.mnemonic()));
+            }
+            (to == node.ins[0])
+                .then_some(())
+                .ok_or_else(|| "forward target is not the wired operand".into())
+        }
+        (RewriteKind::DeadOperand { operand, value }, Justification::DeadBits { operand: k }) => {
+            if operand != k || k >= node.ins.len() {
+                return Err("dead operand index mismatch".into());
+            }
+            if analysis.operand_demand(dfg, rw.node, k) != 0 {
+                return Err("liveness still demands bits of the operand".into());
+            }
+            let pf = analysis.port_fact(dfg, node.ins[k]);
+            if !pf.bits.covers(value) {
+                return Err(format!(
+                    "replacement constant {value:#x} contradicts known bits of the operand"
+                ));
+            }
+            Ok(())
+        }
+        (RewriteKind::Narrow { from, to }, Justification::RangeNarrow { kept }) => {
+            if !matches!(node.op, Op::Add | Op::Sub) {
+                return Err("narrowing of a non-add/sub".into());
+            }
+            if from != w || to != kept || kept >= w {
+                return Err("narrowing widths inconsistent with the node".into());
+            }
+            let hi = analysis.fact(rw.node).range.hi;
+            if kept >= 64 || hi < (1u64 << kept) {
+                Ok(())
+            } else {
+                Err(format!("range hi {hi:#x} does not fit in {kept} bits"))
+            }
+        }
+        (RewriteKind::RemoveDead, Justification::Unreachable) => {
+            match outcome.node_map.get(rw.node.index()) {
+                Some(None) => Ok(()),
+                _ => Err("removed node still maps into the rewritten graph".into()),
+            }
+        }
+        (k, j) => Err(format!("justification {j:?} cannot support rewrite {k:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_analyze::simplify;
+    use pipemap_ir::{CmpPred, DfgBuilder, Node, NodeId, Port};
+
+    fn masked_add() -> Dfg {
+        let mut b = DfgBuilder::new("ma");
+        let x = b.input("x", 16);
+        let c = b.const_(0x0F, 16);
+        let lo = b.and(x, c);
+        let c3 = b.const_(3, 16);
+        let s = b.add(lo, c3);
+        b.output("o", s);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn clean_analysis_only_warns_about_constant_output_bits() {
+        let g = masked_add();
+        let ds = check_analysis(&g, 16, 7);
+        assert!(!ds.has_errors(), "{}", ds.render_human("ma"));
+        // The high bits of the output are provably zero.
+        assert!(ds.has_code(Code::ConstantOutputBit), "{:?}", ds);
+        assert!(ds.has_code(Code::DeadInputBit), "{:?}", ds);
+    }
+
+    #[test]
+    fn recorded_simplification_validates() {
+        let g = masked_add();
+        let out = simplify(&g).expect("simplifies");
+        assert!(!out.rewrites.is_empty());
+        let ds = check_simplification(&g, &out, 16, 7);
+        assert!(!ds.has_errors(), "{}", ds.render_human("ma"));
+    }
+
+    #[test]
+    fn tampered_graph_is_caught_by_replay() {
+        let g = masked_add();
+        let mut out = simplify(&g).expect("simplifies");
+        // Flip the rewritten graph's output to read a different node.
+        let o = out.dfg.outputs()[0];
+        let victim = out.dfg.node(o).ins[0].node;
+        let other = out
+            .dfg
+            .node_ids()
+            .find(|&v| v != victim && v != o && out.dfg.node(v).width == out.dfg.node(victim).width)
+            .expect("some other node");
+        let nodes: Vec<Node> = out
+            .dfg
+            .iter()
+            .map(|(id, nd)| {
+                let mut nd = nd.clone();
+                if id == o {
+                    nd.ins = vec![Port::this_iter(other)];
+                }
+                nd
+            })
+            .collect();
+        let names = out
+            .dfg
+            .node_ids()
+            .map(|id| out.dfg.node_name(id).map(String::from))
+            .collect();
+        out.dfg = Dfg::from_raw("ma", nodes, names, vec![], Default::default());
+        let ds = check_simplification(&g, &out, 16, 7);
+        assert!(ds.has_errors());
+        // Either the re-run mismatch or the replay (or both) must fire.
+        assert!(
+            ds.has_code(Code::SimplifyDiverged) || ds.has_code(Code::JustificationInvalid),
+            "{}",
+            ds.render_human("ma")
+        );
+    }
+
+    #[test]
+    fn forged_justification_is_rejected() {
+        let g = masked_add();
+        let mut out = simplify(&g).expect("simplifies");
+        // Claim a node folds to a value the facts do not support.
+        out.rewrites.push(pipemap_analyze::Rewrite {
+            node: NodeId(0),
+            kind: RewriteKind::ConstFold { value: 0x42 },
+            justification: Justification::KnownValue { value: 0x42 },
+        });
+        let ds = check_simplification(&g, &out, 8, 7);
+        assert!(ds.has_code(Code::JustificationInvalid), "{:?}", ds);
+    }
+
+    #[test]
+    fn unsound_fact_is_caught() {
+        // Build a graph, then audit facts computed for a *different* graph
+        // by tampering: easiest is to check a reflexive-cmp mismatch via
+        // the justification path with a wrong folded value.
+        let mut b = DfgBuilder::new("rc");
+        let x = b.input("x", 8);
+        let c = b.cmp(CmpPred::Ult, x, x); // always 0
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        let out = simplify(&g).expect("simplifies");
+        let mut forged = out.clone();
+        for rw in forged.rewrites.iter_mut() {
+            if let RewriteKind::ConstFold { value } = &mut rw.kind {
+                *value ^= 1; // lie about the folded constant
+            }
+        }
+        let ds = check_simplification(&g, &forged, 8, 7);
+        assert!(ds.has_code(Code::JustificationInvalid), "{:?}", ds);
+    }
+}

@@ -32,7 +32,8 @@ impl fmt::Display for Severity {
 /// * `P00xx` — IR well-formedness,
 /// * `P01xx` — schedule & cover legality,
 /// * `P02xx` — structural netlist (Verilog) lint,
-/// * `P03xx` — differential flow checks.
+/// * `P03xx` — differential flow checks,
+/// * `P04xx` — dataflow-analysis and simplification audit.
 ///
 /// Codes are append-only: a released code never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +110,18 @@ pub enum Code {
     FlowsDiverge,
     /// Mapping-aware result is worse than the heuristic at the same II.
     ObjectiveRegression,
+
+    // ---- P04xx: dataflow-analysis & simplification audit ----
+    /// An analysis fact (known bit or range) is contradicted by simulation.
+    FactUnsound,
+    /// A rewrite's justification does not re-derive from the original graph.
+    JustificationInvalid,
+    /// The simplified graph disagrees with the original on some output.
+    SimplifyDiverged,
+    /// A primary output bit is proven constant (likely over-width or a bug).
+    ConstantOutputBit,
+    /// A primary input bit can never influence any output.
+    DeadInputBit,
 }
 
 impl Code {
@@ -147,6 +160,11 @@ impl Code {
         Code::FlowIllegal,
         Code::FlowsDiverge,
         Code::ObjectiveRegression,
+        Code::FactUnsound,
+        Code::JustificationInvalid,
+        Code::SimplifyDiverged,
+        Code::ConstantOutputBit,
+        Code::DeadInputBit,
     ];
 
     /// The stable `P0xxx` identifier.
@@ -184,6 +202,11 @@ impl Code {
             Code::FlowIllegal => "P0301",
             Code::FlowsDiverge => "P0302",
             Code::ObjectiveRegression => "P0303",
+            Code::FactUnsound => "P0401",
+            Code::JustificationInvalid => "P0402",
+            Code::SimplifyDiverged => "P0403",
+            Code::ConstantOutputBit => "P0404",
+            Code::DeadInputBit => "P0405",
         }
     }
 
@@ -194,6 +217,7 @@ impl Code {
                 Severity::Warning
             }
             Code::ObjectiveRegression => Severity::Warning,
+            Code::ConstantOutputBit | Code::DeadInputBit => Severity::Warning,
             Code::NonPow2Memory => Severity::Info,
             _ => Severity::Error,
         }
@@ -234,6 +258,11 @@ impl Code {
             Code::FlowIllegal => "flow produced an illegal implementation",
             Code::FlowsDiverge => "flow outputs diverge from the reference model",
             Code::ObjectiveRegression => "mapping-aware flow worse than heuristic at same II",
+            Code::FactUnsound => "analysis fact contradicted by simulation",
+            Code::JustificationInvalid => "rewrite justification fails independent re-derivation",
+            Code::SimplifyDiverged => "simplified graph diverges from the original",
+            Code::ConstantOutputBit => "primary output bit proven constant",
+            Code::DeadInputBit => "primary input bit cannot influence any output",
         }
     }
 }

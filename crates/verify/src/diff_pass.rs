@@ -69,6 +69,26 @@ pub fn check_flows(
     flows: &[(&str, &Implementation)],
     opts: &FlowCheckOptions,
 ) -> Diagnostics {
+    let with_graphs: Vec<(&str, &Dfg, &Implementation)> =
+        flows.iter().map(|&(l, imp)| (l, dfg, imp)).collect();
+    check_flows_with_graphs(dfg, target, &with_graphs, opts)
+}
+
+/// [`check_flows`] for flows that may each have scheduled a *rewritten*
+/// graph (e.g. the `pipemap-analyze` pre-pass of the MILP-map flow).
+///
+/// Each implementation is legality-checked and simulated against its own
+/// graph; a flow graph differing from `dfg` is additionally linted and
+/// replayed against the original via seeded vectors, reporting
+/// [`Code::SimplifyDiverged`] on any output mismatch — so the
+/// equivalence chain `implementation ≡ flow graph ≡ original` is closed
+/// for every flow.
+pub fn check_flows_with_graphs(
+    dfg: &Dfg,
+    target: &Target,
+    flows: &[(&str, &Dfg, &Implementation)],
+    opts: &FlowCheckOptions,
+) -> Diagnostics {
     let mut ds = Diagnostics::new();
 
     // A broken graph makes every downstream judgment meaningless.
@@ -78,11 +98,41 @@ pub fn check_flows(
         return ds;
     }
 
-    let ins = InputStreams::random(dfg, opts.vectors, opts.seed);
     let mut qors: Vec<Option<Qor>> = Vec::with_capacity(flows.len());
 
-    for &(label, imp) in flows {
-        let flow_ds = check_implementation(dfg, target, imp);
+    for &(label, flow_dfg, imp) in flows {
+        if flow_dfg != dfg {
+            let fg_ds = lint_dfg(flow_dfg, None);
+            if fg_ds.has_errors() {
+                ds.push(Diagnostic::new(
+                    Code::FlowIllegal,
+                    format!(
+                        "flow `{label}` scheduled a graph with {} lint error(s)",
+                        fg_ds.error_count()
+                    ),
+                ));
+                ds.merge(
+                    fg_ds
+                        .into_iter()
+                        .map(|mut d| {
+                            d.message = format!("[{label}/graph] {}", d.message);
+                            d
+                        })
+                        .collect(),
+                );
+                qors.push(None);
+                continue;
+            }
+            ds.merge(crate::analyze_pass::check_graph_equivalence(
+                &format!("flow `{label}` pre-pass"),
+                dfg,
+                flow_dfg,
+                opts.vectors,
+                opts.seed,
+            ));
+        }
+        let ins = InputStreams::random(flow_dfg, opts.vectors, opts.seed);
+        let flow_ds = check_implementation(flow_dfg, target, imp);
         if flow_ds.has_errors() {
             ds.push(Diagnostic::new(
                 Code::FlowIllegal,
@@ -106,7 +156,7 @@ pub fn check_flows(
         }
         ds.merge(flow_ds); // keep warnings/info
 
-        if let Err(e) = verify_functional(dfg, target, imp, &ins, opts.vectors) {
+        if let Err(e) = verify_functional(flow_dfg, target, imp, &ins, opts.vectors) {
             ds.push(Diagnostic::new(
                 Code::FlowsDiverge,
                 format!("flow `{label}` diverges from the reference interpreter: {e}"),
@@ -116,7 +166,7 @@ pub fn check_flows(
         }
 
         if opts.lint_rtl && imp.schedule.ii() == 1 {
-            if let Ok(rtl) = to_verilog(dfg, target, imp, &format!("{}_{label}", dfg.name())) {
+            if let Ok(rtl) = to_verilog(flow_dfg, target, imp, &format!("{}_{label}", dfg.name())) {
                 let rtl_ds = lint_verilog(&rtl);
                 if rtl_ds.has_errors() {
                     ds.push(Diagnostic::new(
@@ -139,7 +189,7 @@ pub fn check_flows(
             }
         }
 
-        qors.push(Some(Qor::evaluate(dfg, target, imp)));
+        qors.push(Some(Qor::evaluate(flow_dfg, target, imp)));
     }
 
     // Objective comparison against the baseline (first flow), same II only.

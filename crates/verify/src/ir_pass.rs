@@ -40,7 +40,7 @@ pub fn lint_text(src: &str) -> (Diagnostics, Option<Dfg>) {
 /// Safe to call on arbitrary graphs, including ones [`Dfg::validate`]
 /// rejects: dangling ports, width nonsense, and combinational cycles are
 /// reported as diagnostics, never panics. When `spans` is provided (from
-/// [`parse_dfg_spanned`]), findings carry source locations.
+/// [`pipemap_ir::parse_dfg_spanned`]), findings carry source locations.
 pub fn lint_dfg(dfg: &Dfg, spans: Option<&NodeSpans>) -> Diagnostics {
     let mut ds = Diagnostics::new();
     let n = dfg.len();

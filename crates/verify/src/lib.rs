@@ -11,7 +11,7 @@
 //! collection of stable-coded findings (`P0xxx`) with severities, optional
 //! source spans into the textual `.pmir` format, and human/JSON renderers.
 //!
-//! Four passes:
+//! Five passes:
 //!
 //! * [`lint_dfg`] / [`lint_text`] — IR well-formedness (`P00xx`): a total
 //!   superset of [`Dfg::validate`](pipemap_ir::Dfg::validate) plus dead
@@ -23,7 +23,11 @@
 //!   subset [`pipemap_netlist::to_verilog`] emits,
 //! * [`check_flows`] — differential flow check (`P03xx`): all flow outputs
 //!   verifier-clean, simulation-equivalent, and mapping-aware flows no
-//!   worse than the baseline on the area objective.
+//!   worse than the baseline on the area objective,
+//! * [`check_analysis`] / [`check_simplification`] — dataflow-analysis
+//!   audit (`P04xx`): every `pipemap-analyze` fact confronted with seeded
+//!   simulation, every proof-carrying rewrite re-derived independently,
+//!   and rewritten graphs replayed against their originals.
 //!
 //! ```
 //! use pipemap_verify::{lint_text, Code};
@@ -38,14 +42,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analyze_pass;
 mod diag;
 mod diff_pass;
 mod ir_pass;
 mod netlist_pass;
 mod sched_pass;
 
+pub use analyze_pass::{check_analysis, check_graph_equivalence, check_simplification};
 pub use diag::{Code, Diagnostic, Diagnostics, Severity};
-pub use diff_pass::{check_flows, objective, FlowCheckOptions};
+pub use diff_pass::{check_flows, check_flows_with_graphs, objective, FlowCheckOptions};
 pub use ir_pass::{lint_dfg, lint_text};
 pub use netlist_pass::lint_verilog;
 pub use sched_pass::check_implementation;

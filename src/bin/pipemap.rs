@@ -8,6 +8,7 @@
 //! pipemap verilog  <file.pmir> [--flow FLOW] [--module NAME] [...]
 //! pipemap lint     <file.pmir> [--json]               # static IR lint (P0xxx)
 //! pipemap lint     --codes                            # lint-code registry
+//! pipemap analyze  <file.pmir> [--json] [--dot] [--ii N] [--k N]
 //! pipemap verify   <file.pmir> [--limit SECS] [--ii N] [--k N] [--json]
 //! pipemap bench    <NAME>      [--limit SECS]         # built-in benchmark
 //! ```
@@ -16,18 +17,24 @@
 //!
 //! `lint` parses the textual IR and runs the well-formedness pass,
 //! reporting every finding with its stable `P0xxx` code and source span;
+//! `analyze` runs the bit-level dataflow analyses and proof-carrying
+//! simplification, reporting per-node facts and the cut/MILP-size
+//! savings (`--dot` renders the facts as a shaded graphviz graph);
 //! `verify` additionally runs *all* scheduling flows and the differential
 //! flow checker (legality, QoR recount, simulation equivalence, RTL
-//! lint). Both exit non-zero when any error-severity diagnostic fires.
+//! lint, analyze-pre-pass replay). `lint` and `verify` exit non-zero when
+//! any error-severity diagnostic fires.
 
 use std::error::Error;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use pipemap::analyze::Analysis;
 use pipemap::core::{run_flow, Flow, FlowOptions};
-use pipemap::ir::{parse_dfg, to_dot, Dfg, InputStreams, Target};
+use pipemap::ir::{parse_dfg, to_dot, to_dot_styled, Dfg, InputStreams, Target};
 use pipemap::netlist::{schedule_report, to_verilog, verify_functional};
-use pipemap::verify::{check_flows, lint_text, Code, FlowCheckOptions};
+use pipemap::report::analyze_report;
+use pipemap::verify::{check_flows_with_graphs, lint_text, Code, FlowCheckOptions};
 
 struct Args {
     positional: Vec<String>,
@@ -38,6 +45,7 @@ struct Args {
     module: String,
     json: bool,
     codes: bool,
+    dot: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -50,6 +58,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         module: "pipeline".into(),
         json: false,
         codes: false,
+        dot: false,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -86,6 +95,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--json" => a.json = true,
             "--codes" => a.codes = true,
+            "--dot" => a.dot = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -118,7 +128,7 @@ fn target(a: &Args) -> Target {
 fn run() -> Result<(), Box<dyn Error>> {
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        eprintln!("usage: pipemap <info|dot|schedule|verilog|lint|verify|bench> ...");
+        eprintln!("usage: pipemap <info|dot|schedule|verilog|lint|analyze|verify|bench> ...");
         return Err("missing subcommand".into());
     };
     let a = parse_args(argv).map_err(|e| -> Box<dyn Error> { e.into() })?;
@@ -145,17 +155,29 @@ fn run() -> Result<(), Box<dyn Error>> {
             let dfg = load(path)?;
             let r = run_flow(&dfg, &target(&a), a.flow, &options(&a))?;
             let sched = r.implementation.schedule.clone();
-            print!("{}", to_dot(&dfg, Some(&|v| sched.cycle(v))));
+            print!("{}", to_dot(&r.dfg, Some(&|v| sched.cycle(v))));
         }
         "schedule" => {
             let path = a.positional.first().ok_or("schedule needs a .pmir file")?;
             let dfg = load(path)?;
             let t = target(&a);
             let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
-            print!("{}", schedule_report(&dfg, &t, &r.implementation));
-            let ins = InputStreams::random(&dfg, 16, 1);
-            verify_functional(&dfg, &t, &r.implementation, &ins, 16)?;
+            print!("{}", schedule_report(&r.dfg, &t, &r.implementation));
+            let ins = InputStreams::random(&r.dfg, 16, 1);
+            verify_functional(&r.dfg, &t, &r.implementation, &ins, 16)?;
             println!("functional check: ok (16 iterations vs reference interpreter)");
+            if let Some(p) = &r.analysis {
+                println!(
+                    "analyze pre-pass: {} rewrite(s) | nodes {} -> {} | {} bit(s) pruned \
+                     | cuts {} -> {}",
+                    p.rewrites,
+                    p.nodes_before,
+                    p.nodes_after,
+                    p.bits_pruned,
+                    p.cuts_before,
+                    p.cuts_after
+                );
+            }
             if let Some(s) = &r.milp {
                 println!(
                     "solver: {} in {:.2?} | {} B&B nodes | {} vars | {} rows",
@@ -168,7 +190,7 @@ fn run() -> Result<(), Box<dyn Error>> {
             let dfg = load(path)?;
             let t = target(&a);
             let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
-            print!("{}", to_verilog(&dfg, &t, &r.implementation, &a.module)?);
+            print!("{}", to_verilog(&r.dfg, &t, &r.implementation, &a.module)?);
         }
         "lint" => {
             if a.codes {
@@ -203,6 +225,24 @@ fn run() -> Result<(), Box<dyn Error>> {
                 .into());
             }
         }
+        "analyze" => {
+            let path = a.positional.first().ok_or("analyze needs a .pmir file")?;
+            let dfg = load(path)?;
+            if a.dot {
+                let analysis = Analysis::run(&dfg)?;
+                print!(
+                    "{}",
+                    to_dot_styled(&dfg, None, Some(&|v| analysis.dot_style(&dfg, v)))
+                );
+                return Ok(());
+            }
+            let report = analyze_report(&dfg, &target(&a), a.ii)?;
+            if a.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+        }
         "verify" => {
             let path = a.positional.first().ok_or("verify needs a .pmir file")?;
             let src = std::fs::read_to_string(path)?;
@@ -214,11 +254,16 @@ fn run() -> Result<(), Box<dyn Error>> {
                 for flow in Flow::ALL {
                     results.push((flow.label(), run_flow(&dfg, &t, flow, &opts)?));
                 }
-                let flows: Vec<(&str, _)> = results
+                let flows: Vec<(&str, &Dfg, _)> = results
                     .iter()
-                    .map(|(l, r)| (*l, &r.implementation))
+                    .map(|(l, r)| (*l, &r.dfg, &r.implementation))
                     .collect();
-                ds.merge(check_flows(&dfg, &t, &flows, &FlowCheckOptions::default()));
+                ds.merge(check_flows_with_graphs(
+                    &dfg,
+                    &t,
+                    &flows,
+                    &FlowCheckOptions::default(),
+                ));
             }
             ds.sort();
             if a.json {

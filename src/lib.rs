@@ -19,6 +19,8 @@
 //!
 //! * [`ir`] — word-level CDFG, builder, device model, reference
 //!   interpreter,
+//! * [`analyze`] — bit-level dataflow analysis (known bits, ranges,
+//!   dead-bit liveness) and proof-carrying IR simplification,
 //! * [`cuts`] — K-feasible word-level cut enumeration (paper §3.1),
 //! * [`milp`] — a sparse revised-simplex + branch-and-bound MILP solver
 //!   (the CPLEX stand-in),
@@ -51,6 +53,9 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use pipemap_analyze as analyze;
 pub use pipemap_bench_suite as bench_suite;
 pub use pipemap_core as core;
 pub use pipemap_cuts as cuts;

@@ -1,0 +1,244 @@
+//! The `pipemap analyze` report: facts, simplification savings, and the
+//! downstream effect on cut-database and MILP-model size.
+//!
+//! Shared by the CLI subcommand and the acceptance tests so both observe
+//! the exact same numbers.
+
+use std::fmt::Write as _;
+
+use pipemap_analyze::{simplify_with, Analysis, SimplifyStats};
+use pipemap_core::schedule_baseline;
+use pipemap_cuts::{CutConfig, CutDb};
+use pipemap_ir::{Dfg, Op, Target};
+
+/// One per-node fact line of the report (only nodes with something
+/// proven are listed).
+#[derive(Debug, Clone)]
+pub struct NodeFact {
+    /// Node index in the original graph.
+    pub node: usize,
+    /// The node's label (name or `%id`).
+    pub label: String,
+    /// Operation mnemonic.
+    pub op: String,
+    /// Word width.
+    pub width: u32,
+    /// MSB-first pattern: `0`/`1` known, `-` live unknown, `x` dead.
+    pub pattern: String,
+}
+
+/// Everything `pipemap analyze` reports for one graph.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// Graph name.
+    pub graph: String,
+    /// Per-node facts (nodes with at least one known or dead bit).
+    pub facts: Vec<NodeFact>,
+    /// Simplification statistics.
+    pub stats: SimplifyStats,
+    /// Number of proof-carrying rewrites.
+    pub rewrites: usize,
+    /// Enumerated cuts on the original graph (target K, default config).
+    pub cuts_before: usize,
+    /// Enumerated cuts on the simplified graph with liveness pruning.
+    pub cuts_after: usize,
+    /// MILP-map model variables for the original graph (`None` when the
+    /// baseline scheduler finds no feasible latency to size the model).
+    pub vars_before: Option<usize>,
+    /// MILP-map model variables for the simplified graph.
+    pub vars_after: Option<usize>,
+}
+
+impl AnalyzeReport {
+    /// `true` if the pre-pass shrank the cut database or the MILP model.
+    pub fn saves_anything(&self) -> bool {
+        self.cuts_after < self.cuts_before
+            || matches!(
+                (self.vars_before, self.vars_after),
+                (Some(b), Some(a)) if a < b
+            )
+    }
+
+    /// Render as a JSON object (no external dependencies).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"graph\":\"{}\"", escape(&self.graph));
+        let _ = write!(
+            out,
+            ",\"nodes_before\":{},\"nodes_after\":{}",
+            self.stats.nodes_before, self.stats.nodes_after
+        );
+        let _ = write!(
+            out,
+            ",\"rewrites\":{},\"const_folded\":{},\"forwarded\":{},\"dead_operands\":{},\
+             \"narrowed\":{},\"removed\":{}",
+            self.rewrites,
+            self.stats.const_folded,
+            self.stats.forwarded,
+            self.stats.dead_operands,
+            self.stats.narrowed,
+            self.stats.removed
+        );
+        let _ = write!(
+            out,
+            ",\"bits_known\":{},\"bits_dead\":{},\"bits_pruned\":{}",
+            self.stats.bits_known, self.stats.bits_dead, self.stats.bits_pruned
+        );
+        let _ = write!(
+            out,
+            ",\"cuts_before\":{},\"cuts_after\":{}",
+            self.cuts_before, self.cuts_after
+        );
+        match (self.vars_before, self.vars_after) {
+            (Some(b), Some(a)) => {
+                let _ = write!(out, ",\"milp_vars_before\":{b},\"milp_vars_after\":{a}");
+            }
+            _ => {
+                let _ = write!(out, ",\"milp_vars_before\":null,\"milp_vars_after\":null");
+            }
+        }
+        out.push_str(",\"facts\":[");
+        for (i, f) in self.facts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"node\":{},\"label\":\"{}\",\"op\":\"{}\",\"width\":{},\"pattern\":\"{}\"}}",
+                f.node,
+                escape(&f.label),
+                escape(&f.op),
+                f.width,
+                escape(&f.pattern)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render for humans.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "graph {}: {} nodes",
+            self.graph, self.stats.nodes_before
+        );
+        if self.facts.is_empty() {
+            let _ = writeln!(out, "facts: nothing proven beyond widths");
+        } else {
+            let _ = writeln!(out, "facts ({} nodes with proven bits):", self.facts.len());
+            for f in &self.facts {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:<12} {:<6} w{:<3} {}",
+                    format!("%{}", f.node),
+                    f.label,
+                    f.op,
+                    f.width,
+                    f.pattern
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "simplify: {} rewrite(s) ({} folded, {} forwarded, {} dead operand(s), \
+             {} narrowed, {} removed), nodes {} -> {}, {} bit(s) pruned",
+            self.rewrites,
+            self.stats.const_folded,
+            self.stats.forwarded,
+            self.stats.dead_operands,
+            self.stats.narrowed,
+            self.stats.removed,
+            self.stats.nodes_before,
+            self.stats.nodes_after,
+            self.stats.bits_pruned
+        );
+        let _ = writeln!(
+            out,
+            "cuts: {} -> {} (liveness-pruned enumeration)",
+            self.cuts_before, self.cuts_after
+        );
+        match (self.vars_before, self.vars_after) {
+            (Some(b), Some(a)) => {
+                let _ = writeln!(out, "milp vars: {b} -> {a}");
+            }
+            _ => {
+                let _ = writeln!(out, "milp vars: n/a (baseline schedule unavailable)");
+            }
+        }
+        out
+    }
+}
+
+/// Run the analysis + simplification and measure the downstream savings
+/// for the mapping-aware MILP flow at the given II.
+///
+/// # Errors
+///
+/// Fails only if the graph does not validate.
+pub fn analyze_report(
+    dfg: &Dfg,
+    target: &Target,
+    ii: u32,
+) -> Result<AnalyzeReport, pipemap_ir::IrError> {
+    let analysis = Analysis::run(dfg)?;
+    let out = simplify_with(dfg, &analysis)?;
+
+    let mut facts = Vec::new();
+    for (id, node) in dfg.iter() {
+        if matches!(node.op, Op::Const(_)) {
+            continue;
+        }
+        let known = analysis.fact(id).bits.known() != 0;
+        let dead = analysis.dead(dfg, id) != 0;
+        if known || dead {
+            facts.push(NodeFact {
+                node: id.index(),
+                label: dfg.label(id),
+                op: node.op.mnemonic().to_string(),
+                width: node.width,
+                pattern: analysis.pattern(dfg, id),
+            });
+        }
+    }
+
+    let cfg_before = CutConfig::for_target(target);
+    let db_before = CutDb::enumerate(dfg, &cfg_before);
+    let after_analysis = Analysis::run(&out.dfg)?;
+    let cfg_after = CutConfig {
+        live_bits: Some(out.dfg.node_ids().map(|v| after_analysis.live(v)).collect()),
+        ..CutConfig::for_target(target)
+    };
+    let db_after = CutDb::enumerate(&out.dfg, &cfg_after);
+
+    let vars = |g: &Dfg, db: &CutDb| {
+        let baseline = schedule_baseline(g, target, ii, db).ok()?;
+        let m = baseline.implementation.schedule.depth();
+        Some(pipemap_core::debug_build_model(g, target, db, baseline.ii, m, 0.5, 0.5).num_vars())
+    };
+    let vars_before = vars(dfg, &db_before);
+    let vars_after = vars(&out.dfg, &db_after);
+
+    Ok(AnalyzeReport {
+        graph: dfg.name().to_string(),
+        facts,
+        stats: out.stats,
+        rewrites: out.rewrites.len(),
+        cuts_before: db_before.total_cuts(),
+        cuts_after: db_after.total_cuts(),
+        vars_before,
+        vars_after,
+    })
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}

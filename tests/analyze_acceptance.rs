@@ -1,0 +1,70 @@
+//! Acceptance criteria for the analyze pre-pass on the paper's benchmark
+//! suite: on at least 3 of the 9 designs the bit-level analysis must
+//! measurably shrink the cut database or the MILP-map model (the same
+//! numbers `pipemap analyze --json` prints), and every simplification
+//! must be certified equivalent by the verifier's replay + justification
+//! audit.
+
+use pipemap::analyze::simplify;
+use pipemap::report::analyze_report;
+use pipemap::verify::{check_analysis, check_simplification};
+
+#[test]
+fn pre_pass_shrinks_cuts_or_milp_vars_on_at_least_three_benchmarks() {
+    let mut saved = Vec::new();
+    for b in pipemap::bench_suite::all() {
+        let report = analyze_report(&b.dfg, &b.target, 1).expect("report");
+        assert!(
+            report.cuts_after <= report.cuts_before,
+            "{}: pre-pass grew the cut database ({} -> {})",
+            b.name,
+            report.cuts_before,
+            report.cuts_after
+        );
+        if let (Some(vb), Some(va)) = (report.vars_before, report.vars_after) {
+            assert!(
+                va <= vb,
+                "{}: pre-pass grew the MILP model ({vb} -> {va} vars)",
+                b.name
+            );
+        }
+        if report.saves_anything() {
+            saved.push(format!(
+                "{}: cuts {} -> {}, vars {:?} -> {:?}",
+                b.name,
+                report.cuts_before,
+                report.cuts_after,
+                report.vars_before,
+                report.vars_after
+            ));
+        }
+    }
+    assert!(
+        saved.len() >= 3,
+        "expected measurable savings on >= 3 of 9 benchmarks, got {}:\n{}",
+        saved.len(),
+        saved.join("\n")
+    );
+}
+
+#[test]
+fn simplification_is_verifier_certified_on_every_benchmark() {
+    for b in pipemap::bench_suite::all() {
+        let ds = check_analysis(&b.dfg, 16, 0xACCE11);
+        assert!(
+            !ds.has_errors(),
+            "{}: analyze audit errors:\n{}",
+            b.name,
+            ds.render_human(b.name)
+        );
+
+        let out = simplify(&b.dfg).expect("simplify");
+        let ds = check_simplification(&b.dfg, &out, 16, 0xACCE12);
+        assert!(
+            !ds.has_errors(),
+            "{}: simplification audit errors:\n{}",
+            b.name,
+            ds.render_human(b.name)
+        );
+    }
+}

@@ -26,13 +26,14 @@ fn fig1_kernel_all_flows() {
     let (dfg, _) = rs_encoder_fig1();
     let target = Target::fig1();
     let o = opts(10);
-    let ins = InputStreams::random(&dfg, 40, 3);
-
     let mut qors = Vec::new();
     for flow in Flow::ALL {
         let r = run_flow(&dfg, &target, flow, &o).expect("flow runs");
-        verify(&dfg, &target, &r.implementation).expect("legal");
-        verify_functional(&dfg, &target, &r.implementation, &ins, 40).expect("functional");
+        // The implementation refers to the graph the flow scheduled
+        // (`r.dfg`), which the analyze pre-pass may have rewritten.
+        let ins = InputStreams::random(&r.dfg, 40, 3);
+        verify(&r.dfg, &target, &r.implementation).expect("legal");
+        verify_functional(&r.dfg, &target, &r.implementation, &ins, 40).expect("functional");
         qors.push(r.qor);
     }
     // Paper Fig. 1: additive needs 3 stages, mapped fits 1.
@@ -45,12 +46,12 @@ fn fig1_kernel_all_flows() {
 fn gfmul_collapses_to_combinational() {
     let b = by_name("GFMUL").expect("exists");
     let o = opts(20);
-    let ins = InputStreams::random(&b.dfg, 32, 5);
 
     let hls = run_flow(&b.dfg, &b.target, Flow::HlsTool, &o).expect("hls");
     let map = run_flow(&b.dfg, &b.target, Flow::MilpMap, &o).expect("map");
     for r in [&hls, &map] {
-        verify_functional(&b.dfg, &b.target, &r.implementation, &ins, 32).expect("functional");
+        let ins = InputStreams::random(&r.dfg, 32, 5);
+        verify_functional(&r.dfg, &b.target, &r.implementation, &ins, 32).expect("functional");
     }
     // Paper: GFMUL becomes a single combinational stage with zero FFs.
     assert_eq!(map.qor.ffs, 0, "map FFs {}", map.qor.ffs);
@@ -133,10 +134,10 @@ fn simulated_occupancy_never_exceeds_priced_ffs() {
         let o = opts(5);
         for flow in Flow::ALL {
             let r = run_flow(&b.dfg, &b.target, flow, &o).expect("flow");
-            let ins = InputStreams::random(&b.dfg, 24, 21);
-            let (_, stats) = simulate_with_stats(&b.dfg, &b.target, &r.implementation, &ins, 24)
+            let ins = InputStreams::random(&r.dfg, 24, 21);
+            let (_, stats) = simulate_with_stats(&r.dfg, &b.target, &r.implementation, &ins, 24)
                 .expect("simulates");
-            let ffs = ff_count(&b.dfg, &b.target, &r.implementation);
+            let ffs = ff_count(&r.dfg, &b.target, &r.implementation);
             assert!(
                 stats.peak_register_bits <= ffs,
                 "{name}/{flow}: peak occupancy {} > priced FFs {ffs}",
@@ -153,9 +154,9 @@ fn combinational_map_results_occupy_no_registers() {
     let o = opts(20);
     let map = run_flow(&b.dfg, &b.target, Flow::MilpMap, &o).expect("map");
     assert_eq!(map.qor.ffs, 0);
-    let ins = InputStreams::random(&b.dfg, 16, 2);
+    let ins = InputStreams::random(&map.dfg, 16, 2);
     let (_, stats) =
-        simulate_with_stats(&b.dfg, &b.target, &map.implementation, &ins, 16).expect("simulates");
+        simulate_with_stats(&map.dfg, &b.target, &map.implementation, &ins, 16).expect("simulates");
     assert_eq!(stats.peak_register_bits, 0);
 }
 
@@ -185,6 +186,6 @@ fn gamma_objective_shares_dsps_across_slots() {
     let r = run_flow(&dfg, &target, Flow::MilpMap, &o).expect("map");
     assert_eq!(r.ii, 2);
     assert_eq!(r.qor.dsps, 1, "DSP sharing expected: {:?}", r.qor);
-    let ins = InputStreams::random(&dfg, 12, 4);
-    verify_functional(&dfg, &target, &r.implementation, &ins, 12).expect("functional");
+    let ins = InputStreams::random(&r.dfg, 12, 4);
+    verify_functional(&r.dfg, &target, &r.implementation, &ins, 12).expect("functional");
 }

@@ -10,9 +10,9 @@
 
 use pipemap::core::{run_flow, schedule_baseline, schedule_mapped_heuristic, Flow, FlowOptions};
 use pipemap::cuts::{cone_nodes, CutConfig, CutDb};
-use pipemap::ir::{random_dfg, InputStreams, RandomDfgConfig, Target};
+use pipemap::ir::{random_dfg, Dfg, InputStreams, RandomDfgConfig, Target};
 use pipemap::netlist::{verify, verify_functional};
-use pipemap::verify::{check_flows, FlowCheckOptions};
+use pipemap::verify::{check_flows_with_graphs, FlowCheckOptions};
 
 const CASES: u64 = 48;
 
@@ -112,8 +112,8 @@ fn milp_map_flow_on_random_graphs() {
         };
         let hls = run_flow(&dfg, &target, Flow::HlsTool, &opts).expect("hls");
         let map = run_flow(&dfg, &target, Flow::MilpMap, &opts).expect("map");
-        let ins = InputStreams::random(&dfg, 12, 0xBEE);
-        verify_functional(&dfg, &target, &map.implementation, &ins, 12)
+        let ins = InputStreams::random(&map.dfg, 12, 0xBEE);
+        verify_functional(&map.dfg, &target, &map.implementation, &ins, 12)
             .unwrap_or_else(|e| panic!("seed {seed}: functional: {e}"));
         if map.ii == hls.ii {
             let cost =
@@ -149,11 +149,11 @@ fn all_flows_verifier_clean() {
                 (f.label(), r)
             })
             .collect();
-        let flows: Vec<(&str, _)> = results
+        let flows: Vec<(&str, &Dfg, _)> = results
             .iter()
-            .map(|(l, r)| (*l, &r.implementation))
+            .map(|(l, r)| (*l, &r.dfg, &r.implementation))
             .collect();
-        let ds = check_flows(&dfg, &target, &flows, &FlowCheckOptions::default());
+        let ds = check_flows_with_graphs(&dfg, &target, &flows, &FlowCheckOptions::default());
         assert!(
             !ds.has_errors(),
             "seed {seed}: verifier errors:\n{}",

@@ -3,20 +3,23 @@
 //! with exactly the right `P0xxx` diagnostic (never a panic), and the
 //! textual front end must attach source spans.
 //!
-//! Two codes are differential cross-checks with no constructible
+//! Three codes are differential cross-checks with no constructible
 //! trigger: [`Code::QorMismatch`] (P0108) fires only when the two
-//! independent area models disagree, and [`Code::FlowsDiverge`] (P0302)
+//! independent area models disagree, [`Code::FlowsDiverge`] (P0302)
 //! only when a *legal* implementation simulates differently from the
-//! reference interpreter — both signal toolchain bugs, not artifact
-//! corruption, so they are covered by registry/severity tests plus the
-//! clean-path assertions here and the property suite.
+//! reference interpreter, and [`Code::FactUnsound`] (P0401) only when
+//! a freshly derived dataflow fact contradicts a simulated value — all
+//! signal toolchain bugs, not artifact corruption, so they are covered
+//! by registry/severity tests plus the clean-path assertions here and
+//! the property suite.
 
+use pipemap::analyze::{simplify, Justification, Rewrite, RewriteKind};
 use pipemap::cuts::{Cut, CutConfig, CutDb};
 use pipemap::ir::{Dfg, DfgBuilder, Node, NodeId, Op, Port, Target};
 use pipemap::netlist::{Cover, Implementation, Schedule};
 use pipemap::verify::{
-    check_flows, check_implementation, lint_dfg, lint_text, lint_verilog, Code, FlowCheckOptions,
-    Severity,
+    check_analysis, check_flows, check_graph_equivalence, check_implementation,
+    check_simplification, lint_dfg, lint_text, lint_verilog, Code, FlowCheckOptions, Severity,
 };
 
 // ---- helpers ---------------------------------------------------------------
@@ -474,6 +477,75 @@ fn p0303_objective_regression_is_warning() {
         .find(|d| d.code == Code::ObjectiveRegression)
         .expect("split pays registers the flat schedule avoids");
     assert_eq!(d.severity, Severity::Warning);
+}
+
+// ---- dataflow-analysis audit: P04xx ----------------------------------------
+
+#[test]
+fn p0401_fresh_facts_are_sound_on_clean_graphs() {
+    // FactUnsound is the differential cross-check of the analyze pass:
+    // the audit derives its own facts, so only an analysis bug can fire
+    // it. Clean path + registry entry, mirroring P0108/P0302.
+    let (g, ..) = simple();
+    let ds = check_analysis(&g, 16, 0x41);
+    assert!(!ds.has_code(Code::FactUnsound), "{:?}", ds);
+    assert!(!ds.has_errors(), "{:?}", ds);
+    assert!(Code::ALL.contains(&Code::FactUnsound));
+    assert_eq!(Code::FactUnsound.severity(), Severity::Error);
+}
+
+#[test]
+fn p0402_forged_justification() {
+    let mut b = DfgBuilder::new("j");
+    let x = b.input("x", 8);
+    let m = b.const_(0x0F, 8);
+    let lo = b.and(x, m);
+    b.output("o", lo);
+    let g = b.finish().expect("valid");
+    let mut out = simplify(&g).expect("simplifies");
+    out.rewrites.push(Rewrite {
+        node: NodeId(0),
+        kind: RewriteKind::ConstFold { value: 0x42 },
+        justification: Justification::KnownValue { value: 0x42 },
+    });
+    let ds = check_simplification(&g, &out, 8, 0x42);
+    assert!(ds.has_code(Code::JustificationInvalid), "{:?}", ds);
+}
+
+#[test]
+fn p0403_inequivalent_graphs_diverge_under_replay() {
+    let mk = |op: Op| {
+        let mut b = DfgBuilder::new("g");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let z = match op {
+            Op::Xor => b.xor(x, y),
+            _ => b.and(x, y),
+        };
+        b.output("o", z);
+        b.finish().expect("valid")
+    };
+    let ds = check_graph_equivalence("opt", &mk(Op::Xor), &mk(Op::And), 16, 0x43);
+    assert!(ds.has_code(Code::SimplifyDiverged), "{:?}", ds);
+    assert_eq!(Code::SimplifyDiverged.severity(), Severity::Error);
+}
+
+#[test]
+fn p0404_p0405_constant_output_and_dead_input_bits_warn() {
+    let mut b = DfgBuilder::new("w");
+    let x = b.input("x", 16);
+    let m = b.const_(0x0F, 16);
+    let lo = b.and(x, m); // output high bits known 0; input high bits dead
+    b.output("o", lo);
+    let g = b.finish().expect("valid");
+    let ds = check_analysis(&g, 16, 0x44);
+    assert!(!ds.has_errors(), "{:?}", ds);
+    for code in [Code::ConstantOutputBit, Code::DeadInputBit] {
+        let d = ds.iter().find(|d| d.code == code).unwrap_or_else(|| {
+            panic!("missing {code:?}: {}", ds.render_human("w"));
+        });
+        assert_eq!(d.severity, Severity::Warning);
+    }
 }
 
 // ---- registry --------------------------------------------------------------
