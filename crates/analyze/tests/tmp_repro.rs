@@ -1,0 +1,27 @@
+use pipemap_analyze::simplify;
+use pipemap_ir::{execute, DfgBuilder, InputStreams, Op, Port};
+
+#[test]
+fn narrow_const_with_dist_repro() {
+    let mut b = DfgBuilder::new("r");
+    let x = b.input("x", 16);
+    let cm = b.const_(0x0F, 16);
+    let lo = b.and(x, cm); // [0, 15]
+    let c3 = b.const_(3, 16);
+    // add reads the const at distance 1: pre-window sees init(c3) = 0.
+    let s = b.raw_node(Op::Add, 16, vec![lo.into(), Port::prev_iter(c3, 1)]);
+    b.output("o", s);
+    let g = b.finish().expect("valid");
+    let out = simplify(&g).expect("simplifies");
+    let ins = InputStreams::random(&g, 4, 9);
+    let t1 = execute(&g, &ins, 4).expect("orig");
+    let t2 = execute(&out.dfg, &InputStreams::random(&out.dfg, 4, 9), 4).expect("opt");
+    for it in 0..4 {
+        assert_eq!(
+            t1.value(it, g.outputs()[0]),
+            t2.value(it, out.dfg.outputs()[0]),
+            "iteration {it}; rewrites: {:?}",
+            out.rewrites
+        );
+    }
+}
