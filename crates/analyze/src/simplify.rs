@@ -186,18 +186,23 @@ impl Work {
     /// anything else gets a low slice.
     fn narrow_port(&mut self, p: Port, kept: u32) -> Port {
         if let Op::Const(c) = self.nodes[p.node.index()].op {
-            Port::this_iter(self.intern_const(kept, c))
-        } else {
-            let id = NodeId(self.nodes.len() as u32);
-            self.nodes.push(Node {
-                op: Op::Slice { lo: 0 },
-                width: kept,
-                ins: vec![p],
-            });
-            self.names.push(None);
-            self.inits.push(0);
-            Port::this_iter(id)
+            // A loop-carried read observes the producer's *initial*
+            // value before iteration `dist`; re-interning the constant
+            // at distance 0 would erase that window. Shortcut only when
+            // the window is invisible in the kept bits.
+            if p.dist == 0 || (self.inits[p.node.index()] ^ c) & mask(kept) == 0 {
+                return Port::this_iter(self.intern_const(kept, c));
+            }
         }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op: Op::Slice { lo: 0 },
+            width: kept,
+            ins: vec![p],
+        });
+        self.names.push(None);
+        self.inits.push(0);
+        Port::this_iter(id)
     }
 }
 

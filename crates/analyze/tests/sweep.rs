@@ -7,7 +7,7 @@
 //! generator, so any failure reproduces from its seed alone.
 
 use pipemap_analyze::{simplify, Analysis, SimplifyOutcome};
-use pipemap_ir::{execute, random_dfg, Dfg, InputStreams, RandomDfgConfig};
+use pipemap_ir::{execute, random_dfg, Dfg, DfgBuilder, InputStreams, Op, Port, RandomDfgConfig};
 
 const SWEEP_SEEDS: u64 = 200;
 const ITERS: usize = 12;
@@ -68,6 +68,26 @@ fn random_sweep_facts_sound_and_simplify_preserves_semantics() {
         let after = Analysis::run(&out.dfg).expect("analysis after");
         assert_facts_sound(&label, &out.dfg, &after, seed ^ 0x1234);
     }
+}
+
+/// Regression: range narrowing must not re-intern a loop-carried
+/// constant read at distance 0. The pre-window value of a distance-1
+/// read is the producer's *init* (0 here), not the constant itself, so
+/// folding `Port::prev_iter(const 3, 1)` into a plain `const 3` changed
+/// iteration 0 of the narrowed adder.
+#[test]
+fn narrowing_preserves_loop_carried_constant_window() {
+    let mut b = DfgBuilder::new("narrow_const_dist");
+    let x = b.input("x", 16);
+    let cm = b.const_(0x0F, 16);
+    let lo = b.and(x, cm); // range [0, 15] -> triggers add narrowing
+    let c3 = b.const_(3, 16);
+    // The add reads the constant at distance 1: iteration 0 sees init(c3) = 0.
+    let s = b.raw_node(Op::Add, 16, vec![lo.into(), Port::prev_iter(c3, 1)]);
+    b.output("o", s);
+    let g = b.finish().expect("valid");
+    let out = simplify(&g).expect("simplifies");
+    assert_equivalent("narrow_const_dist", &g, &out, 9);
 }
 
 #[test]

@@ -1,0 +1,405 @@
+//! MILP solver benchmark harness: runs the mapping-aware MILP flow on
+//! the Table 1 suite twice in the same process — once with the cold
+//! serial solver (no presolve, no warm starts, one thread) and once with
+//! the full optimized pipeline — asserts the objectives are identical,
+//! and writes the timings plus solver counters to `BENCH_milp.json`.
+//!
+//! Exit status is non-zero when any benchmark's optimized objective
+//! diverges from the baseline: the performance work must never change
+//! the optimum.
+//!
+//! ```text
+//! cargo run -p pipemap-bench-suite -- --quick --jobs 2
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pipemap_bench_suite::{all, Benchmark};
+use pipemap_core::{run_flow, Flow, FlowOptions, FlowResult, MilpStats};
+use pipemap_milp::Status;
+
+struct Args {
+    quick: bool,
+    jobs: usize,
+    out: String,
+    time_limit: u64,
+    only: Option<String>,
+    skip_cold: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        jobs: 1,
+        out: "BENCH_milp.json".to_string(),
+        time_limit: 0, // 0 = pick by mode below
+        only: None,
+        skip_cold: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                args.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs needs an integer"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--bench" => {
+                args.only = Some(it.next().unwrap_or_else(|| usage("--bench needs a name")));
+            }
+            "--skip-cold" => args.skip_cold = true,
+            "--time-limit" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--time-limit needs seconds"));
+                args.time_limit = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--time-limit needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pipemap-bench-suite: cold-vs-optimized MILP solve benchmark\n\n\
+                     USAGE: pipemap-bench-suite [--quick] [--jobs N] [--out PATH] [--time-limit S]\n\n\
+                     --quick        kernels only with a short solver budget (CI smoke)\n\
+                     --jobs N       worker threads for the optimized pass (default 1)\n\
+                     --out PATH     JSON report path (default BENCH_milp.json)\n\
+                     --bench NAME   run a single benchmark by Table 1 name\n\
+                     --time-limit S per-solve wall-clock budget in seconds"
+                );
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    if args.time_limit == 0 {
+        args.time_limit = if args.quick { 20 } else { 60 };
+    }
+    if args.jobs == 0 {
+        args.jobs = 1;
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("pipemap-bench-suite: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+/// One measured solve: wall-clock plus the solver counters.
+struct Measured {
+    name: &'static str,
+    wall: Duration,
+    milp: MilpStats,
+}
+
+fn measure(b: &Benchmark, opts: &FlowOptions) -> Result<Measured, String> {
+    let start = Instant::now();
+    let r: FlowResult =
+        run_flow(&b.dfg, &b.target, Flow::MilpMap, opts).map_err(|e| format!("{}: {e}", b.name))?;
+    let wall = start.elapsed();
+    let milp = r
+        .milp
+        .ok_or_else(|| format!("{}: MILP flow returned no solver stats", b.name))?;
+    Ok(Measured {
+        name: b.name,
+        wall,
+        milp,
+    })
+}
+
+/// Run `f` over the benchmarks on `jobs` scoped worker threads (atomic
+/// work index), collecting results back in suite order.
+fn fan_out<F>(benches: &[Benchmark], jobs: usize, f: F) -> Vec<Result<Measured, String>>
+where
+    F: Fn(&Benchmark) -> Result<Measured, String> + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Measured, String>>>> =
+        benches.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.max(1).min(benches.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(b) = benches.get(i) else { break };
+                let r = f(b);
+                *slots[i].lock().expect("slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot").expect("worker filled slot"))
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// JSON has no infinities; map them to `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let mut benches = all();
+    if args.quick {
+        // CI smoke set: the two benchmarks whose MILP-map models the
+        // optimized solver proves optimal within seconds — CLZ (cold
+        // times out; shows the warm-start/presolve win) and GSM (both
+        // passes finish; exercises the objective-equivalence check).
+        benches.retain(|b| b.name == "CLZ" || b.name == "GSM");
+    }
+    if let Some(name) = &args.only {
+        benches.retain(|b| b.name.eq_ignore_ascii_case(name));
+        if benches.is_empty() {
+            usage(&format!("unknown benchmark {name}"));
+        }
+    }
+    let budget = Duration::from_secs(args.time_limit);
+
+    // Phase 1: the serial cold baseline — one thread, no presolve, no
+    // warm starts, benchmarks strictly one after another.
+    let cold_opts = FlowOptions {
+        time_limit: budget,
+        jobs: 1,
+        presolve: false,
+        warm_start: false,
+        ..FlowOptions::default()
+    };
+    let cold_start = Instant::now();
+    let cold: Vec<Result<Measured, String>> = if args.skip_cold {
+        Vec::new()
+    } else {
+        eprintln!(
+            "[bench] phase 1/2: serial cold baseline over {} benchmarks",
+            benches.len()
+        );
+        benches.iter().map(|b| measure(b, &cold_opts)).collect()
+    };
+    let cold_total = cold_start.elapsed();
+
+    // Phase 2: the optimized pipeline — presolve + dual-simplex warm
+    // starts, benchmarks fanned across `--jobs` workers. Each solve
+    // stays single-threaded: outer (per-benchmark) parallelism composes
+    // better than oversubscribing the cores with solver threads, and it
+    // keeps the per-solve node counts comparable to the baseline. The
+    // CLI exposes the solver's own thread count for single solves.
+    let opt_opts = FlowOptions {
+        time_limit: budget,
+        jobs: 1,
+        presolve: true,
+        warm_start: true,
+        ..FlowOptions::default()
+    };
+    eprintln!(
+        "[bench] phase 2/2: optimized pass (presolve + warm starts, --jobs {})",
+        args.jobs
+    );
+    let opt_start = Instant::now();
+    let optimized = fan_out(&benches, args.jobs, |b| measure(b, &opt_opts));
+    let opt_total = opt_start.elapsed();
+
+    // Compare and report. The solver-equivalence contract only binds
+    // completed searches: when both passes prove optimality the
+    // objectives must be bit-identical, and a divergence fails the run.
+    // A pass that hit its time budget returns an incumbent, not the
+    // optimum, so those rows are recorded but not compared.
+    let mut rows: Vec<(Option<&Measured>, &Measured)> = Vec::new();
+    let mut mismatches = Vec::new();
+    let mut errors = Vec::new();
+    for (i, o) in optimized.iter().enumerate() {
+        let o = match o {
+            Ok(o) => o,
+            Err(e) => {
+                errors.push(e.clone());
+                continue;
+            }
+        };
+        let c = match cold.get(i) {
+            Some(Ok(c)) => Some(c),
+            Some(Err(e)) => {
+                errors.push(e.clone());
+                continue;
+            }
+            None => None,
+        };
+        if let Some(c) = c {
+            let both_optimal = c.milp.status == Status::Optimal && o.milp.status == Status::Optimal;
+            if both_optimal && (c.milp.objective - o.milp.objective).abs() > 1e-6 {
+                mismatches.push(format!(
+                    "{}: cold objective {} vs optimized {}",
+                    c.name, c.milp.objective, o.milp.objective
+                ));
+            }
+        }
+        rows.push((c, o));
+    }
+
+    let speedup = cold_total.as_secs_f64() / opt_total.as_secs_f64().max(1e-9);
+    // Speedup over the benchmarks the optimized pass proves optimal.
+    // The cold wall-clock is capped at the per-solve budget, so this is
+    // a *lower bound* on the true speedup whenever the cold pass timed
+    // out (its real solve time is unknown but larger).
+    let (mut comp_cold, mut comp_opt, mut comp_n) = (0.0f64, 0.0f64, 0usize);
+    for (c, o) in &rows {
+        if let Some(c) = c {
+            if o.milp.status == Status::Optimal {
+                comp_cold += c.wall.as_secs_f64();
+                comp_opt += o.wall.as_secs_f64();
+                comp_n += 1;
+            }
+        }
+    }
+    let comp_speedup = (comp_n > 0).then(|| comp_cold / comp_opt.max(1e-9));
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"suite\": \"{}\",\n",
+        if args.quick { "quick" } else { "full" }
+    ));
+    j.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    j.push_str(&format!("  \"time_limit_s\": {},\n", args.time_limit));
+    if !args.skip_cold {
+        j.push_str(&format!("  \"cold_total_ms\": {:.3},\n", ms(cold_total)));
+        j.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+        j.push_str(&format!("  \"completed_count\": {comp_n},\n"));
+        j.push_str(&format!(
+            "  \"completed_speedup_lower_bound\": {},\n",
+            comp_speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
+        ));
+    }
+    j.push_str(&format!(
+        "  \"optimized_total_ms\": {:.3},\n",
+        ms(opt_total)
+    ));
+    j.push_str(&format!(
+        "  \"objectives_match\": {},\n",
+        mismatches.is_empty()
+    ));
+    j.push_str("  \"benchmarks\": [\n");
+    for (i, (c, o)) in rows.iter().enumerate() {
+        let s = &o.milp.solver;
+        let hit = s.warm_hit_rate().unwrap_or(0.0);
+        let cold_part = match c {
+            Some(c) => format!(
+                "\"cold\": {{\"wall_ms\": {:.3}, \"nodes\": {}, \"lp_iterations\": {}, \
+                 \"objective\": {}, \"status\": \"{}\"}},\n      \"speedup\": {:.3},\n      ",
+                ms(c.wall),
+                c.milp.nodes,
+                c.milp.lp_iterations,
+                jnum(c.milp.objective),
+                c.milp.status,
+                c.wall.as_secs_f64() / o.wall.as_secs_f64().max(1e-9),
+            ),
+            None => String::new(),
+        };
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"objective\": {}, \"best_bound\": {}, \"status\": \"{}\",\n      {}\
+             \"optimized\": {{\"wall_ms\": {:.3}, \"nodes\": {}, \"lp_iterations\": {}, \
+             \"warm_attempts\": {}, \"warm_hits\": {}, \"warm_hit_rate\": {:.4}, \
+             \"presolve_rows_removed\": {}, \"presolve_cols_fixed\": {}, \
+             \"presolve_bounds_tightened\": {}, \"presolve_coeffs_reduced\": {}}}}}{}\n",
+            json_escape(o.name),
+            jnum(o.milp.objective),
+            jnum(o.milp.best_bound),
+            o.milp.status,
+            cold_part,
+            ms(o.wall),
+            o.milp.nodes,
+            o.milp.lp_iterations,
+            s.warm_attempts,
+            s.warm_hits,
+            hit,
+            s.presolve_rows_removed,
+            s.presolve_cols_fixed,
+            s.presolve_bounds_tightened,
+            s.presolve_coeffs_reduced,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"errors\": [");
+    for (i, e) in errors.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{}\"", json_escape(e)));
+    }
+    j.push_str("]\n}\n");
+    if let Err(e) = std::fs::write(&args.out, &j) {
+        eprintln!("[bench] cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+
+    for (c, o) in &rows {
+        let s = &o.milp.solver;
+        let cold_part = match c {
+            Some(c) => format!(
+                "cold {:>9.1} ms ({} nodes, {}) -> ",
+                ms(c.wall),
+                c.milp.nodes,
+                c.milp.status
+            ),
+            None => String::new(),
+        };
+        eprintln!(
+            "[bench] {:>8}: {}optimized {:>9.1} ms ({} nodes, {}, warm {}/{}, {:.0}% hit)",
+            o.name,
+            cold_part,
+            ms(o.wall),
+            o.milp.nodes,
+            o.milp.status,
+            s.warm_hits,
+            s.warm_attempts,
+            s.warm_hit_rate().unwrap_or(0.0) * 100.0
+        );
+    }
+    if args.skip_cold {
+        eprintln!(
+            "[bench] total: optimized {:.1} ms -> {}",
+            ms(opt_total),
+            args.out
+        );
+    } else {
+        eprintln!(
+            "[bench] total: cold {:.1} ms, optimized {:.1} ms, speedup {:.2}x -> {}",
+            ms(cold_total),
+            ms(opt_total),
+            speedup,
+            args.out
+        );
+        if let Some(s) = comp_speedup {
+            eprintln!(
+                "[bench] completed-to-optimality subset ({comp_n} benchmarks): \
+                 >= {s:.2}x (cold capped at the {} s budget)",
+                args.time_limit
+            );
+        }
+    }
+    for m in &mismatches {
+        eprintln!("[bench] OBJECTIVE MISMATCH {m}");
+    }
+    for e in &errors {
+        eprintln!("[bench] ERROR {e}");
+    }
+    if !mismatches.is_empty() || !errors.is_empty() {
+        std::process::exit(1);
+    }
+}

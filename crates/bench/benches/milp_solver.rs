@@ -41,6 +41,38 @@ fn bench_milp(c: &mut Criterion) {
             b.iter(|| model.solve(&opts).expect("solves"));
         });
     }
+    // Warm-started dual simplex + presolve vs the cold primal-only path.
+    // The optimized variant is the default; `cold` disables both knobs so
+    // the delta isolates the PR's single-thread wins.
+    for (label, presolve, warm_start) in [("optimized", true, true), ("cold", false, false)] {
+        let model = knapsack(24, 0xBEEF);
+        g.bench_with_input(
+            BenchmarkId::new("warm_vs_cold", label),
+            &model,
+            |b, model| {
+                let opts = SolverOptions {
+                    time_limit: Duration::from_secs(10),
+                    presolve,
+                    warm_start,
+                    ..SolverOptions::default()
+                };
+                b.iter(|| model.solve(&opts).expect("solves"));
+            },
+        );
+    }
+    // Parallel tree search: identical objectives by the determinism
+    // contract, so the thread sweep measures pure throughput scaling.
+    for jobs in [1usize, 2, 4] {
+        let model = knapsack(26, 0xBEEF);
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &model, |b, model| {
+            let opts = SolverOptions {
+                time_limit: Duration::from_secs(10),
+                jobs,
+                ..SolverOptions::default()
+            };
+            b.iter(|| model.solve(&opts).expect("solves"));
+        });
+    }
     // Scheduling-model root solves: base vs map on the smallest kernel
     // (the Table 2 base≪map runtime relationship).
     for (label, trivial) in [("gfmul_base", true), ("gfmul_map", false)] {
@@ -54,15 +86,8 @@ fn bench_milp(c: &mut Criterion) {
         let base =
             pipemap_core::schedule_baseline(&bench.dfg, &bench.target, 1, &db).expect("baseline");
         let m = base.implementation.schedule.depth();
-        let model = pipemap_core::debug_build_model(
-            &bench.dfg,
-            &bench.target,
-            &db,
-            base.ii,
-            m,
-            0.5,
-            0.5,
-        );
+        let model =
+            pipemap_core::debug_build_model(&bench.dfg, &bench.target, &db, base.ii, m, 0.5, 0.5);
         g.bench_function(BenchmarkId::new("root_lp", label), |b| {
             b.iter(|| pipemap_milp::debug_solve_root_lp(&model));
         });

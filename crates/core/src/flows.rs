@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use pipemap_analyze::Analysis;
 use pipemap_cuts::{Cut, CutConfig, CutDb};
 use pipemap_ir::{Dfg, Target};
-use pipemap_milp::{SolverOptions, Status};
+use pipemap_milp::{SolverOptions, SolverStats, Status};
 use pipemap_netlist::{Cover, Implementation, Qor};
 
 use crate::baseline::{schedule_baseline, BaselineResult};
@@ -88,6 +88,17 @@ pub struct FlowOptions {
     /// audited by replaying seeded vectors against the original before it
     /// is trusted; on any doubt the flow falls back to the original graph.
     pub analyze: bool,
+    /// Worker threads for the MILP tree search *and* for running the
+    /// flows of [`run_all_flows`] concurrently. The solver's determinism
+    /// contract makes this a pure throughput knob: results are identical
+    /// for every value.
+    pub jobs: usize,
+    /// Run the MILP presolve pass (on by default; off reproduces the
+    /// cold-solver baseline for benchmarking).
+    pub presolve: bool,
+    /// Warm-start child LPs with the dual simplex (on by default; off
+    /// reproduces the cold-solver baseline for benchmarking).
+    pub warm_start: bool,
 }
 
 impl Default for FlowOptions {
@@ -103,6 +114,9 @@ impl Default for FlowOptions {
             extra_latency: 0,
             seed_with_baseline: true,
             analyze: true,
+            jobs: 1,
+            presolve: true,
+            warm_start: true,
         }
     }
 }
@@ -139,6 +153,8 @@ pub struct MilpStats {
     pub constraints: usize,
     /// Total enumerated cuts (drives model size; Table 2 discussion).
     pub total_cuts: usize,
+    /// Presolve/warm-start/parallelism counters from the solver.
+    pub solver: SolverStats,
 }
 
 /// What the `pipemap-analyze` pre-pass bought for one flow.
@@ -278,19 +294,35 @@ fn analyze_pre_pass(
     (out.dfg, Some(stats), Some(live))
 }
 
-/// Convenience: run all three flows.
+/// Convenience: run all three flows. With `opts.jobs > 1` the flows run
+/// concurrently on scoped threads; results keep [`Flow::ALL`] order and
+/// are identical to the serial run (each flow is independent and the
+/// solver itself is deterministic in its thread count).
 ///
 /// # Errors
 ///
-/// Propagates the first flow failure.
+/// Propagates the first flow failure (in [`Flow::ALL`] order).
 pub fn run_all_flows(
     dfg: &Dfg,
     target: &Target,
     opts: &FlowOptions,
 ) -> Result<Vec<FlowResult>, CoreError> {
-    Flow::ALL
-        .iter()
-        .map(|&f| run_flow(dfg, target, f, opts))
+    if opts.jobs <= 1 {
+        return Flow::ALL
+            .iter()
+            .map(|&f| run_flow(dfg, target, f, opts))
+            .collect();
+    }
+    let mut slots: Vec<Option<Result<FlowResult, CoreError>>> =
+        Flow::ALL.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, &flow) in slots.iter_mut().zip(Flow::ALL.iter()) {
+            scope.spawn(move || *slot = Some(run_flow(dfg, target, flow, opts)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("flow thread completed"))
         .collect()
 }
 
@@ -354,6 +386,9 @@ fn run_milp(
     let solver_opts = SolverOptions {
         time_limit: opts.time_limit,
         initial_solution: seed,
+        jobs: opts.jobs.max(1),
+        presolve: opts.presolve,
+        warm_start: opts.warm_start,
         ..SolverOptions::default()
     };
     let start = Instant::now();
@@ -361,34 +396,45 @@ fn run_milp(
     let solve_time = start.elapsed();
     // A numerical solver failure or an empty incumbent degrades to the
     // best seed: it is a genuine feasible solution of the same model.
-    let (mut implementation, status, objective, best_bound, nodes, lp_iterations) = match solved {
-        Ok(r) if r.status.has_solution() => {
-            let imp = f.extract(dfg, db, &r.values);
-            (
-                imp,
-                r.status,
-                r.objective,
-                r.best_bound,
-                r.nodes,
-                r.lp_iterations,
-            )
-        }
-        Ok(r) => match seed_fallback(dfg, target, opts, &seed_candidates) {
-            Some((imp, obj)) => (
-                imp,
-                Status::Feasible,
-                obj,
-                f64::NEG_INFINITY,
-                r.nodes,
-                r.lp_iterations,
-            ),
-            None => return Err(CoreError::NoSolution(r.status)),
-        },
-        Err(e) => match seed_fallback(dfg, target, opts, &seed_candidates) {
-            Some((imp, obj)) => (imp, Status::Feasible, obj, f64::NEG_INFINITY, 0, 0),
-            None => return Err(CoreError::Milp(e)),
-        },
-    };
+    let (mut implementation, status, objective, best_bound, nodes, lp_iterations, solver) =
+        match solved {
+            Ok(r) if r.status.has_solution() => {
+                let imp = f.extract(dfg, db, &r.values);
+                (
+                    imp,
+                    r.status,
+                    r.objective,
+                    r.best_bound,
+                    r.nodes,
+                    r.lp_iterations,
+                    r.stats,
+                )
+            }
+            Ok(r) => match seed_fallback(dfg, target, opts, &seed_candidates) {
+                Some((imp, obj)) => (
+                    imp,
+                    Status::Feasible,
+                    obj,
+                    f64::NEG_INFINITY,
+                    r.nodes,
+                    r.lp_iterations,
+                    r.stats,
+                ),
+                None => return Err(CoreError::NoSolution(r.status)),
+            },
+            Err(e) => match seed_fallback(dfg, target, opts, &seed_candidates) {
+                Some((imp, obj)) => (
+                    imp,
+                    Status::Feasible,
+                    obj,
+                    f64::NEG_INFINITY,
+                    0,
+                    0,
+                    SolverStats::default(),
+                ),
+                None => return Err(CoreError::Milp(e)),
+            },
+        };
     // Route legality through the full diagnostics verifier: unlike the
     // fail-fast `pipemap_netlist::verify`, it reports *every* violated
     // invariant with a stable `P0xxx` code.
@@ -427,6 +473,7 @@ fn run_milp(
             variables: f.model.num_vars(),
             constraints: f.model.num_rows(),
             total_cuts: db.total_cuts(),
+            solver,
         }),
     })
 }

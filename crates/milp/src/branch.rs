@@ -1,42 +1,147 @@
-//! Branch & bound over the LP relaxation.
+//! Deterministic parallel branch & bound over the LP relaxation.
 //!
-//! Best-bound search with most-fractional branching, an LP-guided
-//! **diving heuristic** for early incumbents, an optional caller-supplied
-//! incumbent (the scheduler seeds it with the baseline heuristic's
-//! solution), and wall-clock/node limits that return the best incumbent
-//! found — mirroring how the paper caps CPLEX at 60 minutes and takes the
-//! best feasible solution (§4).
+//! Best-bound search with pseudo-cost branching, warm-started dual-simplex
+//! child solves, an LP-guided **diving heuristic** for early incumbents, an
+//! optional caller-supplied incumbent (the scheduler seeds it with the
+//! baseline heuristic's solution), and wall-clock/node limits that return
+//! the best incumbent found — mirroring how the paper caps CPLEX at 60
+//! minutes and takes the best feasible solution (§4).
+//!
+//! # Parallel search and the determinism contract
+//!
+//! The tree is explored by `opts.jobs` workers over a shared best-bound
+//! heap (`std::thread::scope`; no external dependencies). A completed
+//! search returns the identical status, objective, *and assignment* for
+//! every thread count, because:
+//!
+//! - every node's processing (LP solve, dive, pseudo-cost update, branch
+//!   selection) is a pure function of the node's own contents — warm
+//!   bases and pseudo-costs are inherited from the parent via `Arc`,
+//!   never read from global mutable state;
+//! - objective *ties* are explored rather than pruned (a node is pruned
+//!   only when its bound is ≥ incumbent + [`TIE_EPS`]), so the set of
+//!   nodes that can produce an optimal assignment is explored in every
+//!   run regardless of incumbent timing;
+//! - among objective-tied candidates the lexicographically smallest
+//!   assignment wins, a total order independent of arrival order.
+//!
+//! Callers that set `absolute_gap` above the tie tolerance opt out of tie
+//! exploration and get classic gap pruning (objective values are still
+//! deterministic; the returned assignment may then depend on timing).
+//! Early stops (deadline/node limit) depend on wall-clock timing by
+//! nature and only promise a valid incumbent + bound pair.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrd};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::model::{Model, VarKind};
-use crate::simplex::{LpAbort, LpProblem, LpStatus};
-use crate::{MilpError, MilpResult, SolverOptions, Status};
+use crate::presolve::{self, PresolveOutcome};
+use crate::simplex::{LpAbort, LpProblem, LpSolution, LpStatus, WarmBasis};
+use crate::{MilpError, MilpResult, SolverOptions, SolverStats, Status};
 
 const INT_TOL: f64 = 1e-6;
-/// Dive from the current node's relaxation every this many processed nodes.
-const DIVE_PERIOD: usize = 200;
+/// Objective ties within this tolerance are explored, not pruned, and
+/// resolved lexicographically. Far below the objective granularity of the
+/// paper's models (multiples of the 0.5-weighted area terms), so exact
+/// float ties are the only ties that occur in practice.
+const TIE_EPS: f64 = 1e-9;
+/// Dive from a node's relaxation when its path id hashes to 0 mod this
+/// (always at the root). Id-keyed selection is reproducible under any
+/// worker interleaving, unlike a "nodes since last dive" counter.
+const DIVE_PERIOD: u64 = 197;
 
-/// A subproblem: bound overrides relative to the root LP.
+/// Path-local pseudo-costs: per integer column, the summed per-unit
+/// objective degradation and observation count for the down and up branch.
+/// Children extend their parent's table immutably, so branching decisions
+/// never depend on what other subtrees (or threads) have learned — the
+/// price of determinism is slower pseudo-cost convergence than a global
+/// table would give.
+#[derive(Debug, Clone)]
+struct PseudoCosts {
+    down: Vec<(f64, u32)>,
+    up: Vec<(f64, u32)>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> Self {
+        PseudoCosts {
+            down: vec![(0.0, 0); n],
+            up: vec![(0.0, 0); n],
+        }
+    }
+
+    /// A copy of the table with one more observation folded in.
+    fn observe(&self, ord: usize, up: bool, degradation: f64) -> Self {
+        let mut next = self.clone();
+        let slot = if up {
+            &mut next.up[ord]
+        } else {
+            &mut next.down[ord]
+        };
+        slot.0 += degradation;
+        slot.1 += 1;
+        next
+    }
+
+    fn estimate(side: &[(f64, u32)], ord: usize, fallback: f64) -> f64 {
+        let (sum, cnt) = side[ord];
+        if cnt > 0 {
+            sum / cnt as f64
+        } else {
+            fallback
+        }
+    }
+
+    /// Average over all observed columns; 1.0 before any observation.
+    fn fallback(side: &[(f64, u32)]) -> f64 {
+        let (sum, cnt) = side
+            .iter()
+            .fold((0.0, 0u32), |(s, c), &(s2, c2)| (s + s2, c + c2));
+        if cnt > 0 {
+            sum / cnt as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A subproblem: bound overrides relative to the root LP plus the
+/// inherited warm-start basis and pseudo-cost table.
 #[derive(Debug, Clone)]
 struct Node {
+    /// Deterministic path hash (root = 1; children mix in the branch
+    /// direction). Used for dive selection and heap tie-breaking.
+    id: u64,
     /// `(column, new_lb, new_ub)` overrides accumulated along the path.
     bounds: Vec<(usize, f64, f64)>,
     /// LP bound inherited from the parent (root: -inf).
     bound: f64,
     depth: usize,
+    /// The parent's optimal basis for dual-simplex warm starts.
+    warm: Option<Arc<WarmBasis>>,
+    pcosts: Arc<PseudoCosts>,
+    /// How this node was created: `(int ordinal, fractional distance,
+    /// up?)` — consumed by the pseudo-cost update after this node's solve.
+    branched: Option<(usize, f64, bool)>,
+}
+
+fn child_id(parent: u64, up: bool) -> u64 {
+    parent
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(if up { 1 } else { 2 })
 }
 
 /// Heap ordering: smallest bound first (best-first), deeper first on ties
-/// so the search dives toward incumbents.
+/// so the search dives toward incumbents, then smallest path id.
 #[derive(Debug)]
 struct Ranked(Node);
 
 impl PartialEq for Ranked {
     fn eq(&self, other: &Self) -> bool {
-        self.0.bound == other.0.bound && self.0.depth == other.0.depth
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Ranked {}
@@ -54,19 +159,132 @@ impl Ord for Ranked {
             .partial_cmp(&self.0.bound)
             .unwrap_or(Ordering::Equal)
             .then_with(|| self.0.depth.cmp(&other.0.depth))
+            .then_with(|| other.0.id.cmp(&self.0.id))
     }
+}
+
+/// Why the search loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopReason {
+    /// Heap drained with all workers idle: the tree is fully explored.
+    Exhausted,
+    /// The wall-clock deadline expired.
+    TimedOut,
+    /// The node budget ran out with work remaining.
+    NodeLimit,
+    /// The root relaxation is unbounded below.
+    RootUnbounded,
+}
+
+/// State shared by all workers behind one mutex.
+#[derive(Debug)]
+struct SearchState {
+    heap: BinaryHeap<Ranked>,
+    /// Bound of the node each worker is currently processing (`None` when
+    /// idle); feeds the best-bound report on early stops.
+    in_flight: Vec<Option<f64>>,
+    /// Incumbent in *reduced* (post-presolve) column space.
+    incumbent: Option<Vec<f64>>,
+    incumbent_obj: f64,
+    nodes: usize,
+    lp_iters: usize,
+    stop: Option<StopReason>,
+    root_status: Option<LpStatus>,
+    error: Option<MilpError>,
+}
+
+/// Strict lexicographic order on assignments (total: uses `total_cmp`).
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (av, bv) in a.iter().zip(b) {
+        match av.total_cmp(bv) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
+    false
+}
+
+/// Offer a feasible point as incumbent: strictly better objectives win;
+/// ties within [`TIE_EPS`] are resolved toward the lexicographically
+/// smaller assignment (keeping the smaller of the tied objectives).
+fn offer_incumbent(state: &mut SearchState, obj: f64, x: Vec<f64>) {
+    match &mut state.incumbent {
+        None => {
+            state.incumbent_obj = obj;
+            state.incumbent = Some(x);
+        }
+        Some(cur) => {
+            if obj < state.incumbent_obj - TIE_EPS {
+                state.incumbent_obj = obj;
+                *cur = x;
+            } else if obj <= state.incumbent_obj + TIE_EPS && lex_less(&x, cur) {
+                state.incumbent_obj = state.incumbent_obj.min(obj);
+                *cur = x;
+            }
+        }
+    }
+}
+
+/// Everything a worker needs that is immutable during the search.
+struct Ctx<'a> {
+    lp: &'a LpProblem,
+    rmodel: &'a Model,
+    int_cols: &'a [usize],
+    deadline: Option<Instant>,
+    node_limit: usize,
+    /// Static objective cutoff in reduced space (`+inf` when unset).
+    cutoff_red: f64,
+    /// `absolute_gap` at or below the tie tolerance enables tie
+    /// exploration; above it, classic gap pruning.
+    tie_explore: bool,
+    gap: f64,
+    warm_enabled: bool,
+    warm_attempts: &'a AtomicUsize,
+    warm_hits: &'a AtomicUsize,
+}
+
+impl Ctx<'_> {
+    /// Nodes with `bound >= threshold` are pruned (at push and at pop;
+    /// the threshold only tightens over time, so the two agree).
+    fn prune_threshold(&self, incumbent_obj: f64) -> f64 {
+        let inc_t = if self.tie_explore {
+            incumbent_obj + TIE_EPS
+        } else {
+            incumbent_obj - self.gap
+        };
+        inc_t.min(self.cutoff_red - self.gap)
+    }
+}
+
+/// Result of processing one node outside the lock.
+enum Processed {
+    /// The deadline expired mid-solve; the node is still unexplored.
+    Timeout,
+    Error(MilpError),
+    /// The node's relaxation is infeasible: subtree closed.
+    Infeasible,
+    /// The node's relaxation is unbounded (only meaningful at the root).
+    Unbounded,
+    /// Children to enqueue plus incumbent candidates found here.
+    Expanded {
+        children: Vec<Node>,
+        candidates: Vec<(f64, Vec<f64>)>,
+    },
 }
 
 /// LP-guided dive: repeatedly fix near-integral variables (or the single
 /// most decided fractional one) and re-solve until the relaxation is
-/// integral or infeasible. Returns an improving integral assignment.
+/// integral or infeasible. Returns an integral assignment below `cutoff`.
+/// Deterministic: depends only on the starting relaxation and the static
+/// cutoff, never on the evolving incumbent.
 #[allow(clippy::too_many_arguments)]
 fn dive(
     lp: &LpProblem,
     int_cols: &[usize],
     lb0: &[f64],
     ub0: &[f64],
-    start: &crate::simplex::LpSolution,
+    start: &LpSolution,
     deadline: Option<Instant>,
     cutoff: f64,
     lp_iters: &mut usize,
@@ -129,204 +347,450 @@ fn dive(
     None
 }
 
+/// Solve one node: LP (warm then cold), pseudo-cost update, optional
+/// dive, branch selection. Touches no shared mutable state except the
+/// warm-start counters, so its outcome is a pure function of the node.
+fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
+    let mut lb = ctx.lp.lb.clone();
+    let mut ub = ctx.lp.ub.clone();
+    for &(j, l, u) in &node.bounds {
+        lb[j] = lb[j].max(l);
+        ub[j] = ub[j].min(u);
+    }
+
+    // Warm-started dual simplex from the parent basis; any rejection
+    // falls back to a cold primal solve.
+    let mut solved: Option<(LpSolution, Option<WarmBasis>)> = None;
+    if ctx.warm_enabled {
+        if let Some(wb) = &node.warm {
+            ctx.warm_attempts.fetch_add(1, AtomicOrd::Relaxed);
+            match ctx.lp.solve_dual_warm(&lb, &ub, wb, ctx.deadline) {
+                Ok(r) => {
+                    ctx.warm_hits.fetch_add(1, AtomicOrd::Relaxed);
+                    solved = Some(r);
+                }
+                Err(LpAbort::Timeout) => return Processed::Timeout,
+                Err(_) => {} // singular or numerical: cold fallback
+            }
+        }
+    }
+    let (sol, snap) = match solved {
+        Some(r) => r,
+        None => match ctx.lp.solve_primal(&lb, &ub, ctx.deadline) {
+            Ok(r) => r,
+            Err(LpAbort::Timeout) => return Processed::Timeout,
+            Err(LpAbort::Numerical(msg)) => return Processed::Error(MilpError::Numerical(msg)),
+            Err(LpAbort::Singular) => {
+                return Processed::Error(MilpError::Numerical("unrepairable singular basis".into()))
+            }
+        },
+    };
+    *lp_iters += sol.iters;
+    match sol.status {
+        LpStatus::Infeasible => return Processed::Infeasible,
+        LpStatus::Unbounded => return Processed::Unbounded,
+        LpStatus::Optimal => {}
+    }
+
+    // Fold this node's observed degradation into its pseudo-cost table.
+    let pcosts = match node.branched {
+        Some((ord, dist, up)) => {
+            let degradation = ((sol.obj - node.bound) / dist.max(INT_TOL)).max(0.0);
+            Arc::new(node.pcosts.observe(ord, up, degradation))
+        }
+        None => node.pcosts.clone(),
+    };
+
+    let mut candidates = Vec::new();
+    let fracs: Vec<(usize, usize, f64, f64)> = ctx
+        .int_cols
+        .iter()
+        .enumerate()
+        .filter_map(|(ord, &j)| {
+            let v = sol.x[j];
+            let f = v - v.floor();
+            let frac = (v - v.round()).abs();
+            (frac > INT_TOL).then_some((ord, j, v, f))
+        })
+        .collect();
+    if fracs.is_empty() {
+        // Integral relaxation: incumbent candidate (if it beats the static
+        // cutoff), subtree closed.
+        if sol.obj < ctx.cutoff_red - ctx.gap {
+            let mut x = sol.x.clone();
+            for &j in ctx.int_cols {
+                x[j] = x[j].round();
+            }
+            candidates.push((sol.obj, x));
+        }
+        return Processed::Expanded {
+            children: Vec::new(),
+            candidates,
+        };
+    }
+
+    // Deterministic periodic dive (always at the root).
+    if node.depth == 0 || node.id.is_multiple_of(DIVE_PERIOD) {
+        if let Some((obj, mut x)) = dive(
+            ctx.lp,
+            ctx.int_cols,
+            &lb,
+            &ub,
+            &sol,
+            ctx.deadline,
+            ctx.cutoff_red,
+            lp_iters,
+        ) {
+            if ctx.rmodel.check_feasible(&x, 1e-5).is_none() {
+                for &jc in ctx.int_cols {
+                    x[jc] = x[jc].round();
+                }
+                candidates.push((obj, x));
+            }
+        }
+    }
+
+    // Branch selection: pseudo-cost product rule with the path average as
+    // the estimate for unobserved columns; ties broken by fractionality
+    // then column index (all node-local, hence deterministic).
+    let fb_down = PseudoCosts::fallback(&pcosts.down);
+    let fb_up = PseudoCosts::fallback(&pcosts.up);
+    let mut best: Option<(f64, f64, usize, usize, f64)> = None; // (score, merit, ord, j, v)
+    for &(ord, j, v, f) in &fracs {
+        let d = PseudoCosts::estimate(&pcosts.down, ord, fb_down) * f;
+        let u = PseudoCosts::estimate(&pcosts.up, ord, fb_up) * (1.0 - f);
+        let score = d.max(1e-8) * u.max(1e-8);
+        let merit = 0.5 - (f - 0.5).abs();
+        let better = match best {
+            None => true,
+            Some((bs, bm, _, bj, _)) => {
+                score > bs + 1e-12
+                    || (score > bs - 1e-12
+                        && (merit > bm + 1e-12 || (merit > bm - 1e-12 && j < bj)))
+            }
+        };
+        if better {
+            best = Some((score, merit, ord, j, v));
+        }
+    }
+    let (_, _, ord, j, v) = best.expect("fractional set is nonempty");
+    let f = v - v.floor();
+    let warm_arc = if ctx.warm_enabled {
+        snap.map(Arc::new)
+    } else {
+        None
+    };
+    let mut down_bounds = node.bounds.clone();
+    down_bounds.push((j, f64::NEG_INFINITY, v.floor()));
+    let mut up_bounds = node.bounds.clone();
+    up_bounds.push((j, v.ceil(), f64::INFINITY));
+    let children = vec![
+        Node {
+            id: child_id(node.id, false),
+            bounds: down_bounds,
+            bound: sol.obj,
+            depth: node.depth + 1,
+            warm: warm_arc.clone(),
+            pcosts: pcosts.clone(),
+            branched: Some((ord, f.max(INT_TOL), false)),
+        },
+        Node {
+            id: child_id(node.id, true),
+            bounds: up_bounds,
+            bound: sol.obj,
+            depth: node.depth + 1,
+            warm: warm_arc,
+            pcosts,
+            branched: Some((ord, (1.0 - f).max(INT_TOL), true)),
+        },
+    ];
+    Processed::Expanded {
+        children,
+        candidates,
+    }
+}
+
+/// One worker: pop best node, process outside the lock, merge results.
+fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) {
+    let mut g = shared.lock().expect("search mutex");
+    loop {
+        if g.error.is_some() || g.stop.is_some() {
+            break;
+        }
+        if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+            g.stop = Some(StopReason::TimedOut);
+            break;
+        }
+
+        // Pop the best unpruned node. The heap is min-by-bound, so a
+        // prunable top means the whole heap is prunable.
+        let mut popped = None;
+        let threshold = ctx.prune_threshold(g.incumbent_obj);
+        if let Some(top) = g.heap.peek() {
+            if top.0.bound >= threshold {
+                g.heap.clear();
+            } else if g.nodes >= ctx.node_limit {
+                g.stop = Some(StopReason::NodeLimit);
+            } else {
+                let Ranked(n) = g.heap.pop().expect("peeked node pops");
+                g.nodes += 1;
+                popped = Some(n);
+            }
+        }
+        if g.stop.is_some() {
+            break;
+        }
+        let Some(node) = popped else {
+            if g.in_flight.iter().all(Option::is_none) {
+                g.stop = Some(StopReason::Exhausted);
+                break;
+            }
+            // Another worker may still push children; re-check shortly
+            // (the timeout doubles as the deadline poll while idle).
+            g = cv
+                .wait_timeout(g, Duration::from_millis(50))
+                .expect("search mutex")
+                .0;
+            continue;
+        };
+
+        g.in_flight[wid] = Some(node.bound);
+        drop(g);
+
+        let mut iters = 0usize;
+        let outcome = process_node(ctx, &node, &mut iters);
+
+        g = shared.lock().expect("search mutex");
+        g.in_flight[wid] = None;
+        g.lp_iters += iters;
+        match outcome {
+            Processed::Timeout => {
+                // Keep the node's bound visible to the best-bound report.
+                g.heap.push(Ranked(node));
+                g.stop = Some(StopReason::TimedOut);
+            }
+            Processed::Error(e) => {
+                g.error = Some(e);
+            }
+            Processed::Infeasible => {
+                if node.depth == 0 {
+                    g.root_status = Some(LpStatus::Infeasible);
+                }
+            }
+            Processed::Unbounded => {
+                if node.depth == 0 {
+                    g.root_status = Some(LpStatus::Unbounded);
+                    g.stop = Some(StopReason::RootUnbounded);
+                }
+                // Defensive: a bounded root cannot spawn unbounded
+                // children; ignore if it somehow happens.
+            }
+            Processed::Expanded {
+                children,
+                candidates,
+            } => {
+                if node.depth == 0 {
+                    g.root_status = Some(LpStatus::Optimal);
+                }
+                for (obj, x) in candidates {
+                    offer_incumbent(&mut g, obj, x);
+                }
+                let threshold = ctx.prune_threshold(g.incumbent_obj);
+                for ch in children {
+                    if ch.bound < threshold {
+                        g.heap.push(Ranked(ch));
+                    }
+                }
+            }
+        }
+        cv.notify_all();
+    }
+    cv.notify_all();
+}
+
 pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResult, MilpError> {
     let start = Instant::now();
     let deadline = start.checked_add(opts.time_limit);
-    let lp = LpProblem::from_model(model);
-    let int_cols: Vec<usize> = (0..model.num_vars())
+    let jobs = opts.jobs.max(1);
+    let mut stats = SolverStats {
+        jobs,
+        ..SolverStats::default()
+    };
+
+    // Validate the caller's seed against the *original* model.
+    let orig_int: Vec<usize> = (0..model.num_vars())
         .filter(|&j| model.var_kind(crate::VarId(j as u32)) == VarKind::Integer)
         .collect();
-
-    let mut incumbent: Option<Vec<f64>> = None;
-    let mut incumbent_obj = f64::INFINITY;
-    if let Some(init) = &opts.initial_solution {
-        if init.len() == model.num_vars() && model.check_feasible(init, 1e-6).is_none() {
-            let ok_int = int_cols
+    let seed: Option<Vec<f64>> = opts.initial_solution.as_ref().and_then(|init| {
+        (init.len() == model.num_vars()
+            && model.check_feasible(init, 1e-6).is_none()
+            && orig_int
                 .iter()
-                .all(|&j| (init[j] - init[j].round()).abs() <= INT_TOL);
-            if ok_int {
-                incumbent_obj = model.objective_value(init);
-                incumbent = Some(init.clone());
+                .all(|&j| (init[j] - init[j].round()).abs() <= INT_TOL))
+        .then(|| init.clone())
+    });
+
+    let finish = |status: Status,
+                  objective: f64,
+                  best_bound: f64,
+                  values: Vec<f64>,
+                  nodes: usize,
+                  lp_iterations: usize,
+                  stats: SolverStats| {
+        Ok(MilpResult {
+            status,
+            objective,
+            best_bound,
+            values,
+            nodes,
+            lp_iterations,
+            solve_time: start.elapsed(),
+            stats,
+        })
+    };
+
+    // Presolve (or the identity reduction when disabled).
+    let red = if opts.presolve {
+        match presolve::presolve(model) {
+            PresolveOutcome::Infeasible => {
+                // Presolve preserves the MIP-feasible set; a verified
+                // feasible seed would contradict this proof, so defer to
+                // the explicit check and return the seed if present.
+                return match seed {
+                    Some(s) => {
+                        let obj = model.objective_value(&s);
+                        finish(Status::Feasible, obj, f64::NEG_INFINITY, s, 0, 0, stats)
+                    }
+                    None => finish(
+                        Status::Infeasible,
+                        f64::INFINITY,
+                        f64::INFINITY,
+                        Vec::new(),
+                        0,
+                        0,
+                        stats,
+                    ),
+                };
             }
+            PresolveOutcome::Reduced(r) => *r,
+        }
+    } else {
+        presolve::identity(model)
+    };
+    red.fill_stats(&mut stats);
+    let offset = red.obj_offset;
+    let rmodel = &red.model;
+
+    let lp = LpProblem::from_model(rmodel);
+    let int_cols: Vec<usize> = (0..rmodel.num_vars())
+        .filter(|&j| rmodel.var_kind(crate::VarId(j as u32)) == VarKind::Integer)
+        .collect();
+
+    let ctx = Ctx {
+        lp: &lp,
+        rmodel,
+        int_cols: &int_cols,
+        deadline,
+        node_limit: opts.node_limit,
+        cutoff_red: opts.cutoff.map_or(f64::INFINITY, |c| c - offset),
+        tie_explore: opts.absolute_gap <= 1e-6,
+        gap: opts.absolute_gap,
+        warm_enabled: opts.warm_start,
+        warm_attempts: &AtomicUsize::new(0),
+        warm_hits: &AtomicUsize::new(0),
+    };
+
+    let mut state = SearchState {
+        heap: BinaryHeap::new(),
+        in_flight: vec![None; jobs],
+        incumbent: None,
+        incumbent_obj: f64::INFINITY,
+        nodes: 0,
+        lp_iters: 0,
+        stop: None,
+        root_status: None,
+        error: None,
+    };
+    if let Some(s) = &seed {
+        if let Some(sr) = red.project(s) {
+            let obj = rmodel.objective_value(&sr);
+            offer_incumbent(&mut state, obj, sr);
         }
     }
-    let cutoff_extra = opts.cutoff.unwrap_or(f64::INFINITY);
-
-    let mut heap = BinaryHeap::new();
-    heap.push(Ranked(Node {
+    state.heap.push(Ranked(Node {
+        id: 1,
         bounds: Vec::new(),
         bound: f64::NEG_INFINITY,
         depth: 0,
+        warm: None,
+        pcosts: Arc::new(PseudoCosts::new(int_cols.len())),
+        branched: None,
     }));
 
-    let mut nodes = 0usize;
-    let mut lp_iters = 0usize;
-    let mut best_bound = f64::NEG_INFINITY;
-    let mut hit_limit = false;
-    let mut root_status: Option<LpStatus> = None;
-    let mut since_dive = 0usize;
+    let shared = Mutex::new(state);
+    let cv = Condvar::new();
+    std::thread::scope(|scope| {
+        for wid in 0..jobs {
+            let ctx = &ctx;
+            let shared = &shared;
+            let cv = &cv;
+            scope.spawn(move || worker(ctx, shared, cv, wid));
+        }
+    });
 
-    'search: while let Some(Ranked(node)) = heap.pop() {
-        best_bound = node.bound.max(best_bound.min(node.bound));
-        if node.bound >= incumbent_obj.min(cutoff_extra) - opts.absolute_gap {
-            continue; // pruned by bound
-        }
-        if nodes >= opts.node_limit || deadline.is_some_and(|d| Instant::now() >= d) {
-            hit_limit = true;
-            best_bound = node.bound;
-            break;
-        }
-        nodes += 1;
+    let g = shared.into_inner().expect("search mutex");
+    if let Some(e) = g.error {
+        return Err(e);
+    }
+    stats.warm_attempts = ctx.warm_attempts.load(AtomicOrd::Relaxed);
+    stats.warm_hits = ctx.warm_hits.load(AtomicOrd::Relaxed);
 
-        // Apply bound overrides.
-        let mut lb = lp.lb.clone();
-        let mut ub = lp.ub.clone();
-        for &(j, l, u) in &node.bounds {
-            lb[j] = lb[j].max(l);
-            ub[j] = ub[j].min(u);
-        }
-        let sol = match lp.solve_with_bounds(&lb, &ub, deadline) {
-            Ok(s) => s,
-            Err(LpAbort::Timeout) => {
-                hit_limit = true;
-                best_bound = node.bound;
-                break 'search;
-            }
-            Err(LpAbort::Numerical(msg)) => return Err(MilpError::Numerical(msg)),
-            Err(LpAbort::Singular) => {
-                return Err(MilpError::Numerical("unrepairable singular basis".into()))
-            }
-        };
-        lp_iters += sol.iters;
-        if node.depth == 0 {
-            root_status = Some(sol.status);
-        }
-        match sol.status {
-            LpStatus::Infeasible => continue,
-            LpStatus::Unbounded => {
-                if node.depth == 0 {
-                    return Ok(MilpResult {
-                        status: Status::Unbounded,
-                        objective: f64::NEG_INFINITY,
-                        best_bound: f64::NEG_INFINITY,
-                        values: Vec::new(),
-                        nodes,
-                        lp_iterations: lp_iters,
-                        solve_time: start.elapsed(),
-                    });
-                }
-                // Defensive: a bounded root cannot spawn unbounded children.
-                continue;
-            }
-            LpStatus::Optimal => {}
-        }
-        if sol.obj >= incumbent_obj.min(cutoff_extra) - opts.absolute_gap {
-            continue;
-        }
-
-        // Find the most fractional integer variable.
-        let mut branch: Option<(usize, f64)> = None;
-        let mut best_frac = 0.0;
-        for &j in &int_cols {
-            let v = sol.x[j];
-            let frac = (v - v.round()).abs();
-            if frac > INT_TOL {
-                let dist_to_half = (v - v.floor() - 0.5).abs();
-                let merit = 0.5 - dist_to_half;
-                if branch.is_none() || merit > best_frac {
-                    best_frac = merit;
-                    branch = Some((j, v));
-                }
-            }
-        }
-
-        match branch {
-            None => {
-                // Integral: new incumbent.
-                if sol.obj < incumbent_obj {
-                    incumbent_obj = sol.obj;
-                    let mut x = sol.x.clone();
-                    for &j in &int_cols {
-                        x[j] = x[j].round();
-                    }
-                    incumbent = Some(x);
-                }
-            }
-            Some((j, v)) => {
-                // Periodic LP-guided dive for incumbents (always at root).
-                if node.depth == 0 || since_dive >= DIVE_PERIOD {
-                    since_dive = 0;
-                    if let Some((obj, mut x)) = dive(
-                        &lp,
-                        &int_cols,
-                        &lb,
-                        &ub,
-                        &sol,
-                        deadline,
-                        incumbent_obj.min(cutoff_extra),
-                        &mut lp_iters,
-                    ) {
-                        if obj < incumbent_obj && model.check_feasible(&x, 1e-5).is_none() {
-                            for &jc in &int_cols {
-                                x[jc] = x[jc].round();
-                            }
-                            incumbent_obj = obj;
-                            incumbent = Some(x);
-                        }
-                    }
-                } else {
-                    since_dive += 1;
-                }
-
-                let down = Node {
-                    bounds: {
-                        let mut b = node.bounds.clone();
-                        b.push((j, f64::NEG_INFINITY, v.floor()));
-                        b
-                    },
-                    bound: sol.obj,
-                    depth: node.depth + 1,
-                };
-                let up = Node {
-                    bounds: {
-                        let mut b = node.bounds.clone();
-                        b.push((j, v.ceil(), f64::INFINITY));
-                        b
-                    },
-                    bound: sol.obj,
-                    depth: node.depth + 1,
-                };
-                heap.push(Ranked(down));
-                heap.push(Ranked(up));
-            }
-        }
+    let stop = g.stop.unwrap_or(StopReason::Exhausted);
+    if stop == StopReason::RootUnbounded {
+        return finish(
+            Status::Unbounded,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            Vec::new(),
+            g.nodes,
+            g.lp_iters,
+            stats,
+        );
     }
 
-    if !hit_limit {
-        // Search exhausted: bound equals incumbent (or proves infeasible).
-        best_bound = incumbent_obj;
-    }
-
-    let status = match (&incumbent, hit_limit) {
-        (Some(_), false) => Status::Optimal,
-        (Some(_), true) => Status::Feasible,
-        (None, true) => Status::Unknown,
-        (None, false) => {
-            if root_status == Some(LpStatus::Unbounded) {
+    // Best bound: remaining work (heap) on early stops; the incumbent
+    // itself once the tree is exhausted.
+    let best_bound_red = g
+        .heap
+        .iter()
+        .map(|r| r.0.bound)
+        .fold(g.incumbent_obj, f64::min);
+    let status = match (&g.incumbent, stop) {
+        (Some(_), StopReason::Exhausted) => Status::Optimal,
+        (Some(_), StopReason::TimedOut) => Status::TimedOut,
+        (Some(_), StopReason::NodeLimit) => Status::Feasible,
+        (None, StopReason::Exhausted) => {
+            if g.root_status == Some(LpStatus::Unbounded) {
                 Status::Unbounded
             } else {
                 Status::Infeasible
             }
         }
+        (None, _) => Status::Unknown,
+        (_, StopReason::RootUnbounded) => unreachable!("handled above"),
     };
-
-    Ok(MilpResult {
-        status,
-        objective: incumbent_obj,
-        best_bound,
-        values: incumbent.unwrap_or_default(),
-        nodes,
-        lp_iterations: lp_iters,
-        solve_time: start.elapsed(),
-    })
+    let objective = if g.incumbent.is_some() {
+        g.incumbent_obj + offset
+    } else {
+        f64::INFINITY
+    };
+    let best_bound = if best_bound_red.is_finite() {
+        best_bound_red + offset
+    } else {
+        best_bound_red
+    };
+    let values = g.incumbent.map(|x| red.restore(&x)).unwrap_or_default();
+    finish(
+        status, objective, best_bound, values, g.nodes, g.lp_iters, stats,
+    )
 }

@@ -40,6 +40,7 @@
 mod branch;
 mod lu;
 mod model;
+mod presolve;
 mod simplex;
 
 use std::error::Error;
@@ -53,8 +54,12 @@ pub use model::{LinExpr, Model, RowId, Sense, VarId, VarKind};
 pub enum Status {
     /// Optimality proved (within the gap tolerance).
     Optimal,
-    /// Feasible incumbent returned, but a limit stopped the proof.
+    /// Feasible incumbent returned, but the node limit stopped the proof.
     Feasible,
+    /// The wall-clock deadline expired with a feasible incumbent in hand;
+    /// [`MilpResult::best_bound`] still carries the tightest proven bound,
+    /// so the remaining optimality gap is reported rather than discarded.
+    TimedOut,
     /// Proved infeasible.
     Infeasible,
     /// The relaxation is unbounded below.
@@ -66,7 +71,7 @@ pub enum Status {
 impl Status {
     /// `true` when a usable assignment is present in the result.
     pub fn has_solution(self) -> bool {
-        matches!(self, Status::Optimal | Status::Feasible)
+        matches!(self, Status::Optimal | Status::Feasible | Status::TimedOut)
     }
 }
 
@@ -75,6 +80,7 @@ impl fmt::Display for Status {
         f.write_str(match self {
             Status::Optimal => "optimal",
             Status::Feasible => "feasible",
+            Status::TimedOut => "timed-out",
             Status::Infeasible => "infeasible",
             Status::Unbounded => "unbounded",
             Status::Unknown => "unknown",
@@ -117,6 +123,19 @@ pub struct SolverOptions {
     /// Objective cutoff: subtrees with bound at or above it are pruned
     /// even without an incumbent.
     pub cutoff: Option<f64>,
+    /// Worker threads for the branch-and-bound tree search (clamped to at
+    /// least 1). The search is deterministic in `jobs`: every thread count
+    /// returns the identical status, objective, and assignment, because
+    /// objective ties at the optimum are explored (never pruned) and the
+    /// incumbent is the lexicographically smallest optimal assignment.
+    pub jobs: usize,
+    /// Run the presolve pass (bound tightening, singleton-row and
+    /// fixed-variable elimination, coefficient strengthening) before the
+    /// root solve.
+    pub presolve: bool,
+    /// Re-optimize child LPs with the dual simplex warm-started from the
+    /// parent's optimal basis instead of solving from scratch.
+    pub warm_start: bool,
 }
 
 impl Default for SolverOptions {
@@ -127,6 +146,9 @@ impl Default for SolverOptions {
             absolute_gap: 1e-6,
             initial_solution: None,
             cutoff: None,
+            jobs: 1,
+            presolve: true,
+            warm_start: true,
         }
     }
 }
@@ -138,6 +160,35 @@ impl SolverOptions {
             time_limit: limit,
             ..SolverOptions::default()
         }
+    }
+}
+
+/// Performance counters of one MILP solve: where the time went and what
+/// the presolve/warm-start machinery bought. Reported by the CLI's
+/// solver-stats line and the `BENCH_milp.json` artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Worker threads used for the tree search.
+    pub jobs: usize,
+    /// Child LPs attempted with the warm-started dual simplex.
+    pub warm_attempts: usize,
+    /// Warm starts that re-optimized without falling back to a cold solve.
+    pub warm_hits: usize,
+    /// Constraint rows removed by presolve.
+    pub presolve_rows_removed: usize,
+    /// Variables fixed and substituted out by presolve.
+    pub presolve_cols_fixed: usize,
+    /// Variable bounds tightened by presolve.
+    pub presolve_bounds_tightened: usize,
+    /// Constraint coefficients strengthened by presolve.
+    pub presolve_coeffs_reduced: usize,
+}
+
+impl SolverStats {
+    /// Fraction of warm-start attempts that succeeded without a cold
+    /// fallback; `None` when no warm start was attempted.
+    pub fn warm_hit_rate(&self) -> Option<f64> {
+        (self.warm_attempts > 0).then(|| self.warm_hits as f64 / self.warm_attempts as f64)
     }
 }
 
@@ -158,6 +209,8 @@ pub struct MilpResult {
     pub lp_iterations: usize,
     /// Wall-clock time spent.
     pub solve_time: Duration,
+    /// Presolve/warm-start/parallelism counters.
+    pub stats: SolverStats,
 }
 
 impl MilpResult {
@@ -310,7 +363,10 @@ mod tests {
         m.add_constraint(w, Sense::Le, 100.0);
         let opts = SolverOptions::with_time_limit(Duration::from_millis(0));
         let r = m.solve(&opts).expect("solves");
-        assert!(matches!(r.status, Status::Unknown | Status::Feasible));
+        assert!(matches!(
+            r.status,
+            Status::Unknown | Status::Feasible | Status::TimedOut
+        ));
     }
 
     #[test]

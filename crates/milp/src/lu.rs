@@ -124,12 +124,14 @@ impl Factors {
             if col_max <= ABS_TINY {
                 return Err(Singular { position: pc });
             }
-            // Among sufficiently large entries pick the sparsest row.
+            // Among sufficiently large entries pick the sparsest row,
+            // breaking length ties toward the lowest row index so the
+            // pivot sequence never depends on bookkeeping order.
             let mut pr = usize::MAX;
             let mut pr_len = usize::MAX;
             for &r in &col_rows[pc] {
                 let v = rows[r][&pc].abs();
-                if v >= TAU * col_max && rows[r].len() < pr_len {
+                if v >= TAU * col_max && (rows[r].len(), r) < (pr_len, pr) {
                     pr_len = rows[r].len();
                     pr = r;
                 }
@@ -137,22 +139,25 @@ impl Factors {
             debug_assert_ne!(pr, usize::MAX);
             let pivot_val = rows[pr][&pc];
 
-            // Record the U row snapshot (pivot first for clarity).
-            let mut urow: Vec<(usize, f64)> = Vec::with_capacity(rows[pr].len());
-            urow.push((pc, pivot_val));
-            for (&c, &v) in &rows[pr] {
-                if c != pc {
-                    urow.push((c, v));
-                }
-            }
-
-            // Eliminate column pc from all other active rows.
-            let mut ops: Vec<(usize, f64)> = Vec::new();
-            let pivot_row_entries: Vec<(usize, f64)> = rows[pr]
+            // Off-pivot entries of the pivot row in ascending column
+            // order: hash-map iteration order must not leak into the
+            // stored factors or the update arithmetic, or identical
+            // bases would factor differently across runs (different
+            // rounding, different downstream simplex pivots).
+            let mut pivot_row_entries: Vec<(usize, f64)> = rows[pr]
                 .iter()
                 .filter(|&(&c, _)| c != pc)
                 .map(|(&c, &v)| (c, v))
                 .collect();
+            pivot_row_entries.sort_unstable_by_key(|&(c, _)| c);
+
+            // Record the U row snapshot (pivot first for clarity).
+            let mut urow: Vec<(usize, f64)> = Vec::with_capacity(pivot_row_entries.len() + 1);
+            urow.push((pc, pivot_val));
+            urow.extend_from_slice(&pivot_row_entries);
+
+            // Eliminate column pc from all other active rows.
+            let mut ops: Vec<(usize, f64)> = Vec::new();
             for idx in 0..col_rows[pc].len() {
                 let r = col_rows[pc][idx];
                 if r == pr {

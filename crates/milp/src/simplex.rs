@@ -1,4 +1,5 @@
-//! Bounded-variable revised primal simplex with a two-phase start.
+//! Bounded-variable revised simplex: primal with a two-phase start, plus a
+//! dual-simplex reoptimizer for warm starts.
 //!
 //! Computational form: every model row `aᵀx {≤,=,≥} b` becomes
 //! `aᵀx + s = b` with a sign-constrained slack, so the constraint matrix is
@@ -6,6 +7,17 @@
 //! slack bound is violated at the initial point get an *artificial*
 //! variable; phase 1 minimizes the total artificial magnitude, phase 2 the
 //! real objective.
+//!
+//! **Warm starts.** Branch & bound tightens a single variable bound per
+//! node, which leaves the parent's optimal basis *dual*-feasible (reduced
+//! costs are untouched) while possibly making it primal-infeasible. A
+//! [`WarmBasis`] snapshot of the parent basis therefore restarts with
+//! [`LpProblem::solve_dual_warm`]: dual pivots drive out the bound
+//! violations, then a short primal cleanup certifies optimality. Every
+//! numerically doubtful situation — stale snapshot, singular refactorize,
+//! stalled dual loop, near-zero pivot disagreement — returns
+//! [`LpAbort::Singular`], which callers treat as "fall back to a cold
+//! primal solve"; correctness never depends on the warm path.
 
 use std::time::Instant;
 
@@ -21,6 +33,9 @@ const STALL_LIMIT: usize = 64;
 /// Eta-file length that triggers refactorization.
 const REFACTOR_ETAS: usize = 64;
 const MAX_ITERS: usize = 200_000;
+/// Dual-loop caps; hitting either rejects to a cold solve.
+const DUAL_MAX_ITERS: usize = 50_000;
+const DUAL_STALL_LIMIT: usize = 512;
 
 /// Why an LP solve stopped without a status.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +139,17 @@ impl LpProblem {
         ub: &[f64],
         deadline: Option<Instant>,
     ) -> Result<LpSolution, LpAbort> {
+        self.solve_primal(lb, ub, deadline).map(|(s, _)| s)
+    }
+
+    /// Cold two-phase primal solve; also returns a basis snapshot suitable
+    /// for warm-starting child solves when the LP reached optimality.
+    pub fn solve_primal(
+        &self,
+        lb: &[f64],
+        ub: &[f64],
+        deadline: Option<Instant>,
+    ) -> Result<(LpSolution, Option<WarmBasis>), LpAbort> {
         for attempt in 0..5 {
             let mut w = Worker::new(self, lb, ub);
             // Diversify retries: perturbed pricing first, Bland's rule last.
@@ -131,11 +157,54 @@ impl LpProblem {
             w.always_bland = attempt >= 3;
             match w.run(deadline) {
                 Err(LpAbort::Singular) => continue,
-                other => return other,
+                Ok(sol) => {
+                    let snap = if sol.status == LpStatus::Optimal {
+                        w.snapshot()
+                    } else {
+                        None
+                    };
+                    return Ok((sol, snap));
+                }
+                Err(e) => return Err(e),
             }
         }
         Err(LpAbort::Numerical("repeated singular bases".into()))
     }
+
+    /// Re-optimize from a parent basis after a bound change using the dual
+    /// simplex. Returns `Err(LpAbort::Singular)` whenever the warm start
+    /// cannot be trusted (stale snapshot, dual-infeasible start, numerical
+    /// trouble); the caller should then fall back to [`Self::solve_primal`].
+    pub fn solve_dual_warm(
+        &self,
+        lb: &[f64],
+        ub: &[f64],
+        warm: &WarmBasis,
+        deadline: Option<Instant>,
+    ) -> Result<(LpSolution, Option<WarmBasis>), LpAbort> {
+        let mut w = Worker::from_basis(self, lb, ub, warm)?;
+        if !w.dual_feasible(1e-6) {
+            return Err(LpAbort::Singular);
+        }
+        let sol = w.run_dual(deadline)?;
+        let snap = if sol.status == LpStatus::Optimal {
+            w.snapshot()
+        } else {
+            None
+        };
+        Ok((sol, snap))
+    }
+}
+
+/// A restartable basis snapshot: the variable statuses and basis columns of
+/// an optimal LP solve (structural + slack columns; never artificials).
+///
+/// Cheap to clone and `Send + Sync`, so branch & bound keeps one per node
+/// behind an `Arc` and warm-starts children from any worker thread.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmBasis {
+    status: Vec<VStat>,
+    basis: Vec<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -433,6 +502,306 @@ impl<'a> Worker<'a> {
         }
     }
 
+    /// Snapshot the basis for later warm starts. `None` when an artificial
+    /// is still basic (rare degenerate phase-1 leftovers) — such a basis
+    /// cannot be reproduced without the artificial columns.
+    fn snapshot(&self) -> Option<WarmBasis> {
+        let n = self.p.n_struct + self.p.m;
+        if self.basis.iter().any(|&j| j >= n) {
+            return None;
+        }
+        Some(WarmBasis {
+            status: self.status[..n].to_vec(),
+            basis: self.basis.clone(),
+        })
+    }
+
+    /// Rebuild a worker from a parent snapshot under (possibly tightened)
+    /// bounds. Validates the snapshot against the problem dimensions and
+    /// normalizes nonbasic statuses whose bound went away; any mismatch is
+    /// `Err(LpAbort::Singular)` (= fall back to a cold solve).
+    fn from_basis(
+        p: &'a LpProblem,
+        lb_in: &[f64],
+        ub_in: &[f64],
+        warm: &WarmBasis,
+    ) -> Result<Self, LpAbort> {
+        let m = p.m;
+        let n = p.n_struct + m;
+        if warm.status.len() != n || warm.basis.len() != m {
+            return Err(LpAbort::Singular);
+        }
+        let mut status = warm.status.clone();
+        for (j, st) in status.iter_mut().enumerate() {
+            match *st {
+                VStat::Basic(pos) => {
+                    if pos >= m || warm.basis[pos] != j {
+                        return Err(LpAbort::Singular);
+                    }
+                }
+                VStat::AtLower => {
+                    // `nb_value` evaluates AtLower with an infinite lower
+                    // bound at the *upper* bound; make the status say so.
+                    if !lb_in[j].is_finite() && ub_in[j].is_finite() {
+                        *st = VStat::AtUpper;
+                    }
+                }
+                VStat::AtUpper => {
+                    if !ub_in[j].is_finite() {
+                        if lb_in[j].is_finite() {
+                            *st = VStat::AtLower;
+                        } else {
+                            return Err(LpAbort::Singular);
+                        }
+                    }
+                }
+            }
+        }
+        for (pos, &j) in warm.basis.iter().enumerate() {
+            if j >= n || !matches!(status[j], VStat::Basic(bp) if bp == pos) {
+                return Err(LpAbort::Singular);
+            }
+        }
+        let mut w = Worker {
+            p,
+            lb: lb_in.to_vec(),
+            ub: ub_in.to_vec(),
+            cost: vec![0.0; n],
+            art_rows: Vec::new(),
+            status,
+            basis: warm.basis.clone(),
+            x_basic: vec![0.0; m],
+            factors: Factors::factor(0, &[]).expect("empty factorization"),
+            iters: 0,
+            stall: 0,
+            bland: false,
+            always_bland: false,
+            price_seed: 0,
+            in_phase1: false,
+        };
+        w.set_phase2_costs();
+        w.refactor()?;
+        Ok(w)
+    }
+
+    /// Are the phase-2 reduced costs sign-consistent with every nonbasic
+    /// status? Warm starts require this before dual pivoting is sound.
+    fn dual_feasible(&self, tol: f64) -> bool {
+        let m = self.p.m;
+        let mut y = vec![0.0; m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            y[pos] = self.cost[j];
+        }
+        self.factors.btran(&mut y);
+        for j in 0..self.n_total() {
+            let st = self.status[j];
+            if matches!(st, VStat::Basic(_)) || self.lb[j] == self.ub[j] {
+                continue;
+            }
+            let d = self.cost[j] - self.dot_col(j, &y);
+            let free = !self.lb[j].is_finite() && !self.ub[j].is_finite();
+            let ok = if free {
+                d.abs() <= tol
+            } else if st == VStat::AtLower && self.lb[j].is_finite() {
+                d >= -tol
+            } else {
+                d <= tol
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Warm-start driver: dual pivots until primal feasible, then a primal
+    /// cleanup pass to certify optimality.
+    fn run_dual(&mut self, deadline: Option<Instant>) -> Result<LpSolution, LpAbort> {
+        match self.optimize_dual(deadline)? {
+            DualOutcome::Infeasible => Ok(self.finish(LpStatus::Infeasible)),
+            DualOutcome::PrimalFeasible => {
+                self.bland = false;
+                self.stall = 0;
+                match self.optimize(deadline)? {
+                    InnerStatus::Optimal => Ok(self.finish(LpStatus::Optimal)),
+                    InnerStatus::Unbounded => Ok(self.finish(LpStatus::Unbounded)),
+                }
+            }
+        }
+    }
+
+    /// Bounded-variable dual simplex. Starting from a dual-feasible basis,
+    /// repeatedly kick the most bound-violating basic variable out onto its
+    /// violated bound, choosing the entering column by the dual ratio test
+    /// so reduced-cost signs are preserved.
+    ///
+    /// `DualOutcome::Infeasible` is a *primal* infeasibility certificate
+    /// independent of dual feasibility: when no entering column is
+    /// eligible, row `r` of `B⁻¹[A|I]` reads
+    /// `x_{B(r)} = β₀ − Σ α_j x_j` over nonbasic `j`, and the current
+    /// nonbasic point already extremizes the right-hand side toward the
+    /// violated bound — no feasible point exists.
+    fn optimize_dual(&mut self, deadline: Option<Instant>) -> Result<DualOutcome, LpAbort> {
+        let m = self.p.m;
+        if m == 0 {
+            return Ok(DualOutcome::PrimalFeasible);
+        }
+        let mut w = vec![0.0; m];
+        let mut rho = vec![0.0; m];
+        let mut stall = 0usize;
+        let mut last_viol = f64::INFINITY;
+        let start_iters = self.iters;
+        loop {
+            self.iters += 1;
+            if self.iters - start_iters > DUAL_MAX_ITERS {
+                return Err(LpAbort::Singular);
+            }
+            if self.iters.is_multiple_of(256) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(LpAbort::Timeout);
+                    }
+                }
+            }
+
+            // Leaving: the most violated basic variable (deterministic:
+            // strictly-larger violation wins, so the first/lowest position
+            // wins ties).
+            let mut leave: Option<(usize, f64, bool)> = None; // (pos, viol, below)
+            for (pos, &bj) in self.basis.iter().enumerate() {
+                let x = self.x_basic[pos];
+                let below = self.lb[bj] - x;
+                let above = x - self.ub[bj];
+                if below > FEAS_TOL && leave.is_none_or(|(_, v, _)| below > v) {
+                    leave = Some((pos, below, true));
+                }
+                if above > FEAS_TOL && leave.is_none_or(|(_, v, _)| above > v) {
+                    leave = Some((pos, above, false));
+                }
+            }
+            let Some((r, viol, below)) = leave else {
+                return Ok(DualOutcome::PrimalFeasible);
+            };
+
+            // Anti-cycling: if the worst violation refuses to shrink for
+            // long enough, reject to a cold solve rather than spin.
+            if viol >= last_viol - 1e-12 {
+                stall += 1;
+                if stall > DUAL_STALL_LIMIT {
+                    return Err(LpAbort::Singular);
+                }
+            } else {
+                stall = 0;
+            }
+            last_viol = viol;
+
+            // ρ = B⁻ᵀ e_r gives row r of B⁻¹[A|I]; y = B⁻ᵀ c_B the duals.
+            for v in rho.iter_mut() {
+                *v = 0.0;
+            }
+            rho[r] = 1.0;
+            self.factors.btran(&mut rho);
+            let mut y = vec![0.0; m];
+            for (pos, &j) in self.basis.iter().enumerate() {
+                y[pos] = self.cost[j];
+            }
+            self.factors.btran(&mut y);
+
+            // Dual ratio test: among columns whose allowed movement pushes
+            // x_B[r] toward the violated bound, take the smallest
+            // |d_j| / |α_j| (ties: larger |α|, then lower index — both
+            // deterministic).
+            let n_total = self.n_total();
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
+            let mut weak_free = false;
+            for j in 0..n_total {
+                let st = self.status[j];
+                if matches!(st, VStat::Basic(_)) || self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let alpha = self.dot_col(j, &rho);
+                let free = !self.lb[j].is_finite() && !self.ub[j].is_finite();
+                if alpha.abs() <= PIVOT_TOL {
+                    // A free column with a tiny-but-nonzero α could in
+                    // principle absorb any violation; refusing to pivot on
+                    // it must not be read as an infeasibility proof.
+                    if free && alpha.abs() > 1e-12 {
+                        weak_free = true;
+                    }
+                    continue;
+                }
+                let at_lower = st == VStat::AtLower && self.lb[j].is_finite();
+                // x_B[r] changes by −α·dt; AtLower may only increase,
+                // AtUpper only decrease, free either way.
+                let ok = if free {
+                    true
+                } else if below {
+                    (at_lower && alpha < 0.0) || (!at_lower && alpha > 0.0)
+                } else {
+                    (at_lower && alpha > 0.0) || (!at_lower && alpha < 0.0)
+                };
+                if !ok {
+                    continue;
+                }
+                let d = self.cost[j] - self.dot_col(j, &y);
+                let ratio = d.abs() / alpha.abs();
+                let better = match enter {
+                    None => true,
+                    Some((bj, br, ba)) => {
+                        ratio < br - 1e-10
+                            || (ratio < br + 1e-10
+                                && (alpha.abs() > ba.abs() + 1e-12
+                                    || (alpha.abs() >= ba.abs() - 1e-12 && j < bj)))
+                    }
+                };
+                if better {
+                    enter = Some((j, ratio, alpha));
+                }
+            }
+            let Some((q, _ratio, _alpha)) = enter else {
+                if weak_free {
+                    return Err(LpAbort::Singular);
+                }
+                return Ok(DualOutcome::Infeasible);
+            };
+
+            // Pivot: w = B⁻¹ A_q; drive the leaving variable exactly onto
+            // its violated bound.
+            self.densify_col(q, &mut w);
+            self.factors.ftran(&mut w);
+            if w[r].abs() <= PIVOT_TOL * 0.1 {
+                // ftran and btran disagree about the pivot magnitude; the
+                // factorization is not trustworthy.
+                return Err(LpAbort::Singular);
+            }
+            let leaving = self.basis[r];
+            let target = if below {
+                self.lb[leaving]
+            } else {
+                self.ub[leaving]
+            };
+            let t = (self.x_basic[r] - target) / w[r];
+            for (pos, &wv) in w.iter().enumerate() {
+                if wv != 0.0 {
+                    self.x_basic[pos] -= t * wv;
+                }
+            }
+            let entering_value = self.nb_value(q) + t;
+            self.status[leaving] = if below {
+                VStat::AtLower
+            } else {
+                VStat::AtUpper
+            };
+            self.basis[r] = q;
+            self.status[q] = VStat::Basic(r);
+            self.x_basic[r] = entering_value;
+            let ok = self.factors.update(r, &w);
+            if !ok || self.factors.eta_count() >= REFACTOR_ETAS {
+                self.refactor()?;
+            }
+        }
+    }
+
     fn phase1_value(&self) -> f64 {
         let base = self.p.n_struct + self.p.m;
         self.basis
@@ -645,6 +1014,15 @@ enum InnerStatus {
     Unbounded,
 }
 
+/// Outcome of the dual-simplex loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualOutcome {
+    /// All basic variables inside their bounds; primal cleanup may start.
+    PrimalFeasible,
+    /// Certified primal infeasibility (failed dual ratio test).
+    Infeasible,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,5 +1209,138 @@ mod tests {
             optimal_count > 10,
             "too few optimal instances to be meaningful"
         );
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_bound_tightening() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → (4, 0). Then branch
+        // x <= 2: optimum moves to (2, 4/3), obj -(6 + 8/3).
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, -3.0);
+        let y = m.add_continuous(0.0, 10.0, -2.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::from(y), Sense::Le, 4.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::term(3.0, y), Sense::Le, 6.0);
+        let p = LpProblem::from_model(&m);
+        let (root, warm) = p.solve_primal(&p.lb, &p.ub, None).expect("root solves");
+        assert_eq!(root.status, LpStatus::Optimal);
+        let warm = warm.expect("optimal root yields a snapshot");
+
+        let mut ub = p.ub.clone();
+        ub[0] = 2.0;
+        let (ws, wsnap) = p
+            .solve_dual_warm(&p.lb, &ub, &warm, None)
+            .expect("warm start accepted");
+        let cold = p.solve_with_bounds(&p.lb, &ub, None).expect("cold solves");
+        assert_eq!(ws.status, LpStatus::Optimal);
+        assert!(
+            (ws.obj - cold.obj).abs() < 1e-6,
+            "{} vs {}",
+            ws.obj,
+            cold.obj
+        );
+        assert!(
+            (ws.obj - (-(6.0 + 8.0 / 3.0))).abs() < 1e-6,
+            "obj {}",
+            ws.obj
+        );
+        assert!(wsnap.is_some(), "re-optimized basis snapshots again");
+    }
+
+    #[test]
+    fn warm_start_certifies_infeasibility() {
+        // x + y >= 3 with both tightened to [0, 1] has no solution.
+        let mut m = Model::new("t");
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        let y = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::from(y), Sense::Ge, 3.0);
+        let p = LpProblem::from_model(&m);
+        let (root, warm) = p.solve_primal(&p.lb, &p.ub, None).expect("root solves");
+        assert_eq!(root.status, LpStatus::Optimal);
+        let warm = warm.expect("snapshot");
+        let mut ub = p.ub.clone();
+        ub[0] = 1.0;
+        ub[1] = 1.0;
+        let (ws, _) = p
+            .solve_dual_warm(&p.lb, &ub, &warm, None)
+            .expect("warm start accepted");
+        assert_eq!(ws.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn random_warm_starts_match_cold_solves() {
+        let mut state = 0xC0FF_EE00_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut compared = 0;
+        for _ in 0..80 {
+            let n = 2 + (next() % 5) as usize;
+            let rows = 1 + (next() % 5) as usize;
+            let mut m = Model::new("rand");
+            let vars: Vec<_> = (0..n)
+                .map(|_| {
+                    let lo = (next() % 5) as f64 - 2.0;
+                    let hi = lo + 2.0 + (next() % 6) as f64;
+                    let c = (next() % 9) as f64 - 4.0;
+                    m.add_continuous(lo, hi, c)
+                })
+                .collect();
+            for _ in 0..rows {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    let c = (next() % 7) as f64 - 3.0;
+                    if c != 0.0 {
+                        e.add_term(c, v);
+                    }
+                }
+                let sense = if next() % 2 == 0 {
+                    Sense::Le
+                } else {
+                    Sense::Ge
+                };
+                let rhs = (next() % 11) as f64 - 5.0;
+                m.add_constraint(e, sense, rhs);
+            }
+            let p = LpProblem::from_model(&m);
+            let Ok((root, Some(warm))) = p.solve_primal(&p.lb, &p.ub, None) else {
+                continue;
+            };
+            if root.status != LpStatus::Optimal {
+                continue;
+            }
+            // Branch-like tightening: split a variable's range at midpoint.
+            let j = (next() as usize) % n;
+            let mid = ((p.lb[j] + p.ub[j]) / 2.0).floor();
+            let (mut lb2, mut ub2) = (p.lb.clone(), p.ub.clone());
+            if next() % 2 == 0 {
+                ub2[j] = mid;
+            } else {
+                lb2[j] = mid + 1.0;
+            }
+            if lb2[j] > ub2[j] {
+                continue;
+            }
+            let cold = p.solve_with_bounds(&lb2, &ub2, None).expect("cold");
+            match p.solve_dual_warm(&lb2, &ub2, &warm, None) {
+                Err(LpAbort::Singular) => continue, // fallback path; allowed
+                Err(e) => panic!("warm abort {e:?}"),
+                Ok((ws, _)) => {
+                    compared += 1;
+                    assert_eq!(ws.status, cold.status, "status mismatch");
+                    if ws.status == LpStatus::Optimal {
+                        assert!(
+                            (ws.obj - cold.obj).abs() < 1e-5,
+                            "warm {} vs cold {}",
+                            ws.obj,
+                            cold.obj
+                        );
+                    }
+                }
+            }
+        }
+        assert!(compared > 20, "only {compared} warm/cold comparisons ran");
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! pipemap info     <file.pmir>
 //! pipemap dot      <file.pmir> [--flow FLOW ...]      # graphviz to stdout
-//! pipemap schedule <file.pmir> [--flow FLOW] [--limit SECS] [--ii N] [--k N]
+//! pipemap schedule <file.pmir> [--flow FLOW] [--limit SECS] [--ii N] [--k N] [--jobs N]
 //! pipemap verilog  <file.pmir> [--flow FLOW] [--module NAME] [...]
 //! pipemap lint     <file.pmir> [--json]               # static IR lint (P0xxx)
 //! pipemap lint     --codes                            # lint-code registry
@@ -14,6 +14,11 @@
 //! ```
 //!
 //! `FLOW` is one of `hls`, `base`, `map` (default), `heur`.
+//!
+//! `--jobs N` sets the MILP branch-and-bound worker-thread count (and
+//! runs the flows of `verify`/`bench` concurrently). The solver is
+//! deterministic in `--jobs`: every thread count returns the identical
+//! status, objective, and schedule.
 //!
 //! `lint` parses the textual IR and runs the well-formedness pass,
 //! reporting every finding with its stable `P0xxx` code and source span;
@@ -46,6 +51,7 @@ struct Args {
     json: bool,
     codes: bool,
     dot: bool,
+    jobs: usize,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -59,6 +65,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         json: false,
         codes: false,
         dot: false,
+        jobs: 1,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -93,6 +100,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--module" => {
                 a.module = argv.next().ok_or("--module needs a name")?;
             }
+            "--jobs" => {
+                a.jobs = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or("--jobs needs a thread count >= 1")?;
+            }
             "--json" => a.json = true,
             "--codes" => a.codes = true,
             "--dot" => a.dot = true,
@@ -114,6 +128,7 @@ fn options(a: &Args) -> FlowOptions {
     FlowOptions {
         ii: a.ii,
         time_limit: Duration::from_secs(a.limit),
+        jobs: a.jobs,
         ..FlowOptions::default()
     }
 }
@@ -180,8 +195,23 @@ fn run() -> Result<(), Box<dyn Error>> {
             }
             if let Some(s) = &r.milp {
                 println!(
-                    "solver: {} in {:.2?} | {} B&B nodes | {} vars | {} rows",
-                    s.status, s.solve_time, s.nodes, s.variables, s.constraints
+                    "solver: {} in {:.2?} | {} B&B nodes | {} vars | {} rows | {} job(s)",
+                    s.status, s.solve_time, s.nodes, s.variables, s.constraints, s.solver.jobs
+                );
+                let hit = s
+                    .solver
+                    .warm_hit_rate()
+                    .map_or("-".to_string(), |h| format!("{:.1}%", h * 100.0));
+                println!(
+                    "        {} simplex iters | warm starts {}/{} ({hit}) | presolve \
+                     -{} rows, {} cols fixed, {} bounds tightened, {} coeffs reduced",
+                    s.lp_iterations,
+                    s.solver.warm_hits,
+                    s.solver.warm_attempts,
+                    s.solver.presolve_rows_removed,
+                    s.solver.presolve_cols_fixed,
+                    s.solver.presolve_bounds_tightened,
+                    s.solver.presolve_coeffs_reduced
                 );
             }
         }
@@ -250,13 +280,12 @@ fn run() -> Result<(), Box<dyn Error>> {
             if let Some(dfg) = dfg.filter(|_| !ds.has_errors()) {
                 let t = target(&a);
                 let opts = options(&a);
-                let mut results = Vec::new();
-                for flow in Flow::ALL {
-                    results.push((flow.label(), run_flow(&dfg, &t, flow, &opts)?));
-                }
+                // `run_all_flows` runs the three flows concurrently when
+                // --jobs > 1; results keep Flow::ALL order either way.
+                let results = pipemap::core::run_all_flows(&dfg, &t, &opts)?;
                 let flows: Vec<(&str, &Dfg, _)> = results
                     .iter()
-                    .map(|(l, r)| (*l, &r.dfg, &r.implementation))
+                    .map(|r| (r.flow.label(), &r.dfg, &r.implementation))
                     .collect();
                 ds.merge(check_flows_with_graphs(
                     &dfg,
@@ -285,19 +314,35 @@ fn run() -> Result<(), Box<dyn Error>> {
             let bench = pipemap::bench_suite::by_name(name)
                 .ok_or("unknown benchmark (CLZ, XORR, GFMUL, CORDIC, MT, AES, RS, DR, GSM)")?;
             println!(
-                "{:<10} {:>7} {:>6} {:>6} {:>6} {:>4}",
-                "method", "CP(ns)", "LUT", "FF", "depth", "II"
+                "{:<10} {:>7} {:>6} {:>6} {:>6} {:>4} {:>10} {:>9} {:>9}",
+                "method", "CP(ns)", "LUT", "FF", "depth", "II", "wall", "nodes", "warm-hit"
             );
             for flow in Flow::EXTENDED {
+                let started = std::time::Instant::now();
                 let r = run_flow(&bench.dfg, &bench.target, flow, &options(&a))?;
+                let wall = started.elapsed();
+                let (nodes, hit) = r.milp.as_ref().map_or_else(
+                    || ("-".to_string(), "-".to_string()),
+                    |s| {
+                        (
+                            s.nodes.to_string(),
+                            s.solver
+                                .warm_hit_rate()
+                                .map_or("-".to_string(), |h| format!("{:.0}%", h * 100.0)),
+                        )
+                    },
+                );
                 println!(
-                    "{:<10} {:>7.2} {:>6} {:>6} {:>6} {:>4}",
+                    "{:<10} {:>7.2} {:>6} {:>6} {:>6} {:>4} {:>10} {:>9} {:>9}",
                     r.flow.label(),
                     r.qor.cp_ns,
                     r.qor.luts,
                     r.qor.ffs,
                     r.qor.depth,
-                    r.ii
+                    r.ii,
+                    format!("{wall:.2?}"),
+                    nodes,
+                    hit
                 );
             }
         }
