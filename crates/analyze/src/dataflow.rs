@@ -46,7 +46,9 @@ impl Analysis {
 
         // Forward: known bits + ranges.
         let mut facts: Vec<Option<Fact>> = vec![None; n];
+        let mut fwd_rounds = 0usize;
         for round in 0..MAX_ROUNDS {
+            fwd_rounds = round + 1;
             let mut changed = false;
             for &v in &order {
                 let node = dfg.node(v);
@@ -86,7 +88,9 @@ impl Analysis {
                 live[id.index()] = mask(node.width);
             }
         }
+        let mut bwd_rounds = 0usize;
         loop {
+            bwd_rounds += 1;
             let mut changed = false;
             for &v in order.iter().rev() {
                 let node = dfg.node(v);
@@ -104,6 +108,16 @@ impl Analysis {
             if !changed {
                 break;
             }
+        }
+        if pipemap_obs::enabled() {
+            pipemap_obs::instant_with(
+                "dataflow-fixpoint",
+                vec![
+                    ("forward_rounds", fwd_rounds.into()),
+                    ("backward_rounds", bwd_rounds.into()),
+                    ("nodes", n.into()),
+                ],
+            );
         }
 
         Ok(Analysis { facts, live })

@@ -27,6 +27,7 @@ struct Args {
     time_limit: u64,
     only: Option<String>,
     skip_cold: bool,
+    overhead_check: bool,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +38,7 @@ fn parse_args() -> Args {
         time_limit: 0, // 0 = pick by mode below
         only: None,
         skip_cold: false,
+        overhead_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -55,6 +57,7 @@ fn parse_args() -> Args {
                 args.only = Some(it.next().unwrap_or_else(|| usage("--bench needs a name")));
             }
             "--skip-cold" => args.skip_cold = true,
+            "--overhead-check" => args.overhead_check = true,
             "--time-limit" => {
                 let v = it
                     .next()
@@ -68,10 +71,11 @@ fn parse_args() -> Args {
                     "pipemap-bench-suite: cold-vs-optimized MILP solve benchmark\n\n\
                      USAGE: pipemap-bench-suite [--quick] [--jobs N] [--out PATH] [--time-limit S]\n\n\
                      --quick        kernels only with a short solver budget (CI smoke)\n\
-                     --jobs N       worker threads for the optimized pass (default 1)\n\
+                     --jobs N       worker threads for the optimized pass (default 1; 0 = all cores)\n\
                      --out PATH     JSON report path (default BENCH_milp.json)\n\
                      --bench NAME   run a single benchmark by Table 1 name\n\
-                     --time-limit S per-solve wall-clock budget in seconds"
+                     --time-limit S per-solve wall-clock budget in seconds\n\
+                     --overhead-check  assert disabled-mode tracing overhead < 2% and exit"
                 );
                 std::process::exit(0);
             }
@@ -82,7 +86,7 @@ fn parse_args() -> Args {
         args.time_limit = if args.quick { 20 } else { 60 };
     }
     if args.jobs == 0 {
-        args.jobs = 1;
+        args.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     }
     args
 }
@@ -90,6 +94,54 @@ fn parse_args() -> Args {
 fn usage(msg: &str) -> ! {
     eprintln!("pipemap-bench-suite: {msg} (try --help)");
     std::process::exit(2);
+}
+
+/// Assert the cost of *disabled* tracing instrumentation is negligible:
+/// run one benchmark with tracing enabled to count how many events its
+/// instrumentation sites emit, measure the per-call cost of a disabled
+/// site (one relaxed atomic load), and bound the disabled-mode overhead
+/// by `per_call * events / wall`. Exits non-zero above 2%.
+fn overhead_check(benches: &[Benchmark], budget: Duration) -> ! {
+    let b = &benches[0];
+    let opts = FlowOptions {
+        time_limit: budget,
+        ..FlowOptions::default()
+    };
+    pipemap_obs::enable();
+    let start = Instant::now();
+    let run = run_flow(&b.dfg, &b.target, Flow::MilpMap, &opts);
+    let wall = start.elapsed();
+    pipemap_obs::disable();
+    let trace = pipemap_obs::take();
+    if let Err(e) = run {
+        eprintln!("[bench] overhead-check: {} failed: {e}", b.name);
+        std::process::exit(1);
+    }
+    // Spans emit two events per site; counting one disabled check per
+    // *event* therefore over-estimates the number of sites hit.
+    let sites = trace.events.len() + trace.dropped;
+
+    const PROBES: u32 = 10_000_000;
+    let t0 = Instant::now();
+    for _ in 0..PROBES {
+        let g = pipemap_obs::span("overhead-probe");
+        std::hint::black_box(&g);
+    }
+    let per_call_ns = t0.elapsed().as_nanos() as f64 / f64::from(PROBES);
+
+    let overhead = per_call_ns * sites as f64 / (wall.as_nanos() as f64).max(1.0);
+    eprintln!(
+        "[bench] overhead-check: {} emitted {sites} event(s) in {:.1} ms; \
+         disabled site costs {per_call_ns:.1} ns -> {:.4}% of wall (limit 2%)",
+        b.name,
+        ms(wall),
+        overhead * 100.0
+    );
+    if overhead >= 0.02 {
+        eprintln!("[bench] overhead-check FAILED: disabled-mode tracing overhead >= 2%");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// One measured solve: wall-clock plus the solver counters.
@@ -173,6 +225,9 @@ fn main() {
         }
     }
     let budget = Duration::from_secs(args.time_limit);
+    if args.overhead_check {
+        overhead_check(&benches, budget);
+    }
 
     // Phase 1: the serial cold baseline — one thread, no presolve, no
     // warm starts, benchmarks strictly one after another.
@@ -296,7 +351,25 @@ fn main() {
     j.push_str("  \"benchmarks\": [\n");
     for (i, (c, o)) in rows.iter().enumerate() {
         let s = &o.milp.solver;
-        let hit = s.warm_hit_rate().unwrap_or(0.0);
+        // No warm starts attempted -> the rate is undefined, not 0.
+        let hit = s
+            .warm_hit_rate()
+            .map_or("null".to_string(), |h| format!("{h:.4}"));
+        let gap = pipemap_milp::relative_gap(o.milp.objective, o.milp.best_bound);
+        let mut curve = String::new();
+        for (k, p) in s.convergence.iter().enumerate() {
+            if k > 0 {
+                curve.push_str(", ");
+            }
+            curve.push_str(&format!(
+                "{{\"t_ms\": {:.3}, \"objective\": {}, \"bound\": {}, \"gap_rel\": {}}}",
+                p.t_ms,
+                jnum(p.objective),
+                jnum(p.bound),
+                p.gap_rel()
+                    .map_or("null".to_string(), |g| format!("{g:.6}"))
+            ));
+        }
         let cold_part = match c {
             Some(c) => format!(
                 "\"cold\": {{\"wall_ms\": {:.3}, \"nodes\": {}, \"lp_iterations\": {}, \
@@ -310,15 +383,24 @@ fn main() {
             ),
             None => String::new(),
         };
+        let workers = s
+            .nodes_per_worker
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         j.push_str(&format!(
-            "    {{\"name\": \"{}\", \"objective\": {}, \"best_bound\": {}, \"status\": \"{}\",\n      {}\
+            "    {{\"name\": \"{}\", \"objective\": {}, \"best_bound\": {}, \
+             \"mip_gap_rel\": {}, \"status\": \"{}\",\n      {}\
              \"optimized\": {{\"wall_ms\": {:.3}, \"nodes\": {}, \"lp_iterations\": {}, \
-             \"warm_attempts\": {}, \"warm_hits\": {}, \"warm_hit_rate\": {:.4}, \
+             \"warm_attempts\": {}, \"warm_hits\": {}, \"warm_hit_rate\": {}, \
              \"presolve_rows_removed\": {}, \"presolve_cols_fixed\": {}, \
-             \"presolve_bounds_tightened\": {}, \"presolve_coeffs_reduced\": {}}}}}{}\n",
+             \"presolve_bounds_tightened\": {}, \"presolve_coeffs_reduced\": {}, \
+             \"nodes_per_worker\": [{}],\n      \"convergence\": [{}]}}}}{}\n",
             json_escape(o.name),
             jnum(o.milp.objective),
             jnum(o.milp.best_bound),
+            gap.map_or("null".to_string(), |g| format!("{g:.6}")),
             o.milp.status,
             cold_part,
             ms(o.wall),
@@ -331,6 +413,8 @@ fn main() {
             s.presolve_cols_fixed,
             s.presolve_bounds_tightened,
             s.presolve_coeffs_reduced,
+            workers,
+            curve,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -360,7 +444,7 @@ fn main() {
             None => String::new(),
         };
         eprintln!(
-            "[bench] {:>8}: {}optimized {:>9.1} ms ({} nodes, {}, warm {}/{}, {:.0}% hit)",
+            "[bench] {:>8}: {}optimized {:>9.1} ms ({} nodes, {}, warm {}/{}, {} hit)",
             o.name,
             cold_part,
             ms(o.wall),
@@ -368,7 +452,8 @@ fn main() {
             o.milp.status,
             s.warm_hits,
             s.warm_attempts,
-            s.warm_hit_rate().unwrap_or(0.0) * 100.0
+            s.warm_hit_rate()
+                .map_or("n/a".to_string(), |h| format!("{:.0}%", h * 100.0))
         );
     }
     if args.skip_cold {

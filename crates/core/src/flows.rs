@@ -9,6 +9,7 @@ use pipemap_cuts::{Cut, CutConfig, CutDb};
 use pipemap_ir::{Dfg, Target};
 use pipemap_milp::{SolverOptions, SolverStats, Status};
 use pipemap_netlist::{Cover, Implementation, Qor};
+use pipemap_obs as obs;
 
 use crate::baseline::{schedule_baseline, BaselineResult};
 use crate::error::CoreError;
@@ -209,9 +210,16 @@ pub fn run_flow(
     flow: Flow,
     opts: &FlowOptions,
 ) -> Result<FlowResult, CoreError> {
+    let _flow_span = obs::span(match flow {
+        Flow::HlsTool => "flow:hls-tool",
+        Flow::MilpBase => "flow:milp-base",
+        Flow::MilpMap => "flow:milp-map",
+        Flow::MappedHeuristic => "flow:map-heur",
+    });
     // The mapping-aware flow first runs the analyze pre-pass: the MILP
     // then models the simplified graph with liveness-pruned cut sets.
     let (work, mut pre, live) = if opts.analyze && flow == Flow::MilpMap {
+        let _s = obs::span("analyze-pre-pass");
         analyze_pre_pass(dfg, target, opts)
     } else {
         (dfg.clone(), None, None)
@@ -219,14 +227,23 @@ pub fn run_flow(
     // The downstream mapper of the baseline flow always sees real cuts.
     let mut map_cfg = opts.cut_config(target);
     map_cfg.live_bits = live;
-    let db_map = CutDb::enumerate(&work, &map_cfg);
+    let db_map = {
+        let _s = obs::span("cut-enum");
+        CutDb::enumerate(&work, &map_cfg)
+    };
     if let Some(p) = pre.as_mut() {
         p.cuts_after = db_map.total_cuts();
     }
-    let baseline = schedule_baseline(&work, target, opts.ii, &db_map)?;
+    let baseline = {
+        let _s = obs::span("baseline");
+        schedule_baseline(&work, target, opts.ii, &db_map)?
+    };
     match flow {
         Flow::HlsTool => {
-            let qor = Qor::evaluate(&work, target, &baseline.implementation);
+            let qor = {
+                let _s = obs::span("qor");
+                Qor::evaluate(&work, target, &baseline.implementation)
+            };
             Ok(FlowResult {
                 flow,
                 ii: baseline.ii,
@@ -242,7 +259,10 @@ pub fn run_flow(
             // the mapped list schedule cannot be covered.
             let r = crate::baseline::schedule_mapped_heuristic(&work, target, opts.ii, &db_map)
                 .unwrap_or(baseline);
-            let qor = Qor::evaluate(&work, target, &r.implementation);
+            let qor = {
+                let _s = obs::span("qor");
+                Qor::evaluate(&work, target, &r.implementation)
+            };
             Ok(FlowResult {
                 flow,
                 ii: r.ii,
@@ -254,7 +274,10 @@ pub fn run_flow(
             })
         }
         Flow::MilpBase => {
-            let db = CutDb::enumerate(&work, &CutConfig::trivial_only(target));
+            let db = {
+                let _s = obs::span("cut-enum");
+                CutDb::enumerate(&work, &CutConfig::trivial_only(target))
+            };
             run_milp(&work, target, flow, opts, &db, &db_map, &baseline, pre)
         }
         Flow::MilpMap => run_milp(&work, target, flow, opts, &db_map, &db_map, &baseline, pre),
@@ -317,7 +340,10 @@ pub fn run_all_flows(
         Flow::ALL.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
         for (slot, &flow) in slots.iter_mut().zip(Flow::ALL.iter()) {
-            scope.spawn(move || *slot = Some(run_flow(dfg, target, flow, opts)));
+            scope.spawn(move || {
+                let _lane = obs::lane_guard(format!("flow-{}", flow.label()));
+                *slot = Some(run_flow(dfg, target, flow, opts));
+            });
         }
     });
     slots
@@ -339,6 +365,7 @@ fn run_milp(
 ) -> Result<FlowResult, CoreError> {
     let ii = baseline.ii;
     let m = baseline.implementation.schedule.depth() + opts.extra_latency;
+    let build_span = obs::span("milp-build");
     let f = formulation::build_weighted(dfg, target, db, ii, m, opts.alpha, opts.beta, opts.gamma);
 
     // Seed candidates in preference order: MILP-base starts from the
@@ -382,6 +409,7 @@ fn run_milp(
     } else {
         None
     };
+    drop(build_span);
 
     let solver_opts = SolverOptions {
         time_limit: opts.time_limit,
@@ -392,7 +420,16 @@ fn run_milp(
         ..SolverOptions::default()
     };
     let start = Instant::now();
-    let solved = f.model.solve(&solver_opts);
+    let solved = {
+        let _s = obs::span_with(
+            "milp-solve",
+            vec![
+                ("vars", f.model.num_vars().into()),
+                ("rows", f.model.num_rows().into()),
+            ],
+        );
+        f.model.solve(&solver_opts)
+    };
     let solve_time = start.elapsed();
     // A numerical solver failure or an empty incumbent degrades to the
     // best seed: it is a genuine feasible solution of the same model.
@@ -438,7 +475,10 @@ fn run_milp(
     // Route legality through the full diagnostics verifier: unlike the
     // fail-fast `pipemap_netlist::verify`, it reports *every* violated
     // invariant with a stable `P0xxx` code.
-    let diags = pipemap_verify::check_implementation(dfg, target, &implementation);
+    let diags = {
+        let _s = obs::span("verify");
+        pipemap_verify::check_implementation(dfg, target, &implementation)
+    };
     if diags.has_errors() {
         return Err(CoreError::Verification(diags));
     }
@@ -447,6 +487,7 @@ fn run_milp(
         // tool, whose downstream technology mapper still runs (bounded by
         // the schedule's registers). Re-cover the schedule with real cuts;
         // keep the unit cover if the greedy mapper violates timing.
+        let _s = obs::span("remap");
         let remapped = Implementation {
             cover: crate::baseline::remap_schedule(dfg, db_map, &implementation.schedule),
             schedule: implementation.schedule.clone(),
@@ -455,7 +496,10 @@ fn run_milp(
             implementation = remapped;
         }
     }
-    let qor = Qor::evaluate(dfg, target, &implementation);
+    let qor = {
+        let _s = obs::span("qor");
+        Qor::evaluate(dfg, target, &implementation)
+    };
     Ok(FlowResult {
         flow,
         ii,

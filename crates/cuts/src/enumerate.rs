@@ -149,6 +149,16 @@ impl CutDb {
                 head = 0;
             }
         }
+        if pipemap_obs::enabled() {
+            pipemap_obs::instant_with(
+                "cut-fixpoint",
+                vec![
+                    ("steps", processed.into()),
+                    ("nodes", dfg.len().into()),
+                    ("budget", budget.into()),
+                ],
+            );
+        }
 
         CutDb { k: cfg.k, sets }
     }

@@ -37,10 +37,12 @@ use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrd};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use pipemap_obs as obs;
+
 use crate::model::{Model, VarKind};
 use crate::presolve::{self, PresolveOutcome};
 use crate::simplex::{LpAbort, LpProblem, LpSolution, LpStatus, WarmBasis};
-use crate::{MilpError, MilpResult, SolverOptions, SolverStats, Status};
+use crate::{GapSample, MilpError, MilpResult, SolverOptions, SolverStats, Status};
 
 const INT_TOL: f64 = 1e-6;
 /// Objective ties within this tolerance are explored, not pruned, and
@@ -52,6 +54,10 @@ const TIE_EPS: f64 = 1e-9;
 /// (always at the root). Id-keyed selection is reproducible under any
 /// worker interleaving, unlike a "nodes since last dive" counter.
 const DIVE_PERIOD: u64 = 197;
+/// Convergence-timeline cap: bound-improvement samples beyond this are
+/// skipped (incumbent and final samples always land), so pathological
+/// searches cannot grow the telemetry without bound.
+const MAX_SAMPLES: usize = 4096;
 
 /// Path-local pseudo-costs: per integer column, the summed per-unit
 /// objective degradation and observation count for the down and up branch.
@@ -191,6 +197,28 @@ struct SearchState {
     stop: Option<StopReason>,
     root_status: Option<LpStatus>,
     error: Option<MilpError>,
+    /// Nodes processed by each worker (work-stealing balance telemetry).
+    per_worker_nodes: Vec<usize>,
+    /// Monotone telemetry view of the proven lower bound: the best
+    /// `min(popped bound, in-flight bounds)` seen so far. Best-first pops
+    /// are non-decreasing, so clamping to the max keeps this sound.
+    frontier: f64,
+    /// `(us since solve start, incumbent obj, frontier bound)` in reduced
+    /// objective space; converted to [`GapSample`]s at the end. Pure
+    /// telemetry — never read by the search.
+    timeline: Vec<(u64, f64, f64)>,
+}
+
+impl SearchState {
+    /// Record a convergence sample. Bound-only samples respect the
+    /// [`MAX_SAMPLES`] cap; incumbent/final samples (`force`) always land.
+    fn sample(&mut self, t: Duration, force: bool) {
+        if !force && self.timeline.len() >= MAX_SAMPLES {
+            return;
+        }
+        self.timeline
+            .push((t.as_micros() as u64, self.incumbent_obj, self.frontier));
+    }
 }
 
 /// Strict lexicographic order on assignments (total: uses `total_cmp`).
@@ -208,19 +236,27 @@ fn lex_less(a: &[f64], b: &[f64]) -> bool {
 /// Offer a feasible point as incumbent: strictly better objectives win;
 /// ties within [`TIE_EPS`] are resolved toward the lexicographically
 /// smaller assignment (keeping the smaller of the tied objectives).
-fn offer_incumbent(state: &mut SearchState, obj: f64, x: Vec<f64>) {
+/// Returns `true` when the incumbent *objective* improved (lex-only tie
+/// swaps return `false`) so callers can emit telemetry without changing
+/// any search decision.
+fn offer_incumbent(state: &mut SearchState, obj: f64, x: Vec<f64>) -> bool {
     match &mut state.incumbent {
         None => {
             state.incumbent_obj = obj;
             state.incumbent = Some(x);
+            true
         }
         Some(cur) => {
             if obj < state.incumbent_obj - TIE_EPS {
                 state.incumbent_obj = obj;
                 *cur = x;
+                true
             } else if obj <= state.incumbent_obj + TIE_EPS && lex_less(&x, cur) {
                 state.incumbent_obj = state.incumbent_obj.min(obj);
                 *cur = x;
+                false
+            } else {
+                false
             }
         }
     }
@@ -231,6 +267,8 @@ struct Ctx<'a> {
     lp: &'a LpProblem,
     rmodel: &'a Model,
     int_cols: &'a [usize],
+    /// When the solve started (timestamps the convergence timeline).
+    start: Instant,
     deadline: Option<Instant>,
     node_limit: usize,
     /// Static objective cutoff in reduced space (`+inf` when unset).
@@ -367,10 +405,14 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
             match ctx.lp.solve_dual_warm(&lb, &ub, wb, ctx.deadline) {
                 Ok(r) => {
                     ctx.warm_hits.fetch_add(1, AtomicOrd::Relaxed);
+                    obs::instant("warm-hit");
                     solved = Some(r);
                 }
                 Err(LpAbort::Timeout) => return Processed::Timeout,
-                Err(_) => {} // singular or numerical: cold fallback
+                Err(_) => {
+                    // Singular or numerical: cold fallback.
+                    obs::instant("warm-miss");
+                }
             }
         }
     }
@@ -512,6 +554,9 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
 
 /// One worker: pop best node, process outside the lock, merge results.
 fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) {
+    // Flushed when the worker closure ends (inside the scope), so the
+    // trace capture after `thread::scope` never misses tail events.
+    let _lane = obs::lane_guard(format!("bb-worker-{wid}"));
     let mut g = shared.lock().expect("search mutex");
     loop {
         if g.error.is_some() || g.stop.is_some() {
@@ -534,6 +579,26 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
             } else {
                 let Ranked(n) = g.heap.pop().expect("peeked node pops");
                 g.nodes += 1;
+                g.per_worker_nodes[wid] += 1;
+                // Proven lower bound: the popped node has the smallest
+                // bound left in the heap, but earlier-popped nodes may
+                // still be in flight with smaller bounds.
+                let proven = g.in_flight.iter().flatten().fold(n.bound, |a, &b| a.min(b));
+                if proven.is_finite() && proven > g.frontier + 1e-9 {
+                    g.frontier = proven;
+                    g.sample(ctx.start.elapsed(), false);
+                    if obs::enabled() {
+                        obs::instant_with(
+                            "bound-improved",
+                            vec![
+                                ("bound", proven.into()),
+                                ("incumbent", g.incumbent_obj.into()),
+                                ("node", n.id.into()),
+                                ("nodes", g.nodes.into()),
+                            ],
+                        );
+                    }
+                }
                 popped = Some(n);
             }
         }
@@ -557,8 +622,22 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
         g.in_flight[wid] = Some(node.bound);
         drop(g);
 
+        let node_span = if obs::enabled() {
+            Some(obs::span_with(
+                "node",
+                vec![
+                    ("id", node.id.into()),
+                    ("depth", node.depth.into()),
+                    ("bound", node.bound.into()),
+                ],
+            ))
+        } else {
+            None
+        };
         let mut iters = 0usize;
         let outcome = process_node(ctx, &node, &mut iters);
+        // Close before re-locking so lane time excludes lock contention.
+        drop(node_span);
 
         g = shared.lock().expect("search mutex");
         g.in_flight[wid] = None;
@@ -593,7 +672,21 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
                     g.root_status = Some(LpStatus::Optimal);
                 }
                 for (obj, x) in candidates {
-                    offer_incumbent(&mut g, obj, x);
+                    if offer_incumbent(&mut g, obj, x) {
+                        g.sample(ctx.start.elapsed(), true);
+                        if obs::enabled() {
+                            obs::instant_with(
+                                "incumbent-found",
+                                vec![
+                                    ("objective", g.incumbent_obj.into()),
+                                    ("bound", g.frontier.into()),
+                                    ("gap", (g.incumbent_obj - g.frontier).into()),
+                                    ("node", node.id.into()),
+                                    ("nodes", g.nodes.into()),
+                                ],
+                            );
+                        }
+                    }
                 }
                 let threshold = ctx.prune_threshold(g.incumbent_obj);
                 for ch in children {
@@ -650,6 +743,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
     };
 
     // Presolve (or the identity reduction when disabled).
+    let presolve_span = obs::span("presolve");
     let red = if opts.presolve {
         match presolve::presolve(model) {
             PresolveOutcome::Infeasible => {
@@ -678,6 +772,18 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         presolve::identity(model)
     };
     red.fill_stats(&mut stats);
+    drop(presolve_span);
+    if obs::enabled() {
+        obs::instant_with(
+            "presolve-reduction",
+            vec![
+                ("rows_removed", stats.presolve_rows_removed.into()),
+                ("cols_fixed", stats.presolve_cols_fixed.into()),
+                ("bounds_tightened", stats.presolve_bounds_tightened.into()),
+                ("coeffs_reduced", stats.presolve_coeffs_reduced.into()),
+            ],
+        );
+    }
     let offset = red.obj_offset;
     let rmodel = &red.model;
 
@@ -690,6 +796,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         lp: &lp,
         rmodel,
         int_cols: &int_cols,
+        start,
         deadline,
         node_limit: opts.node_limit,
         cutoff_red: opts.cutoff.map_or(f64::INFINITY, |c| c - offset),
@@ -710,11 +817,16 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         stop: None,
         root_status: None,
         error: None,
+        per_worker_nodes: vec![0; jobs],
+        frontier: f64::NEG_INFINITY,
+        timeline: Vec::new(),
     };
     if let Some(s) = &seed {
         if let Some(sr) = red.project(s) {
             let obj = rmodel.objective_value(&sr);
-            offer_incumbent(&mut state, obj, sr);
+            if offer_incumbent(&mut state, obj, sr) {
+                state.sample(start.elapsed(), true);
+            }
         }
     }
     state.heap.push(Ranked(Node {
@@ -738,14 +850,44 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         }
     });
 
-    let g = shared.into_inner().expect("search mutex");
+    let mut g = shared.into_inner().expect("search mutex");
     if let Some(e) = g.error {
         return Err(e);
     }
     stats.warm_attempts = ctx.warm_attempts.load(AtomicOrd::Relaxed);
     stats.warm_hits = ctx.warm_hits.load(AtomicOrd::Relaxed);
+    stats.nodes_per_worker = std::mem::take(&mut g.per_worker_nodes);
 
     let stop = g.stop.unwrap_or(StopReason::Exhausted);
+
+    // Best bound: remaining work (heap) on early stops; the incumbent
+    // itself once the tree is exhausted.
+    let best_bound_red = g
+        .heap
+        .iter()
+        .map(|r| r.0.bound)
+        .fold(g.incumbent_obj, f64::min);
+
+    // Close the convergence timeline with the definitive proven bound,
+    // then publish it in caller (pre-presolve) objective space.
+    if stop != StopReason::RootUnbounded && (g.incumbent.is_some() || best_bound_red.is_finite()) {
+        g.frontier = best_bound_red;
+        g.sample(start.elapsed(), true);
+    }
+    stats.convergence = g
+        .timeline
+        .iter()
+        .map(|&(t_us, obj, bound)| GapSample {
+            t_ms: t_us as f64 / 1e3,
+            objective: if obj.is_finite() { obj + offset } else { obj },
+            bound: if bound.is_finite() {
+                bound + offset
+            } else {
+                bound
+            },
+        })
+        .collect();
+
     if stop == StopReason::RootUnbounded {
         return finish(
             Status::Unbounded,
@@ -758,13 +900,6 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         );
     }
 
-    // Best bound: remaining work (heap) on early stops; the incumbent
-    // itself once the tree is exhausted.
-    let best_bound_red = g
-        .heap
-        .iter()
-        .map(|r| r.0.bound)
-        .fold(g.incumbent_obj, f64::min);
     let status = match (&g.incumbent, stop) {
         (Some(_), StopReason::Exhausted) => Status::Optimal,
         (Some(_), StopReason::TimedOut) => Status::TimedOut,

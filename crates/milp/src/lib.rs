@@ -163,10 +163,44 @@ impl SolverOptions {
     }
 }
 
+/// One point on a solve's convergence curve: where the incumbent and
+/// the proven bound stood at a moment in wall-clock time.
+///
+/// Samples are recorded whenever the incumbent improves or the search
+/// frontier's bound rises, capped in count so long solves stay bounded.
+/// Telemetry only: sample *timing* depends on the wall clock and thread
+/// interleaving even though the final status/objective/assignment are
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapSample {
+    /// Milliseconds since the solve started.
+    pub t_ms: f64,
+    /// Incumbent objective at this time (`+inf` before the first one).
+    pub objective: f64,
+    /// Proven lower bound at this time (`-inf` before the root solves).
+    pub bound: f64,
+}
+
+impl GapSample {
+    /// Relative MIP gap at this sample; `None` while either side is
+    /// still infinite.
+    pub fn gap_rel(&self) -> Option<f64> {
+        relative_gap(self.objective, self.bound)
+    }
+}
+
+/// Relative MIP gap `(objective - bound) / max(1, |objective|)` — the
+/// CPLEX-style normalization, safe around zero objectives. `None` when
+/// either side is non-finite (no incumbent yet, or nothing proven).
+pub fn relative_gap(objective: f64, bound: f64) -> Option<f64> {
+    (objective.is_finite() && bound.is_finite())
+        .then(|| (objective - bound).max(0.0) / objective.abs().max(1.0))
+}
+
 /// Performance counters of one MILP solve: where the time went and what
 /// the presolve/warm-start machinery bought. Reported by the CLI's
 /// solver-stats line and the `BENCH_milp.json` artifact.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolverStats {
     /// Worker threads used for the tree search.
     pub jobs: usize,
@@ -182,6 +216,12 @@ pub struct SolverStats {
     pub presolve_bounds_tightened: usize,
     /// Constraint coefficients strengthened by presolve.
     pub presolve_coeffs_reduced: usize,
+    /// Branch-and-bound nodes processed by each worker thread (length =
+    /// `jobs`): the work-stealing balance of the parallel search.
+    pub nodes_per_worker: Vec<usize>,
+    /// Incumbent/bound timeline of the solve (objective offset already
+    /// applied, so values are in the caller's model space).
+    pub convergence: Vec<GapSample>,
 }
 
 impl SolverStats {
@@ -226,6 +266,12 @@ impl MilpResult {
     /// The absolute optimality gap (`objective - best_bound`).
     pub fn gap(&self) -> f64 {
         self.objective - self.best_bound
+    }
+
+    /// The relative MIP gap (see [`relative_gap`]); `None` when there is
+    /// no incumbent or no finite bound.
+    pub fn gap_rel(&self) -> Option<f64> {
+        relative_gap(self.objective, self.best_bound)
     }
 }
 

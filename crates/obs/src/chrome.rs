@@ -1,0 +1,162 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [Trace Event Format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of
+//! duration (`B`/`E`), instant (`i`), counter (`C`), and metadata (`M`)
+//! records. Every pipemap lane (thread) becomes a `tid`; branch-and-
+//! bound workers name theirs `bb-worker-N`, so a parallel solve renders
+//! as one swim lane per worker.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::{ArgValue, EventKind, Trace};
+
+/// Render a trace as a self-contained Chrome trace-event JSON document.
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for e in &trace.events {
+        let mut ev = String::new();
+        match &e.kind {
+            EventKind::Begin => {
+                push_common(&mut ev, &e.name, "B", e.ts_us, e.lane);
+                push_args(&mut ev, &e.args);
+            }
+            EventKind::End => {
+                push_common(&mut ev, &e.name, "E", e.ts_us, e.lane);
+            }
+            EventKind::Instant => {
+                push_common(&mut ev, &e.name, "i", e.ts_us, e.lane);
+                ev.push_str(",\"s\":\"t\"");
+                push_args(&mut ev, &e.args);
+            }
+            EventKind::Counter(v) => {
+                push_common(&mut ev, &e.name, "C", e.ts_us, e.lane);
+                ev.push_str(",\"args\":{\"value\":");
+                push_num(&mut ev, *v);
+                ev.push('}');
+            }
+            EventKind::LaneName(name) => {
+                push_common(&mut ev, "thread_name", "M", e.ts_us, e.lane);
+                ev.push_str(",\"args\":{\"name\":\"");
+                push_escaped(&mut ev, name);
+                ev.push_str("\"}");
+            }
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n{");
+        out.push_str(&ev);
+        out.push('}');
+    }
+    if let Some(last) = trace.events.iter().map(|e| e.ts_us).max() {
+        // Surface drop-truncation in the trace itself.
+        if trace.dropped > 0 {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"name\":\"obs: {} event(s) dropped (sink full)\",\"ph\":\"i\",\
+                 \"pid\":1,\"tid\":0,\"ts\":{last},\"s\":\"g\"}}",
+                trace.dropped
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn push_common(out: &mut String, name: &str, ph: &str, ts_us: u64, lane: u32) {
+    out.push_str("\"name\":\"");
+    push_escaped(out, name);
+    out.push_str(&format!(
+        "\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{lane},\"ts\":{ts_us}"
+    ));
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        push_escaped(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::Int(n) => out.push_str(&n.to_string()),
+            ArgValue::UInt(n) => out.push_str(&n.to_string()),
+            ArgValue::Float(f) => push_num(out, *f),
+            ArgValue::Str(s) => {
+                out.push('"');
+                push_escaped(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// JSON has no NaN/Infinity literals; map them to `null`.
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instant_with, span, take, test_lock};
+
+    #[test]
+    fn export_is_valid_and_balanced() {
+        let _l = test_lock();
+        let _ = take();
+        crate::enable();
+        crate::lane_name("main");
+        {
+            let _s = span("phase");
+            instant_with(
+                "mark",
+                vec![("x", crate::ArgValue::Float(1.5)), ("s", "a\"b".into())],
+            );
+            crate::counter("gap", 0.25);
+        }
+        crate::disable();
+        let text = to_chrome_trace(&take());
+        let check = crate::validate::validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.instants, 1);
+        assert_eq!(check.counters, 1);
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        let mut s = String::new();
+        push_num(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,494 @@
+//! # pipemap-obs
+//!
+//! Zero-dependency structured tracing and metrics for the pipemap
+//! workspace: RAII span guards forming a hierarchical phase tree,
+//! monotonic timestamps, instant events, counters, and per-thread event
+//! buffers drained into a bounded global sink.
+//!
+//! The crate is built around one invariant: **telemetry is read-only**.
+//! Instrumented code never branches on recorded data, so tracing on or
+//! off cannot change any result (the solver's determinism contract in
+//! particular). The disabled path is a single relaxed atomic load per
+//! call site, cheap enough to leave the instrumentation compiled into
+//! hot loops.
+//!
+//! Two exporters consume a captured [`Trace`]:
+//!
+//! * [`chrome::to_chrome_trace`] — Chrome trace-event JSON, loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev), with one
+//!   lane per thread (branch-and-bound workers name their lanes);
+//! * [`tree::phase_tree`] — a merged phase-time tree for the CLI's
+//!   `--metrics` report.
+//!
+//! ```
+//! pipemap_obs::enable();
+//! {
+//!     let _flow = pipemap_obs::span("flow");
+//!     let _inner = pipemap_obs::span("cut-enum");
+//!     pipemap_obs::instant("incumbent");
+//! }
+//! let trace = pipemap_obs::take();
+//! assert_eq!(trace.events.iter().filter(|e| e.is_begin()).count(), 2);
+//! pipemap_obs::disable();
+//! ```
+//!
+//! # Threading model
+//!
+//! Every thread owns a lane (a Chrome-trace `tid`) and a local buffer;
+//! buffers drain into the global sink when they fill, when the thread
+//! exits, or on [`flush`]. [`take`] captures the sink contents; call it
+//! after worker threads have been joined (all pipemap uses run workers
+//! under `std::thread::scope`, which joins before the export runs).
+//! The sink is bounded by [`MAX_EVENTS`]; overflow drops events and
+//! counts them in [`Trace::dropped`] rather than growing without bound.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod json;
+pub mod tree;
+pub mod validate;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Upper bound on events held in the global sink. Beyond it, events are
+/// dropped (and counted) instead of exhausting memory on long solves.
+pub const MAX_EVENTS: usize = 1 << 20;
+/// Thread-local buffers drain into the sink at this size.
+const FLUSH_AT: usize = 1024;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+static DROPPED: AtomicUsize = AtomicUsize::new(0);
+static SINK: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+
+/// The instant all timestamps are measured from (first `enable`).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Turn event recording on (idempotent). Pins the timestamp epoch on
+/// first use.
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn event recording off. Already-buffered events stay collectable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether recording is on — one relaxed load; this is the entire cost
+/// of every instrumentation call site in disabled mode.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float (non-finite values export as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Key/value pairs attached to an event.
+pub type Args = Vec<(&'static str, ArgValue)>;
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened (Chrome `ph: "B"`).
+    Begin,
+    /// A span closed (Chrome `ph: "E"`).
+    End,
+    /// A point-in-time marker (Chrome `ph: "i"`).
+    Instant,
+    /// A sampled numeric series (Chrome `ph: "C"`).
+    Counter(f64),
+    /// Display name for this event's lane (Chrome `thread_name`
+    /// metadata).
+    LaneName(String),
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event (span/counter/marker) name.
+    pub name: Cow<'static, str>,
+    /// What happened.
+    pub kind: EventKind,
+    /// Microseconds since the recording epoch.
+    pub ts_us: u64,
+    /// Owning lane (one per thread; Chrome-trace `tid`).
+    pub lane: u32,
+    /// Attached key/value arguments.
+    pub args: Args,
+}
+
+impl Event {
+    /// `true` for span-begin events.
+    pub fn is_begin(&self) -> bool {
+        self.kind == EventKind::Begin
+    }
+
+    /// `true` for span-end events.
+    pub fn is_end(&self) -> bool {
+        self.kind == EventKind::End
+    }
+}
+
+/// A captured event stream, ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Events in sink arrival order (chronological within each lane).
+    pub events: Vec<Event>,
+    /// Events lost to the [`MAX_EVENTS`] bound.
+    pub dropped: usize,
+}
+
+impl Trace {
+    /// Wall-clock covered by the trace, in microseconds.
+    pub fn wall_us(&self) -> u64 {
+        let min = self.events.iter().map(|e| e.ts_us).min().unwrap_or(0);
+        let max = self.events.iter().map(|e| e.ts_us).max().unwrap_or(0);
+        max - min
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+struct LaneBuf {
+    lane: u32,
+    buf: Vec<Event>,
+}
+
+impl Drop for LaneBuf {
+    fn drop(&mut self) {
+        drain(&mut self.buf);
+    }
+}
+
+thread_local! {
+    static LANE: RefCell<LaneBuf> = RefCell::new(LaneBuf {
+        lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed),
+        buf: Vec::new(),
+    });
+}
+
+fn drain(buf: &mut Vec<Event>) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
+    let room = MAX_EVENTS.saturating_sub(sink.len());
+    if room >= buf.len() {
+        sink.append(buf);
+    } else {
+        DROPPED.fetch_add(buf.len() - room, Ordering::Relaxed);
+        sink.extend(buf.drain(..room));
+        buf.clear();
+    }
+}
+
+fn record(kind: EventKind, name: Cow<'static, str>, args: Args) {
+    let ts_us = now_us();
+    LANE.with(|l| {
+        let mut l = l.borrow_mut();
+        let lane = l.lane;
+        l.buf.push(Event {
+            name,
+            kind,
+            ts_us,
+            lane,
+            args,
+        });
+        if l.buf.len() >= FLUSH_AT {
+            drain(&mut l.buf);
+        }
+    });
+}
+
+/// RAII span: records `Begin` at creation and `End` on drop. Inert (and
+/// free beyond one atomic load) when recording is disabled — the
+/// enabled check happens at creation so a span never emits an `End`
+/// without its `Begin`.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing"]
+pub struct SpanGuard {
+    name: Option<Cow<'static, str>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            record(EventKind::End, name, Vec::new());
+        }
+    }
+}
+
+/// Open a span over the enclosing scope.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    span_with(name, Vec::new())
+}
+
+/// Open a span carrying key/value arguments.
+pub fn span_with(name: impl Into<Cow<'static, str>>, args: Args) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name: None };
+    }
+    let name = name.into();
+    record(EventKind::Begin, name.clone(), args);
+    SpanGuard { name: Some(name) }
+}
+
+/// Record a point-in-time marker.
+pub fn instant(name: impl Into<Cow<'static, str>>) {
+    instant_with(name, Vec::new());
+}
+
+/// Record a point-in-time marker with arguments.
+pub fn instant_with(name: impl Into<Cow<'static, str>>, args: Args) {
+    if !enabled() {
+        return;
+    }
+    record(EventKind::Instant, name.into(), args);
+}
+
+/// Sample a counter series (rendered as a value-over-time track).
+pub fn counter(name: impl Into<Cow<'static, str>>, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(EventKind::Counter(value), name.into(), Vec::new());
+}
+
+/// Name the current thread's lane in trace exports (e.g.
+/// `"bb-worker-3"`). Safe to call repeatedly; the last name wins.
+pub fn lane_name(name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    record(
+        EventKind::LaneName(name.into()),
+        Cow::Borrowed(""),
+        Vec::new(),
+    );
+}
+
+/// Worker-thread guard: names the lane on creation and [`flush`]es the
+/// thread's buffer on drop.
+///
+/// Bind it **first** inside a worker closure so it drops last, after
+/// every span the worker opened. This matters for scoped threads:
+/// `std::thread::scope` unblocks as soon as the closure returns, while
+/// thread-local destructors (the drain backstop) run afterwards — a
+/// [`take`] racing that window could miss the worker's tail events.
+/// The guard's in-closure flush closes the race.
+#[derive(Debug)]
+#[must_use = "bind the guard (`let _lane = ...`) so it flushes when the worker ends"]
+pub struct LaneGuard {
+    _priv: (),
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        flush();
+    }
+}
+
+/// Create a [`LaneGuard`] for the current worker thread.
+pub fn lane_guard(name: impl Into<String>) -> LaneGuard {
+    lane_name(name);
+    LaneGuard { _priv: () }
+}
+
+/// Drain the current thread's buffer into the global sink.
+pub fn flush() {
+    LANE.with(|l| drain(&mut l.borrow_mut().buf));
+}
+
+/// Flush the current thread and capture everything collected so far,
+/// leaving the sink empty. Worker threads must have flushed first: bind
+/// an [`lane_guard`] (or call [`flush`]) inside each worker closure —
+/// the thread-local drain on thread exit alone races `thread::scope`
+/// join, which returns when the closure does, not when the thread dies.
+pub fn take() -> Trace {
+    flush();
+    let events = std::mem::take(&mut *SINK.lock().unwrap_or_else(|p| p.into_inner()));
+    Trace {
+        events,
+        dropped: DROPPED.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // The sink and enable flag are process-global; tests that record
+    // serialize on this lock so parallel test threads don't interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = test_lock();
+        disable();
+        let _ = take();
+        {
+            let _s = span("dead");
+            instant("dead");
+            counter("dead", 1.0);
+            lane_name("dead");
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _l = test_lock();
+        let _ = take();
+        enable();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span_with("inner", vec![("k", ArgValue::UInt(7))]);
+            }
+            instant("mark");
+        }
+        disable();
+        let t = take();
+        let begins = t.events.iter().filter(|e| e.is_begin()).count();
+        let ends = t.events.iter().filter(|e| e.is_end()).count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2);
+        // LIFO ordering: inner closes before outer.
+        let names: Vec<&str> = t.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, ["outer", "inner", "inner", "mark", "outer"]);
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn enable_mid_span_emits_no_orphan_end() {
+        let _l = test_lock();
+        disable();
+        let _ = take();
+        let s = span("orphan"); // disabled at creation: inert forever
+        enable();
+        drop(s);
+        disable();
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn worker_threads_drain_on_exit() {
+        let _l = test_lock();
+        let _ = take();
+        enable();
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                scope.spawn(move || {
+                    let _lane = lane_guard(format!("w{i}"));
+                    let _s = span("work");
+                });
+            }
+        });
+        disable();
+        let t = take();
+        let lanes: std::collections::BTreeSet<u32> = t.events.iter().map(|e| e.lane).collect();
+        assert_eq!(lanes.len(), 3, "one lane per worker");
+        assert_eq!(t.events.iter().filter(|e| e.is_begin()).count(), 3);
+        assert_eq!(
+            t.events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::LaneName(_)))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn sink_is_bounded() {
+        let _l = test_lock();
+        let _ = take();
+        enable();
+        // Pre-fill the sink to its cap, then record more.
+        {
+            let mut sink = SINK.lock().unwrap();
+            let ev = Event {
+                name: Cow::Borrowed("fill"),
+                kind: EventKind::Instant,
+                ts_us: 0,
+                lane: 0,
+                args: Vec::new(),
+            };
+            sink.resize(MAX_EVENTS, ev);
+        }
+        instant("overflow");
+        flush();
+        disable();
+        let t = take();
+        assert_eq!(t.events.len(), MAX_EVENTS);
+        assert!(t.dropped >= 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Phase-time tree: the `pipemap --metrics` report.
+//!
+//! Span begin/end events are replayed per lane and merged by name path
+//! into one tree: a node's **total** is the summed wall-clock of every
+//! span instance on that path (across all lanes), **count** is how many
+//! instances contributed. Lanes run concurrently, so sibling totals may
+//! legitimately sum past the wall clock; within one path, however,
+//! children always fit inside their parent — [`PhaseTree::check`]
+//! asserts exactly that invariant (it backs the golden trace tests).
+
+use crate::{EventKind, Trace};
+use std::collections::BTreeMap;
+
+/// One merged phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseNode {
+    /// Span name.
+    pub name: String,
+    /// Summed duration across all instances, in microseconds.
+    pub total_us: u64,
+    /// Number of span instances merged into this node.
+    pub count: usize,
+    /// Nested phases, in first-seen order.
+    pub children: Vec<PhaseNode>,
+}
+
+impl PhaseNode {
+    fn new(name: String) -> Self {
+        PhaseNode {
+            name,
+            total_us: 0,
+            count: 0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut PhaseNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(PhaseNode::new(name.to_string()));
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// Self time: total minus time attributed to children.
+    pub fn self_us(&self) -> u64 {
+        self.total_us
+            .saturating_sub(self.children.iter().map(|c| c.total_us).sum())
+    }
+}
+
+/// The merged tree plus the wall clock it is reconciled against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTree {
+    /// Top-level phases in first-seen order.
+    pub roots: Vec<PhaseNode>,
+    /// Wall-clock covered by the trace, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Build the merged phase tree of a trace.
+pub fn phase_tree(trace: &Trace) -> PhaseTree {
+    // Replay each lane's B/E stream against a per-lane path stack; all
+    // lanes accumulate into one shared root.
+    let mut root = PhaseNode::new(String::new());
+    let mut stacks: BTreeMap<u32, Vec<(String, u64)>> = BTreeMap::new();
+    let last_ts = trace.events.iter().map(|e| e.ts_us).max().unwrap_or(0);
+    for e in &trace.events {
+        match &e.kind {
+            EventKind::Begin => stacks
+                .entry(e.lane)
+                .or_default()
+                .push((e.name.to_string(), e.ts_us)),
+            EventKind::End => {
+                let stack = stacks.entry(e.lane).or_default();
+                // Tolerate a stray E (possible after sink-full drops):
+                // pop only a matching open span.
+                if stack.last().is_some_and(|(n, _)| *n == *e.name) {
+                    let (_, begin) = stack.pop().expect("non-empty");
+                    credit(&mut root, stack, &e.name, e.ts_us.saturating_sub(begin));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Spans still open (dropped E or an in-flight capture) are closed at
+    // the trace's final timestamp so their time is not lost.
+    for stack in stacks.values_mut() {
+        while let Some((name, begin)) = stack.pop() {
+            credit(&mut root, stack, &name, last_ts.saturating_sub(begin));
+        }
+    }
+    PhaseTree {
+        roots: root.children,
+        wall_us: trace.wall_us(),
+    }
+}
+
+fn credit(root: &mut PhaseNode, path: &[(String, u64)], name: &str, dur_us: u64) {
+    let mut node = root;
+    for (seg, _) in path {
+        node = node.child_mut(seg);
+    }
+    let leaf = node.child_mut(name);
+    leaf.total_us += dur_us;
+    leaf.count += 1;
+}
+
+impl PhaseTree {
+    /// Verify the tree reconciles with the wall clock: every node's
+    /// children fit inside it (small slack for timestamp rounding), and
+    /// no single-instance node exceeds the trace wall.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violating phase.
+    pub fn check(&self) -> Result<(), String> {
+        const SLACK_US: u64 = 100;
+        fn walk(n: &PhaseNode, wall_us: u64) -> Result<(), String> {
+            let kids: u64 = n.children.iter().map(|c| c.total_us).sum();
+            if kids > n.total_us + SLACK_US {
+                return Err(format!(
+                    "phase {:?}: children total {} us exceeds own total {} us",
+                    n.name, kids, n.total_us
+                ));
+            }
+            if n.count == 1 && n.total_us > wall_us + SLACK_US {
+                return Err(format!(
+                    "phase {:?}: total {} us exceeds trace wall {} us",
+                    n.name, n.total_us, wall_us
+                ));
+            }
+            n.children.iter().try_for_each(|c| walk(c, wall_us))
+        }
+        self.roots.iter().try_for_each(|r| walk(r, self.wall_us))
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let busy: u64 = self.roots.iter().map(|r| r.total_us).sum();
+        out.push_str(&format!(
+            "phase-time tree  (wall {:.3} ms, instrumented {:.3} ms{})\n",
+            self.wall_us as f64 / 1e3,
+            busy as f64 / 1e3,
+            if busy > self.wall_us {
+                "; lanes overlap"
+            } else {
+                ""
+            }
+        ));
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>7} {:>12} {:>6}\n",
+            "phase", "total", "%wall", "self", "count"
+        ));
+        fn walk(out: &mut String, n: &PhaseNode, depth: usize, wall: u64) {
+            let label = format!("{}{}", "  ".repeat(depth), n.name);
+            out.push_str(&format!(
+                "{:<44} {:>9.3} ms {:>6.1}% {:>9.3} ms {:>6}\n",
+                label,
+                n.total_us as f64 / 1e3,
+                if wall > 0 {
+                    n.total_us as f64 * 100.0 / wall as f64
+                } else {
+                    0.0
+                },
+                n.self_us() as f64 / 1e3,
+                n.count
+            ));
+            for c in &n.children {
+                walk(out, c, depth + 1, wall);
+            }
+        }
+        for r in &self.roots {
+            walk(&mut out, r, 0, self.wall_us);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, take, test_lock};
+
+    #[test]
+    fn merges_lanes_and_reconciles() {
+        let _l = test_lock();
+        let _ = take();
+        crate::enable();
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                scope.spawn(move || {
+                    let _lane = crate::lane_guard(format!("w{i}"));
+                    let _outer = span("solve");
+                    for _ in 0..3 {
+                        let _inner = span("node");
+                        std::hint::black_box(0u64);
+                    }
+                });
+            }
+        });
+        crate::disable();
+        let tree = phase_tree(&take());
+        assert_eq!(tree.roots.len(), 1);
+        let solve = &tree.roots[0];
+        assert_eq!(solve.name, "solve");
+        assert_eq!(solve.count, 2, "two lanes merged");
+        assert_eq!(solve.children.len(), 1);
+        assert_eq!(solve.children[0].count, 6);
+        tree.check().expect("children fit in parents");
+        let text = tree.render();
+        assert!(text.contains("solve"));
+        assert!(text.contains("node"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_trace_end() {
+        use crate::{Event, EventKind, Trace};
+        use std::borrow::Cow;
+        let mk = |kind, ts_us| Event {
+            name: Cow::Borrowed("p"),
+            kind,
+            ts_us,
+            lane: 0,
+            args: Vec::new(),
+        };
+        let trace = Trace {
+            events: vec![mk(EventKind::Begin, 10), mk(EventKind::Instant, 50)],
+            dropped: 0,
+        };
+        let tree = phase_tree(&trace);
+        assert_eq!(tree.roots[0].total_us, 40);
+        tree.check().expect("ok");
+    }
+}

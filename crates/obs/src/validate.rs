@@ -1,0 +1,168 @@
+//! Structural validation of Chrome trace-event JSON — the checker
+//! behind the `trace-check` binary, the CI trace-smoke job, and the
+//! golden trace-format tests.
+//!
+//! A trace passes when:
+//!
+//! * the document is valid JSON with a `traceEvents` array (or is
+//!   itself a bare array of events);
+//! * every event carries `ph`, `pid`, `tid`, and a non-negative `ts`
+//!   (metadata `M` events excepted from the `ts` requirement);
+//! * per `tid`, duration events balance: every `E` closes the `B` of
+//!   the same name in LIFO order, and no span is left open.
+
+use crate::json::{parse, Value};
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in the document.
+    pub events: usize,
+    /// Completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
+    /// Distinct lanes (`tid` values).
+    pub lanes: usize,
+    /// Deepest span nesting observed on any lane.
+    pub max_depth: usize,
+    /// Wall-clock covered by the events, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Validate a Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// Returns a message naming the first structural violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match (&doc, doc.get("traceEvents")) {
+        (_, Some(Value::Arr(evs))) => evs.as_slice(),
+        (Value::Arr(evs), _) => evs.as_slice(),
+        _ => return Err("no traceEvents array".into()),
+    };
+
+    let mut check = TraceCheck {
+        events: events.len(),
+        ..TraceCheck::default()
+    };
+    // (tid, name, ts) per event, grouped for the nesting check.
+    let mut lanes: std::collections::BTreeMap<i64, Vec<(String, String)>> =
+        std::collections::BTreeMap::new();
+    let (mut ts_min, mut ts_max) = (u64::MAX, 0u64);
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?
+            .to_string();
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as i64;
+        ev.get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?
+            .to_string();
+        if ph != "M" {
+            let ts = ev
+                .get("ts")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("event {i}: missing ts"))?;
+            if !(ts.is_finite() && ts >= 0.0) {
+                return Err(format!("event {i}: bad ts {ts}"));
+            }
+            ts_min = ts_min.min(ts as u64);
+            ts_max = ts_max.max(ts as u64);
+        }
+        match ph.as_str() {
+            "B" | "E" => lanes.entry(tid).or_default().push((ph, name)),
+            "i" => {
+                check.instants += 1;
+                lanes.entry(tid).or_default();
+            }
+            "C" => {
+                check.counters += 1;
+                lanes.entry(tid).or_default();
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+
+    check.lanes = lanes.len();
+    check.wall_us = if ts_min == u64::MAX {
+        0
+    } else {
+        ts_max - ts_min
+    };
+    for (tid, evs) in &lanes {
+        // Events arrive in per-lane chronological order (the recorder's
+        // thread-local buffers guarantee it), so a plain stack suffices.
+        let mut stack: Vec<&str> = Vec::new();
+        for (ph, name) in evs {
+            match ph.as_str() {
+                "B" => {
+                    stack.push(name);
+                    check.max_depth = check.max_depth.max(stack.len());
+                }
+                "E" => match stack.pop() {
+                    Some(open) if open == name => check.spans += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "tid {tid}: E {name:?} closes B {open:?} (misnested)"
+                        ))
+                    }
+                    None => return Err(format!("tid {tid}: E {name:?} without a B")),
+                },
+                _ => unreachable!("only B/E buffered"),
+            }
+        }
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span {open:?} never closed"));
+        }
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_balanced_trace() {
+        let t = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":0,"ts":0},
+            {"name":"b","ph":"B","pid":1,"tid":0,"ts":1},
+            {"name":"b","ph":"E","pid":1,"tid":0,"ts":2},
+            {"name":"m","ph":"i","pid":1,"tid":1,"ts":2,"s":"t"},
+            {"name":"a","ph":"E","pid":1,"tid":0,"ts":3},
+            {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"main"}}
+        ]}"#;
+        let c = validate_chrome_trace(t).expect("valid");
+        assert_eq!(c.spans, 2);
+        assert_eq!(c.instants, 1);
+        assert_eq!(c.lanes, 2);
+        assert_eq!(c.max_depth, 2);
+        assert_eq!(c.wall_us, 3);
+    }
+
+    #[test]
+    fn rejects_misnesting_and_orphans() {
+        let misnested = r#"[{"name":"a","ph":"B","pid":1,"tid":0,"ts":0},
+            {"name":"b","ph":"E","pid":1,"tid":0,"ts":1}]"#;
+        assert!(validate_chrome_trace(misnested).is_err());
+        let unclosed = r#"[{"name":"a","ph":"B","pid":1,"tid":0,"ts":0}]"#;
+        assert!(validate_chrome_trace(unclosed).is_err());
+        let orphan = r#"[{"name":"a","ph":"E","pid":1,"tid":0,"ts":0}]"#;
+        assert!(validate_chrome_trace(orphan).is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+}

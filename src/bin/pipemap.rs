@@ -11,14 +11,21 @@
 //! pipemap analyze  <file.pmir> [--json] [--dot] [--ii N] [--k N]
 //! pipemap verify   <file.pmir> [--limit SECS] [--ii N] [--k N] [--json]
 //! pipemap bench    <NAME>      [--limit SECS]         # built-in benchmark
+//! pipemap run      <NAME>                             # alias for bench
 //! ```
 //!
-//! `FLOW` is one of `hls`, `base`, `map` (default), `heur`.
+//! `FLOW` is one of `hls`, `base`, `map` (default), `heur`. Flags may
+//! appear before or after the subcommand.
 //!
 //! `--jobs N` sets the MILP branch-and-bound worker-thread count (and
-//! runs the flows of `verify`/`bench` concurrently). The solver is
-//! deterministic in `--jobs`: every thread count returns the identical
-//! status, objective, and schedule.
+//! runs the flows of `verify`/`bench` concurrently); `--jobs 0` uses all
+//! available cores. The solver is deterministic in `--jobs`: every
+//! thread count returns the identical status, objective, and schedule.
+//!
+//! `--trace FILE` writes a Chrome trace-event JSON of the run (load it
+//! in Perfetto or `chrome://tracing`; one lane per flow/solver worker);
+//! `--metrics` prints the merged phase-time tree to stderr. Both are
+//! pure observers: results are identical with tracing on or off.
 //!
 //! `lint` parses the textual IR and runs the well-formedness pass,
 //! reporting every finding with its stable `P0xxx` code and source span;
@@ -52,6 +59,8 @@ struct Args {
     codes: bool,
     dot: bool,
     jobs: usize,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -66,6 +75,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         codes: false,
         dot: false,
         jobs: 1,
+        trace: None,
+        metrics: false,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -101,12 +112,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 a.module = argv.next().ok_or("--module needs a name")?;
             }
             "--jobs" => {
-                a.jobs = argv
+                let j: usize = argv
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .filter(|&j| j >= 1)
-                    .ok_or("--jobs needs a thread count >= 1")?;
+                    .ok_or("--jobs needs a thread count (0 = all cores)")?;
+                a.jobs = if j == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    j
+                };
             }
+            "--trace" => {
+                a.trace = Some(argv.next().ok_or("--trace needs an output file")?);
+            }
+            "--metrics" => a.metrics = true,
             "--json" => a.json = true,
             "--codes" => a.codes = true,
             "--dot" => a.dot = true,
@@ -141,14 +160,38 @@ fn target(a: &Args) -> Target {
 }
 
 fn run() -> Result<(), Box<dyn Error>> {
-    let mut argv = std::env::args().skip(1);
-    let Some(cmd) = argv.next() else {
-        eprintln!("usage: pipemap <info|dot|schedule|verilog|lint|analyze|verify|bench> ...");
+    // Flags may appear anywhere; the first positional is the subcommand.
+    let mut a = parse_args(std::env::args().skip(1)).map_err(|e| -> Box<dyn Error> { e.into() })?;
+    if a.positional.is_empty() {
+        eprintln!("usage: pipemap <info|dot|schedule|verilog|lint|analyze|verify|bench|run> ...");
         return Err("missing subcommand".into());
-    };
-    let a = parse_args(argv).map_err(|e| -> Box<dyn Error> { e.into() })?;
+    }
+    let cmd = a.positional.remove(0);
 
-    match cmd.as_str() {
+    let tracing = a.trace.is_some() || a.metrics;
+    if tracing {
+        pipemap::obs::enable();
+    }
+    let result = dispatch(&cmd, &a);
+    if tracing {
+        pipemap::obs::disable();
+        let trace = pipemap::obs::take();
+        if let Some(path) = &a.trace {
+            std::fs::write(path, pipemap::obs::chrome::to_chrome_trace(&trace))?;
+            eprintln!(
+                "trace: {} event(s) -> {path} (open in Perfetto or chrome://tracing)",
+                trace.events.len()
+            );
+        }
+        if a.metrics {
+            eprint!("{}", pipemap::obs::tree::phase_tree(&trace).render());
+        }
+    }
+    result
+}
+
+fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
+    match cmd {
         "info" => {
             let path = a.positional.first().ok_or("info needs a .pmir file")?;
             let dfg = load(path)?;
@@ -168,15 +211,15 @@ fn run() -> Result<(), Box<dyn Error>> {
         "dot" => {
             let path = a.positional.first().ok_or("dot needs a .pmir file")?;
             let dfg = load(path)?;
-            let r = run_flow(&dfg, &target(&a), a.flow, &options(&a))?;
+            let r = run_flow(&dfg, &target(a), a.flow, &options(a))?;
             let sched = r.implementation.schedule.clone();
             print!("{}", to_dot(&r.dfg, Some(&|v| sched.cycle(v))));
         }
         "schedule" => {
             let path = a.positional.first().ok_or("schedule needs a .pmir file")?;
             let dfg = load(path)?;
-            let t = target(&a);
-            let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
+            let t = target(a);
+            let r = run_flow(&dfg, &t, a.flow, &options(a))?;
             print!("{}", schedule_report(&r.dfg, &t, &r.implementation));
             let ins = InputStreams::random(&r.dfg, 16, 1);
             verify_functional(&r.dfg, &t, &r.implementation, &ins, 16)?;
@@ -218,8 +261,8 @@ fn run() -> Result<(), Box<dyn Error>> {
         "verilog" => {
             let path = a.positional.first().ok_or("verilog needs a .pmir file")?;
             let dfg = load(path)?;
-            let t = target(&a);
-            let r = run_flow(&dfg, &t, a.flow, &options(&a))?;
+            let t = target(a);
+            let r = run_flow(&dfg, &t, a.flow, &options(a))?;
             print!("{}", to_verilog(&r.dfg, &t, &r.implementation, &a.module)?);
         }
         "lint" => {
@@ -266,7 +309,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                 );
                 return Ok(());
             }
-            let report = analyze_report(&dfg, &target(&a), a.ii)?;
+            let report = analyze_report(&dfg, &target(a), a.ii)?;
             if a.json {
                 println!("{}", report.render_json());
             } else {
@@ -278,8 +321,8 @@ fn run() -> Result<(), Box<dyn Error>> {
             let src = std::fs::read_to_string(path)?;
             let (mut ds, dfg) = lint_text(&src);
             if let Some(dfg) = dfg.filter(|_| !ds.has_errors()) {
-                let t = target(&a);
-                let opts = options(&a);
+                let t = target(a);
+                let opts = options(a);
                 // `run_all_flows` runs the three flows concurrently when
                 // --jobs > 1; results keep Flow::ALL order either way.
                 let results = pipemap::core::run_all_flows(&dfg, &t, &opts)?;
@@ -309,7 +352,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                 return Err(format!("{} error(s)", ds.error_count()).into());
             }
         }
-        "bench" => {
+        "bench" | "run" => {
             let name = a.positional.first().ok_or("bench needs a benchmark name")?;
             let bench = pipemap::bench_suite::by_name(name)
                 .ok_or("unknown benchmark (CLZ, XORR, GFMUL, CORDIC, MT, AES, RS, DR, GSM)")?;
@@ -319,7 +362,7 @@ fn run() -> Result<(), Box<dyn Error>> {
             );
             for flow in Flow::EXTENDED {
                 let started = std::time::Instant::now();
-                let r = run_flow(&bench.dfg, &bench.target, flow, &options(&a))?;
+                let r = run_flow(&bench.dfg, &bench.target, flow, &options(a))?;
                 let wall = started.elapsed();
                 let (nodes, hit) = r.milp.as_ref().map_or_else(
                     || ("-".to_string(), "-".to_string()),

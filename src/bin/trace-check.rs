@@ -1,0 +1,50 @@
+//! `trace-check` — structural validator for the Chrome trace-event JSON
+//! files `pipemap --trace` writes. Backs the CI trace-smoke job.
+//!
+//! ```text
+//! trace-check <trace.json> [more.json ...]
+//! ```
+//!
+//! For each file: parses the JSON, requires a `traceEvents` array whose
+//! events all carry `ph`/`pid`/`tid`/`name` (and `ts` for non-metadata
+//! events), and checks every `E` closes the matching `B` of the same
+//! lane in LIFO order. Exits non-zero on the first invalid file.
+
+use std::process::ExitCode;
+
+use pipemap::obs::validate::validate_chrome_trace;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-check <trace.json> [more.json ...]");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(c) => println!(
+                "{path}: ok — {} event(s): {} span(s), {} instant(s), {} counter(s) \
+                 on {} lane(s); max depth {}, wall {:.3} ms",
+                c.events,
+                c.spans,
+                c.instants,
+                c.counters,
+                c.lanes,
+                c.max_depth,
+                c.wall_us as f64 / 1e3
+            ),
+            Err(e) => {
+                eprintln!("trace-check: {path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -62,4 +62,5 @@ pub use pipemap_cuts as cuts;
 pub use pipemap_ir as ir;
 pub use pipemap_milp as milp;
 pub use pipemap_netlist as netlist;
+pub use pipemap_obs as obs;
 pub use pipemap_verify as verify;

@@ -1,0 +1,105 @@
+//! Telemetry is read-only: tracing on or off, serial or `--jobs 4`,
+//! the mapping-aware MILP flow must return the identical status,
+//! objective, and schedule/cover. This pins the observability layer to
+//! the solver's determinism contract — instrumentation may observe the
+//! search but never steer it.
+//!
+//! The obs recorder is process-global, so the whole sweep serializes on
+//! one lock and drains the sink around every traced run.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pipemap::core::{run_flow, Flow, FlowOptions, FlowResult};
+use pipemap::ir::{random_dfg, Dfg, RandomDfgConfig, Target};
+use pipemap::milp::Status;
+use pipemap::obs;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn opts(jobs: usize) -> FlowOptions {
+    FlowOptions {
+        max_cuts: 2,
+        max_cone: 6,
+        analyze: false,
+        time_limit: Duration::from_secs(15),
+        jobs,
+        ..FlowOptions::default()
+    }
+}
+
+fn run(dfg: &Dfg, target: &Target, jobs: usize, traced: bool, label: &str) -> FlowResult {
+    if traced {
+        let _ = obs::take();
+        obs::enable();
+    }
+    let r = run_flow(dfg, target, Flow::MilpMap, &opts(jobs))
+        .unwrap_or_else(|e| panic!("{label}: jobs={jobs} traced={traced}: {e}"));
+    if traced {
+        obs::disable();
+        let trace = obs::take();
+        assert!(
+            !trace.events.is_empty(),
+            "{label}: traced run recorded nothing"
+        );
+    }
+    r
+}
+
+/// Run the four tracing/jobs combinations and assert bit-identical
+/// results. Returns false when the solve is wall-clock-bound (no
+/// optimality proof), in which case identity is not required.
+fn assert_equivalent(dfg: &Dfg, target: &Target, label: &str) -> bool {
+    let base = run(dfg, target, 1, false, label);
+    let bs = base.milp.as_ref().expect("milp stats");
+    if bs.status != Status::Optimal {
+        return false;
+    }
+    for (jobs, traced) in [(1, true), (4, false), (4, true)] {
+        let r = run(dfg, target, jobs, traced, label);
+        let s = r.milp.as_ref().expect("milp stats");
+        assert_eq!(
+            bs.status, s.status,
+            "{label}: status diverged at jobs={jobs} traced={traced}"
+        );
+        assert!(
+            (bs.objective - s.objective).abs() < 1e-6,
+            "{label}: objective {} vs {} at jobs={jobs} traced={traced}",
+            bs.objective,
+            s.objective
+        );
+        assert_eq!(
+            base.implementation, r.implementation,
+            "{label}: schedule/cover diverged at jobs={jobs} traced={traced}"
+        );
+    }
+    true
+}
+
+#[test]
+fn random_graphs_tracing_and_jobs_invariant() {
+    let _l = OBS_LOCK.lock().expect("obs lock");
+    let cfg = RandomDfgConfig::default();
+    let target = Target::default();
+    let mut proven = 0;
+    for seed in 0..6u64 {
+        let dfg = random_dfg(seed, &cfg);
+        if assert_equivalent(&dfg, &target, &format!("seed {seed}")) {
+            proven += 1;
+        }
+    }
+    assert!(proven >= 4, "only {proven}/6 graphs solved to optimality");
+}
+
+#[test]
+fn benchmarks_tracing_and_jobs_invariant() {
+    let _l = OBS_LOCK.lock().expect("obs lock");
+    let mut proven = 0;
+    for name in ["CLZ", "GSM"] {
+        let b = pipemap::bench_suite::by_name(name).expect("benchmark");
+        if assert_equivalent(&b.dfg, &b.target, name) {
+            proven += 1;
+        }
+    }
+    assert_eq!(proven, 2, "both benchmarks must prove optimality");
+}

@@ -1,0 +1,89 @@
+//! Golden trace-format tests: a traced flow run must export Chrome
+//! trace-event JSON that is structurally valid (parses, every `E`
+//! closes its lane's matching `B` in LIFO order) and whose merged
+//! phase-time tree reconciles with the wall clock.
+//!
+//! The obs recorder is process-global, so every test in this binary
+//! serializes on one lock and drains the sink before starting.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pipemap::core::{run_flow, Flow, FlowOptions};
+use pipemap::obs;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn opts(jobs: usize) -> FlowOptions {
+    FlowOptions {
+        max_cuts: 2,
+        max_cone: 6,
+        analyze: false,
+        time_limit: Duration::from_secs(20),
+        jobs,
+        ..FlowOptions::default()
+    }
+}
+
+#[test]
+fn traced_flow_exports_valid_chrome_json() {
+    let _l = OBS_LOCK.lock().expect("obs lock");
+    let _ = obs::take();
+
+    // GSM's trimmed model proves optimality in well under a second, so
+    // the trace stays small enough to re-parse with the validator.
+    let b = pipemap::bench_suite::by_name("GSM").expect("GSM benchmark");
+    obs::enable();
+    let r = run_flow(&b.dfg, &b.target, Flow::MilpMap, &opts(2)).expect("flow");
+    obs::disable();
+    let trace = obs::take();
+    assert!(r.milp.is_some());
+    assert!(!trace.events.is_empty(), "traced run recorded no events");
+    assert_eq!(trace.dropped, 0, "small run must not overflow the sink");
+
+    let json = obs::chrome::to_chrome_trace(&trace);
+    let check = obs::validate::validate_chrome_trace(&json).expect("valid Chrome trace");
+    assert_eq!(check.events, trace.events.len());
+    assert!(check.spans > 0, "no completed spans");
+    assert!(
+        check.lanes >= 3,
+        "expected the flow lane plus two solver worker lanes, got {}",
+        check.lanes
+    );
+    assert!(check.max_depth >= 2, "phases must nest under the flow span");
+    assert!(
+        json.contains("bb-worker-0") && json.contains("bb-worker-1"),
+        "solver worker lanes must be named"
+    );
+    for phase in ["flow:milp-map", "cut-enum", "milp-solve", "presolve"] {
+        assert!(json.contains(phase), "trace lost phase {phase:?}");
+    }
+
+    // Phase totals reconcile: children fit in parents, nothing exceeds
+    // the trace wall.
+    let tree = obs::tree::phase_tree(&trace);
+    tree.check().expect("phase tree reconciles with wall clock");
+    assert!(tree.wall_us as f64 / 1e3 <= 25_000.0, "wall within budget");
+}
+
+#[test]
+fn disabled_recorder_emits_nothing() {
+    let _l = OBS_LOCK.lock().expect("obs lock");
+    let _ = obs::take();
+
+    let b = pipemap::bench_suite::by_name("XORR").expect("XORR benchmark");
+    assert!(!obs::enabled());
+    // No optimality needed here — a short budget keeps the test fast.
+    let o = FlowOptions {
+        time_limit: Duration::from_secs(2),
+        ..opts(1)
+    };
+    let r = run_flow(&b.dfg, &b.target, Flow::MilpMap, &o).expect("flow");
+    assert!(r.milp.is_some());
+    let trace = obs::take();
+    assert!(
+        trace.events.is_empty() && trace.dropped == 0,
+        "disabled run leaked {} event(s)",
+        trace.events.len()
+    );
+}
