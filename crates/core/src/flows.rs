@@ -100,6 +100,14 @@ pub struct FlowOptions {
     /// Warm-start child LPs with the dual simplex (on by default; off
     /// reproduces the cold-solver baseline for benchmarking).
     pub warm_start: bool,
+    /// Probe binary variables before the search, harvesting certified
+    /// fixings and implications (on by default).
+    pub probing: bool,
+    /// Separate certified clique/cover cuts at the root (on by default).
+    pub cuts: bool,
+    /// Detect symmetric binary columns and apply orbital fixing during
+    /// the search (on by default).
+    pub symmetry: bool,
 }
 
 impl Default for FlowOptions {
@@ -118,6 +126,9 @@ impl Default for FlowOptions {
             jobs: 1,
             presolve: true,
             warm_start: true,
+            probing: true,
+            cuts: true,
+            symmetry: true,
         }
     }
 }
@@ -417,6 +428,9 @@ fn run_milp(
         jobs: opts.jobs.max(1),
         presolve: opts.presolve,
         warm_start: opts.warm_start,
+        probing: opts.probing,
+        cuts: opts.cuts,
+        symmetry: opts.symmetry,
         ..SolverOptions::default()
     };
     let start = Instant::now();

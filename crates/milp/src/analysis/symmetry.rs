@@ -1,0 +1,225 @@
+//! Symmetry detection: hash-based partition refinement over the
+//! constraint matrix proposes interchangeable binary columns; every
+//! candidate pair must then survive explicit witness construction — a
+//! column transposition plus a row permutation that maps the model onto
+//! itself exactly — before it enters an [`Orbit`].
+//!
+//! Regular DFGs (GFMUL, RS) produce isomorphic cones whose cut-selection
+//! binaries are literally interchangeable; orbital fixing in branch and
+//! bound exploits exactly that.
+
+use super::{Orbit, Transposition};
+use crate::model::{Model, VarKind};
+use std::collections::BTreeMap;
+
+/// Refinement rounds before the partition is taken as converged.
+const ROUNDS: usize = 8;
+/// Candidate class size cap (larger classes are truncated).
+const MAX_CLASS: usize = 64;
+/// Total verified transpositions kept.
+const MAX_WITNESSES: usize = 512;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix(h ^ splitmix(v))
+}
+
+/// Canonical content of a row under an optional `i ↔ j` relabeling.
+type RowSig = (u8, u64, Vec<(usize, u64)>);
+
+fn row_sig(model: &Model, r: usize, swap: Option<(usize, usize)>) -> RowSig {
+    let row = &model.rows[r];
+    let mut coeffs: Vec<(usize, u64)> = row
+        .coeffs
+        .iter()
+        .map(|&(v, a)| {
+            let mut j = v.index();
+            if let Some((x, y)) = swap {
+                if j == x {
+                    j = y;
+                } else if j == y {
+                    j = x;
+                }
+            }
+            (j, a.to_bits())
+        })
+        .collect();
+    coeffs.sort_unstable();
+    (row.sense as u8, row.rhs.to_bits(), coeffs)
+}
+
+/// Construct the row permutation making the `i ↔ j` column swap an
+/// automorphism, or `None` when no such permutation exists. Only rows
+/// touching `i` or `j` can move; the returned map lists exactly those.
+pub(super) fn verify_transposition(
+    model: &Model,
+    inc: &super::probe::Incidence,
+    i: usize,
+    j: usize,
+) -> Option<Transposition> {
+    let (ci, cj) = (&model.cols[i], &model.cols[j]);
+    if ci.obj != cj.obj || ci.lb != cj.lb || ci.ub != cj.ub || ci.kind != cj.kind {
+        return None;
+    }
+    let mut touched: Vec<usize> = inc.col_rows[i]
+        .iter()
+        .chain(inc.col_rows[j].iter())
+        .map(|&r| r as usize)
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+
+    let mut buckets: BTreeMap<RowSig, Vec<usize>> = BTreeMap::new();
+    for &r in &touched {
+        buckets.entry(row_sig(model, r, None)).or_default().push(r);
+    }
+    let mut used: BTreeMap<usize, bool> = touched.iter().map(|&r| (r, false)).collect();
+    let mut row_map = Vec::with_capacity(touched.len());
+    for &r in &touched {
+        let sw = row_sig(model, r, Some((i, j)));
+        let list = buckets.get(&sw)?;
+        let s = *list.iter().find(|&&s| !used[&s])?;
+        used.insert(s, true);
+        row_map.push((r, s));
+    }
+    Some(Transposition {
+        cols: (i, j),
+        row_map,
+    })
+}
+
+/// Detect orbits of interchangeable binary columns.
+pub(super) fn detect_orbits(
+    model: &Model,
+    inc: &super::probe::Incidence,
+    binary: &[bool],
+) -> Vec<Orbit> {
+    let n = model.num_vars();
+    let m = model.num_rows();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Initial colors from column/row attributes.
+    let mut csig: Vec<u64> = model
+        .cols
+        .iter()
+        .map(|c| {
+            let mut h = 0x5151_7111u64;
+            h = mix(h, c.obj.to_bits());
+            h = mix(h, c.lb.to_bits());
+            h = mix(h, c.ub.to_bits());
+            mix(h, matches!(c.kind, VarKind::Integer) as u64)
+        })
+        .collect();
+    let mut rsig: Vec<u64> = model
+        .rows
+        .iter()
+        .map(|r| mix(r.sense as u8 as u64 + 1, r.rhs.to_bits()))
+        .collect();
+
+    // Column → (row, coeff) incidence for the refinement.
+    let mut col_terms: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for (ri, row) in model.rows.iter().enumerate() {
+        for &(v, a) in &row.coeffs {
+            col_terms[v.index()].push((ri, a.to_bits()));
+        }
+    }
+
+    let mut distinct = 0usize;
+    for _ in 0..ROUNDS {
+        let mut new_rsig = Vec::with_capacity(m);
+        for (ri, row) in model.rows.iter().enumerate() {
+            let mut parts: Vec<u64> = row
+                .coeffs
+                .iter()
+                .map(|&(v, a)| mix(a.to_bits(), csig[v.index()]))
+                .collect();
+            parts.sort_unstable();
+            let mut h = rsig[ri];
+            for p in parts {
+                h = mix(h, p);
+            }
+            new_rsig.push(h);
+        }
+        rsig = new_rsig;
+        let mut new_csig = Vec::with_capacity(n);
+        for (ci, terms) in col_terms.iter().enumerate() {
+            let mut parts: Vec<u64> = terms
+                .iter()
+                .map(|&(ri, bits)| mix(bits, rsig[ri]))
+                .collect();
+            parts.sort_unstable();
+            let mut h = csig[ci];
+            for p in parts {
+                h = mix(h, p);
+            }
+            new_csig.push(h);
+        }
+        csig = new_csig;
+        let mut sorted = csig.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() == distinct {
+            break;
+        }
+        distinct = sorted.len();
+    }
+
+    // Candidate classes: free binaries sharing a final color.
+    let mut classes: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for j in 0..n {
+        if binary[j] {
+            classes.entry(csig[j]).or_default().push(j);
+        }
+    }
+
+    // Verify consecutive pairs; connected runs become orbits.
+    let mut orbits = Vec::new();
+    let mut witnesses_total = 0usize;
+    for members in classes.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let members = &members[..members.len().min(MAX_CLASS)];
+        let mut run: Vec<usize> = vec![members[0]];
+        let mut run_witnesses: Vec<Transposition> = Vec::new();
+        for w in members.windows(2) {
+            let witness = if witnesses_total < MAX_WITNESSES {
+                verify_transposition(model, inc, w[0], w[1])
+            } else {
+                None
+            };
+            match witness {
+                Some(t) => {
+                    witnesses_total += 1;
+                    run.push(w[1]);
+                    run_witnesses.push(t);
+                }
+                None => {
+                    if run.len() >= 2 {
+                        orbits.push(Orbit {
+                            members: std::mem::take(&mut run),
+                            witnesses: std::mem::take(&mut run_witnesses),
+                        });
+                    }
+                    run = vec![w[1]];
+                    run_witnesses = Vec::new();
+                }
+            }
+        }
+        if run.len() >= 2 {
+            orbits.push(Orbit {
+                members: run,
+                witnesses: run_witnesses,
+            });
+        }
+    }
+    orbits
+}

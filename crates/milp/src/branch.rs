@@ -23,7 +23,10 @@
 //!   nodes that can produce an optimal assignment is explored in every
 //!   run regardless of incumbent timing;
 //! - among objective-tied candidates the lexicographically smallest
-//!   assignment wins, a total order independent of arrival order.
+//!   assignment wins — integer columns first, as rounded integers, so
+//!   the order is a pure function of the discrete solution and immune to
+//!   continuous-column LP noise — a total order independent of arrival
+//!   order.
 //!
 //! Callers that set `absolute_gap` above the tie tolerance opt out of tie
 //! exploration and get classic gap pruning (objective values are still
@@ -39,6 +42,7 @@ use std::time::{Duration, Instant};
 
 use pipemap_obs as obs;
 
+use crate::analysis::{self, StructuralAnalysis};
 use crate::model::{Model, VarKind};
 use crate::presolve::{self, PresolveOutcome};
 use crate::simplex::{LpAbort, LpProblem, LpSolution, LpStatus, WarmBasis};
@@ -221,8 +225,21 @@ impl SearchState {
     }
 }
 
-/// Strict lexicographic order on assignments (total: uses `total_cmp`).
-fn lex_less(a: &[f64], b: &[f64]) -> bool {
+/// Strict lexicographic order on assignments. Integer columns are
+/// compared first, as rounded integers, so the order only depends on the
+/// discrete solution — never on LP noise in the continuous columns or on
+/// `-0.0` artifacts of the simplex, which would otherwise let two runs
+/// of the same search rank a pair of tied optima differently. Continuous
+/// columns break exact integer ties via `total_cmp` to keep the order
+/// total.
+fn lex_less(int_cols: &[usize], a: &[f64], b: &[f64]) -> bool {
+    for &j in int_cols {
+        match (a[j].round() as i64).cmp(&(b[j].round() as i64)) {
+            Ordering::Less => return true,
+            Ordering::Greater => return false,
+            Ordering::Equal => {}
+        }
+    }
     for (av, bv) in a.iter().zip(b) {
         match av.total_cmp(bv) {
             Ordering::Less => return true,
@@ -239,7 +256,7 @@ fn lex_less(a: &[f64], b: &[f64]) -> bool {
 /// Returns `true` when the incumbent *objective* improved (lex-only tie
 /// swaps return `false`) so callers can emit telemetry without changing
 /// any search decision.
-fn offer_incumbent(state: &mut SearchState, obj: f64, x: Vec<f64>) -> bool {
+fn offer_incumbent(int_cols: &[usize], state: &mut SearchState, obj: f64, x: Vec<f64>) -> bool {
     match &mut state.incumbent {
         None => {
             state.incumbent_obj = obj;
@@ -251,7 +268,7 @@ fn offer_incumbent(state: &mut SearchState, obj: f64, x: Vec<f64>) -> bool {
                 state.incumbent_obj = obj;
                 *cur = x;
                 true
-            } else if obj <= state.incumbent_obj + TIE_EPS && lex_less(&x, cur) {
+            } else if obj <= state.incumbent_obj + TIE_EPS && lex_less(int_cols, &x, cur) {
                 state.incumbent_obj = state.incumbent_obj.min(obj);
                 *cur = x;
                 false
@@ -262,11 +279,83 @@ fn offer_incumbent(state: &mut SearchState, obj: f64, x: Vec<f64>) -> bool {
     }
 }
 
+/// Per-column conflict-graph implications and the symmetry-orbit index,
+/// used to strengthen child nodes. Built once after the root analysis;
+/// workers read it immutably, so node processing stays a pure function
+/// of the node and the determinism contract holds.
+struct NodeStructure {
+    /// Free binary columns of the (strengthened) reduced model.
+    binary: Vec<bool>,
+    /// Implications applied when a column is branched down (fixed to 0):
+    /// `(target, forced value)` pairs.
+    down: Vec<Vec<(usize, f64)>>,
+    /// Implications applied when a column is branched up (fixed to 1).
+    up: Vec<Vec<(usize, f64)>>,
+    /// Column → orbit id.
+    orbit_of: Vec<Option<u32>>,
+    /// Orbit id → member columns.
+    orbits: Vec<Vec<usize>>,
+}
+
+impl NodeStructure {
+    fn build(rmodel: &Model, sa: &StructuralAnalysis) -> Self {
+        let n = rmodel.num_vars();
+        let is_free = |j: usize| {
+            let (lb, ub) = rmodel.bounds(crate::VarId(j as u32));
+            ub - lb > 1e-9
+        };
+        let binary: Vec<bool> = (0..n)
+            .map(|j| {
+                let (lb, ub) = rmodel.bounds(crate::VarId(j as u32));
+                rmodel.var_kind(crate::VarId(j as u32)) == VarKind::Integer
+                    && lb == 0.0
+                    && ub == 1.0
+            })
+            .collect();
+        let mut down = vec![Vec::new(); n];
+        let mut up = vec![Vec::new(); n];
+        for imp in &sa.implications {
+            // Implications on root-fixed columns are already in the LP
+            // bounds; skip them so children don't carry dead weight.
+            if !is_free(imp.target) || !is_free(imp.col) {
+                continue;
+            }
+            let side = if imp.value { &mut up } else { &mut down };
+            side[imp.col].push((imp.target, imp.target_value));
+        }
+        // Orbits touching a root-fixed column are dropped: those fixings
+        // live in the LP bounds, invisible to the `node.bounds` no-touch
+        // check that orbital fixing's soundness argument relies on.
+        let mut orbit_of = vec![None; n];
+        let mut orbits = Vec::new();
+        for o in &sa.orbits {
+            if o.members.iter().any(|&m| !is_free(m)) {
+                continue;
+            }
+            let id = orbits.len() as u32;
+            for &m in &o.members {
+                orbit_of[m] = Some(id);
+            }
+            orbits.push(o.members.clone());
+        }
+        NodeStructure {
+            binary,
+            down,
+            up,
+            orbit_of,
+            orbits,
+        }
+    }
+}
+
 /// Everything a worker needs that is immutable during the search.
 struct Ctx<'a> {
     lp: &'a LpProblem,
     rmodel: &'a Model,
     int_cols: &'a [usize],
+    /// Conflict-graph/orbit data for child strengthening (`None` when
+    /// the structural analysis is disabled).
+    ns: Option<&'a NodeStructure>,
     /// When the solve started (timestamps the convergence timeline).
     start: Instant,
     deadline: Option<Instant>,
@@ -278,8 +367,117 @@ struct Ctx<'a> {
     tie_explore: bool,
     gap: f64,
     warm_enabled: bool,
+    /// Objective grid for bound lifting (`0.0` = no grid established).
+    obj_delta: f64,
     warm_attempts: &'a AtomicUsize,
     warm_hits: &'a AtomicUsize,
+    implication_fixings: &'a AtomicUsize,
+    orbital_fixings: &'a AtomicUsize,
+}
+
+/// Finest grid `δ > 0` such that the *minimal* objective value over any
+/// fixed integer assignment is an integer multiple of `δ` (in reduced
+/// space), or `0.0` when no such grid can be established.
+///
+/// Integer columns with objective weight contribute `coeff · Z` directly.
+/// A continuous column with objective weight is only admitted when its
+/// minimum over the continuous relaxation is provably integral for every
+/// integer assignment: its bounds are integral (or infinite), it appears
+/// in rows only with coefficient `±1`, and every such row otherwise
+/// holds integer-kind columns with integral coefficients and rhs — then
+/// its feasible interval has integral endpoints and the minimization
+/// drives it to one of them (the paper's register-length variables have
+/// exactly this difference-constraint shape). Coefficients are matched
+/// against the 1/64 grid, which covers the `α/β/γ` weightings in use.
+fn objective_granularity(model: &Model) -> f64 {
+    const SCALE: f64 = 64.0;
+    let on_grid = |v: f64| -> Option<i64> {
+        let s = v * SCALE;
+        let r = s.round();
+        ((s - r).abs() <= 1e-9 && r.abs() < 1e15).then_some(r as i64)
+    };
+    let integral = |v: f64| v.is_infinite() || (v - v.round()).abs() <= 1e-9;
+    let mut weighted_cont = vec![false; model.num_vars()];
+    let mut g: u64 = 0;
+    for (j, c) in model.cols.iter().enumerate() {
+        if c.obj == 0.0 {
+            continue;
+        }
+        let Some(scaled) = on_grid(c.obj.abs()) else {
+            return 0.0;
+        };
+        if scaled == 0 {
+            return 0.0;
+        }
+        if c.kind == VarKind::Integer {
+            g = gcd(g, scaled.unsigned_abs());
+        } else {
+            if !integral(c.lb) || !integral(c.ub) {
+                return 0.0;
+            }
+            weighted_cont[j] = true;
+            g = gcd(g, scaled.unsigned_abs());
+        }
+    }
+    if g == 0 {
+        return 0.0;
+    }
+    for row in &model.rows {
+        if !row.coeffs.iter().any(|&(v, _)| weighted_cont[v.index()]) {
+            continue;
+        }
+        if (row.rhs - row.rhs.round()).abs() > 1e-9 {
+            return 0.0;
+        }
+        for &(v, a) in &row.coeffs {
+            let j = v.index();
+            if weighted_cont[j] {
+                if a.abs() != 1.0 {
+                    return 0.0;
+                }
+            } else if model.cols[j].kind != VarKind::Integer || (a - a.round()).abs() > 1e-9 {
+                return 0.0;
+            }
+        }
+        // At most one objective-weighted continuous column per row, so
+        // each one's feasible interval is framed by integers alone.
+        if row
+            .coeffs
+            .iter()
+            .filter(|&&(v, _)| weighted_cont[v.index()])
+            .count()
+            > 1
+        {
+            return 0.0;
+        }
+    }
+    g as f64 / SCALE
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Round an LP bound up to the next objective-grid point. Sound for
+/// pruning and bound reporting because the subtree's best attainable
+/// objective lies on the grid (see [`objective_granularity`]); the small
+/// slack keeps bounds that already sit on the grid (modulo LP noise)
+/// where they are.
+fn lift_bound(b: f64, delta: f64) -> f64 {
+    if delta <= 0.0 || !b.is_finite() {
+        return b;
+    }
+    let lifted = delta * ((b - 1e-6) / delta).ceil();
+    if lifted > b {
+        lifted
+    } else {
+        b
+    }
 }
 
 impl Ctx<'_> {
@@ -314,8 +512,12 @@ enum Processed {
 /// LP-guided dive: repeatedly fix near-integral variables (or the single
 /// most decided fractional one) and re-solve until the relaxation is
 /// integral or infeasible. Returns an integral assignment below `cutoff`.
-/// Deterministic: depends only on the starting relaxation and the static
-/// cutoff, never on the evolving incumbent.
+/// Each round only tightens bounds, so the previous round's optimal basis
+/// stays dual-feasible and the re-solve is a warm dual-simplex
+/// re-optimization; a cold solve is the fallback, not the norm (on large
+/// models with many root cuts a cold solve per round would eat the whole
+/// node budget). Deterministic: depends only on the starting relaxation
+/// and the static cutoff, never on the evolving incumbent.
 #[allow(clippy::too_many_arguments)]
 fn dive(
     lp: &LpProblem,
@@ -323,6 +525,7 @@ fn dive(
     lb0: &[f64],
     ub0: &[f64],
     start: &LpSolution,
+    warm: Option<&WarmBasis>,
     deadline: Option<Instant>,
     cutoff: f64,
     lp_iters: &mut usize,
@@ -330,6 +533,7 @@ fn dive(
     let mut lb = lb0.to_vec();
     let mut ub = ub0.to_vec();
     let mut sol = start.clone();
+    let mut basis: Option<WarmBasis> = warm.cloned();
     for _round in 0..30 {
         if sol.obj >= cutoff - 1e-9 {
             return None; // the dive can't end below the cutoff
@@ -371,16 +575,27 @@ fn dive(
             lb[j] = r;
             ub[j] = r;
         }
-        match lp.solve_with_bounds(&lb, &ub, deadline) {
-            Ok(next) => {
-                *lp_iters += next.iters;
-                if next.status != LpStatus::Optimal {
-                    return None;
-                }
-                sol = next;
-            }
-            Err(_) => return None,
+        let warm_solved = match basis.as_ref() {
+            Some(wb) => match lp.solve_dual_warm(&lb, &ub, wb, deadline) {
+                Ok(r) => Some(r),
+                Err(LpAbort::Timeout) => return None,
+                Err(_) => None, // stale or singular: cold fallback below
+            },
+            None => None,
+        };
+        let (next, snap) = match warm_solved {
+            Some(r) => r,
+            None => match lp.solve_primal(&lb, &ub, deadline) {
+                Ok(r) => r,
+                Err(_) => return None,
+            },
+        };
+        *lp_iters += next.iters;
+        if next.status != LpStatus::Optimal {
+            return None;
         }
+        basis = snap;
+        sol = next;
     }
     None
 }
@@ -473,12 +688,18 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
 
     // Deterministic periodic dive (always at the root).
     if node.depth == 0 || node.id.is_multiple_of(DIVE_PERIOD) {
+        let _dive_span = if obs::enabled() {
+            Some(obs::span("dive"))
+        } else {
+            None
+        };
         if let Some((obj, mut x)) = dive(
             ctx.lp,
             ctx.int_cols,
             &lb,
             &ub,
             &sol,
+            snap.as_ref(),
             ctx.deadline,
             ctx.cutoff_red,
             lp_iters,
@@ -523,14 +744,56 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
         None
     };
     let mut down_bounds = node.bounds.clone();
-    down_bounds.push((j, f64::NEG_INFINITY, v.floor()));
     let mut up_bounds = node.bounds.clone();
+    // Conflict-graph and orbital strengthening for binary branches. Both
+    // are pure functions of the node's own contents, so the determinism
+    // contract survives: every thread count builds identical children.
+    if let Some(ns) = ctx.ns {
+        if ns.binary[j] && v > 0.0 && v < 1.0 {
+            // Orbital fixing: when no orbit member carries a path bound
+            // yet, the down child may fix the whole orbit to 0 — any
+            // solution with another member at 1 has a symmetric image
+            // (swap the members) in the up child, so nothing is lost.
+            if let Some(oid) = ns.orbit_of[j] {
+                let untouched = node
+                    .bounds
+                    .iter()
+                    .all(|&(c, _, _)| ns.orbit_of[c] != Some(oid));
+                if untouched {
+                    let mut fixed = 0usize;
+                    for &m in &ns.orbits[oid as usize] {
+                        if m != j {
+                            down_bounds.push((m, f64::NEG_INFINITY, 0.0));
+                            fixed += 1;
+                        }
+                    }
+                    ctx.orbital_fixings.fetch_add(fixed, AtomicOrd::Relaxed);
+                }
+            }
+            // Probing implications: branching down means x_j = 0, so the
+            // `x_j = 0 ⇒ …` consequents hold in the whole subtree (and
+            // symmetrically for the up child).
+            let propagated = ns.down[j].len() + ns.up[j].len();
+            for &(t, tv) in &ns.down[j] {
+                down_bounds.push((t, tv, tv));
+            }
+            for &(t, tv) in &ns.up[j] {
+                up_bounds.push((t, tv, tv));
+            }
+            if propagated > 0 {
+                ctx.implication_fixings
+                    .fetch_add(propagated, AtomicOrd::Relaxed);
+            }
+        }
+    }
+    down_bounds.push((j, f64::NEG_INFINITY, v.floor()));
     up_bounds.push((j, v.ceil(), f64::INFINITY));
+    let child_bound = lift_bound(sol.obj, ctx.obj_delta);
     let children = vec![
         Node {
             id: child_id(node.id, false),
             bounds: down_bounds,
-            bound: sol.obj,
+            bound: child_bound,
             depth: node.depth + 1,
             warm: warm_arc.clone(),
             pcosts: pcosts.clone(),
@@ -539,7 +802,7 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
         Node {
             id: child_id(node.id, true),
             bounds: up_bounds,
-            bound: sol.obj,
+            bound: child_bound,
             depth: node.depth + 1,
             warm: warm_arc,
             pcosts,
@@ -672,7 +935,7 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
                     g.root_status = Some(LpStatus::Optimal);
                 }
                 for (obj, x) in candidates {
-                    if offer_incumbent(&mut g, obj, x) {
+                    if offer_incumbent(ctx.int_cols, &mut g, obj, x) {
                         g.sample(ctx.start.elapsed(), true);
                         if obs::enabled() {
                             obs::instant_with(
@@ -785,7 +1048,94 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         );
     }
     let offset = red.obj_offset;
-    let rmodel = &red.model;
+
+    // Structural analysis (probing / conflict graph / symmetry) and the
+    // root cutting-plane loop, both on the reduced model. Everything here
+    // runs before the workers spawn, so it is identical for every `jobs`
+    // value and the determinism contract is untouched.
+    let run_analysis = opts.probing || opts.cuts || opts.symmetry;
+    let mut root_lp_iters = 0usize;
+    let (rmodel_owned, sa) = if run_analysis {
+        let analysis_span = obs::span("structural-analysis");
+        let sa = analysis::analyze(
+            &red.model,
+            &analysis::AnalysisConfig {
+                probing: opts.probing,
+                cliques: opts.cuts,
+                symmetry: opts.symmetry,
+                ..analysis::AnalysisConfig::default()
+            },
+        );
+        drop(analysis_span);
+        stats.probe_vars = sa.probed;
+        stats.probe_fixings = sa.fixings.len();
+        stats.probe_implications = sa.implications.len();
+        stats.clique_table = sa.cliques.len();
+        stats.symmetry_orbits = sa.orbits.len();
+        if sa.infeasible.is_some() {
+            // Probing preserves the MIP-feasible set; same seed logic as
+            // the presolve infeasibility path above.
+            return match seed {
+                Some(s) => {
+                    let obj = model.objective_value(&s);
+                    finish(Status::Feasible, obj, f64::NEG_INFINITY, s, 0, 0, stats)
+                }
+                None => finish(
+                    Status::Infeasible,
+                    f64::INFINITY,
+                    f64::INFINITY,
+                    Vec::new(),
+                    0,
+                    0,
+                    stats,
+                ),
+            };
+        }
+        let cut_cfg = analysis::CutLoopConfig {
+            max_rounds: if opts.cuts {
+                analysis::CutLoopConfig::default().max_rounds
+            } else {
+                0
+            },
+            ..analysis::CutLoopConfig::default()
+        };
+        // The cut loop re-solves the root LP every round; on big models
+        // that can eat the whole budget before a single node is explored
+        // (and leave no bound at all). Cap it at a fraction of the time
+        // limit so the tree always gets the lion's share.
+        let cut_deadline = match (deadline, start.checked_add(opts.time_limit / 8)) {
+            (Some(d), Some(s)) => Some(d.min(s)),
+            (d, s) => s.or(d),
+        };
+        let out = analysis::root_cut_loop(&red.model, &sa, &cut_cfg, cut_deadline);
+        stats.clique_cuts = out.stats.clique_cuts;
+        stats.cover_cuts = out.stats.cover_cuts;
+        stats.implication_cuts = out.stats.implication_cuts;
+        stats.cut_rounds = out.stats.rounds;
+        stats.cuts_aged_out = out.stats.aged_out;
+        root_lp_iters = out.stats.lp_iterations;
+        if obs::enabled() {
+            obs::instant_with(
+                "analysis-stats",
+                vec![
+                    ("probed", sa.probed.into()),
+                    ("fixings", sa.fixings.len().into()),
+                    ("implications", sa.implications.len().into()),
+                    ("cliques", sa.cliques.len().into()),
+                    ("orbits", sa.orbits.len().into()),
+                    ("clique_cuts", out.stats.clique_cuts.into()),
+                    ("cover_cuts", out.stats.cover_cuts.into()),
+                    ("implication_cuts", out.stats.implication_cuts.into()),
+                    ("cut_rounds", out.stats.rounds.into()),
+                ],
+            );
+        }
+        (out.model, Some(sa))
+    } else {
+        (red.model.clone(), None)
+    };
+    let rmodel = &rmodel_owned;
+    let ns = sa.as_ref().map(|sa| NodeStructure::build(rmodel, sa));
 
     let lp = LpProblem::from_model(rmodel);
     let int_cols: Vec<usize> = (0..rmodel.num_vars())
@@ -796,6 +1146,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         lp: &lp,
         rmodel,
         int_cols: &int_cols,
+        ns: ns.as_ref(),
         start,
         deadline,
         node_limit: opts.node_limit,
@@ -803,8 +1154,11 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         tie_explore: opts.absolute_gap <= 1e-6,
         gap: opts.absolute_gap,
         warm_enabled: opts.warm_start,
+        obj_delta: objective_granularity(rmodel),
         warm_attempts: &AtomicUsize::new(0),
         warm_hits: &AtomicUsize::new(0),
+        implication_fixings: &AtomicUsize::new(0),
+        orbital_fixings: &AtomicUsize::new(0),
     };
 
     let mut state = SearchState {
@@ -813,7 +1167,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         incumbent: None,
         incumbent_obj: f64::INFINITY,
         nodes: 0,
-        lp_iters: 0,
+        lp_iters: root_lp_iters,
         stop: None,
         root_status: None,
         error: None,
@@ -824,7 +1178,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
     if let Some(s) = &seed {
         if let Some(sr) = red.project(s) {
             let obj = rmodel.objective_value(&sr);
-            if offer_incumbent(&mut state, obj, sr) {
+            if offer_incumbent(&int_cols, &mut state, obj, sr) {
                 state.sample(start.elapsed(), true);
             }
         }
@@ -856,6 +1210,8 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
     }
     stats.warm_attempts = ctx.warm_attempts.load(AtomicOrd::Relaxed);
     stats.warm_hits = ctx.warm_hits.load(AtomicOrd::Relaxed);
+    stats.implication_fixings = ctx.implication_fixings.load(AtomicOrd::Relaxed);
+    stats.orbital_fixings = ctx.orbital_fixings.load(AtomicOrd::Relaxed);
     stats.nodes_per_worker = std::mem::take(&mut g.per_worker_nodes);
 
     let stop = g.stop.unwrap_or(StopReason::Exhausted);

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 mod branch;
 mod lu;
 mod model;
@@ -136,6 +137,18 @@ pub struct SolverOptions {
     /// Re-optimize child LPs with the dual simplex warm-started from the
     /// parent's optimal basis instead of solving from scratch.
     pub warm_start: bool,
+    /// Probe binary variables before the root solve: tentatively fix each
+    /// to 0/1, propagate bounds, and harvest certified fixings and
+    /// implications (see [`analysis`]).
+    pub probing: bool,
+    /// Run the root cutting-plane loop: separate certified clique and
+    /// cover cuts against the root LP relaxation, with activity-based
+    /// aging of the cut pool.
+    pub cuts: bool,
+    /// Detect interchangeable binary columns (hash-based partition
+    /// refinement plus explicit automorphism witnesses) and apply orbital
+    /// fixing during branch and bound.
+    pub symmetry: bool,
 }
 
 impl Default for SolverOptions {
@@ -149,6 +162,9 @@ impl Default for SolverOptions {
             jobs: 1,
             presolve: true,
             warm_start: true,
+            probing: true,
+            cuts: true,
+            symmetry: true,
         }
     }
 }
@@ -216,6 +232,33 @@ pub struct SolverStats {
     pub presolve_bounds_tightened: usize,
     /// Constraint coefficients strengthened by presolve.
     pub presolve_coeffs_reduced: usize,
+    /// Binary variables probed by the structural-analysis pass.
+    pub probe_vars: usize,
+    /// Variables fixed by probing (certified infeasibility of the other
+    /// polarity).
+    pub probe_fixings: usize,
+    /// Certified implications harvested by probing.
+    pub probe_implications: usize,
+    /// Cliques in the conflict-graph clique table.
+    pub clique_table: usize,
+    /// Clique cuts active in the root cut pool at the end of separation.
+    pub clique_cuts: usize,
+    /// Cover cuts active in the root cut pool at the end of separation.
+    pub cover_cuts: usize,
+    /// Implication cuts (expanded probing implications) active in the
+    /// root cut pool at the end of separation.
+    pub implication_cuts: usize,
+    /// Root cutting-plane rounds executed.
+    pub cut_rounds: usize,
+    /// Cuts dropped from the pool by activity-based aging.
+    pub cuts_aged_out: usize,
+    /// Verified symmetry orbits over binary columns.
+    pub symmetry_orbits: usize,
+    /// Variables fixed at tree nodes by orbital fixing.
+    pub orbital_fixings: usize,
+    /// Variables fixed at tree nodes by conflict-graph implication
+    /// propagation.
+    pub implication_fixings: usize,
     /// Branch-and-bound nodes processed by each worker thread (length =
     /// `jobs`): the work-stealing balance of the parallel search.
     pub nodes_per_worker: Vec<usize>,

@@ -18,6 +18,13 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The identifier of column `index`. Validity against a particular
+    /// model is the caller's concern (accessors panic out of range).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
 }
 
 impl fmt::Display for VarId {
@@ -35,6 +42,13 @@ impl RowId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The identifier of row `index`. Validity against a particular
+    /// model is the caller's concern (accessors panic out of range).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        RowId(index as u32)
     }
 }
 
@@ -347,6 +361,21 @@ impl Model {
             rhs: rhs - expr.constant_part(),
         });
         id
+    }
+
+    /// Coefficients of a row: merged, zero-free, sorted by variable.
+    pub fn row_coeffs(&self, r: RowId) -> &[(VarId, f64)] {
+        &self.rows[r.index()].coeffs
+    }
+
+    /// Sense of a row.
+    pub fn row_sense(&self, r: RowId) -> Sense {
+        self.rows[r.index()].sense
+    }
+
+    /// Right-hand side of a row (expression constants already folded in).
+    pub fn row_rhs(&self, r: RowId) -> f64 {
+        self.rows[r.index()].rhs
     }
 
     /// Bounds of a variable.

@@ -33,7 +33,8 @@ impl fmt::Display for Severity {
 /// * `P01xx` — schedule & cover legality,
 /// * `P02xx` — structural netlist (Verilog) lint,
 /// * `P03xx` — differential flow checks,
-/// * `P04xx` — dataflow-analysis and simplification audit.
+/// * `P04xx` — dataflow-analysis and simplification audit,
+/// * `P05xx` — MILP structural-analysis certificate audit.
 ///
 /// Codes are append-only: a released code never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,6 +123,22 @@ pub enum Code {
     ConstantOutputBit,
     /// A primary input bit can never influence any output.
     DeadInputBit,
+
+    // ---- P05xx: MILP structural-analysis certificate audit ----
+    /// A certified fixing's implication chain does not replay to the
+    /// recorded contradiction.
+    FixingUnjustified,
+    /// A certified implication's chain does not pin its target.
+    ImplicationUnsound,
+    /// A clique edge's witness does not prove the pair conflicting.
+    CliqueEdgeUnjustified,
+    /// A cover cut's members do not exceed the witness row's capacity.
+    CoverNotViolated,
+    /// A symmetry orbit's transposition witness is not an automorphism.
+    SymmetryWitnessInvalid,
+    /// An implication cut does not match its implication's linear
+    /// expansion (or the implication itself is unsound).
+    ImplicationCutMismatch,
 }
 
 impl Code {
@@ -165,6 +182,12 @@ impl Code {
         Code::SimplifyDiverged,
         Code::ConstantOutputBit,
         Code::DeadInputBit,
+        Code::FixingUnjustified,
+        Code::ImplicationUnsound,
+        Code::CliqueEdgeUnjustified,
+        Code::CoverNotViolated,
+        Code::SymmetryWitnessInvalid,
+        Code::ImplicationCutMismatch,
     ];
 
     /// The stable `P0xxx` identifier.
@@ -207,6 +230,12 @@ impl Code {
             Code::SimplifyDiverged => "P0403",
             Code::ConstantOutputBit => "P0404",
             Code::DeadInputBit => "P0405",
+            Code::FixingUnjustified => "P0501",
+            Code::ImplicationUnsound => "P0502",
+            Code::CliqueEdgeUnjustified => "P0503",
+            Code::CoverNotViolated => "P0504",
+            Code::SymmetryWitnessInvalid => "P0505",
+            Code::ImplicationCutMismatch => "P0506",
         }
     }
 
@@ -263,6 +292,12 @@ impl Code {
             Code::SimplifyDiverged => "simplified graph diverges from the original",
             Code::ConstantOutputBit => "primary output bit proven constant",
             Code::DeadInputBit => "primary input bit cannot influence any output",
+            Code::FixingUnjustified => "fixing chain fails independent replay",
+            Code::ImplicationUnsound => "implication chain does not pin its target",
+            Code::CliqueEdgeUnjustified => "clique edge witness proves no conflict",
+            Code::CoverNotViolated => "cover members do not exceed row capacity",
+            Code::SymmetryWitnessInvalid => "transposition witness is not an automorphism",
+            Code::ImplicationCutMismatch => "implication cut does not match its certificate",
         }
     }
 }

@@ -11,7 +11,7 @@
 //! collection of stable-coded findings (`P0xxx`) with severities, optional
 //! source spans into the textual `.pmir` format, and human/JSON renderers.
 //!
-//! Five passes:
+//! Six passes:
 //!
 //! * [`lint_dfg`] / [`lint_text`] — IR well-formedness (`P00xx`): a total
 //!   superset of [`Dfg::validate`](pipemap_ir::Dfg::validate) plus dead
@@ -27,7 +27,12 @@
 //! * [`check_analysis`] / [`check_simplification`] — dataflow-analysis
 //!   audit (`P04xx`): every `pipemap-analyze` fact confronted with seeded
 //!   simulation, every proof-carrying rewrite re-derived independently,
-//!   and rewritten graphs replayed against their originals.
+//!   and rewritten graphs replayed against their originals,
+//! * [`check_milp_analysis`] / [`check_certified_cuts`] — MILP
+//!   structural-analysis audit (`P05xx`): every probing fixing and
+//!   implication chain replayed from pristine bounds, every clique edge
+//!   and cover cut re-checked against its witness row, and every symmetry
+//!   orbit's transposition witnesses re-applied to the full model.
 //!
 //! ```
 //! use pipemap_verify::{lint_text, Code};
@@ -46,6 +51,7 @@ mod analyze_pass;
 mod diag;
 mod diff_pass;
 mod ir_pass;
+mod milp_pass;
 mod netlist_pass;
 mod sched_pass;
 
@@ -53,5 +59,6 @@ pub use analyze_pass::{check_analysis, check_graph_equivalence, check_simplifica
 pub use diag::{Code, Diagnostic, Diagnostics, Severity};
 pub use diff_pass::{check_flows, check_flows_with_graphs, objective, FlowCheckOptions};
 pub use ir_pass::{lint_dfg, lint_text};
+pub use milp_pass::{check_certified_cuts, check_milp_analysis};
 pub use netlist_pass::lint_verilog;
 pub use sched_pass::check_implementation;

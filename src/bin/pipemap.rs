@@ -22,6 +22,11 @@
 //! available cores. The solver is deterministic in `--jobs`: every
 //! thread count returns the identical status, objective, and schedule.
 //!
+//! `--probing on|off`, `--cuts on|off`, and `--symmetry on|off` toggle
+//! the solver's structural analysis (all on by default): probing-based
+//! fixings/implications, root clique/cover cut separation, and orbital
+//! fixing from verified column symmetries.
+//!
 //! `--trace FILE` writes a Chrome trace-event JSON of the run (load it
 //! in Perfetto or `chrome://tracing`; one lane per flow/solver worker);
 //! `--metrics` prints the merged phase-time tree to stderr. Both are
@@ -61,6 +66,17 @@ struct Args {
     jobs: usize,
     trace: Option<String>,
     metrics: bool,
+    probing: bool,
+    cuts: bool,
+    symmetry: bool,
+}
+
+fn parse_switch(flag: &str, v: Option<String>) -> Result<bool, String> {
+    match v.as_deref() {
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        _ => Err(format!("{flag} needs `on` or `off`")),
+    }
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -77,6 +93,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         jobs: 1,
         trace: None,
         metrics: false,
+        probing: true,
+        cuts: true,
+        symmetry: true,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -125,6 +144,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--trace" => {
                 a.trace = Some(argv.next().ok_or("--trace needs an output file")?);
             }
+            "--probing" => a.probing = parse_switch("--probing", argv.next())?,
+            "--cuts" => a.cuts = parse_switch("--cuts", argv.next())?,
+            "--symmetry" => a.symmetry = parse_switch("--symmetry", argv.next())?,
             "--metrics" => a.metrics = true,
             "--json" => a.json = true,
             "--codes" => a.codes = true,
@@ -148,6 +170,9 @@ fn options(a: &Args) -> FlowOptions {
         ii: a.ii,
         time_limit: Duration::from_secs(a.limit),
         jobs: a.jobs,
+        probing: a.probing,
+        cuts: a.cuts,
+        symmetry: a.symmetry,
         ..FlowOptions::default()
     }
 }
@@ -256,6 +281,31 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
                     s.solver.presolve_bounds_tightened,
                     s.solver.presolve_coeffs_reduced
                 );
+                println!(
+                    "        analysis: {} probed -> {} fixing(s), {} implication(s) \
+                     | {} clique(s) -> {} clique + {} cover + {} implication cut(s) in {} round(s), {} aged out \
+                     | {} orbit(s) -> {} orbital + {} implied fixing(s) in tree",
+                    s.solver.probe_vars,
+                    s.solver.probe_fixings,
+                    s.solver.probe_implications,
+                    s.solver.clique_table,
+                    s.solver.clique_cuts,
+                    s.solver.cover_cuts,
+                    s.solver.implication_cuts,
+                    s.solver.cut_rounds,
+                    s.solver.cuts_aged_out,
+                    s.solver.symmetry_orbits,
+                    s.solver.orbital_fixings,
+                    s.solver.implication_fixings
+                );
+                if s.status == pipemap::milp::Status::TimedOut {
+                    let gap = pipemap::milp::relative_gap(s.objective, s.best_bound)
+                        .map_or("-".to_string(), |g| format!("{:.2}%", g * 100.0));
+                    println!(
+                        "        timed out: incumbent {:.4} | bound {:.4} | relative gap {gap}",
+                        s.objective, s.best_bound
+                    );
+                }
             }
         }
         "verilog" => {
