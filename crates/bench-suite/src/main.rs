@@ -19,7 +19,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pipemap_bench_suite::{all, Benchmark};
-use pipemap_core::{run_flow, Flow, FlowOptions, FlowResult, MilpStats};
+use pipemap_core::{milp_map_model_size_raw, run_flow, Flow, FlowOptions, FlowResult, MilpStats};
 use pipemap_milp::Status;
 
 struct Args {
@@ -239,6 +239,18 @@ fn main() {
         overhead_check(&benches, budget);
     }
 
+    // Model-size audit: build (without solving) each benchmark's
+    // MILP-map model over the raw K-feasible cut pool — the enumeration
+    // the priority-cut analysis starts from, with no pruning of any
+    // kind — so the report can state how much smaller the certified
+    // pruning makes the model a solver actually sees. Indexed by suite
+    // order.
+    let size_opts = FlowOptions::default();
+    let unpruned: Vec<Option<(usize, usize, usize)>> = benches
+        .iter()
+        .map(|b| milp_map_model_size_raw(&b.dfg, &b.target, &size_opts).ok())
+        .collect();
+
     // Phase 1: the serial cold baseline — one thread, no presolve, no
     // warm starts, benchmarks strictly one after another.
     let cold_opts = FlowOptions {
@@ -249,6 +261,11 @@ fn main() {
         probing: false,
         cuts: false,
         symmetry: false,
+        // Both passes solve the *same* certified-pruned model: the
+        // cold/optimized delta then measures solver features alone, and
+        // `objectives_match` compares like against like. The size audit
+        // above holds the raw-pool yardstick.
+        priority_cuts: true,
         ..FlowOptions::default()
     };
     let cold_start = Instant::now();
@@ -274,6 +291,7 @@ fn main() {
         jobs: 1,
         presolve: true,
         warm_start: true,
+        priority_cuts: true,
         ..FlowOptions::default()
     };
     let workers = args
@@ -294,7 +312,7 @@ fn main() {
     // objectives must be bit-identical, and a divergence fails the run.
     // A pass that hit its time budget returns an incumbent, not the
     // optimum, so those rows are recorded but not compared.
-    let mut rows: Vec<(Option<&Measured>, &Measured)> = Vec::new();
+    let mut rows: Vec<(usize, Option<&Measured>, &Measured)> = Vec::new();
     let mut mismatches = Vec::new();
     let mut errors = Vec::new();
     for (i, o) in optimized.iter().enumerate() {
@@ -322,7 +340,7 @@ fn main() {
                 ));
             }
         }
-        rows.push((c, o));
+        rows.push((i, c, o));
     }
 
     let speedup = cold_total.as_secs_f64() / opt_total.as_secs_f64().max(1e-9);
@@ -331,7 +349,7 @@ fn main() {
     // a *lower bound* on the true speedup whenever the cold pass timed
     // out (its real solve time is unknown but larger).
     let (mut comp_cold, mut comp_opt, mut comp_n) = (0.0f64, 0.0f64, 0usize);
-    for (c, o) in &rows {
+    for (_, c, o) in &rows {
         if let Some(c) = c {
             if o.milp.status == Status::Optimal {
                 comp_cold += c.wall.as_secs_f64();
@@ -340,7 +358,9 @@ fn main() {
             }
         }
     }
-    let comp_speedup = (comp_n > 0).then(|| comp_cold / comp_opt.max(1e-9));
+    // No benchmark completed -> the ratio is 0/0 noise, not a bound;
+    // the report says `null` rather than a meaningless number.
+    let comp_speedup = (comp_n > 0 && comp_opt > 0.0).then(|| comp_cold / comp_opt);
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
@@ -367,8 +387,14 @@ fn main() {
         mismatches.is_empty()
     ));
     j.push_str("  \"benchmarks\": [\n");
-    for (i, (c, o)) in rows.iter().enumerate() {
+    for (i, (bi, c, o)) in rows.iter().enumerate() {
         let s = &o.milp.solver;
+        // Unpruned model sizes come from the no-solve audit pass; a
+        // benchmark whose audit build failed records `null` for them.
+        let (uv, uc, ucuts) = unpruned[*bi].map_or_else(
+            || ("null".to_string(), "null".to_string(), "null".to_string()),
+            |(v, r, t)| (v.to_string(), r.to_string(), t.to_string()),
+        );
         // No warm starts attempted -> the rate is undefined, not 0.
         let hit = s
             .warm_hit_rate()
@@ -425,6 +451,9 @@ fn main() {
             "    {{\"name\": \"{}\", \"objective\": {}, \"best_bound\": {}, \
              \"mip_gap_rel\": {}, \"status\": \"{}\",\n      {}\
              \"optimized\": {{\"wall_ms\": {:.3}, \"nodes\": {}, \"lp_iterations\": {}, \
+             \"milp_vars\": {}, \"milp_constraints\": {}, \
+             \"cuts_enumerated\": {}, \"cuts_pruned\": {}, \
+             \"milp_vars_unpruned\": {}, \"milp_constraints_unpruned\": {}, \"cuts_unpruned\": {}, \
              \"warm_attempts\": {}, \"warm_hits\": {}, \"warm_hit_rate\": {}, \
              \"presolve_rows_removed\": {}, \"presolve_cols_fixed\": {}, \
              \"presolve_bounds_tightened\": {}, \"presolve_coeffs_reduced\": {}, \
@@ -442,6 +471,13 @@ fn main() {
             ms(o.wall),
             o.milp.nodes,
             o.milp.lp_iterations,
+            o.milp.variables,
+            o.milp.constraints,
+            o.milp.cuts_enumerated,
+            o.milp.cuts_pruned,
+            uv,
+            uc,
+            ucuts,
             s.warm_attempts,
             s.warm_hits,
             hit,
@@ -480,7 +516,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    for (c, o) in &rows {
+    for (bi, c, o) in &rows {
         let s = &o.milp.solver;
         let cold_part = match c {
             Some(c) => format!(
@@ -491,8 +527,10 @@ fn main() {
             ),
             None => String::new(),
         };
+        let raw_vars = unpruned[*bi].map_or("?".to_string(), |(v, _, _)| v.to_string());
         eprintln!(
-            "[bench] {:>8}: {}optimized {:>9.1} ms ({} nodes, {}, warm {}/{}, {} hit)",
+            "[bench] {:>8}: {}optimized {:>9.1} ms ({} nodes, {}, warm {}/{}, {} hit, \
+             {} vars of {} raw, {} cut(s) pruned)",
             o.name,
             cold_part,
             ms(o.wall),
@@ -501,7 +539,10 @@ fn main() {
             s.warm_hits,
             s.warm_attempts,
             s.warm_hit_rate()
-                .map_or("n/a".to_string(), |h| format!("{:.0}%", h * 100.0))
+                .map_or("n/a".to_string(), |h| format!("{:.0}%", h * 100.0)),
+            o.milp.variables,
+            raw_vars,
+            o.milp.cuts_pruned,
         );
     }
     if args.skip_cold {

@@ -144,11 +144,37 @@ pub(crate) fn asap_optimistic(dfg: &Dfg, target: &Target, db: &CutDb) -> Vec<u32
     start
 }
 
+/// Which nodes *can* be absorbed into a consumer's LUT under `db`: a
+/// node is absorbable iff it appears strictly inside some enumerated
+/// cut's cone. The MILP's cover constraints only let a node escape root
+/// duty through such a cut, so a node absent from every cone is a root
+/// in **every** feasible cover and must pay its LUT delay — the ALAP
+/// bound may charge it without excluding any model-feasible schedule.
+/// Pruned cut databases (priority cuts) make this strictly sharper.
+pub(crate) fn absorbable_nodes(dfg: &Dfg, db: &CutDb) -> Vec<bool> {
+    let mut absorbable = vec![false; dfg.len()];
+    for v in dfg.node_ids() {
+        if !dfg.node(v).op.is_lut_mappable() {
+            continue;
+        }
+        for cut in db.cuts(v).cuts() {
+            for n in pipemap_cuts::cone_nodes(dfg, v, cut) {
+                if n != v {
+                    absorbable[n.index()] = true;
+                }
+            }
+        }
+    }
+    absorbable
+}
+
 /// Optimistic ALAP start cycles for a latency bound of `m` cycles
 /// (start cycles in `0..m`): downstream LUT logic is assumed absorbable
-/// (zero delay); black boxes pay their real latency. Loop-carried edges
-/// relaxed. Nodes later than the bound are clamped to `m - 1`.
-pub(crate) fn alap_optimistic(dfg: &Dfg, target: &Target, m: u32) -> Vec<u32> {
+/// (zero delay) where the cut database offers a cone containing it —
+/// forced roots pay their local delay; black boxes pay their real
+/// latency. Loop-carried edges relaxed. Nodes later than the bound are
+/// clamped to `m - 1`.
+pub(crate) fn alap_optimistic(dfg: &Dfg, target: &Target, m: u32, absorbable: &[bool]) -> Vec<u32> {
     let order = dfg.topo_order().expect("validated graph");
     let consumers = dfg.consumers();
     // down[v] = (extra cycles needed at/after v's start, ns needed within
@@ -157,7 +183,7 @@ pub(crate) fn alap_optimistic(dfg: &Dfg, target: &Target, m: u32) -> Vec<u32> {
     for &v in order.iter().rev() {
         let node = dfg.node(v);
         let lat = target.op_latency(&node.op, node.width);
-        let local = if node.op.is_lut_mappable() {
+        let local = if node.op.is_lut_mappable() && absorbable[v.index()] {
             0.0 // optimistically absorbed
         } else {
             local_delay(target, &node.op, node.width)
@@ -261,7 +287,8 @@ mod tests {
         let mut t = Target::default();
         t.delays.mul = 15.0; // latency 1
         let m = 4;
-        let alap = alap_optimistic(&g, &t, m);
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
+        let alap = alap_optimistic(&g, &t, m, &absorbable_nodes(&g, &db));
         // Output needs p done; p needs 1 extra cycle; n feeds p.
         assert_eq!(alap[o.index()], 3);
         assert!(alap[p.index()] <= 2);
@@ -280,7 +307,7 @@ mod tests {
         let t = Target::default();
         let db = CutDb::enumerate(&g, &CutConfig::for_target(&t));
         let asap = asap_optimistic(&g, &t, &db);
-        let alap = alap_optimistic(&g, &t, 2);
+        let alap = alap_optimistic(&g, &t, 2, &absorbable_nodes(&g, &db));
         for v in g.node_ids() {
             assert!(
                 asap[v.index()] <= alap[v.index()],

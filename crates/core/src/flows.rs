@@ -5,7 +5,9 @@
 use std::time::{Duration, Instant};
 
 use pipemap_analyze::Analysis;
-use pipemap_cuts::{Cut, CutConfig, CutDb};
+use pipemap_cuts::{
+    priority_cuts, Cut, CutConfig, CutDb, PruneConfig, PruneStats as CutPruneStats,
+};
 use pipemap_ir::{Dfg, Target};
 use pipemap_milp::{SolverOptions, SolverStats, Status};
 use pipemap_netlist::{Cover, Implementation, Qor};
@@ -77,6 +79,23 @@ pub struct FlowOptions {
     pub max_cuts: usize,
     /// Largest cone size during enumeration.
     pub max_cone: u32,
+    /// Run the certified priority-cut analysis before the mapping-aware
+    /// MILP (opt-in via `--priority-cuts`): enumerate a raw cut pool,
+    /// prune dominated and provably-dead cuts with machine-checkable
+    /// certificates, rank the survivors by area/edge flow, and keep at
+    /// most [`FlowOptions::max_cuts_per_root`] cuts per node. Certified
+    /// drops never move the optimum; the ranked truncation is a
+    /// heuristic and can trade mapping quality for a much smaller MILP,
+    /// which is why it is off by default.
+    pub priority_cuts: bool,
+    /// Cuts kept per root by the priority ranking (unit cut included).
+    /// The effective cap is `min(max_cuts, max_cuts_per_root)`.
+    pub max_cuts_per_root: usize,
+    /// Let the plain enumerator (used when [`FlowOptions::priority_cuts`]
+    /// is off) drop subset-dominated cuts as it merges (on by default).
+    /// Turning it off feeds the raw K-feasible pool to the model — the
+    /// unpruned comparator the priority-cut sweep tests solve against.
+    pub filter_dominated: bool,
     /// MILP wall-clock budget (paper: 60 min; scaled down here).
     pub time_limit: Duration,
     /// Extra latency slack on top of the baseline depth for the MILP's
@@ -119,6 +138,9 @@ impl Default for FlowOptions {
             gamma: 0.0,
             max_cuts: 8,
             max_cone: 24,
+            priority_cuts: false,
+            max_cuts_per_root: 4,
+            filter_dominated: true,
             time_limit: Duration::from_secs(60),
             extra_latency: 0,
             seed_with_baseline: true,
@@ -139,7 +161,16 @@ impl FlowOptions {
             k: target.k,
             max_cuts: self.max_cuts,
             max_cone: self.max_cone,
-            live_bits: None,
+            filter_dominated: self.filter_dominated,
+            ..CutConfig::default()
+        }
+    }
+
+    fn prune_config(&self, live_bits: Option<Vec<u64>>) -> PruneConfig {
+        PruneConfig {
+            max_cuts_per_root: self.max_cuts_per_root.min(self.max_cuts).max(1),
+            raw_cuts: self.max_cuts.saturating_mul(2).clamp(8, 32),
+            live_bits,
         }
     }
 }
@@ -165,6 +196,12 @@ pub struct MilpStats {
     pub constraints: usize,
     /// Total enumerated cuts (drives model size; Table 2 discussion).
     pub total_cuts: usize,
+    /// Raw cuts enumerated before the certified priority-cut pruning
+    /// (equal to `total_cuts` when the analysis did not run).
+    pub cuts_enumerated: usize,
+    /// Cuts removed by the priority-cut analysis (certified dominance
+    /// and liveness drops plus heuristic rank-cap truncation).
+    pub cuts_pruned: usize,
     /// Presolve/warm-start/parallelism counters from the solver.
     pub solver: SolverStats,
 }
@@ -236,10 +273,20 @@ pub fn run_flow(
         (dfg.clone(), None, None)
     };
     // The downstream mapper of the baseline flow always sees real cuts.
+    // The mapping-aware MILP flow routes enumeration through the
+    // certified priority-cut analysis instead: the raw pool is pruned
+    // with dominance/liveness certificates and ranked down to
+    // `max_cuts_per_root`, so the model it builds is strictly smaller.
     let mut map_cfg = opts.cut_config(target);
-    map_cfg.live_bits = live;
-    let db_map = {
+    let mut prune: Option<CutPruneStats> = None;
+    let db_map = if opts.priority_cuts && flow == Flow::MilpMap {
         let _s = obs::span("cut-enum");
+        let out = priority_cuts(&work, &map_cfg, &opts.prune_config(live));
+        prune = Some(out.stats);
+        out.db
+    } else {
+        let _s = obs::span("cut-enum");
+        map_cfg.live_bits = live;
         CutDb::enumerate(&work, &map_cfg)
     };
     if let Some(p) = pre.as_mut() {
@@ -289,9 +336,13 @@ pub fn run_flow(
                 let _s = obs::span("cut-enum");
                 CutDb::enumerate(&work, &CutConfig::trivial_only(target))
             };
-            run_milp(&work, target, flow, opts, &db, &db_map, &baseline, pre)
+            run_milp(
+                &work, target, flow, opts, &db, &db_map, &baseline, pre, None,
+            )
         }
-        Flow::MilpMap => run_milp(&work, target, flow, opts, &db_map, &db_map, &baseline, pre),
+        Flow::MilpMap => run_milp(
+            &work, target, flow, opts, &db_map, &db_map, &baseline, pre, prune,
+        ),
     }
 }
 
@@ -373,6 +424,7 @@ fn run_milp(
     db_map: &CutDb,
     baseline: &BaselineResult,
     pre: Option<PrePassStats>,
+    prune: Option<CutPruneStats>,
 ) -> Result<FlowResult, CoreError> {
     let ii = baseline.ii;
     let m = baseline.implementation.schedule.depth() + opts.extra_latency;
@@ -531,9 +583,98 @@ fn run_milp(
             variables: f.model.num_vars(),
             constraints: f.model.num_rows(),
             total_cuts: db.total_cuts(),
+            cuts_enumerated: prune.map_or_else(|| db.total_cuts(), |p| p.cuts_enumerated),
+            cuts_pruned: prune.map_or(0, |p| p.cuts_pruned()),
             solver,
         }),
     })
+}
+
+/// Size of the mapping-aware MILP exactly as [`run_flow`] would build it
+/// for [`Flow::MilpMap`] under `opts`, without solving: `(variables,
+/// constraints, total_cuts)`. Pair with [`milp_map_model_size_raw`] to
+/// report how much the certified priority-cut analysis shrinks the
+/// model a solver faces.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if no initiation interval admits a baseline
+/// schedule.
+pub fn milp_map_model_size(
+    dfg: &Dfg,
+    target: &Target,
+    opts: &FlowOptions,
+) -> Result<(usize, usize, usize), CoreError> {
+    let (work, _, live) = if opts.analyze {
+        analyze_pre_pass(dfg, target, opts)
+    } else {
+        (dfg.clone(), None, None)
+    };
+    let mut map_cfg = opts.cut_config(target);
+    let db = if opts.priority_cuts {
+        priority_cuts(&work, &map_cfg, &opts.prune_config(live)).db
+    } else {
+        map_cfg.live_bits = live;
+        CutDb::enumerate(&work, &map_cfg)
+    };
+    let baseline = schedule_baseline(&work, target, opts.ii, &db)?;
+    let m = baseline.implementation.schedule.depth() + opts.extra_latency;
+    let f = formulation::build_weighted(
+        &work,
+        target,
+        &db,
+        baseline.ii,
+        m,
+        opts.alpha,
+        opts.beta,
+        opts.gamma,
+    );
+    Ok((f.model.num_vars(), f.model.num_rows(), db.total_cuts()))
+}
+
+/// Size of the mapping-aware MILP over the **raw** K-feasible cut pool:
+/// the enumeration with no dominance filtering at all, which is exactly
+/// the pool the priority-cut analysis starts from (its
+/// `cuts_enumerated` counter). This is the unpruned comparator for the
+/// priority-cut analysis — the model a solver would face if every
+/// K-feasible cut reached the formulation.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if no initiation interval admits a baseline
+/// schedule.
+pub fn milp_map_model_size_raw(
+    dfg: &Dfg,
+    target: &Target,
+    opts: &FlowOptions,
+) -> Result<(usize, usize, usize), CoreError> {
+    let (work, _, _) = if opts.analyze {
+        analyze_pre_pass(dfg, target, opts)
+    } else {
+        (dfg.clone(), None, None)
+    };
+    let map_cfg = opts.cut_config(target);
+    let pcfg = opts.prune_config(None);
+    let raw_cfg = CutConfig {
+        filter_dominated: false,
+        live_bits: None,
+        max_cuts: map_cfg.max_cuts.max(pcfg.raw_cuts),
+        ..map_cfg
+    };
+    let db = CutDb::enumerate(&work, &raw_cfg);
+    let baseline = schedule_baseline(&work, target, opts.ii, &db)?;
+    let m = baseline.implementation.schedule.depth() + opts.extra_latency;
+    let f = formulation::build_weighted(
+        &work,
+        target,
+        &db,
+        baseline.ii,
+        m,
+        opts.alpha,
+        opts.beta,
+        opts.gamma,
+    );
+    Ok((f.model.num_vars(), f.model.num_rows(), db.total_cuts()))
 }
 
 /// Best verifying seed plus its Eq. 15 objective.

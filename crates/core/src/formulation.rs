@@ -36,7 +36,7 @@ use pipemap_ir::{Dfg, NodeId, Op, Target};
 use pipemap_milp::{LinExpr, Model, Sense, VarId};
 use pipemap_netlist::{Cover, Implementation, Schedule};
 
-use crate::bounds::{alap_optimistic, asap_optimistic};
+use crate::bounds::{absorbable_nodes, alap_optimistic, asap_optimistic};
 
 /// The constructed model plus the variable maps needed to extract and seed
 /// solutions.
@@ -125,7 +125,7 @@ pub(crate) fn build_weighted(
     let big_m = f64::from(m + ii * max_dist + 1) * 2.0;
 
     let asap = asap_optimistic(dfg, target, db);
-    let alap = alap_optimistic(dfg, target, m);
+    let alap = alap_optimistic(dfg, target, m, &absorbable_nodes(dfg, db));
 
     // ---- variables -------------------------------------------------------
     for (id, node) in dfg.iter() {

@@ -57,4 +57,7 @@ pub fn debug_build_model(
     formulation::build(dfg, target, db, ii, m, alpha, beta).model
 }
 pub use error::CoreError;
-pub use flows::{run_all_flows, run_flow, Flow, FlowOptions, FlowResult, MilpStats, PrePassStats};
+pub use flows::{
+    milp_map_model_size, milp_map_model_size_raw, run_all_flows, run_flow, Flow, FlowOptions,
+    FlowResult, MilpStats, PrePassStats,
+};

@@ -1,0 +1,288 @@
+//! Dominator trees over the DFG's consumption graph.
+//!
+//! The priority-cut analysis needs *post*-dominators of the dataflow
+//! graph: node `r` post-dominates `u` when every combinational
+//! consumption path from `u` ends up flowing through `r` before it
+//! escapes (to a primary output, a black box, or across a register).
+//! That is exactly the membership test of a maximal fanout-free cone
+//! (see [`crate::analysis::mffc`]): logic post-dominated by `r` can be
+//! absorbed into a LUT rooted at `r` without duplicating it anywhere
+//! else.
+//!
+//! The tree is computed with the Cooper–Harvey–Kennedy iterative
+//! algorithm over an explicit *consumption graph* `H`:
+//!
+//! * one vertex per DFG node plus a virtual **sink**,
+//! * an edge `u → c` for every distance-0 edge whose consumer `c` is
+//!   LUT-mappable (the only edges a cone may cross),
+//! * an edge `u → sink` whenever `u`'s value escapes: a register
+//!   (distance > 0) consumer, a non-mappable consumer (output, black
+//!   box), no consumers at all, or `u` itself not being mappable.
+//!
+//! Dominators of the *reversed* graph rooted at the sink are the
+//! post-dominators of `H`. DFS in/out numbering over the resulting tree
+//! gives O(1) ancestor queries.
+
+use pipemap_ir::{Dfg, NodeId};
+
+/// A post-dominator tree over a DFG's consumption graph (virtual sink
+/// at index `dfg.len()`).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate post-dominator per vertex (tree parent); the sink maps
+    /// to itself, unreachable vertices to `usize::MAX`.
+    idom: Vec<usize>,
+    /// DFS entry index per vertex in the dominator tree.
+    tin: Vec<usize>,
+    /// DFS exit index per vertex in the dominator tree.
+    tout: Vec<usize>,
+    /// The virtual sink vertex (`dfg.len()`).
+    sink: usize,
+}
+
+impl DomTree {
+    /// Post-dominators of `dfg`'s consumption graph.
+    pub fn post_dominators(dfg: &Dfg) -> DomTree {
+        let n = dfg.len();
+        let sink = n;
+        // `h[u]` = consumption successors of u; `r[v]` = the reversal
+        // (predecessors in H = successors in the rooted flow graph).
+        let mut h: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let consumers = dfg.consumers();
+        for (id, node) in dfg.iter() {
+            let u = id.index();
+            if !node.op.is_lut_mappable() {
+                h[u].push(sink);
+                continue;
+            }
+            let mut escapes = consumers[u].is_empty();
+            for &(c, port) in &consumers[u] {
+                let cn = dfg.node(c);
+                if cn.ins[port].dist == 0 && cn.op.is_lut_mappable() {
+                    h[u].push(c.index());
+                } else {
+                    escapes = true;
+                }
+            }
+            if escapes {
+                h[u].push(sink);
+            }
+        }
+        for succs in &mut h {
+            succs.sort_unstable();
+            succs.dedup();
+        }
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (u, succs) in h.iter().enumerate() {
+            for &c in succs {
+                rev[c].push(u);
+            }
+        }
+
+        // Reverse postorder of the reversed graph from the sink.
+        let order = reverse_postorder(&rev, sink);
+        let mut order_of = vec![usize::MAX; n + 1];
+        for (i, &v) in order.iter().enumerate() {
+            order_of[v] = i;
+        }
+
+        // Cooper–Harvey–Kennedy fixpoint. Predecessors in the rooted
+        // (reversed) graph are H's successors.
+        let mut idom = vec![usize::MAX; n + 1];
+        idom[sink] = sink;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &v in order.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &h[v] {
+                    if idom[p] == usize::MAX {
+                        continue; // not processed yet
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &order_of, p, new_idom)
+                    };
+                }
+                if new_idom != usize::MAX && idom[v] != new_idom {
+                    idom[v] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // DFS numbering over the dominator tree for ancestor queries.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for v in 0..=n {
+            if v != sink && idom[v] != usize::MAX {
+                children[idom[v]].push(v);
+            }
+        }
+        let mut tin = vec![usize::MAX; n + 1];
+        let mut tout = vec![usize::MAX; n + 1];
+        let mut clock = 0usize;
+        let mut stack: Vec<(usize, usize)> = vec![(sink, 0)];
+        tin[sink] = clock;
+        clock += 1;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < children[v].len() {
+                let c = children[v][*next];
+                *next += 1;
+                tin[c] = clock;
+                clock += 1;
+                stack.push((c, 0));
+            } else {
+                tout[v] = clock;
+                clock += 1;
+                stack.pop();
+            }
+        }
+
+        DomTree {
+            idom,
+            tin,
+            tout,
+            sink,
+        }
+    }
+
+    /// The virtual sink vertex index (`dfg.len()`).
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Immediate post-dominator of a node: `None` when the node escapes
+    /// directly (its immediate post-dominator is the virtual sink) or is
+    /// disconnected.
+    pub fn ipdom(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.idom[v.index()];
+        if p == usize::MAX || p == self.sink {
+            None
+        } else {
+            Some(NodeId(p as u32))
+        }
+    }
+
+    /// Does `r` post-dominate `u` (reflexively)? Equivalent to `u` lying
+    /// in `r`'s subtree of the post-dominator tree.
+    pub fn post_dominates(&self, r: NodeId, u: NodeId) -> bool {
+        let (r, u) = (r.index(), u.index());
+        self.tin[r] != usize::MAX
+            && self.tin[u] != usize::MAX
+            && self.tin[r] <= self.tin[u]
+            && self.tout[u] <= self.tout[r]
+    }
+}
+
+/// First common dominator of two processed vertices, walking up by
+/// reverse-postorder number (CHK `intersect`).
+fn intersect(idom: &[usize], order_of: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order_of[a] > order_of[b] {
+            a = idom[a];
+        }
+        while order_of[b] > order_of[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+/// Iterative DFS reverse postorder from `root` over `succs`.
+fn reverse_postorder(succs: &[Vec<usize>], root: usize) -> Vec<usize> {
+    let mut visited = vec![false; succs.len()];
+    let mut post = Vec::with_capacity(succs.len());
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    visited[root] = true;
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        if *next < succs[v].len() {
+            let c = succs[v][*next];
+            *next += 1;
+            if !visited[c] {
+                visited[c] = true;
+                stack.push((c, 0));
+            }
+        } else {
+            post.push(v);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::DfgBuilder;
+
+    #[test]
+    fn chain_post_dominates_downward() {
+        // x -> n1 -> n2 -> out: n2 post-dominates n1 (single consumer
+        // path), and nothing post-dominates n2 but itself.
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x", 1);
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        b.output("o", n2);
+        let g = b.finish().expect("valid");
+        let t = DomTree::post_dominators(&g);
+        assert!(t.post_dominates(n2, n1));
+        assert!(t.post_dominates(n2, n2));
+        assert!(!t.post_dominates(n1, n2));
+        assert_eq!(t.ipdom(n1), Some(n2));
+        assert_eq!(t.ipdom(n2), None, "n2 feeds the output: escapes");
+    }
+
+    #[test]
+    fn fanout_breaks_post_dominance() {
+        // a feeds both r and the primary output: r does not post-dominate a.
+        let mut b = DfgBuilder::new("fan");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let a = b.xor(x, y);
+        let r = b.and(a, y);
+        b.output("o1", a);
+        b.output("o2", r);
+        let g = b.finish().expect("valid");
+        let t = DomTree::post_dominators(&g);
+        assert!(!t.post_dominates(r, a));
+        assert_eq!(t.ipdom(a), None);
+    }
+
+    #[test]
+    fn reconvergent_diamond_post_dominated_by_join() {
+        // a -> (n1, n2) -> r: both branches rejoin at r, so r
+        // post-dominates a, n1, and n2.
+        let mut b = DfgBuilder::new("diamond");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let a = b.xor(x, y);
+        let n1 = b.not(a);
+        let n2 = b.xor(a, y);
+        let r = b.xor(n1, n2);
+        b.output("o", r);
+        let g = b.finish().expect("valid");
+        let t = DomTree::post_dominators(&g);
+        for v in [a, n1, n2] {
+            assert!(t.post_dominates(r, v), "r should post-dominate {v:?}");
+        }
+    }
+
+    #[test]
+    fn register_consumer_escapes() {
+        // e is consumed at distance 1 (loop): the register edge escapes,
+        // so its combinational consumer does not post-dominate it.
+        let mut b = DfgBuilder::new("loop");
+        let x = b.input("x", 2);
+        let ph = b.placeholder(2);
+        let e = b.xor(x, ph);
+        let r = b.not(e);
+        b.bind(ph, e, 1).expect("feedback");
+        b.output("o", r);
+        let g = b.finish().expect("valid");
+        let t = DomTree::post_dominators(&g);
+        assert!(!t.post_dominates(r, e));
+    }
+}

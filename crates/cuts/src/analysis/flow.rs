@@ -1,0 +1,241 @@
+//! Per-node dataflow scores for priority-cut ranking.
+//!
+//! Mirrors the classic technology-mapping heuristics ("Mapping Fusion",
+//! priority cuts): for every LUT-mappable node we compute
+//!
+//! * **depth** — the minimum LUT level at which the node's value can be
+//!   produced (register and primary-input boundaries are level 0),
+//! * **fanout** — the number of distance-0 consumer edges,
+//! * **area flow** — estimated LUT area per consumer if the node is
+//!   implemented with its best cut: `(area(cut) + Σ leaf flows) / fanout`,
+//! * **edge flow** — the same recurrence over cut edge counts, a
+//!   tie-breaker that tracks routing/register pressure.
+//!
+//! The per-cut variants ([`FlowScores::cut_depth`],
+//! [`FlowScores::cut_area_flow`], [`FlowScores::cut_edge_flow`]) are what
+//! the certified pruning pass ranks candidate cuts by; the per-node
+//! values are the fixpoint-free single topological sweep over those
+//! cuts (sound on DFGs because combinational edges are acyclic).
+//!
+//! Area mirrors the MILP objective: a cone made purely of wire ops
+//! (shifts, slices, concats) costs nothing; any other cone costs the
+//! root's word width in LUTs.
+
+use crate::cut::{cone_nodes, Cut};
+use crate::enumerate::CutDb;
+use pipemap_ir::{Dfg, NodeId};
+
+/// Depth, fanout, area-flow and edge-flow facts for one DFG under one
+/// enumerated cut database.
+#[derive(Debug, Clone)]
+pub struct FlowScores {
+    depth: Vec<u32>,
+    fanout: Vec<u32>,
+    area_flow: Vec<f64>,
+    edge_flow: Vec<f64>,
+}
+
+impl FlowScores {
+    /// Single topological sweep computing all four score vectors.
+    pub fn compute(dfg: &Dfg, db: &CutDb) -> FlowScores {
+        let n = dfg.len();
+        let mut scores = FlowScores {
+            depth: vec![0; n],
+            fanout: vec![0; n],
+            area_flow: vec![0.0; n],
+            edge_flow: vec![0.0; n],
+        };
+        let consumers = dfg.consumers();
+        for (id, _) in dfg.iter() {
+            scores.fanout[id.index()] = consumers[id.index()]
+                .iter()
+                .filter(|&&(c, port)| dfg.node(c).ins[port].dist == 0)
+                .count() as u32;
+        }
+
+        let order = dfg.topo_order().expect("validated graph");
+        for v in order {
+            let set = db.cuts(v);
+            if set.is_empty() {
+                continue; // sources, outputs, black boxes stay at 0
+            }
+            let mut best_depth = u32::MAX;
+            let mut best_af = f64::INFINITY;
+            let mut best_ef = f64::INFINITY;
+            for cut in set.cuts() {
+                best_depth = best_depth.min(scores.cut_depth(cut));
+                let af = scores.cut_area_flow(dfg, v, cut);
+                if af < best_af {
+                    best_af = af;
+                    best_ef = scores.cut_edge_flow(cut);
+                } else if af == best_af {
+                    best_ef = best_ef.min(scores.cut_edge_flow(cut));
+                }
+            }
+            let refs = scores.fanout[v.index()].max(1) as f64;
+            scores.depth[v.index()] = best_depth;
+            scores.area_flow[v.index()] = best_af / refs;
+            scores.edge_flow[v.index()] = best_ef / refs;
+        }
+        scores
+    }
+
+    /// Minimum LUT level of a node (0 for boundaries and non-mappable
+    /// nodes).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Number of distance-0 consumer edges of a node.
+    pub fn fanout(&self, v: NodeId) -> u32 {
+        self.fanout[v.index()]
+    }
+
+    /// Fanout-discounted area flow of a node.
+    pub fn area_flow(&self, v: NodeId) -> f64 {
+        self.area_flow[v.index()]
+    }
+
+    /// Fanout-discounted edge flow of a node.
+    pub fn edge_flow(&self, v: NodeId) -> f64 {
+        self.edge_flow[v.index()]
+    }
+
+    /// LUT level if the root is implemented with this cut: one more than
+    /// the deepest current-iteration leaf (registered leaves are level 0).
+    pub fn cut_depth(&self, cut: &Cut) -> u32 {
+        1 + cut
+            .inputs()
+            .iter()
+            .map(|s| {
+                if s.dist == 0 {
+                    self.depth[s.node.index()]
+                } else {
+                    0
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Area flow of one cut (not fanout-discounted): the cone's LUT area
+    /// plus the accumulated flow of its current-iteration leaves.
+    pub fn cut_area_flow(&self, dfg: &Dfg, root: NodeId, cut: &Cut) -> f64 {
+        let mut af = cut_area(dfg, root, cut);
+        for s in cut.inputs() {
+            if s.dist == 0 {
+                af += self.area_flow[s.node.index()];
+            }
+        }
+        af
+    }
+
+    /// Edge flow of one cut (not fanout-discounted): its boundary edge
+    /// count plus the accumulated edge flow of current-iteration leaves.
+    pub fn cut_edge_flow(&self, cut: &Cut) -> f64 {
+        let mut ef = cut.len() as f64;
+        for s in cut.inputs() {
+            if s.dist == 0 {
+                ef += self.edge_flow[s.node.index()];
+            }
+        }
+        ef
+    }
+}
+
+/// LUT area of implementing `root` with `cut`, mirroring the MILP
+/// objective: pure-wire cones are free, everything else costs the root's
+/// word width (one K-LUT per output bit).
+pub fn cut_area(dfg: &Dfg, root: NodeId, cut: &Cut) -> f64 {
+    let pure_wire = cone_nodes(dfg, root, cut)
+        .iter()
+        .all(|&n| dfg.node(n).op.is_wire());
+    if pure_wire {
+        0.0
+    } else {
+        f64::from(dfg.node(root).width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::CutConfig;
+    use pipemap_ir::DfgBuilder;
+
+    #[test]
+    fn depth_counts_lut_levels() {
+        // 8-leaf xor tree at K=4: levels 1 and 2.
+        let mut b = DfgBuilder::new("tree");
+        let leaves: Vec<_> = (0..8).map(|i| b.input(format!("x{i}"), 1)).collect();
+        let l1: Vec<_> = leaves.chunks(2).map(|p| b.xor(p[0], p[1])).collect();
+        let l2: Vec<_> = l1.chunks(2).map(|p| b.xor(p[0], p[1])).collect();
+        let root = b.xor(l2[0], l2[1]);
+        b.output("o", root);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        let f = FlowScores::compute(&g, &db);
+        assert_eq!(f.depth(leaves[0]), 0, "inputs are level 0");
+        assert_eq!(f.depth(l1[0]), 1);
+        // l2 nodes absorb their whole 4-leaf subtree into one 4-LUT.
+        assert_eq!(f.depth(l2[0]), 1);
+        assert_eq!(f.depth(root), 2, "8 leaves don't fit one 4-LUT");
+    }
+
+    #[test]
+    fn fanout_counts_dist0_edges() {
+        let mut b = DfgBuilder::new("fan");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let a = b.xor(x, y);
+        let r1 = b.not(a);
+        let r2 = b.and(a, y);
+        b.output("o1", r1);
+        b.output("o2", r2);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        let f = FlowScores::compute(&g, &db);
+        assert_eq!(f.fanout(a), 2);
+        assert_eq!(f.fanout(r1), 1, "the output marker consumes r1");
+    }
+
+    #[test]
+    fn area_flow_discounts_shared_logic() {
+        // Shared node a (fanout 2, width 2): each consumer is charged
+        // half of a's area through the flow recurrence.
+        let mut b = DfgBuilder::new("share");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let a = b.xor(x, y);
+        let r1 = b.not(a);
+        let r2 = b.and(a, y);
+        b.output("o1", r1);
+        b.output("o2", r2);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        let f = FlowScores::compute(&g, &db);
+        assert!(f.area_flow(a) > 0.0);
+        assert!(
+            f.area_flow(a) <= 1.0 + 1e-9,
+            "width 2 split across fanout 2: {}",
+            f.area_flow(a)
+        );
+        assert!(f.edge_flow(r1) > 0.0);
+    }
+
+    #[test]
+    fn wire_cones_are_free() {
+        let mut b = DfgBuilder::new("wire");
+        let x = b.input("x", 4);
+        let s = b.shr(x, 1);
+        let n = b.not(s);
+        b.output("o", n);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        let f = FlowScores::compute(&g, &db);
+        let unit = db.cuts(s).unit().expect("unit").clone();
+        assert_eq!(cut_area(&g, s, &unit), 0.0, "a lone shift is wiring");
+        assert_eq!(f.area_flow(s), 0.0);
+        assert!(f.area_flow(n) > 0.0);
+    }
+}

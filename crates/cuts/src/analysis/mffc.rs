@@ -1,0 +1,126 @@
+//! Maximal fanout-free cones (MFFCs).
+//!
+//! The MFFC of a root `r` is the largest cone of combinational logic
+//! whose every node is consumed *only* inside the cone — i.e. the set of
+//! nodes `r` post-dominates in the consumption graph (see
+//! [`crate::analysis::domtree`]). MFFCs matter for cut ranking because a
+//! cut whose cone stays inside the root's MFFC absorbs logic "for free":
+//! nothing in the cone is needed elsewhere, so covering it at `r` never
+//! forces duplication. Conversely, cone nodes *outside* the MFFC are
+//! shared with other consumers and will be materialised again by
+//! whichever cut covers them there — the priority ranking charges such
+//! cuts a duplication penalty.
+
+use crate::analysis::domtree::DomTree;
+use pipemap_ir::{Dfg, NodeId};
+
+/// Per-node MFFC facts, built once per DFG from the post-dominator tree.
+#[derive(Debug, Clone)]
+pub struct MffcDb {
+    pdom: DomTree,
+    /// Number of LUT-mappable nodes in each node's MFFC (including the
+    /// root itself); 0 for non-mappable nodes.
+    size: Vec<u32>,
+}
+
+impl MffcDb {
+    /// Compute MFFC membership and sizes for every node of `dfg`.
+    pub fn compute(dfg: &Dfg) -> MffcDb {
+        let pdom = DomTree::post_dominators(dfg);
+        // size[r] = mappable nodes post-dominated by r. Accumulate each
+        // mappable node's +1 up its immediate-post-dominator chain; the
+        // chain is short in practice (bounded by logic depth).
+        let mut size = vec![0u32; dfg.len()];
+        for (id, node) in dfg.iter() {
+            if !node.op.is_lut_mappable() {
+                continue;
+            }
+            let mut v = id;
+            loop {
+                size[v.index()] += 1;
+                match pdom.ipdom(v) {
+                    Some(p) => v = p,
+                    None => break,
+                }
+            }
+        }
+        MffcDb { pdom, size }
+    }
+
+    /// Is `u` inside the MFFC of `r`? True iff `r` post-dominates `u`
+    /// (reflexively) — every consumption path of `u` flows through `r`.
+    pub fn contains(&self, r: NodeId, u: NodeId) -> bool {
+        self.pdom.post_dominates(r, u)
+    }
+
+    /// Number of LUT-mappable nodes in `r`'s MFFC (including `r`); 0 for
+    /// non-mappable nodes.
+    pub fn size(&self, r: NodeId) -> u32 {
+        self.size[r.index()]
+    }
+
+    /// The underlying post-dominator tree.
+    pub fn pdom(&self) -> &DomTree {
+        &self.pdom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::DfgBuilder;
+
+    #[test]
+    fn chain_mffc_accumulates() {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x", 1);
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        b.output("o", n3);
+        let g = b.finish().expect("valid");
+        let m = MffcDb::compute(&g);
+        assert_eq!(m.size(n1), 1);
+        assert_eq!(m.size(n2), 2);
+        assert_eq!(m.size(n3), 3);
+        assert!(m.contains(n3, n1));
+        assert!(!m.contains(n2, n3));
+        assert_eq!(m.size(x), 0, "inputs are not mappable");
+    }
+
+    #[test]
+    fn shared_node_excluded_from_mffc() {
+        // a feeds both r1 and r2: a belongs to neither root's MFFC.
+        let mut b = DfgBuilder::new("shared");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let a = b.xor(x, y);
+        let r1 = b.not(a);
+        let r2 = b.and(a, y);
+        b.output("o1", r1);
+        b.output("o2", r2);
+        let g = b.finish().expect("valid");
+        let m = MffcDb::compute(&g);
+        assert!(!m.contains(r1, a));
+        assert!(!m.contains(r2, a));
+        assert_eq!(m.size(r1), 1);
+        assert_eq!(m.size(r2), 1);
+        assert_eq!(m.size(a), 1, "a's own MFFC is just itself");
+    }
+
+    #[test]
+    fn diamond_join_owns_both_branches() {
+        let mut b = DfgBuilder::new("diamond");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let a = b.xor(x, y);
+        let n1 = b.not(a);
+        let n2 = b.xor(a, y);
+        let r = b.xor(n1, n2);
+        b.output("o", r);
+        let g = b.finish().expect("valid");
+        let m = MffcDb::compute(&g);
+        assert!(m.contains(r, a) && m.contains(r, n1) && m.contains(r, n2));
+        assert_eq!(m.size(r), 4);
+    }
+}

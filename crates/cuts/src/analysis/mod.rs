@@ -1,0 +1,29 @@
+//! Cut-space static analysis: priority cuts with certified pruning.
+//!
+//! This layer sits between raw cut enumeration ([`crate::CutDb::enumerate`])
+//! and the MILP formulation. It computes structural facts about the DFG
+//! and its cut database —
+//!
+//! * [`flow`]: per-node logic depth, fanout, area-flow and edge-flow
+//!   scores (the classic priority-cut ranking signals),
+//! * [`domtree`]: a post-dominator tree over the consumption graph,
+//! * [`mffc`]: maximal fanout-free cones built on the dominator tree,
+//!
+//! — and uses them in [`prune`] to shrink the cut database the MILP
+//! sees: dominated and provably-dead cuts are dropped with
+//! machine-checkable certificates (audited by `pipemap-verify`'s
+//! `P0601`–`P0606` pass), and the survivors are ranked and bounded to
+//! `max_cuts_per_root` priority cuts per node. Fewer cuts means fewer
+//! MILP variables (one cover binary per cut) and fewer Eq. 4/9 rows,
+//! which is the lever the ROADMAP names for the benchmarks that still
+//! time out.
+
+pub mod domtree;
+pub mod flow;
+pub mod mffc;
+pub mod prune;
+
+pub use domtree::DomTree;
+pub use flow::{cut_area, FlowScores};
+pub use mffc::MffcDb;
+pub use prune::{priority_cuts, CutCertificate, PriorityCuts, PruneConfig, PruneStats};

@@ -1,0 +1,447 @@
+//! Certified priority-cut pruning.
+//!
+//! [`priority_cuts`] shrinks an enumerated cut database in three layers,
+//! each with a different soundness story:
+//!
+//! 1. **Liveness pruning** — a root whose `analyze` dead-bit mask is all
+//!    zero cannot influence any primary output; every non-unit cut is
+//!    dropped with a [`CutCertificate::DeadRoot`] proof (the unit cut
+//!    stays so the node remains coverable).
+//! 2. **Dominance pruning** — a cut whose boundary signals are a subset
+//!    of another cut of the *same root*, **at no higher LUT cost**, is
+//!    never worse in the MILP: a subset of the cover-forcing rows
+//!    (Eq. 4), a subset of the timing rows (Eq. 9), and a subset of the
+//!    lifetime lower bounds. The cost condition matters: the objective
+//!    charges a pure-wire cone nothing, so a small cut whose larger
+//!    cone absorbs real logic can cost more than the superset cut it
+//!    input-dominates — such pairs are *not* pruned. Each certified
+//!    drop carries a [`CutCertificate::Dominated`] naming the retained
+//!    dominating cut for the `P06xx` audit to re-derive.
+//! 3. **Priority ranking** — the surviving non-unit cuts are ranked by
+//!    area flow (with a duplication penalty for cone nodes outside the
+//!    root's MFFC), edge flow, and LUT depth, and truncated to
+//!    `max_cuts_per_root`. Truncation is a *heuristic* bound — exactly
+//!    like the pre-existing `max_cuts` cap — so ranked-out cuts carry no
+//!    optimality certificate; they are reported in
+//!    [`PriorityCuts::ranked_out`] and the audit checks the cap really
+//!    was binding.
+//!
+//! The raw pool is enumerated with subset-dominance filtering **off**
+//! and without liveness masks, so layers 1–2 do real, certifiable work
+//! instead of re-discovering what the enumerator silently dropped.
+
+use crate::analysis::flow::{cut_area, FlowScores};
+use crate::analysis::mffc::MffcDb;
+use crate::cut::{cone_nodes, Cut, CutSet};
+use crate::enumerate::{CutConfig, CutDb};
+use pipemap_ir::{Dfg, NodeId};
+
+/// Tunables for [`priority_cuts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneConfig {
+    /// Cuts kept per root after ranking, unit cut included (≥ 1).
+    pub max_cuts_per_root: usize,
+    /// Raw candidate pool enumerated per node before pruning (the
+    /// effective enumeration cap is the max of this and the base
+    /// config's `max_cuts`).
+    pub raw_cuts: usize,
+    /// Per-node liveness masks from `pipemap-analyze`; a root with mask
+    /// 0 keeps only its unit cut, certified by a dead-root proof.
+    pub live_bits: Option<Vec<u64>>,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            max_cuts_per_root: 4,
+            raw_cuts: 16,
+            live_bits: None,
+        }
+    }
+}
+
+/// A machine-checkable proof that dropping one cut cannot change the
+/// MILP's optimum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CutCertificate {
+    /// `pruned` was dropped because `retained` (a cut of the same root
+    /// that survives into the final database) uses a subset of its
+    /// boundary signals.
+    Dominated {
+        /// The root both cuts belong to.
+        root: NodeId,
+        /// The dropped superset cut.
+        pruned: Cut,
+        /// The kept subset cut that dominates it.
+        retained: Cut,
+    },
+    /// `pruned` was dropped because the root's liveness mask is zero: no
+    /// bit of the root reaches a primary output, so no optimal cover
+    /// implements it with anything but its free unit cut.
+    DeadRoot {
+        /// The fully-dead root.
+        root: NodeId,
+        /// The dropped non-unit cut.
+        pruned: Cut,
+    },
+}
+
+impl CutCertificate {
+    /// The root node this certificate talks about.
+    pub fn root(&self) -> NodeId {
+        match self {
+            CutCertificate::Dominated { root, .. } | CutCertificate::DeadRoot { root, .. } => *root,
+        }
+    }
+
+    /// The cut this certificate prunes.
+    pub fn pruned(&self) -> &Cut {
+        match self {
+            CutCertificate::Dominated { pruned, .. } | CutCertificate::DeadRoot { pruned, .. } => {
+                pruned
+            }
+        }
+    }
+}
+
+/// Counters for one [`priority_cuts`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Cuts in the raw (unfiltered) enumeration.
+    pub cuts_enumerated: usize,
+    /// Cuts dropped with a dominance certificate.
+    pub cuts_dominated: usize,
+    /// Cuts dropped with a dead-root certificate.
+    pub cuts_dead: usize,
+    /// Cuts dropped by the heuristic priority cap (no certificate).
+    pub cuts_ranked_out: usize,
+    /// Cuts surviving into the final database.
+    pub cuts_kept: usize,
+}
+
+impl PruneStats {
+    /// Total cuts removed from the raw pool, certified or not.
+    pub fn cuts_pruned(&self) -> usize {
+        self.cuts_dominated + self.cuts_dead + self.cuts_ranked_out
+    }
+}
+
+/// Result of [`priority_cuts`]: the pruned database plus everything the
+/// `P06xx` audit needs to re-check it.
+#[derive(Debug, Clone)]
+pub struct PriorityCuts {
+    /// The raw database the pruner started from (unfiltered enumeration,
+    /// no liveness masks).
+    pub raw: CutDb,
+    /// The pruned, ranked database to hand to the MILP.
+    pub db: CutDb,
+    /// One certificate per optimality-preserving drop.
+    pub certificates: Vec<CutCertificate>,
+    /// Cuts dropped by the heuristic priority cap, per root — reported
+    /// (not certified) so the audit can confirm the cap was binding.
+    pub ranked_out: Vec<(NodeId, Cut)>,
+    /// The cap the ranking truncated to (unit cut included).
+    pub max_cuts_per_root: usize,
+    /// Aggregate counters.
+    pub stats: PruneStats,
+}
+
+/// Enumerate a raw cut pool and shrink it with certified liveness and
+/// dominance pruning followed by priority ranking. See the module docs
+/// for the three layers and their soundness guarantees.
+pub fn priority_cuts(dfg: &Dfg, cfg: &CutConfig, pcfg: &PruneConfig) -> PriorityCuts {
+    let _span = pipemap_obs::span("priority-cuts");
+    let raw_cfg = CutConfig {
+        filter_dominated: false,
+        max_cuts: cfg.max_cuts.max(pcfg.raw_cuts),
+        live_bits: None,
+        ..cfg.clone()
+    };
+    let raw = CutDb::enumerate(dfg, &raw_cfg);
+    let flows = FlowScores::compute(dfg, &raw);
+    let mffc = MffcDb::compute(dfg);
+
+    let cap = pcfg.max_cuts_per_root.max(1);
+    let is_dead = |v: NodeId| {
+        pcfg.live_bits
+            .as_ref()
+            .is_some_and(|l| l.get(v.index()).copied() == Some(0))
+    };
+
+    let mut sets: Vec<CutSet> = vec![CutSet::default(); dfg.len()];
+    let mut certificates = Vec::new();
+    let mut ranked_out = Vec::new();
+    let mut stats = PruneStats::default();
+
+    for v in dfg.node_ids() {
+        let raw_set = raw.cuts(v);
+        if raw_set.is_empty() {
+            continue;
+        }
+        stats.cuts_enumerated += raw_set.len();
+        let unit = raw_set
+            .unit()
+            .expect("non-empty set has a unit cut")
+            .clone();
+        let rest = &raw_set.cuts()[1..];
+
+        if is_dead(v) {
+            stats.cuts_dead += rest.len();
+            for cut in rest {
+                certificates.push(CutCertificate::DeadRoot {
+                    root: v,
+                    pruned: cut.clone(),
+                });
+            }
+            stats.cuts_kept += 1;
+            sets[v.index()] = CutSet { cuts: vec![unit] };
+            continue;
+        }
+
+        // Layer 2: dominance sweep. Smaller cuts first so any dominator
+        // of a candidate has already been decided; kept cuts (including
+        // the unit cut) are the only admissible dominators. A dominator
+        // must be both an input subset AND no more expensive — a
+        // pure-wire superset cone is free while the subset's deeper cone
+        // may absorb real logic, and pruning the free option would move
+        // the optimum.
+        let dominates =
+            |k: &Cut, c: &Cut| k.dominates(c) && cut_area(dfg, v, k) <= cut_area(dfg, v, c);
+        let mut order: Vec<&Cut> = rest.iter().collect();
+        order.sort_by(|a, b| (a.len(), a.inputs()).cmp(&(b.len(), b.inputs())));
+        let mut survivors: Vec<Cut> = Vec::new();
+        let mut dominated: Vec<Cut> = Vec::new();
+        for cut in order {
+            if dominates(&unit, cut) || survivors.iter().any(|k| dominates(k, cut)) {
+                dominated.push(cut.clone());
+            } else {
+                survivors.push(cut.clone());
+            }
+        }
+
+        // Layer 3: priority ranking. Area flow with a duplication
+        // penalty for cone nodes shared outside the root's MFFC, then
+        // edge flow, LUT depth, and lexicographic tie-breaks so the
+        // result is independent of enumeration order.
+        let mut ranked: Vec<(f64, f64, u32, Cut)> = survivors
+            .into_iter()
+            .map(|cut| {
+                let mut af = flows.cut_area_flow(dfg, v, &cut);
+                for &n in &cone_nodes(dfg, v, &cut) {
+                    if n != v && !mffc.contains(v, n) {
+                        af += f64::from(dfg.node(n).width);
+                    }
+                }
+                (af, flows.cut_edge_flow(&cut), flows.cut_depth(&cut), cut)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| a.1.total_cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+                .then_with(|| (a.3.len(), a.3.inputs()).cmp(&(b.3.len(), b.3.inputs())))
+        });
+        let mut kept = vec![unit];
+        for (_, _, _, cut) in ranked {
+            if kept.len() < cap {
+                kept.push(cut);
+            } else {
+                stats.cuts_ranked_out += 1;
+                ranked_out.push((v, cut));
+            }
+        }
+
+        // Certificates must name dominators that survive into the final
+        // database. A dominator lost to the rank cap re-routes its
+        // dominated cuts to any kept dominator, or — when the whole
+        // dominance class was truncated — reclassifies them as
+        // ranked-out (legal only because the cap was binding).
+        for cut in dominated {
+            match kept.iter().find(|k| dominates(k, &cut)) {
+                Some(retained) => {
+                    stats.cuts_dominated += 1;
+                    certificates.push(CutCertificate::Dominated {
+                        root: v,
+                        pruned: cut,
+                        retained: retained.clone(),
+                    });
+                }
+                None => {
+                    debug_assert_eq!(kept.len(), cap, "dominator can only vanish by rank cap");
+                    stats.cuts_ranked_out += 1;
+                    ranked_out.push((v, cut));
+                }
+            }
+        }
+
+        stats.cuts_kept += kept.len();
+        sets[v.index()] = CutSet { cuts: kept };
+    }
+
+    // Deterministic report order regardless of per-node processing.
+    ranked_out.sort_by(|a, b| (a.0, a.1.len(), a.1.inputs()).cmp(&(b.0, b.1.len(), b.1.inputs())));
+
+    if pipemap_obs::enabled() {
+        pipemap_obs::instant_with(
+            "priority-cuts-stats",
+            vec![
+                ("enumerated", stats.cuts_enumerated.into()),
+                ("dominated", stats.cuts_dominated.into()),
+                ("dead", stats.cuts_dead.into()),
+                ("ranked_out", stats.cuts_ranked_out.into()),
+                ("kept", stats.cuts_kept.into()),
+            ],
+        );
+    }
+
+    PriorityCuts {
+        raw,
+        db: CutDb::from_sets(cfg.k, sets),
+        certificates,
+        ranked_out,
+        max_cuts_per_root: cap,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_ir::DfgBuilder;
+
+    fn diamond() -> (pipemap_ir::Dfg, NodeId) {
+        let mut b = DfgBuilder::new("diamond");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let a = b.xor(x, y);
+        let n1 = b.not(a);
+        let n2 = b.xor(a, y);
+        let r = b.xor(n1, n2);
+        b.output("o", r);
+        (b.finish().expect("valid"), r)
+    }
+
+    #[test]
+    fn every_raw_cut_is_accounted_for() {
+        let (g, _) = diamond();
+        let out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        assert_eq!(
+            out.stats.cuts_enumerated,
+            out.stats.cuts_kept + out.stats.cuts_pruned(),
+            "kept + pruned must cover the raw pool"
+        );
+        assert_eq!(
+            out.stats.cuts_dominated,
+            out.certificates
+                .iter()
+                .filter(|c| matches!(c, CutCertificate::Dominated { .. }))
+                .count()
+        );
+        // Every kept set respects the cap and starts with the unit cut.
+        for v in g.node_ids() {
+            let kept = out.db.cuts(v);
+            assert!(kept.len() <= out.max_cuts_per_root);
+            if !kept.is_empty() {
+                assert_eq!(kept.unit(), out.raw.cuts(v).unit());
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_certificates_name_kept_subsets() {
+        let (g, _) = diamond();
+        let out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        for cert in &out.certificates {
+            if let CutCertificate::Dominated {
+                root,
+                pruned,
+                retained,
+            } = cert
+            {
+                assert!(retained.dominates(pruned));
+                assert!(
+                    out.db.cuts(*root).cuts().contains(retained),
+                    "retained cut must survive into the final db"
+                );
+                assert!(
+                    !out.db.cuts(*root).cuts().contains(pruned),
+                    "pruned cut must not survive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_root_keeps_unit_only_with_certificates() {
+        let (g, r) = diamond();
+        let mut live = vec![u64::MAX; g.len()];
+        live[r.index()] = 0;
+        let out = priority_cuts(
+            &g,
+            &CutConfig::default(),
+            &PruneConfig {
+                live_bits: Some(live),
+                ..PruneConfig::default()
+            },
+        );
+        assert_eq!(out.db.cuts(r).len(), 1);
+        let dead: Vec<_> = out
+            .certificates
+            .iter()
+            .filter(|c| matches!(c, CutCertificate::DeadRoot { .. }))
+            .collect();
+        assert!(!dead.is_empty(), "non-unit cuts of r need dead-root proofs");
+        assert!(dead.iter().all(|c| c.root() == r));
+    }
+
+    #[test]
+    fn cap_of_one_reduces_to_unit_cuts() {
+        let (g, _) = diamond();
+        let out = priority_cuts(
+            &g,
+            &CutConfig::default(),
+            &PruneConfig {
+                max_cuts_per_root: 1,
+                ..PruneConfig::default()
+            },
+        );
+        for v in g.node_ids() {
+            let kept = out.db.cuts(v);
+            if !kept.is_empty() {
+                assert_eq!(kept.len(), 1, "cap 1 keeps exactly the unit cut");
+            }
+        }
+        // Everything else was either certified away or ranked out.
+        assert_eq!(
+            out.stats.cuts_enumerated,
+            out.stats.cuts_kept + out.stats.cuts_pruned()
+        );
+    }
+
+    #[test]
+    fn generous_cap_prunes_only_with_certificates() {
+        // With caps far above the pool size the heuristic layer never
+        // binds: every drop is certified, so pruned-vs-unpruned MILPs
+        // must share an optimum (checked end-to-end by the sweep test).
+        let (g, _) = diamond();
+        let out = priority_cuts(
+            &g,
+            &CutConfig {
+                max_cuts: 32,
+                ..CutConfig::default()
+            },
+            &PruneConfig {
+                max_cuts_per_root: 64,
+                raw_cuts: 64,
+                ..PruneConfig::default()
+            },
+        );
+        assert_eq!(out.stats.cuts_ranked_out, 0);
+        assert!(out.ranked_out.is_empty());
+        assert_eq!(
+            out.stats.cuts_pruned(),
+            out.certificates.len(),
+            "uncapped pruning is fully certified"
+        );
+    }
+}

@@ -29,6 +29,12 @@ pub struct CutConfig {
     /// merge work list, shrinking the cut database (and hence the MILP)
     /// without changing the mapping of live logic.
     pub live_bits: Option<Vec<u64>>,
+    /// Drop subset-dominated cuts during the merge (on by default). The
+    /// priority-cut analysis ([`crate::analysis`]) turns this **off** so
+    /// the raw candidate pool still contains dominated cuts; its certified
+    /// pruning pass then removes them *with* machine-checkable dominance
+    /// certificates instead of silently.
+    pub filter_dominated: bool,
 }
 
 impl Default for CutConfig {
@@ -38,6 +44,7 @@ impl Default for CutConfig {
             max_cuts: 8,
             max_cone: 24,
             live_bits: None,
+            filter_dominated: true,
         }
     }
 }
@@ -58,7 +65,7 @@ impl CutConfig {
             k: target.k,
             max_cuts: 1,
             max_cone: 1,
-            live_bits: None,
+            ..CutConfig::default()
         }
     }
 }
@@ -161,6 +168,14 @@ impl CutDb {
         }
 
         CutDb { k: cfg.k, sets }
+    }
+
+    /// Rebuild a database from per-node cut sets, indexed by `NodeId`
+    /// (used by the certified pruning pass in [`crate::analysis`] to
+    /// materialize its kept sets, and by audits to construct adversarial
+    /// databases).
+    pub fn from_sets(k: u32, sets: Vec<CutSet>) -> CutDb {
+        CutDb { k, sets }
     }
 
     /// The K this database was enumerated for.
@@ -293,11 +308,13 @@ fn merge_cuts(dfg: &Dfg, v: NodeId, sets: &[CutSet], cfg: &CutConfig) -> CutSet 
         }
     }
 
-    // Dominance filter: smaller cuts first so supersets are dropped.
+    // Dominance filter: smaller cuts first so supersets are dropped. The
+    // priority-cut analysis keeps dominated candidates (filter off) and
+    // prunes them later with certificates.
     cuts.sort_by(|a, b| (a.len(), a.inputs()).cmp(&(b.len(), b.inputs())));
     let mut kept: Vec<Cut> = Vec::new();
     for c in cuts {
-        if !kept.iter().any(|k| k.dominates(&c)) {
+        if !cfg.filter_dominated || !kept.iter().any(|k| k.dominates(&c)) {
             kept.push(c);
         }
     }
@@ -531,6 +548,131 @@ mod tests {
         for v in [a, c, d, e] {
             assert!(!db.cuts(v).is_empty());
         }
+    }
+
+    #[test]
+    fn single_node_dfg_has_exactly_the_unit_cut() {
+        // The smallest mappable graph: one op between an input and the
+        // output marker. Its only cut is the unit cut {x}.
+        let mut b = DfgBuilder::new("single");
+        let x = b.input("x", 4);
+        let n = b.not(x);
+        b.output("o", n);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        assert_eq!(db.cuts(n).len(), 1);
+        assert_eq!(db.cuts(n).unit().expect("unit").inputs(), &[Signal::now(x)]);
+        assert_eq!(db.total_cuts(), 1);
+    }
+
+    #[test]
+    fn k1_target_keeps_only_single_input_merges() {
+        // At K=1 no multi-input cut is feasible: every node keeps its
+        // unit cut, and only pure single-input chains may merge.
+        let mut b = DfgBuilder::new("k1");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let a = b.not(x);
+        let c = b.xor(a, y);
+        b.output("o", c);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(
+            &g,
+            &CutConfig {
+                k: 1,
+                ..CutConfig::default()
+            },
+        );
+        // `a` is single-input: its cut {x} is 1-feasible.
+        assert!(db.cuts(a).cuts().iter().all(|c| c.len() == 1));
+        // `c` needs two bits of support; only the (exempt) unit cut stays.
+        assert_eq!(db.cuts(c).len(), 1, "{:?}", db.cuts(c));
+        for cut in db.cuts(c).cuts().iter().skip(1) {
+            assert!(cut.max_bit_support() <= 1);
+        }
+    }
+
+    #[test]
+    fn fanout_free_chain_collapses_to_the_leaf() {
+        // not(not(not(x))) at 1 bit: a fanout-free chain where every node
+        // can absorb everything below it down to the primary input.
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input("x", 1);
+        let n1 = b.not(x);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        b.output("o", n3);
+        let g = b.finish().expect("valid");
+        let db = CutDb::enumerate(&g, &CutConfig::default());
+        assert!(
+            db.cuts(n3)
+                .cuts()
+                .iter()
+                .any(|c| c.inputs() == [Signal::now(x)]),
+            "deepest cut should reach the input: {:?}",
+            db.cuts(n3)
+        );
+        // Dominance: {x} ⊆ any other cut of n3, so only one cut besides
+        // (possibly equal to) the unit cut survives per intermediate node.
+        for v in [n1, n2, n3] {
+            for cut in db.cuts(v).cuts() {
+                assert_eq!(cut.len(), 1, "chain cuts are single-input: {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_dead_root_with_live_bits_keeps_unit_cut_only() {
+        // A live_bits vector whose *root* (output-feeding node) is fully
+        // dead: enumeration must still keep its unit cut (the node remains
+        // coverable) but never merge deeper cuts for it.
+        let mut b = DfgBuilder::new("deadroot");
+        let x = b.input("x", 2);
+        let y = b.input("y", 2);
+        let a = b.xor(x, y);
+        let r = b.and(a, y);
+        b.output("o", r);
+        let g = b.finish().expect("valid");
+        let mut live = vec![u64::MAX; g.len()];
+        live[r.index()] = 0;
+        let db = CutDb::enumerate(
+            &g,
+            &CutConfig {
+                live_bits: Some(live),
+                ..CutConfig::default()
+            },
+        );
+        assert_eq!(db.cuts(r).len(), 1, "dead root keeps only its unit cut");
+        let unit = db.cuts(r).unit().expect("unit cut present");
+        assert_eq!(unit.inputs(), &[Signal::now(y), Signal::now(a)]);
+        // The live interior node still enumerates normally.
+        assert!(!db.cuts(a).is_empty());
+    }
+
+    #[test]
+    fn unfiltered_enumeration_keeps_dominated_cuts() {
+        let (g, _) = rs_mini();
+        let filtered = CutDb::enumerate(&g, &CutConfig::default());
+        let raw = CutDb::enumerate(
+            &g,
+            &CutConfig {
+                filter_dominated: false,
+                max_cuts: 32,
+                ..CutConfig::default()
+            },
+        );
+        assert!(raw.total_cuts() >= filtered.total_cuts());
+        // Some node must now hold a dominated pair (that is the point of
+        // the raw pool: the certified pruner gets to remove it).
+        let has_dominated_pair = g.node_ids().any(|v| {
+            let cuts = raw.cuts(v).cuts();
+            cuts.iter().enumerate().any(|(i, a)| {
+                cuts.iter()
+                    .enumerate()
+                    .any(|(j, b)| i != j && a.dominates(b) && a.inputs() != b.inputs())
+            })
+        });
+        assert!(has_dominated_pair, "raw pool should contain dominated cuts");
     }
 
     #[test]

@@ -34,10 +34,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 mod cut;
 mod dep;
 mod enumerate;
 
+pub use analysis::{priority_cuts, CutCertificate, PriorityCuts, PruneConfig, PruneStats};
 pub use cut::{cone_nodes, Cut, CutSet, Signal};
 pub use dep::for_each_dep;
 pub use enumerate::{CutConfig, CutDb};

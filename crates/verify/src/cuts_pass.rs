@@ -1,0 +1,662 @@
+//! Priority-cut pruning certificate audit (`P06xx`).
+//!
+//! [`check_priority_cuts`] independently re-checks everything a
+//! [`PriorityCuts`] result claims, following the same philosophy as the
+//! `P04xx`/`P05xx` passes: never trust the producer's code paths —
+//! re-derive each fact from the graph with audit-local helpers.
+//!
+//! * **P0601** — every cut present in the raw pool but absent from the
+//!   pruned database must carry a certificate or a ranked-out record.
+//! * **P0602** — each dominance certificate is re-derived: same root,
+//!   retained cut survives into the final database, its boundary
+//!   signals are a subset of the pruned cut's (hence ⊆ register
+//!   pressure), its LUT level is no deeper, and its cone cost is no
+//!   higher (a pure-wire cone is free; pruning the free option in
+//!   favour of a "smaller" cut that absorbs real logic would move the
+//!   optimum).
+//! * **P0603** — each dead-root certificate is confronted with a fresh
+//!   `pipemap-analyze` liveness run: the root must really have no live
+//!   bits.
+//! * **P0604** — independent cover-feasibility recount: every
+//!   LUT-mappable node keeps a non-empty cut set starting with its unit
+//!   cut, and every kept cut's cone still closes against its boundary.
+//! * **P0605** — structural integrity of the result: kept cuts come
+//!   from the raw pool, respect the per-root cap, contain no
+//!   duplicates, and ranked-out records only exist where the cap binds.
+//! * **P0606** — objective invariance spot-check: on small graphs where
+//!   every drop was certified (no heuristic rank-outs, no liveness
+//!   drops), a self-contained covering MILP over the raw and pruned
+//!   databases must reach the same optimum.
+
+use std::time::Duration;
+
+use pipemap_analyze::Analysis;
+use pipemap_cuts::{Cut, CutCertificate, CutDb, PriorityCuts, Signal};
+use pipemap_ir::{Dfg, NodeId, Op};
+use pipemap_milp::{LinExpr, Model, Sense, SolverOptions, Status};
+
+use crate::diag::{Code, Diagnostic, Diagnostics};
+
+/// Graphs up to this many nodes get the P0606 cover-MILP spot-check.
+const OBJECTIVE_CHECK_MAX_NODES: usize = 48;
+/// Wall-clock budget per cover-MILP solve in the spot-check.
+const OBJECTIVE_CHECK_TIME_LIMIT: Duration = Duration::from_secs(10);
+/// Objective agreement tolerance for P0606.
+const OBJ_TOL: f64 = 1e-6;
+
+/// Audit a [`PriorityCuts`] pruning result against its graph. See the
+/// module docs for the `P0601`–`P0606` checks performed.
+pub fn check_priority_cuts(dfg: &Dfg, out: &PriorityCuts) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+
+    if out.db.k() != out.raw.k() {
+        diags.push(Diagnostic::new(
+            Code::CutSetMalformed,
+            format!(
+                "pruned database K={} disagrees with raw K={}",
+                out.db.k(),
+                out.raw.k()
+            ),
+        ));
+    }
+    let Ok(topo) = dfg.topo_order() else {
+        diags.push(Diagnostic::new(
+            Code::CutSetMalformed,
+            "graph has no topological order; cannot audit cut pruning",
+        ));
+        return diags;
+    };
+
+    // Audit-local LUT levels over the raw pool (for the P0602 depth
+    // re-derivation). Registered and non-mappable boundaries are level 0.
+    let mut depth = vec![0u32; dfg.len()];
+    for &v in &topo {
+        let set = out.raw.cuts(v);
+        if set.is_empty() {
+            continue;
+        }
+        depth[v.index()] = set
+            .cuts()
+            .iter()
+            .map(|c| cut_level(c, &depth))
+            .min()
+            .unwrap_or(0);
+    }
+
+    for v in dfg.node_ids() {
+        audit_node(dfg, out, v, &mut diags);
+    }
+    for cert in &out.certificates {
+        match cert {
+            CutCertificate::Dominated {
+                root,
+                pruned,
+                retained,
+            } => audit_dominance(dfg, out, *root, pruned, retained, &depth, &mut diags),
+            CutCertificate::DeadRoot { .. } => {}
+        }
+    }
+    audit_dead_roots(dfg, out, &mut diags);
+    audit_objective(dfg, out, &mut diags);
+    diags
+}
+
+/// Per-node structural audit: P0601, P0604, P0605.
+fn audit_node(dfg: &Dfg, out: &PriorityCuts, v: NodeId, diags: &mut Diagnostics) {
+    let raw = out.raw.cuts(v).cuts();
+    let kept = out.db.cuts(v).cuts();
+    let label = dfg.label(v);
+
+    // P0604: cover feasibility. Every mappable node must stay coverable:
+    // non-empty set headed by an independently recomputed unit cut.
+    if dfg.node(v).op.is_lut_mappable() {
+        match kept.first() {
+            None => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::CutCoverInfeasible,
+                        format!("mappable node {label} has no cuts after pruning"),
+                    )
+                    .with_node(v),
+                );
+                return;
+            }
+            Some(first) => {
+                let unit = unit_signals(dfg, v);
+                if first.inputs() != unit.as_slice() {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::CutCoverInfeasible,
+                            format!(
+                                "{label}: first kept cut {first} is not the unit cut after pruning"
+                            ),
+                        )
+                        .with_node(v),
+                    );
+                }
+            }
+        }
+    }
+
+    // P0605: kept cuts must come from the raw pool, without duplicates,
+    // within the per-root cap.
+    if kept.len() > out.max_cuts_per_root {
+        diags.push(
+            Diagnostic::new(
+                Code::CutSetMalformed,
+                format!(
+                    "{label}: {} cuts kept, cap is {}",
+                    kept.len(),
+                    out.max_cuts_per_root
+                ),
+            )
+            .with_node(v),
+        );
+    }
+    for (i, c) in kept.iter().enumerate() {
+        if !raw.iter().any(|r| r.inputs() == c.inputs()) {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutSetMalformed,
+                    format!("{label}: kept cut {c} does not exist in the raw pool"),
+                )
+                .with_node(v),
+            );
+        }
+        if kept[..i].iter().any(|p| p.inputs() == c.inputs()) {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutSetMalformed,
+                    format!("{label}: duplicate kept cut {c}"),
+                )
+                .with_node(v),
+            );
+        }
+        // P0604: the cone must still close against the cut's boundary.
+        if cone_closes(dfg, v, c).is_none() {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutCoverInfeasible,
+                    format!("{label}: kept cut {c} does not cover its cone"),
+                )
+                .with_node(v),
+            );
+        }
+    }
+
+    // P0601 / P0605: every dropped raw cut is accounted for exactly once
+    // as a certificate or a ranked-out record; rank-outs require the cap
+    // to bind.
+    let ranked_here: Vec<&Cut> = out
+        .ranked_out
+        .iter()
+        .filter(|(r, _)| *r == v)
+        .map(|(_, c)| c)
+        .collect();
+    if !ranked_here.is_empty() && kept.len() < out.max_cuts_per_root {
+        diags.push(
+            Diagnostic::new(
+                Code::CutSetMalformed,
+                format!(
+                    "{label}: {} cuts ranked out while only {} of {} kept slots are used",
+                    ranked_here.len(),
+                    kept.len(),
+                    out.max_cuts_per_root
+                ),
+            )
+            .with_node(v),
+        );
+    }
+    for r in raw {
+        if kept.iter().any(|c| c.inputs() == r.inputs()) {
+            continue;
+        }
+        let certified = out
+            .certificates
+            .iter()
+            .any(|c| c.root() == v && c.pruned().inputs() == r.inputs());
+        let ranked = ranked_here.iter().any(|c| c.inputs() == r.inputs());
+        if !certified && !ranked {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutPruneUncertified,
+                    format!("{label}: cut {r} was dropped without certificate or rank-out record"),
+                )
+                .with_node(v),
+            );
+        }
+    }
+}
+
+/// P0602: re-derive one dominance certificate.
+fn audit_dominance(
+    dfg: &Dfg,
+    out: &PriorityCuts,
+    root: NodeId,
+    pruned: &Cut,
+    retained: &Cut,
+    depth: &[u32],
+    diags: &mut Diagnostics,
+) {
+    let label = dfg.label(root);
+    if !out
+        .db
+        .cuts(root)
+        .cuts()
+        .iter()
+        .any(|c| c.inputs() == retained.inputs())
+    {
+        diags.push(
+            Diagnostic::new(
+                Code::CutDominanceInvalid,
+                format!("{label}: retained cut {retained} is absent from the pruned database"),
+            )
+            .with_node(root),
+        );
+        return;
+    }
+    if !is_subset(retained.inputs(), pruned.inputs()) {
+        diags.push(
+            Diagnostic::new(
+                Code::CutDominanceInvalid,
+                format!("{label}: {retained} is not an input subset of pruned cut {pruned}"),
+            )
+            .with_node(root),
+        );
+        return;
+    }
+    if cut_level(retained, depth) > cut_level(pruned, depth) {
+        diags.push(
+            Diagnostic::new(
+                Code::CutDominanceInvalid,
+                format!("{label}: retained cut {retained} is deeper than pruned cut {pruned}"),
+            )
+            .with_node(root),
+        );
+    }
+    match (cut_cost(dfg, root, retained), cut_cost(dfg, root, pruned)) {
+        (Some(kc), Some(pc)) if kc <= pc => {}
+        (Some(kc), Some(pc)) => {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutDominanceInvalid,
+                    format!(
+                        "{label}: retained cut {retained} costs {kc} LUT bits but pruned cut \
+                         {pruned} costs {pc} — pruning the cheaper option moves the optimum"
+                    ),
+                )
+                .with_node(root),
+            );
+        }
+        _ => {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutDominanceInvalid,
+                    format!("{label}: certificate references a cut whose cone does not close"),
+                )
+                .with_node(root),
+            );
+        }
+    }
+}
+
+/// P0603: confront every dead-root certificate with fresh liveness facts.
+fn audit_dead_roots(dfg: &Dfg, out: &PriorityCuts, diags: &mut Diagnostics) {
+    let dead_roots: Vec<NodeId> = out
+        .certificates
+        .iter()
+        .filter(|c| matches!(c, CutCertificate::DeadRoot { .. }))
+        .map(CutCertificate::root)
+        .collect();
+    if dead_roots.is_empty() {
+        return;
+    }
+    let Ok(analysis) = Analysis::run(dfg) else {
+        for root in dead_roots {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutLivenessInvalid,
+                    format!(
+                        "{}: dead-root certificate but liveness analysis failed on this graph",
+                        dfg.label(root)
+                    ),
+                )
+                .with_node(root),
+            );
+        }
+        return;
+    };
+    for root in dead_roots {
+        if analysis.live(root) != 0 {
+            diags.push(
+                Diagnostic::new(
+                    Code::CutLivenessInvalid,
+                    format!(
+                        "{}: dead-root certificate but liveness mask is {:#x}",
+                        dfg.label(root),
+                        analysis.live(root)
+                    ),
+                )
+                .with_node(root),
+            );
+        }
+    }
+}
+
+/// P0606: on small, fully-certified prunes, the raw and pruned cover
+/// MILPs must agree on the optimum.
+fn audit_objective(dfg: &Dfg, out: &PriorityCuts, diags: &mut Diagnostics) {
+    let fully_certified = out.ranked_out.is_empty()
+        && !out
+            .certificates
+            .iter()
+            .any(|c| matches!(c, CutCertificate::DeadRoot { .. }));
+    if !fully_certified || dfg.len() > OBJECTIVE_CHECK_MAX_NODES {
+        return;
+    }
+    let Some(raw) = solve_cover(dfg, &out.raw) else {
+        return; // budget exhausted — inconclusive, not a finding
+    };
+    let Some(pruned) = solve_cover(dfg, &out.db) else {
+        return;
+    };
+    match (raw, pruned) {
+        ((Status::Optimal, ro), (Status::Optimal, po)) if (ro - po).abs() > OBJ_TOL => {
+            diags.push(Diagnostic::new(
+                Code::CutObjectiveDrift,
+                format!(
+                    "cover optimum moved from {ro} (raw) to {po} (pruned) although every \
+                     drop was certified"
+                ),
+            ));
+        }
+        ((Status::Optimal, _), (Status::Optimal, _)) => {}
+        ((rs, _), (ps, _)) if rs != ps => {
+            diags.push(Diagnostic::new(
+                Code::CutObjectiveDrift,
+                format!("cover status {rs:?} (raw) vs {ps:?} (pruned) under certified pruning"),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Minimum-area covering MILP over one cut database: pick at most one
+/// cut per node, force roots where values escape to registers, outputs
+/// or black boxes, and require every selected boundary signal to be
+/// produced by a root. Returns `None` when the solver gives up.
+fn solve_cover(dfg: &Dfg, db: &CutDb) -> Option<(Status, f64)> {
+    let mut m = Model::new("cut-cover-audit");
+    // One binary per (node, cut), objective = independent cone cost.
+    let mut vars: Vec<Vec<_>> = Vec::with_capacity(dfg.len());
+    for v in dfg.node_ids() {
+        let mut row = Vec::new();
+        for cut in db.cuts(v).cuts() {
+            row.push(m.add_binary(cut_cost(dfg, v, cut)?));
+        }
+        vars.push(row);
+    }
+    let consumers = dfg.consumers();
+    for (id, node) in dfg.iter() {
+        let vi = id.index();
+        if vars[vi].is_empty() {
+            continue;
+        }
+        // At most one cut selected per node.
+        let mut sum = LinExpr::new();
+        for &x in &vars[vi] {
+            sum.add_term(1.0, x);
+        }
+        m.add_constraint(sum.clone(), Sense::Le, 1.0);
+        // Forced root: some consumer needs the real signal (register
+        // edge, output marker, black box).
+        let forced = consumers[vi].iter().any(|&(c, port)| {
+            let cn = dfg.node(c);
+            cn.ins[port].dist > 0 || !cn.op.is_lut_mappable()
+        });
+        if forced && node.op.is_lut_mappable() {
+            m.add_constraint(sum, Sense::Ge, 1.0);
+        }
+        // Selecting a cut requires each mappable distance-0 boundary to
+        // be produced by a root: sum(u's cuts) - x >= 0.
+        for (ci, cut) in db.cuts(id).cuts().iter().enumerate() {
+            for s in cut.inputs() {
+                if s.dist != 0 || !dfg.node(s.node).op.is_lut_mappable() {
+                    continue;
+                }
+                let mut e = LinExpr::new();
+                for &u in &vars[s.node.index()] {
+                    e.add_term(1.0, u);
+                }
+                e.add_term(-1.0, vars[vi][ci]);
+                m.add_constraint(e, Sense::Ge, 0.0);
+            }
+        }
+    }
+    let r = m
+        .solve(&SolverOptions {
+            time_limit: OBJECTIVE_CHECK_TIME_LIMIT,
+            ..SolverOptions::default()
+        })
+        .ok()?;
+    Some((r.status, r.objective))
+}
+
+/// Audit-local unit-cut recount: direct fan-in minus constants, sorted.
+fn unit_signals(dfg: &Dfg, v: NodeId) -> Vec<Signal> {
+    let mut sigs: Vec<Signal> = dfg
+        .node(v)
+        .ins
+        .iter()
+        .filter(|p| !matches!(dfg.node(p.node).op, Op::Const(_)))
+        .map(|p| Signal {
+            node: p.node,
+            dist: p.dist,
+        })
+        .collect();
+    sigs.sort();
+    sigs.dedup();
+    sigs
+}
+
+/// Audit-local subset check over sorted signal slices.
+fn is_subset(small: &[Signal], big: &[Signal]) -> bool {
+    small.iter().all(|s| big.binary_search(s).is_ok())
+}
+
+/// LUT level of a cut given per-node levels (registered leaves are 0).
+fn cut_level(cut: &Cut, depth: &[u32]) -> u32 {
+    1 + cut
+        .inputs()
+        .iter()
+        .map(|s| {
+            if s.dist == 0 {
+                depth[s.node.index()]
+            } else {
+                0
+            }
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Audit-local cone walk: the interior nodes of `root`'s cone under
+/// `cut`, or `None` when the cone fails to close against the boundary
+/// (crosses a register, a black box, or leaves the graph).
+fn cone_closes(dfg: &Dfg, root: NodeId, cut: &Cut) -> Option<Vec<NodeId>> {
+    let mut interior = vec![root];
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::from([root]);
+    while let Some(n) = stack.pop() {
+        for p in &dfg.node(n).ins {
+            let sig = Signal {
+                node: p.node,
+                dist: p.dist,
+            };
+            if cut.inputs().binary_search(&sig).is_ok() {
+                continue;
+            }
+            let sub = dfg.node(p.node);
+            if matches!(sub.op, Op::Const(_)) {
+                continue;
+            }
+            if p.dist != 0 || !sub.op.is_lut_mappable() {
+                return None;
+            }
+            if seen.insert(p.node) {
+                interior.push(p.node);
+                stack.push(p.node);
+            }
+        }
+    }
+    Some(interior)
+}
+
+/// Audit-local cone cost: pure-wire cones are free, anything else costs
+/// the root's width. `None` when the cone does not close.
+fn cut_cost(dfg: &Dfg, root: NodeId, cut: &Cut) -> Option<f64> {
+    let interior = cone_closes(dfg, root, cut)?;
+    if interior.iter().all(|&n| dfg.node(n).op.is_wire()) {
+        Some(0.0)
+    } else {
+        Some(f64::from(dfg.node(root).width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipemap_cuts::{priority_cuts, CutConfig, PruneConfig};
+    use pipemap_ir::DfgBuilder;
+
+    fn diamond() -> Dfg {
+        let mut b = DfgBuilder::new("diamond");
+        let x = b.input("x", 1);
+        let y = b.input("y", 1);
+        let a = b.xor(x, y);
+        let n1 = b.not(a);
+        let n2 = b.xor(a, y);
+        let r = b.xor(n1, n2);
+        b.output("o", r);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn clean_prune_audits_clean() {
+        let g = diamond();
+        let out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        let diags = check_priority_cuts(&g, &out);
+        assert!(
+            diags.is_empty(),
+            "audit found problems:\n{}",
+            diags.render_human("diamond")
+        );
+    }
+
+    #[test]
+    fn fully_certified_prune_passes_objective_check() {
+        let g = diamond();
+        let out = priority_cuts(
+            &g,
+            &CutConfig {
+                max_cuts: 32,
+                ..CutConfig::default()
+            },
+            &PruneConfig {
+                max_cuts_per_root: 64,
+                raw_cuts: 64,
+                ..PruneConfig::default()
+            },
+        );
+        assert!(out.ranked_out.is_empty(), "caps must not bind here");
+        let diags = check_priority_cuts(&g, &out);
+        assert!(
+            diags.is_empty(),
+            "audit found problems:\n{}",
+            diags.render_human("diamond")
+        );
+    }
+
+    #[test]
+    fn forged_dominance_certificate_is_caught() {
+        let g = diamond();
+        let mut out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        // Forge: claim some kept cut dominates a cut it does not subset.
+        let root = g
+            .node_ids()
+            .find(|&v| out.db.cuts(v).len() > 1)
+            .expect("a node with a non-unit kept cut");
+        let kept = out.db.cuts(root).cuts()[1].clone();
+        let unit = out.db.cuts(root).unit().expect("unit").clone();
+        out.certificates.push(CutCertificate::Dominated {
+            root,
+            pruned: unit, // the unit cut is kept, not pruned — malformed
+            retained: kept,
+        });
+        let diags = check_priority_cuts(&g, &out);
+        assert!(
+            diags.has_code(Code::CutDominanceInvalid) || diags.has_code(Code::CutSetMalformed),
+            "forged certificate slipped through:\n{}",
+            diags.render_human("diamond")
+        );
+    }
+
+    #[test]
+    fn forged_dead_root_certificate_is_caught() {
+        let g = diamond();
+        let mut out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        let root = g
+            .node_ids()
+            .find(|&v| !out.db.cuts(v).is_empty())
+            .expect("a mappable node");
+        let pruned = out.db.cuts(root).unit().expect("unit").clone();
+        out.certificates
+            .push(CutCertificate::DeadRoot { root, pruned });
+        let diags = check_priority_cuts(&g, &out);
+        assert!(
+            diags.has_code(Code::CutLivenessInvalid),
+            "live node accepted as dead:\n{}",
+            diags.render_human("diamond")
+        );
+    }
+
+    #[test]
+    fn secretly_dropped_cut_is_caught() {
+        let g = diamond();
+        let mut out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        // Drop a certificate so one pruned cut becomes unaccounted for.
+        let pos = out
+            .certificates
+            .iter()
+            .position(|c| matches!(c, CutCertificate::Dominated { .. }));
+        if let Some(pos) = pos {
+            out.certificates.remove(pos);
+            let diags = check_priority_cuts(&g, &out);
+            assert!(
+                diags.has_code(Code::CutPruneUncertified),
+                "uncertified drop slipped through:\n{}",
+                diags.render_human("diamond")
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_database_fails_cover_recount() {
+        let g = diamond();
+        let mut out = priority_cuts(&g, &CutConfig::default(), &PruneConfig::default());
+        // Empty one mappable node's kept set entirely.
+        let victim = g
+            .node_ids()
+            .find(|&v| !out.db.cuts(v).is_empty())
+            .expect("mappable node");
+        let mut sets: Vec<_> = g.node_ids().map(|v| out.db.cuts(v).clone()).collect();
+        sets[victim.index()] = Default::default();
+        out.db = CutDb::from_sets(out.db.k(), sets);
+        let diags = check_priority_cuts(&g, &out);
+        assert!(
+            diags.has_code(Code::CutCoverInfeasible),
+            "uncoverable node slipped through:\n{}",
+            diags.render_human("diamond")
+        );
+    }
+}

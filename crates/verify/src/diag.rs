@@ -34,7 +34,8 @@ impl fmt::Display for Severity {
 /// * `P02xx` — structural netlist (Verilog) lint,
 /// * `P03xx` — differential flow checks,
 /// * `P04xx` — dataflow-analysis and simplification audit,
-/// * `P05xx` — MILP structural-analysis certificate audit.
+/// * `P05xx` — MILP structural-analysis certificate audit,
+/// * `P06xx` — priority-cut pruning certificate audit.
 ///
 /// Codes are append-only: a released code never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +140,26 @@ pub enum Code {
     /// An implication cut does not match its implication's linear
     /// expansion (or the implication itself is unsound).
     ImplicationCutMismatch,
+
+    // ---- P06xx: priority-cut pruning certificate audit ----
+    /// A cut missing from the pruned database has neither a certificate
+    /// nor a ranked-out record.
+    CutPruneUncertified,
+    /// A dominance certificate fails re-derivation: the retained cut is
+    /// absent, not a subset, deeper, or names a different root.
+    CutDominanceInvalid,
+    /// A dead-root certificate contradicts the liveness facts.
+    CutLivenessInvalid,
+    /// A node lost cover feasibility: its pruned cut set is empty or no
+    /// longer starts with the unit cut.
+    CutCoverInfeasible,
+    /// The pruned database is malformed: duplicate cuts, cuts absent
+    /// from the raw pool, caps exceeded, or rank-outs without a binding
+    /// cap.
+    CutSetMalformed,
+    /// Pruned and unpruned cover MILPs disagree on the optimum even
+    /// though every drop was certified.
+    CutObjectiveDrift,
 }
 
 impl Code {
@@ -188,6 +209,12 @@ impl Code {
         Code::CoverNotViolated,
         Code::SymmetryWitnessInvalid,
         Code::ImplicationCutMismatch,
+        Code::CutPruneUncertified,
+        Code::CutDominanceInvalid,
+        Code::CutLivenessInvalid,
+        Code::CutCoverInfeasible,
+        Code::CutSetMalformed,
+        Code::CutObjectiveDrift,
     ];
 
     /// The stable `P0xxx` identifier.
@@ -236,6 +263,12 @@ impl Code {
             Code::CoverNotViolated => "P0504",
             Code::SymmetryWitnessInvalid => "P0505",
             Code::ImplicationCutMismatch => "P0506",
+            Code::CutPruneUncertified => "P0601",
+            Code::CutDominanceInvalid => "P0602",
+            Code::CutLivenessInvalid => "P0603",
+            Code::CutCoverInfeasible => "P0604",
+            Code::CutSetMalformed => "P0605",
+            Code::CutObjectiveDrift => "P0606",
         }
     }
 
@@ -298,6 +331,12 @@ impl Code {
             Code::CoverNotViolated => "cover members do not exceed row capacity",
             Code::SymmetryWitnessInvalid => "transposition witness is not an automorphism",
             Code::ImplicationCutMismatch => "implication cut does not match its certificate",
+            Code::CutPruneUncertified => "pruned cut has no certificate or ranked-out record",
+            Code::CutDominanceInvalid => "dominance certificate fails re-derivation",
+            Code::CutLivenessInvalid => "dead-root certificate contradicts liveness facts",
+            Code::CutCoverInfeasible => "node lost cover feasibility after pruning",
+            Code::CutSetMalformed => "pruned cut database malformed",
+            Code::CutObjectiveDrift => "pruned and unpruned cover optima disagree",
         }
     }
 }

@@ -32,7 +32,11 @@
 //!   structural-analysis audit (`P05xx`): every probing fixing and
 //!   implication chain replayed from pristine bounds, every clique edge
 //!   and cover cut re-checked against its witness row, and every symmetry
-//!   orbit's transposition witnesses re-applied to the full model.
+//!   orbit's transposition witnesses re-applied to the full model,
+//! * [`check_priority_cuts`] — priority-cut pruning audit (`P06xx`):
+//!   every dominance/liveness certificate re-derived from the graph, an
+//!   independent cover-feasibility recount, and an objective-invariance
+//!   spot-check solving raw-vs-pruned covering MILPs on small graphs.
 //!
 //! ```
 //! use pipemap_verify::{lint_text, Code};
@@ -48,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analyze_pass;
+mod cuts_pass;
 mod diag;
 mod diff_pass;
 mod ir_pass;
@@ -56,6 +61,7 @@ mod netlist_pass;
 mod sched_pass;
 
 pub use analyze_pass::{check_analysis, check_graph_equivalence, check_simplification};
+pub use cuts_pass::check_priority_cuts;
 pub use diag::{Code, Diagnostic, Diagnostics, Severity};
 pub use diff_pass::{check_flows, check_flows_with_graphs, objective, FlowCheckOptions};
 pub use ir_pass::{lint_dfg, lint_text};

@@ -27,6 +27,13 @@
 //! fixings/implications, root clique/cover cut separation, and orbital
 //! fixing from verified column symmetries.
 //!
+//! `--priority-cuts on|off` toggles the certified priority-cut analysis
+//! in front of the mapping-aware MILP (off by default — the ranked
+//! truncation trades mapping quality for a much smaller model): dominated
+//! and provably-dead cuts are pruned with machine-checkable certificates
+//! and the survivors ranked down to `--max-cuts-per-root N` (default 4)
+//! cuts per node, shrinking the MILP before branch-and-bound starts.
+//!
 //! `--trace FILE` writes a Chrome trace-event JSON of the run (load it
 //! in Perfetto or `chrome://tracing`; one lane per flow/solver worker);
 //! `--metrics` prints the merged phase-time tree to stderr. Both are
@@ -37,10 +44,15 @@
 //! `analyze` runs the bit-level dataflow analyses and proof-carrying
 //! simplification, reporting per-node facts and the cut/MILP-size
 //! savings (`--dot` renders the facts as a shaded graphviz graph);
-//! `verify` additionally runs *all* scheduling flows and the differential
+//! `verify` additionally runs *all* scheduling flows, the differential
 //! flow checker (legality, QoR recount, simulation equivalence, RTL
-//! lint, analyze-pre-pass replay). `lint` and `verify` exit non-zero when
-//! any error-severity diagnostic fires.
+//! lint, analyze-pre-pass replay), and the `P06xx` priority-cut pruning
+//! audit (certificate re-derivation, cover-feasibility recount,
+//! objective-invariance spot-check).
+//!
+//! Exit codes for `lint` and `verify`: 0 when clean *or* only
+//! warning/info diagnostics fired, 1 when any error-severity diagnostic
+//! fired. `--deny-warnings` promotes warnings to exit 1 as well.
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -69,6 +81,9 @@ struct Args {
     probing: bool,
     cuts: bool,
     symmetry: bool,
+    priority_cuts: bool,
+    max_cuts_per_root: usize,
+    deny_warnings: bool,
 }
 
 fn parse_switch(flag: &str, v: Option<String>) -> Result<bool, String> {
@@ -96,6 +111,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         probing: true,
         cuts: true,
         symmetry: true,
+        priority_cuts: false,
+        max_cuts_per_root: 4,
+        deny_warnings: false,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -147,6 +165,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--probing" => a.probing = parse_switch("--probing", argv.next())?,
             "--cuts" => a.cuts = parse_switch("--cuts", argv.next())?,
             "--symmetry" => a.symmetry = parse_switch("--symmetry", argv.next())?,
+            "--priority-cuts" => a.priority_cuts = parse_switch("--priority-cuts", argv.next())?,
+            "--max-cuts-per-root" => {
+                a.max_cuts_per_root = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-cuts-per-root needs a count >= 1")?;
+            }
+            "--deny-warnings" => a.deny_warnings = true,
             "--metrics" => a.metrics = true,
             "--json" => a.json = true,
             "--codes" => a.codes = true,
@@ -173,6 +200,8 @@ fn options(a: &Args) -> FlowOptions {
         probing: a.probing,
         cuts: a.cuts,
         symmetry: a.symmetry,
+        priority_cuts: a.priority_cuts,
+        max_cuts_per_root: a.max_cuts_per_root,
         ..FlowOptions::default()
     }
 }
@@ -266,6 +295,10 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
                     "solver: {} in {:.2?} | {} B&B nodes | {} vars | {} rows | {} job(s)",
                     s.status, s.solve_time, s.nodes, s.variables, s.constraints, s.solver.jobs
                 );
+                println!(
+                    "        cuts: {} enumerated | {} pruned by priority-cut analysis | {} in model",
+                    s.cuts_enumerated, s.cuts_pruned, s.total_cuts
+                );
                 let hit = s
                     .solver
                     .warm_hit_rate()
@@ -339,7 +372,7 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
             } else {
                 print!("{}", ds.render_human(path));
             }
-            if ds.has_errors() {
+            if ds.has_errors() || (a.deny_warnings && ds.warning_count() > 0) {
                 return Err(format!(
                     "{} error(s), {} warning(s)",
                     ds.error_count(),
@@ -386,20 +419,37 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
                     &flows,
                     &FlowCheckOptions::default(),
                 ));
+                // P06xx: run the certified priority-cut pruning exactly
+                // as the MILP-map flow would and audit every certificate.
+                let prune = pipemap::cuts::priority_cuts(
+                    &dfg,
+                    &pipemap::cuts::CutConfig::for_target(&t),
+                    &pipemap::cuts::PruneConfig {
+                        max_cuts_per_root: a.max_cuts_per_root,
+                        ..pipemap::cuts::PruneConfig::default()
+                    },
+                );
+                ds.merge(pipemap::verify::check_priority_cuts(&dfg, &prune));
             }
             ds.sort();
             if a.json {
                 println!("{}", ds.render_json());
             } else if ds.is_empty() {
                 println!(
-                    "{path}: all {} flows verifier-clean and simulation-equivalent",
+                    "{path}: all {} flows verifier-clean and simulation-equivalent; \
+                     priority-cut certificates audit clean",
                     Flow::ALL.len()
                 );
             } else {
                 print!("{}", ds.render_human(path));
             }
-            if ds.has_errors() {
-                return Err(format!("{} error(s)", ds.error_count()).into());
+            if ds.has_errors() || (a.deny_warnings && ds.warning_count() > 0) {
+                return Err(format!(
+                    "{} error(s), {} warning(s)",
+                    ds.error_count(),
+                    ds.warning_count()
+                )
+                .into());
             }
         }
         "bench" | "run" => {
