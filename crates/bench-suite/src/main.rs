@@ -2,7 +2,8 @@
 //! the Table 1 suite twice in the same process — once with the cold
 //! serial solver (no presolve, no warm starts, no structural analysis,
 //! one thread) and once with the full optimized pipeline (presolve, warm
-//! starts, probing, certified cuts, orbital fixing) — asserts the
+//! starts, probing, certified cuts, Gomory tableau cuts, orbital fixing,
+//! feedback-guided incumbent decomposition) — asserts the
 //! objectives are identical, and writes the timings plus solver counters
 //! to `BENCH_milp.json`.
 //!
@@ -30,6 +31,7 @@ struct Args {
     only: Option<String>,
     skip_cold: bool,
     overhead_check: bool,
+    gap_closers: bool,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +43,7 @@ fn parse_args() -> Args {
         only: None,
         skip_cold: false,
         overhead_check: false,
+        gap_closers: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +63,16 @@ fn parse_args() -> Args {
             }
             "--skip-cold" => args.skip_cold = true,
             "--overhead-check" => args.overhead_check = true,
+            "--gap-closers" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--gap-closers needs on|off"));
+                args.gap_closers = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage("--gap-closers needs on|off"),
+                };
+            }
             "--time-limit" => {
                 let v = it
                     .next()
@@ -77,6 +90,7 @@ fn parse_args() -> Args {
                      --out PATH     JSON report path (default BENCH_milp.json)\n\
                      --bench NAME   run a single benchmark by Table 1 name\n\
                      --time-limit S per-solve wall-clock budget in seconds\n\
+                     --gap-closers on|off  Gomory cuts + incumbent decomposition in the optimized pass (default on)\n\
                      --overhead-check  assert disabled-mode tracing overhead < 2% and exit"
                 );
                 std::process::exit(0);
@@ -292,6 +306,8 @@ fn main() {
         presolve: true,
         warm_start: true,
         priority_cuts: true,
+        gomory_cuts: args.gap_closers,
+        decompose: args.gap_closers,
         ..FlowOptions::default()
     };
     let workers = args
@@ -461,6 +477,8 @@ fn main() {
              \"clique_table\": {}, \"clique_cuts\": {}, \"cover_cuts\": {}, \"implication_cuts\": {}, \
              \"cut_rounds\": {}, \"cuts_aged_out\": {}, \"symmetry_orbits\": {}, \
              \"orbital_fixings\": {}, \"implication_fixings\": {}, \
+             \"gomory_cuts\": {}, \"subproblems_solved\": {}, \
+             \"stitched_incumbents\": {}, \"incumbent_source\": \"{}\", \
              \"nodes_per_worker\": [{}],\n      \"convergence\": [{}]}}}}{}\n",
             json_escape(o.name),
             jnum(o.milp.objective),
@@ -497,6 +515,10 @@ fn main() {
             s.symmetry_orbits,
             s.orbital_fixings,
             s.implication_fixings,
+            s.gomory_cuts,
+            o.milp.subproblems_solved,
+            o.milp.stitched_incumbents,
+            o.milp.incumbent_source,
             workers,
             curve,
             if i + 1 < rows.len() { "," } else { "" }

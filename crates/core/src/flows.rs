@@ -127,6 +127,17 @@ pub struct FlowOptions {
     /// Detect symmetric binary columns and apply orbital fixing during
     /// the search (on by default).
     pub symmetry: bool,
+    /// Separate rank-1 Gomory mixed-integer cuts from the root simplex
+    /// tableau, each shipped with a machine-checkable derivation
+    /// certificate (audited by `pipemap-verify`'s `P07xx` pass). Off by
+    /// default; opt in via `--gomory-cuts`.
+    pub gomory_cuts: bool,
+    /// Refine the MILP seed with the feedback-guided subgraph
+    /// decomposition before the full solve: carve MFFC-bounded regions,
+    /// re-optimize the most LP-fractional ones as frozen-complement
+    /// sub-MILPs, and stitch improving incumbents (see
+    /// `crate::decompose`). Off by default; opt in via `--decompose`.
+    pub decompose: bool,
 }
 
 impl Default for FlowOptions {
@@ -151,6 +162,8 @@ impl Default for FlowOptions {
             probing: true,
             cuts: true,
             symmetry: true,
+            gomory_cuts: false,
+            decompose: false,
         }
     }
 }
@@ -202,6 +215,17 @@ pub struct MilpStats {
     /// Cuts removed by the priority-cut analysis (certified dominance
     /// and liveness drops plus heuristic rank-cap truncation).
     pub cuts_pruned: usize,
+    /// Region sub-MILPs solved by the feedback-guided decomposition
+    /// (0 when [`FlowOptions::decompose`] is off).
+    pub subproblems_solved: usize,
+    /// Improving region incumbents the decomposition stitched into the
+    /// seed before the full solve.
+    pub stitched_incumbents: usize,
+    /// Provenance of the reported incumbent: `"none"` (no feasible
+    /// point), `"seed"` (the baseline/heuristic seed survived),
+    /// `"decompose"` (a stitched region incumbent survived), or
+    /// `"solver"` (the tree search improved on what it was given).
+    pub incumbent_source: &'static str,
     /// Presolve/warm-start/parallelism counters from the solver.
     pub solver: SolverStats,
 }
@@ -464,7 +488,7 @@ fn run_milp(
             seed_candidates = cands;
         }
     }
-    let seed = if opts.seed_with_baseline {
+    let mut seed = if opts.seed_with_baseline {
         seed_candidates.iter().find_map(|imp| {
             let v = f.seed(dfg, target, db, imp)?;
             f.model.check_feasible(&v, 1e-6).is_none().then_some(v)
@@ -473,6 +497,42 @@ fn run_milp(
         None
     };
     drop(build_span);
+
+    // Feedback-guided subgraph decomposition: refine the seed by
+    // re-optimizing MFFC-bounded regions (most LP-fractional first)
+    // before the full solve sees it. A quarter of the budget goes to
+    // the regions; the refined incumbent enters the tree as its primal
+    // bound.
+    let mut subproblems_solved = 0usize;
+    let mut stitched_incumbents = 0usize;
+    let mut incumbent_source: &'static str = if seed.is_some() { "seed" } else { "none" };
+    if opts.decompose {
+        if let Some(sv) = seed.take() {
+            let _s = obs::span("decompose");
+            let budget = opts.time_limit / 4;
+            let relax =
+                pipemap_milp::solve_relaxation(&f.model, budget.min(Duration::from_secs(5)));
+            let dcfg = crate::decompose::DecomposeConfig {
+                time_budget: budget,
+                jobs: opts.jobs.max(1),
+                ..crate::decompose::DecomposeConfig::default()
+            };
+            let out = crate::decompose::refine_incumbent(
+                dfg,
+                &f,
+                sv,
+                relax.as_ref().map(|(_, x)| x.as_slice()),
+                &dcfg,
+            );
+            subproblems_solved = out.subproblems_solved;
+            stitched_incumbents = out.stitched_incumbents;
+            if out.stitched_incumbents > 0 {
+                incumbent_source = "decompose";
+            }
+            seed = Some(out.values);
+        }
+    }
+    let injected_obj = seed.as_ref().map(|v| f.model.objective_value(v));
 
     let solver_opts = SolverOptions {
         time_limit: opts.time_limit,
@@ -483,6 +543,7 @@ fn run_milp(
         probing: opts.probing,
         cuts: opts.cuts,
         symmetry: opts.symmetry,
+        gomory_cuts: opts.gomory_cuts,
         ..SolverOptions::default()
     };
     let start = Instant::now();
@@ -499,7 +560,7 @@ fn run_milp(
     let solve_time = start.elapsed();
     // A numerical solver failure or an empty incumbent degrades to the
     // best seed: it is a genuine feasible solution of the same model.
-    let (mut implementation, status, objective, best_bound, nodes, lp_iterations, solver) =
+    let (mut implementation, mut status, objective, mut best_bound, nodes, lp_iterations, solver) =
         match solved {
             Ok(r) if r.status.has_solution() => {
                 let imp = f.extract(dfg, db, &r.values);
@@ -538,6 +599,42 @@ fn run_milp(
                 None => return Err(CoreError::Milp(e)),
             },
         };
+    if status.has_solution() {
+        match injected_obj {
+            Some(io) if objective < io - 1e-9 => incumbent_source = "solver",
+            None => incumbent_source = "solver",
+            _ => {}
+        }
+    }
+    // Dual side of the decomposition: when the tree timed out, the
+    // partition bound (sum of per-region dual bounds under the split
+    // objective — see [`crate::decompose::partition_bound`]) often beats
+    // the tree's global bound, because each term sees its own region's
+    // integrality. Meeting the incumbent proves it optimal.
+    if opts.decompose
+        && matches!(status, Status::TimedOut | Status::Feasible)
+        && objective.is_finite()
+    {
+        let dcfg = crate::decompose::DecomposeConfig {
+            // Half the solve budget: this only runs when the tree has
+            // already timed out, and every second here works the bound
+            // side of the gap, which the tree was failing to move.
+            time_budget: opts.time_limit / 2,
+            jobs: opts.jobs.max(1),
+            ..crate::decompose::DecomposeConfig::default()
+        };
+        if let Some((pb, groups)) = crate::decompose::partition_bound(dfg, &f, &dcfg) {
+            subproblems_solved += groups;
+            let pb = pipemap_milp::lift_to_objective_grid(&f.model, pb);
+            if pb > best_bound {
+                best_bound = pb;
+                if best_bound >= objective - 1e-6 {
+                    best_bound = objective;
+                    status = Status::Optimal;
+                }
+            }
+        }
+    }
     // Route legality through the full diagnostics verifier: unlike the
     // fail-fast `pipemap_netlist::verify`, it reports *every* violated
     // invariant with a stable `P0xxx` code.
@@ -585,6 +682,9 @@ fn run_milp(
             total_cuts: db.total_cuts(),
             cuts_enumerated: prune.map_or_else(|| db.total_cuts(), |p| p.cuts_enumerated),
             cuts_pruned: prune.map_or(0, |p| p.cuts_pruned()),
+            subproblems_solved,
+            stitched_incumbents,
+            incumbent_source,
             solver,
         }),
     })
@@ -783,6 +883,30 @@ mod tests {
         assert!(stats.objective <= stats.best_bound + 1e-6 || stats.objective.is_finite());
         let ins = InputStreams::random(&g, 30, 7);
         verify_functional(&g, &target, &base.implementation, &ins, 30).expect("functional");
+    }
+
+    #[test]
+    fn gomory_and_decompose_preserve_the_optimum() {
+        let g = rs_mini();
+        let target = Target::fig1();
+        let plain = run_flow(&g, &target, Flow::MilpMap, &FlowOptions::default()).expect("plain");
+        let opts = FlowOptions {
+            gomory_cuts: true,
+            decompose: true,
+            ..FlowOptions::default()
+        };
+        let both = run_flow(&g, &target, Flow::MilpMap, &opts).expect("with features");
+        let po = plain.milp.expect("stats").objective;
+        let s = both.milp.expect("stats");
+        assert!(
+            (s.objective - po).abs() <= 1e-6,
+            "objective moved: {} vs {po}",
+            s.objective
+        );
+        assert!(["seed", "decompose", "solver"].contains(&s.incumbent_source));
+        assert!(s.subproblems_solved >= s.stitched_incumbents);
+        let ins = InputStreams::random(&g, 30, 13);
+        verify_functional(&g, &target, &both.implementation, &ins, 30).expect("functional");
     }
 
     #[test]

@@ -383,6 +383,20 @@ pub(crate) fn build_weighted(
 }
 
 impl Formulation {
+    /// Every model variable owned by one DFG node: schedule one-hots,
+    /// cut selectors, intra-cycle start, and lifetime. The subgraph
+    /// decomposition uses this to free a region's variables while the
+    /// complement stays frozen at the incumbent.
+    pub fn node_vars(&self, v: NodeId) -> impl Iterator<Item = VarId> + '_ {
+        let i = v.index();
+        self.s_vars[i]
+            .iter()
+            .map(|&(_, var)| var)
+            .chain(self.c_vars[i].iter().copied())
+            .chain(self.l_vars[i])
+            .chain(self.len_vars[i])
+    }
+
     /// Extract an [`Implementation`] from a solved assignment.
     pub fn extract(&self, dfg: &Dfg, db: &CutDb, values: &[f64]) -> Implementation {
         let mut cycles = vec![0u32; dfg.len()];

@@ -36,6 +36,7 @@
 
 mod baseline;
 mod bounds;
+mod decompose;
 mod error;
 mod flows;
 mod formulation;

@@ -6,8 +6,9 @@
 //! Runs before the branch-and-bound workers spawn, so it is
 //! deterministic regardless of the `jobs` setting.
 
+use super::gomory::{separate_gomory, GomoryConfig, GomoryShift};
 use super::{binary_mask, Clique, Implication, StructuralAnalysis};
-use crate::model::{LinExpr, Model, Sense, VarId};
+use crate::model::{LinExpr, Model, Sense, VarId, VarKind};
 use crate::simplex::{LpProblem, LpStatus};
 use pipemap_obs as obs;
 use std::collections::BTreeSet;
@@ -42,6 +43,23 @@ pub enum CutProof {
     Implication {
         /// The witnessed implication, with its replayable chain.
         implication: Implication,
+    },
+    /// The cut is a rank-1 Gomory mixed-integer cut derived from an
+    /// optimal simplex tableau row of the root LP. The certificate is
+    /// the full derivation: aggregate the original rows with
+    /// `multipliers`, shift each listed column onto the recorded bound
+    /// side, apply the GMI rounding, and back-substitute — an auditor
+    /// replaying these steps from the model alone must land on the
+    /// shipped coefficients and right-hand side. Bound *values* are
+    /// deliberately re-derived from the model (plus certified fixings),
+    /// never trusted from the certificate.
+    Gomory {
+        /// Sparse row multipliers `(row, ρᵢ)`, ascending by row: the
+        /// aggregated equality is `Σᵢ ρᵢ(aᵢᵀx + sᵢ) = Σᵢ ρᵢ bᵢ`.
+        multipliers: Vec<(usize, f64)>,
+        /// One entry per aggregated column with a nonzero coefficient,
+        /// ascending by extended index.
+        shifts: Vec<GomoryShift>,
     },
 }
 
@@ -80,11 +98,11 @@ pub struct CertifiedCut {
 }
 
 impl CertifiedCut {
-    fn lhs(&self, x: &[f64]) -> f64 {
+    pub(crate) fn lhs(&self, x: &[f64]) -> f64 {
         self.coeffs.iter().map(|&(j, c)| c * x[j]).sum()
     }
 
-    fn key(&self) -> (Vec<(usize, u64)>, u64) {
+    pub(super) fn key(&self) -> (Vec<(usize, u64)>, u64) {
         (
             self.coeffs.iter().map(|&(j, c)| (j, c.to_bits())).collect(),
             self.rhs.to_bits(),
@@ -104,6 +122,9 @@ pub struct CutLoopConfig {
     pub age_limit: usize,
     /// Minimum LP violation for a cut to be worth separating.
     pub min_violation: f64,
+    /// Separate rank-1 Gomory mixed-integer cuts from the round-0
+    /// tableau (see [`super::gomory`]).
+    pub gomory: bool,
 }
 
 impl Default for CutLoopConfig {
@@ -113,6 +134,7 @@ impl Default for CutLoopConfig {
             max_per_round: 128,
             age_limit: 2,
             min_violation: 1e-4,
+            gomory: false,
         }
     }
 }
@@ -128,6 +150,8 @@ pub struct CutLoopStats {
     pub cover_cuts: usize,
     /// Implication cuts active in the final pool.
     pub implication_cuts: usize,
+    /// Gomory mixed-integer cuts active in the final pool.
+    pub gomory_cuts: usize,
     /// Cuts dropped by activity-based aging.
     pub aged_out: usize,
     /// Simplex iterations spent on separation LPs.
@@ -151,6 +175,7 @@ enum CutKind {
     Clique,
     Cover,
     Implication,
+    Gomory,
 }
 
 struct PoolCut {
@@ -297,6 +322,7 @@ pub fn root_cut_loop(
     let mut stats = CutLoopStats::default();
     let mut prev_obj = f64::NEG_INFINITY;
     let mut stalled = 0usize;
+    let gomory_cfg = GomoryConfig::default();
 
     for round in 0..cfg.max_rounds {
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -307,13 +333,41 @@ pub fn root_cut_loop(
         pool.append(&mut pending);
         let work = build_model(&base, &pool);
         let lp = LpProblem::from_model(&work);
-        let sol = match lp.solve_primal(&lp.lb, &lp.ub, deadline) {
-            Ok((s, _)) if s.status == LpStatus::Optimal => s,
+        // Gomory separation is rank-1 only: the tableau is extracted at
+        // round 0, when the pool is empty and `work == base`, so every
+        // certificate multiplier references an original model row.
+        let mut tableau = None;
+        let gomory_here = cfg.gomory && round == 0 && base.num_vars() <= gomory_cfg.max_model_vars;
+        let solved = if gomory_here {
+            let candidate: Vec<bool> = work
+                .cols
+                .iter()
+                .map(|c| c.kind == VarKind::Integer)
+                .collect();
+            // Extract more rows than will ship: `separate_gomory` keeps
+            // only the most violated `max_cuts` of them.
+            lp.solve_primal_tableau(
+                &lp.lb,
+                &lp.ub,
+                deadline,
+                &candidate,
+                1e-6,
+                gomory_cfg.max_cuts * 4,
+            )
+            .map(|(s, t)| {
+                tableau = t;
+                s
+            })
+        } else {
+            lp.solve_primal(&lp.lb, &lp.ub, deadline).map(|(s, _)| s)
+        };
+        let sol = match solved {
+            Ok(s) if s.status == LpStatus::Optimal => s,
             other => {
                 // The augmented LP did not re-solve: roll back to the
                 // last validated pool.
                 pool.truncate(validated);
-                if let Ok((s, _)) = other {
+                if let Ok(s) = other {
                     stats.lp_iterations += s.iters;
                 }
                 break;
@@ -397,6 +451,11 @@ pub fn root_cut_loop(
                 ));
             }
         }
+        if let Some(tab) = tableau.as_ref() {
+            for (cut, v) in separate_gomory(&base, &lp, tab, x, &gomory_cfg) {
+                cands.push((cut, v, CutKind::Gomory));
+            }
+        }
 
         cands.sort_by(|p, q| {
             q.1.partial_cmp(&p.1)
@@ -424,9 +483,14 @@ pub fn root_cut_loop(
         }
     }
 
-    stats.clique_cuts = pool.iter().filter(|pc| pc.kind == CutKind::Clique).count();
-    stats.cover_cuts = pool.iter().filter(|pc| pc.kind == CutKind::Cover).count();
-    stats.implication_cuts = pool.len() - stats.clique_cuts - stats.cover_cuts;
+    for pc in &pool {
+        match pc.kind {
+            CutKind::Clique => stats.clique_cuts += 1,
+            CutKind::Cover => stats.cover_cuts += 1,
+            CutKind::Implication => stats.implication_cuts += 1,
+            CutKind::Gomory => stats.gomory_cuts += 1,
+        }
+    }
     let final_model = build_model(&base, &pool);
     CutLoopOutcome {
         model: final_model,

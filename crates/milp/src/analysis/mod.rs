@@ -32,6 +32,7 @@
 
 mod clique;
 mod cutloop;
+mod gomory;
 mod probe;
 mod symmetry;
 
@@ -39,6 +40,7 @@ pub use cutloop::{
     implication_expression, root_cut_loop, CertifiedCut, CutLoopConfig, CutLoopOutcome,
     CutLoopStats, CutProof,
 };
+pub use gomory::{GomoryConfig, GomoryShift};
 
 use crate::model::{Model, VarKind};
 

@@ -62,6 +62,10 @@ const DIVE_PERIOD: u64 = 197;
 /// skipped (incumbent and final samples always land), so pathological
 /// searches cannot grow the telemetry without bound.
 const MAX_SAMPLES: usize = 4096;
+/// Heartbeat period for time-based convergence samples: stalled searches
+/// still record one sample per second, so time→gap curves stay usable
+/// even when neither incumbent nor bound moves for most of the budget.
+const HEARTBEAT: Duration = Duration::from_secs(1);
 
 /// Path-local pseudo-costs: per integer column, the summed per-unit
 /// objective degradation and observation count for the down and up branch.
@@ -211,6 +215,11 @@ struct SearchState {
     /// objective space; converted to [`GapSample`]s at the end. Pure
     /// telemetry — never read by the search.
     timeline: Vec<(u64, f64, f64)>,
+    /// Next heartbeat-sample time. Stalled searches (bound and incumbent
+    /// both stuck) would otherwise record nothing for the whole stall,
+    /// leaving time→gap curves with a single point followed by a cliff;
+    /// the heartbeat keeps them honest at ~1 Hz.
+    next_beat: Duration,
 }
 
 impl SearchState {
@@ -463,6 +472,15 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
     a
 }
 
+/// Round a valid lower bound on `model`'s optimum up to the next
+/// objective-grid point, when the model has one. Sound because every
+/// integer-feasible objective lies on the grid (see
+/// [`objective_granularity`]), so no attainable value sits strictly
+/// between `b` and the lifted bound.
+pub(crate) fn lift_to_objective_grid(model: &Model, b: f64) -> f64 {
+    lift_bound(b, objective_granularity(model))
+}
+
 /// Round an LP bound up to the next objective-grid point. Sound for
 /// pruning and bound reporting because the subtree's best attainable
 /// objective lies on the grid (see [`objective_granularity`]); the small
@@ -511,23 +529,21 @@ enum Processed {
 
 /// LP-guided dive: repeatedly fix near-integral variables (or the single
 /// most decided fractional one) and re-solve until the relaxation is
-/// integral or infeasible. Returns an integral assignment below `cutoff`.
-/// Each round only tightens bounds, so the previous round's optimal basis
-/// stays dual-feasible and the re-solve is a warm dual-simplex
-/// re-optimization; a cold solve is the fallback, not the norm (on large
-/// models with many root cuts a cold solve per round would eat the whole
-/// node budget). Deterministic: depends only on the starting relaxation
-/// and the static cutoff, never on the evolving incumbent.
-#[allow(clippy::too_many_arguments)]
+/// integral or infeasible. Returns an integral assignment below the
+/// static cutoff. Each round only tightens bounds, so the previous
+/// round's optimal basis stays dual-feasible and the re-solve is a warm
+/// dual-simplex re-optimization (counted in the warm-start stats: on
+/// shallow trees the dive is where most warm re-solves happen); a cold
+/// solve is the fallback, not the norm (on large models with many root
+/// cuts a cold solve per round would eat the whole node budget).
+/// Deterministic: depends only on the starting relaxation and the static
+/// cutoff, never on the evolving incumbent.
 fn dive(
-    lp: &LpProblem,
-    int_cols: &[usize],
+    ctx: &Ctx<'_>,
     lb0: &[f64],
     ub0: &[f64],
     start: &LpSolution,
     warm: Option<&WarmBasis>,
-    deadline: Option<Instant>,
-    cutoff: f64,
     lp_iters: &mut usize,
 ) -> Option<(f64, Vec<f64>)> {
     let mut lb = lb0.to_vec();
@@ -535,10 +551,11 @@ fn dive(
     let mut sol = start.clone();
     let mut basis: Option<WarmBasis> = warm.cloned();
     for _round in 0..30 {
-        if sol.obj >= cutoff - 1e-9 {
+        if sol.obj >= ctx.cutoff_red - 1e-9 {
             return None; // the dive can't end below the cutoff
         }
-        let mut fracs: Vec<(usize, f64)> = int_cols
+        let mut fracs: Vec<(usize, f64)> = ctx
+            .int_cols
             .iter()
             .filter_map(|&j| {
                 let v = sol.x[j];
@@ -552,7 +569,7 @@ fn dive(
         // Pin everything already integral so each round makes progress,
         // then fix the nearly decided fractionals (or the single most
         // decided one).
-        for &j in int_cols {
+        for &j in ctx.int_cols {
             let v = sol.x[j];
             if (v - v.round()).abs() <= INT_TOL {
                 lb[j] = v.round();
@@ -575,17 +592,23 @@ fn dive(
             lb[j] = r;
             ub[j] = r;
         }
-        let warm_solved = match basis.as_ref() {
-            Some(wb) => match lp.solve_dual_warm(&lb, &ub, wb, deadline) {
-                Ok(r) => Some(r),
-                Err(LpAbort::Timeout) => return None,
-                Err(_) => None, // stale or singular: cold fallback below
-            },
+        let warm_solved = match basis.as_ref().filter(|_| ctx.warm_enabled) {
+            Some(wb) => {
+                ctx.warm_attempts.fetch_add(1, AtomicOrd::Relaxed);
+                match ctx.lp.solve_dual_warm(&lb, &ub, wb, ctx.deadline) {
+                    Ok(r) => {
+                        ctx.warm_hits.fetch_add(1, AtomicOrd::Relaxed);
+                        Some(r)
+                    }
+                    Err(LpAbort::Timeout) => return None,
+                    Err(_) => None, // stale or singular: cold fallback below
+                }
+            }
             None => None,
         };
         let (next, snap) = match warm_solved {
             Some(r) => r,
-            None => match lp.solve_primal(&lb, &ub, deadline) {
+            None => match ctx.lp.solve_primal(&lb, &ub, ctx.deadline) {
                 Ok(r) => r,
                 Err(_) => return None,
             },
@@ -693,17 +716,7 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
         } else {
             None
         };
-        if let Some((obj, mut x)) = dive(
-            ctx.lp,
-            ctx.int_cols,
-            &lb,
-            &ub,
-            &sol,
-            snap.as_ref(),
-            ctx.deadline,
-            ctx.cutoff_red,
-            lp_iters,
-        ) {
+        if let Some((obj, mut x)) = dive(ctx, &lb, &ub, &sol, snap.as_ref(), lp_iters) {
             if ctx.rmodel.check_feasible(&x, 1e-5).is_none() {
                 for &jc in ctx.int_cols {
                     x[jc] = x[jc].round();
@@ -828,6 +841,14 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
         if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
             g.stop = Some(StopReason::TimedOut);
             break;
+        }
+
+        // Heartbeat: sample the (possibly unchanged) incumbent/bound pair
+        // once per period even when neither moves, capped by MAX_SAMPLES.
+        let elapsed = ctx.start.elapsed();
+        if elapsed >= g.next_beat {
+            g.sample(elapsed, false);
+            g.next_beat = elapsed + HEARTBEAT;
         }
 
         // Pop the best unpruned node. The heap is min-by-bound, so a
@@ -986,17 +1007,33 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         .then(|| init.clone())
     });
 
-    let finish = |status: Status,
-                  objective: f64,
-                  best_bound: f64,
-                  values: Vec<f64>,
-                  nodes: usize,
-                  lp_iterations: usize,
-                  stats: SolverStats| {
+    // Reported objectives and bounds snap to the objective grid when
+    // within LP tolerance of a grid point: every integer assignment's
+    // true objective lies on the *original* model's grid, so a reported
+    // `39.99999999999999` is presolve-offset/simplex noise on an exact
+    // 40, never information.
+    let report_delta = objective_granularity(model);
+    let snap = move |v: f64| -> f64 {
+        if report_delta > 0.0 && v.is_finite() {
+            let g = (v / report_delta).round() * report_delta;
+            if (g - v).abs() <= 1e-6 {
+                return g;
+            }
+        }
+        v
+    };
+
+    let finish = move |status: Status,
+                       objective: f64,
+                       best_bound: f64,
+                       values: Vec<f64>,
+                       nodes: usize,
+                       lp_iterations: usize,
+                       stats: SolverStats| {
         Ok(MilpResult {
             status,
-            objective,
-            best_bound,
+            objective: snap(objective),
+            best_bound: snap(best_bound),
             values,
             nodes,
             lp_iterations,
@@ -1053,7 +1090,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
     // root cutting-plane loop, both on the reduced model. Everything here
     // runs before the workers spawn, so it is identical for every `jobs`
     // value and the determinism contract is untouched.
-    let run_analysis = opts.probing || opts.cuts || opts.symmetry;
+    let run_analysis = opts.probing || opts.cuts || opts.symmetry || opts.gomory_cuts;
     let mut root_lp_iters = 0usize;
     let (rmodel_owned, sa) = if run_analysis {
         let analysis_span = obs::span("structural-analysis");
@@ -1094,9 +1131,14 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         let cut_cfg = analysis::CutLoopConfig {
             max_rounds: if opts.cuts {
                 analysis::CutLoopConfig::default().max_rounds
+            } else if opts.gomory_cuts {
+                // Gomory-only mode still needs a round to separate and a
+                // second to validate the pending cuts.
+                2
             } else {
                 0
             },
+            gomory: opts.gomory_cuts,
             ..analysis::CutLoopConfig::default()
         };
         // The cut loop re-solves the root LP every round; on big models
@@ -1111,6 +1153,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         stats.clique_cuts = out.stats.clique_cuts;
         stats.cover_cuts = out.stats.cover_cuts;
         stats.implication_cuts = out.stats.implication_cuts;
+        stats.gomory_cuts = out.stats.gomory_cuts;
         stats.cut_rounds = out.stats.rounds;
         stats.cuts_aged_out = out.stats.aged_out;
         root_lp_iters = out.stats.lp_iterations;
@@ -1126,6 +1169,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
                     ("clique_cuts", out.stats.clique_cuts.into()),
                     ("cover_cuts", out.stats.cover_cuts.into()),
                     ("implication_cuts", out.stats.implication_cuts.into()),
+                    ("gomory_cuts", out.stats.gomory_cuts.into()),
                     ("cut_rounds", out.stats.rounds.into()),
                 ],
             );
@@ -1174,6 +1218,7 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         per_worker_nodes: vec![0; jobs],
         frontier: f64::NEG_INFINITY,
         timeline: Vec::new(),
+        next_beat: HEARTBEAT,
     };
     if let Some(s) = &seed {
         if let Some(sr) = red.project(s) {
@@ -1235,9 +1280,13 @@ pub(crate) fn solve_milp(model: &Model, opts: &SolverOptions) -> Result<MilpResu
         .iter()
         .map(|&(t_us, obj, bound)| GapSample {
             t_ms: t_us as f64 / 1e3,
-            objective: if obj.is_finite() { obj + offset } else { obj },
+            objective: if obj.is_finite() {
+                snap(obj + offset)
+            } else {
+                obj
+            },
             bound: if bound.is_finite() {
-                bound + offset
+                snap(bound + offset)
             } else {
                 bound
             },

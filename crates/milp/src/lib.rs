@@ -149,6 +149,13 @@ pub struct SolverOptions {
     /// refinement plus explicit automorphism witnesses) and apply orbital
     /// fixing during branch and bound.
     pub symmetry: bool,
+    /// Separate rank-1 Gomory mixed-integer cuts from the root simplex
+    /// tableau inside the cutting-plane loop. Off by default: tableau
+    /// cuts are admitted under strict numerical-safety caps and each one
+    /// carries a full derivation certificate (audited by verify's P07xx
+    /// pass), but they are the only cut family derived from floating-
+    /// point arithmetic rather than combinatorial structure.
+    pub gomory_cuts: bool,
 }
 
 impl Default for SolverOptions {
@@ -165,6 +172,7 @@ impl Default for SolverOptions {
             probing: true,
             cuts: true,
             symmetry: true,
+            gomory_cuts: false,
         }
     }
 }
@@ -248,6 +256,9 @@ pub struct SolverStats {
     /// Implication cuts (expanded probing implications) active in the
     /// root cut pool at the end of separation.
     pub implication_cuts: usize,
+    /// Gomory mixed-integer cuts active in the root cut pool at the end
+    /// of separation.
+    pub gomory_cuts: usize,
     /// Root cutting-plane rounds executed.
     pub cut_rounds: usize,
     /// Cuts dropped from the pool by activity-based aging.
@@ -335,6 +346,31 @@ pub fn debug_solve_root_lp(model: &Model) -> String {
         ),
         Err(e) => format!("abort {e:?} in {:?}", t0.elapsed()),
     }
+}
+
+/// Solve the LP relaxation of a model (integrality dropped) and return
+/// its optimal objective and variable assignment. `None` when the
+/// relaxation is infeasible, unbounded, numerically unsolvable, or the
+/// deadline expires — callers treat all of these as "no LP guidance".
+///
+/// Deterministic for a fixed model; used by the feedback-guided
+/// decomposition in `pipemap-core` to rank DFG regions by how fractional
+/// the global relaxation is around them.
+pub fn solve_relaxation(model: &Model, time_limit: Duration) -> Option<(f64, Vec<f64>)> {
+    let p = simplex::LpProblem::from_model(model);
+    let deadline = std::time::Instant::now().checked_add(time_limit);
+    match p.solve_with_bounds(&p.lb, &p.ub, deadline) {
+        Ok(s) if s.status == simplex::LpStatus::Optimal => Some((s.obj, s.x)),
+        _ => None,
+    }
+}
+
+/// Round a valid lower bound on `model`'s optimum up to the next point
+/// of its objective grid; a no-op when no grid is detectable. Sound
+/// because every integer-feasible objective lies on the grid, so no
+/// attainable value sits strictly between `bound` and the lifted value.
+pub fn lift_to_objective_grid(model: &Model, bound: f64) -> f64 {
+    branch::lift_to_objective_grid(model, bound)
 }
 
 impl Model {
@@ -608,5 +644,118 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A knapsack whose LP root is fractional, so the root dive performs
+    /// warm dual re-solves even when the tree itself needs few nodes.
+    fn fractional_root_knapsack() -> Model {
+        let mut m = Model::new("dive");
+        let vals = [10.0, 13.0, 7.0, 8.0];
+        let wts = [3.0, 4.0, 2.0, 3.0];
+        let xs: Vec<_> = vals.iter().map(|&v| m.add_binary(-v)).collect();
+        let w: LinExpr = xs.iter().zip(wts).map(|(&x, w)| (w, x)).collect();
+        m.add_constraint(w, Sense::Le, 7.0);
+        m
+    }
+
+    #[test]
+    fn dive_warm_starts_are_counted() {
+        // Regression: `warm_attempts` used to stay 0 on searches that
+        // explore almost no tree nodes (the root has no parent basis, and
+        // dives bypassed the counters entirely), making the stats claim
+        // the warm-started dual simplex never engaged when it carried the
+        // whole dive.
+        let m = fractional_root_knapsack();
+        // Cuts off: the cut loop would repair the fractional root vertex
+        // before the dive ever sees it (the CORDIC/DR stall this guards
+        // against has fractional roots that survive separation).
+        let opts = SolverOptions {
+            probing: false,
+            cuts: false,
+            symmetry: false,
+            ..SolverOptions::default()
+        };
+        let r = m.solve(&opts).expect("solves");
+        assert_eq!(r.status, Status::Optimal);
+        assert!(
+            r.stats.warm_attempts > 0,
+            "root dive must engage the warm-started dual simplex"
+        );
+        assert!(r.stats.warm_hits <= r.stats.warm_attempts);
+    }
+
+    #[test]
+    fn dive_warm_starts_respect_warm_start_flag() {
+        let m = fractional_root_knapsack();
+        let opts = SolverOptions {
+            warm_start: false,
+            ..SolverOptions::default()
+        };
+        let r = m.solve(&opts).expect("solves");
+        assert_eq!(r.status, Status::Optimal);
+        assert_eq!(r.stats.warm_attempts, 0, "warm starts disabled");
+    }
+
+    #[test]
+    fn gomory_cuts_preserve_optimum() {
+        let mut m = Model::new("gmi");
+        let x1 = m.add_integer(0.0, 3.0, 0.0);
+        let x2 = m.add_integer(0.0, 3.0, -1.0);
+        let e = LinExpr::term(3.0, x1) + LinExpr::term(2.0, x2);
+        m.add_constraint(e, Sense::Le, 6.0);
+        let e = LinExpr::term(-3.0, x1) + LinExpr::term(2.0, x2);
+        m.add_constraint(e, Sense::Le, 0.0);
+        let off = m.solve(&SolverOptions::default()).expect("solves");
+        let on = m
+            .solve(&SolverOptions {
+                gomory_cuts: true,
+                ..SolverOptions::default()
+            })
+            .expect("solves");
+        assert_eq!(off.status, Status::Optimal);
+        assert_eq!(on.status, Status::Optimal);
+        assert!((on.objective - off.objective).abs() < 1e-6);
+        assert_eq!(on.values, off.values, "determinism contract across flags");
+    }
+
+    #[test]
+    fn relaxation_helper_matches_lp_optimum() {
+        // Same model as `integrality_changes_optimum`: the relaxation
+        // stops at 2.5 while the integer optimum is 2.
+        let mut m = Model::new("relax");
+        let x = m.add_integer(0.0, 4.0, -1.0);
+        m.add_constraint(LinExpr::from(x), Sense::Le, 2.5);
+        let (obj, xs) = solve_relaxation(&m, Duration::from_secs(10)).expect("lp solves");
+        assert!((obj - -2.5).abs() < 1e-6, "obj {obj}");
+        assert!((xs[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_bounds_freezes_variables() {
+        let mut m = Model::new("freeze");
+        let x = m.add_binary(-2.0);
+        let y = m.add_binary(-1.0);
+        m.add_constraint(LinExpr::from(x) + LinExpr::from(y), Sense::Le, 1.0);
+        m.set_bounds(x, 0.0, 0.0);
+        let r = m.solve(&SolverOptions::default()).expect("solves");
+        assert_eq!(r.status, Status::Optimal);
+        assert_eq!(r.value(x), 0.0);
+        assert_eq!(r.value(y), 1.0);
+    }
+
+    #[test]
+    fn objective_reported_on_grid() {
+        // The reported objective must land exactly on the objective grid
+        // even though it is reassembled from reduced space + offset.
+        let mut m = Model::new("grid");
+        let xs: Vec<_> = (0..6)
+            .map(|i| m.add_binary(-(1.0 + (i as f64) / 4.0)))
+            .collect();
+        let w: LinExpr = xs.iter().map(|&x| (1.0, x)).collect();
+        m.add_constraint(w, Sense::Le, 3.0);
+        let r = m.solve(&SolverOptions::default()).expect("solves");
+        assert_eq!(r.status, Status::Optimal);
+        let scaled = r.objective * 4.0;
+        assert_eq!(scaled, scaled.round(), "objective {} off-grid", r.objective);
     }
 }

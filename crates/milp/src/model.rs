@@ -384,9 +384,40 @@ impl Model {
         (c.lb, c.ub)
     }
 
+    /// Replace a variable's bounds. The subgraph-decomposition loop uses
+    /// this to freeze the complement of a region at a known-feasible
+    /// assignment before solving the sub-MILP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub` or either bound is NaN (same contract as
+    /// [`Self::add_var`]).
+    pub fn set_bounds(&mut self, v: VarId, lb: f64, ub: f64) {
+        assert!(!lb.is_nan() && !ub.is_nan(), "NaN variable bound");
+        assert!(lb <= ub, "variable bounds crossed: [{lb}, {ub}]");
+        let c = &mut self.cols[v.index()];
+        c.lb = lb;
+        c.ub = ub;
+    }
+
     /// Objective coefficient of a variable.
     pub fn objective_coeff(&self, v: VarId) -> f64 {
         self.cols[v.index()].obj
+    }
+
+    /// Replace a variable's objective coefficient. Used by objective
+    /// decompositions that minimize one variable group's share of a
+    /// linear objective at a time.
+    pub fn set_objective_coeff(&mut self, v: VarId, obj: f64) {
+        assert!(!obj.is_nan(), "NaN objective coefficient");
+        self.cols[v.index()].obj = obj;
+    }
+
+    /// Drop the integrality requirement of a variable (no-op on a
+    /// continuous one). The result is a relaxation: every point feasible
+    /// before stays feasible.
+    pub fn relax_integrality(&mut self, v: VarId) {
+        self.cols[v.index()].kind = VarKind::Continuous;
     }
 
     /// Kind of a variable.

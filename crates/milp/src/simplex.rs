@@ -19,6 +19,7 @@
 //! [`LpAbort::Singular`], which callers treat as "fall back to a cold
 //! primal solve"; correctness never depends on the warm path.
 
+use std::cmp::Ordering;
 use std::time::Instant;
 
 use crate::lu::Factors;
@@ -171,6 +172,41 @@ impl LpProblem {
         Err(LpAbort::Numerical("repeated singular bases".into()))
     }
 
+    /// Cold primal solve that additionally captures simplex-tableau rows
+    /// for fractional candidate columns — the raw material for Gomory
+    /// mixed-integer separation. Tableau data is `None` unless the solve
+    /// reached optimality with a clean basis (no artificial left basic):
+    /// a row extracted across an artificial column could not be reproduced
+    /// from the model rows alone, so such bases yield no cuts.
+    pub fn solve_primal_tableau(
+        &self,
+        lb: &[f64],
+        ub: &[f64],
+        deadline: Option<Instant>,
+        candidate: &[bool],
+        frac_tol: f64,
+        max_rows: usize,
+    ) -> Result<(LpSolution, Option<TableauData>), LpAbort> {
+        for attempt in 0..5 {
+            let mut w = Worker::new(self, lb, ub);
+            w.price_seed = attempt as u64;
+            w.always_bland = attempt >= 3;
+            match w.run(deadline) {
+                Err(LpAbort::Singular) => continue,
+                Ok(sol) => {
+                    let tab = if sol.status == LpStatus::Optimal {
+                        w.tableau(candidate, frac_tol, max_rows)
+                    } else {
+                        None
+                    };
+                    return Ok((sol, tab));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LpAbort::Numerical("repeated singular bases".into()))
+    }
+
     /// Re-optimize from a parent basis after a bound change using the dual
     /// simplex. Returns `Err(LpAbort::Singular)` whenever the warm start
     /// cannot be trusted (stale snapshot, dual-infeasible start, numerical
@@ -212,6 +248,36 @@ enum VStat {
     Basic(usize),
     AtLower,
     AtUpper,
+}
+
+/// Basic/nonbasic classification of one column in an optimal basis,
+/// exported for tableau consumers (no basis-position payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TabStat {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+/// One extracted row of an optimal simplex tableau. The multiplier
+/// vector `rho = B⁻ᵀ e_r` reproduces the row over the original system:
+/// the aggregated coefficient of structural column `j` is `Σ_i ρ_i a_ij`,
+/// the coefficient of the slack of row `i` is `ρ_i`, and the aggregated
+/// right-hand side is `ρᵀ b`.
+#[derive(Debug, Clone)]
+pub(crate) struct TableauRow {
+    /// Dense row multipliers, one per problem row.
+    pub rho: Vec<f64>,
+}
+
+/// Tableau information captured from an optimal primal solve.
+#[derive(Debug, Clone)]
+pub(crate) struct TableauData {
+    /// Status of every structural + slack column in the final basis.
+    pub status: Vec<TabStat>,
+    /// Rows whose basic variable is a fractional candidate, most
+    /// fractional (closest to .5) first.
+    pub rows: Vec<TableauRow>,
 }
 
 struct Worker<'a> {
@@ -514,6 +580,58 @@ impl<'a> Worker<'a> {
             status: self.status[..n].to_vec(),
             basis: self.basis.clone(),
         })
+    }
+
+    /// Extract tableau rows for basic candidate columns with fractional
+    /// values, most fractional first, capped at `max_rows`.
+    ///
+    /// A phase-1 artificial still basic (at zero — the solve is optimal,
+    /// so feasible) is harmless: GMI validity rests on the aggregated
+    /// identity `ρᵀA x + ρᵀ s = ρᵀ b` over structural and slack columns,
+    /// which holds for *any* multiplier vector ρ on every model-feasible
+    /// point — artificials are identically zero there and contribute
+    /// nothing. The basis only picks which ρ to try; it never enters the
+    /// certificate.
+    fn tableau(&self, candidate: &[bool], frac_tol: f64, max_rows: usize) -> Option<TableauData> {
+        if max_rows == 0 {
+            return None;
+        }
+        let n = self.p.n_struct + self.p.m;
+        // (position, distance of frac(value) from 0.5) — closest first,
+        // position-ordered among ties, both deterministic.
+        let mut picks: Vec<(usize, f64)> = Vec::new();
+        for (pos, &bj) in self.basis.iter().enumerate() {
+            if bj >= self.p.n_struct || !candidate[bj] {
+                continue;
+            }
+            let v = self.x_basic[pos];
+            let frac = v - v.floor();
+            if frac.min(1.0 - frac) > frac_tol {
+                picks.push((pos, (frac - 0.5).abs()));
+            }
+        }
+        picks.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        picks.truncate(max_rows);
+        let mut rows = Vec::with_capacity(picks.len());
+        for &(pos, _) in &picks {
+            let mut rho = vec![0.0; self.p.m];
+            rho[pos] = 1.0;
+            self.factors.btran(&mut rho);
+            rows.push(TableauRow { rho });
+        }
+        let status = self.status[..n]
+            .iter()
+            .map(|st| match st {
+                VStat::Basic(_) => TabStat::Basic,
+                VStat::AtLower => TabStat::AtLower,
+                VStat::AtUpper => TabStat::AtUpper,
+            })
+            .collect();
+        Some(TableauData { status, rows })
     }
 
     /// Rebuild a worker from a parent snapshot under (possibly tightened)

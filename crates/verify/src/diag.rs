@@ -160,6 +160,28 @@ pub enum Code {
     /// Pruned and unpruned cover MILPs disagree on the optimum even
     /// though every drop was certified.
     CutObjectiveDrift,
+
+    // ---- P07xx: Gomory cut certificate audit ----
+    /// The multiplier list of a Gomory certificate is malformed:
+    /// out-of-range row index, non-finite value, or not strictly
+    /// ascending.
+    GomoryMultipliersMalformed,
+    /// The shift list of a Gomory certificate is malformed: unsorted,
+    /// duplicated, out-of-range, or a column with significant
+    /// aggregated coefficient carries no shift.
+    GomoryShiftsMalformed,
+    /// A shift references an unusable bound: infinite, or a slack side
+    /// inconsistent with the row's sense.
+    GomoryBoundUnusable,
+    /// A shift claims integer treatment for a column or slack whose
+    /// integrality cannot be proven from the model.
+    GomoryIntegralityUnproven,
+    /// The recombined fractional part f0 is outside the safe interval,
+    /// so the GMI derivation is numerically degenerate.
+    GomoryFractionalityDegenerate,
+    /// The independently re-derived cut disagrees with the shipped
+    /// coefficients or right-hand side.
+    GomoryCutMismatch,
 }
 
 impl Code {
@@ -215,6 +237,12 @@ impl Code {
         Code::CutCoverInfeasible,
         Code::CutSetMalformed,
         Code::CutObjectiveDrift,
+        Code::GomoryMultipliersMalformed,
+        Code::GomoryShiftsMalformed,
+        Code::GomoryBoundUnusable,
+        Code::GomoryIntegralityUnproven,
+        Code::GomoryFractionalityDegenerate,
+        Code::GomoryCutMismatch,
     ];
 
     /// The stable `P0xxx` identifier.
@@ -269,6 +297,12 @@ impl Code {
             Code::CutCoverInfeasible => "P0604",
             Code::CutSetMalformed => "P0605",
             Code::CutObjectiveDrift => "P0606",
+            Code::GomoryMultipliersMalformed => "P0701",
+            Code::GomoryShiftsMalformed => "P0702",
+            Code::GomoryBoundUnusable => "P0703",
+            Code::GomoryIntegralityUnproven => "P0704",
+            Code::GomoryFractionalityDegenerate => "P0705",
+            Code::GomoryCutMismatch => "P0706",
         }
     }
 
@@ -337,6 +371,12 @@ impl Code {
             Code::CutCoverInfeasible => "node lost cover feasibility after pruning",
             Code::CutSetMalformed => "pruned cut database malformed",
             Code::CutObjectiveDrift => "pruned and unpruned cover optima disagree",
+            Code::GomoryMultipliersMalformed => "Gomory multiplier list malformed",
+            Code::GomoryShiftsMalformed => "Gomory shift list malformed or incomplete",
+            Code::GomoryBoundUnusable => "Gomory shift references an unusable bound",
+            Code::GomoryIntegralityUnproven => "Gomory integer treatment unproven",
+            Code::GomoryFractionalityDegenerate => "Gomory fractional part degenerate",
+            Code::GomoryCutMismatch => "Gomory cut fails independent re-derivation",
         }
     }
 }

@@ -16,14 +16,17 @@
 //!   to the full model (`P0505`).
 //! * [`check_certified_cuts`] audits a cut pool: clique cuts must match
 //!   their embedded (re-verified) clique inequality, cover cuts must
-//!   genuinely exceed their witness row's capacity (`P0504`), and
+//!   genuinely exceed their witness row's capacity (`P0504`),
 //!   implication cuts must match the linear expansion of a sound,
-//!   replayable implication (`P0506`).
+//!   replayable implication (`P0506`), and Gomory cuts must survive a
+//!   full independent replay of their derivation certificate —
+//!   aggregation multipliers, bound shifts, GMI rounding, and
+//!   back-substitution (`P0701`–`P0706`).
 
 use crate::diag::{Code, Diagnostic, Diagnostics};
 use pipemap_milp::analysis::{
-    implication_expression, CertifiedCut, Clique, Conflict, CutProof, EdgeWitness, Implication,
-    ProbeChain, StructuralAnalysis, Transposition,
+    implication_expression, CertifiedCut, Clique, Conflict, CutProof, EdgeWitness, GomoryShift,
+    Implication, ProbeChain, StructuralAnalysis, Transposition,
 };
 use pipemap_milp::{Model, RowId, Sense, VarId, VarKind};
 use std::collections::{BTreeMap, BTreeSet};
@@ -547,14 +550,287 @@ pub fn check_milp_analysis(model: &Model, analysis: &StructuralAnalysis) -> Diag
     diags
 }
 
+/// Is `v` integral to the Gomory derivation's tolerance?
+fn gmi_is_int(v: f64) -> bool {
+    (v - v.round()).abs() <= 1e-9
+}
+
+/// Is a row's slack integral at every integer-feasible point? Requires
+/// an integral rhs, integral coefficients, and integer-kind variables —
+/// re-derived here from the model's public accessors, independent of
+/// the separator's own classification.
+fn gmi_row_integral(model: &Model, ri: usize) -> bool {
+    let rid = RowId::from_index(ri);
+    gmi_is_int(model.row_rhs(rid))
+        && model
+            .row_coeffs(rid)
+            .iter()
+            .all(|&(v, c)| gmi_is_int(c) && model.var_kind(v) == VarKind::Integer)
+}
+
+/// Coefficient threshold below which an aggregated column may go
+/// unshifted without invalidating a Gomory certificate.
+const GMI_ALPHA_TOL: f64 = 1e-7;
+/// Relative tolerance when comparing the re-derived cut against the
+/// shipped one (the separator's own safety margin is `1e-9`-relative).
+const GMI_CMP_TOL: f64 = 1e-6;
+
+/// Independently replay one Gomory certificate from the model alone.
+///
+/// The certificate supplies only the aggregation multipliers and, per
+/// aggregated column, *which bound side* it was shifted onto and whether
+/// integer rounding was claimed. Everything else — bound values
+/// (model bounds with the certified fixings baked in, exactly as the cut
+/// loop applies them), slack bounds, integrality, the GMI coefficients,
+/// and the back-substituted inequality — is re-derived here. Returns the
+/// first failure as `(code, message)`.
+fn audit_gomory(
+    model: &Model,
+    analysis: &StructuralAnalysis,
+    cut: &CertifiedCut,
+    multipliers: &[(usize, f64)],
+    shifts: &[GomoryShift],
+) -> Result<(), (Code, String)> {
+    let n = model.num_vars();
+    let m = model.num_rows();
+
+    // P0701: multiplier list shape.
+    if multipliers.is_empty() {
+        return Err((
+            Code::GomoryMultipliersMalformed,
+            "multiplier list is empty".to_string(),
+        ));
+    }
+    if multipliers.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err((
+            Code::GomoryMultipliersMalformed,
+            "multiplier rows are not strictly ascending".to_string(),
+        ));
+    }
+    for &(ri, v) in multipliers {
+        if ri >= m {
+            return Err((
+                Code::GomoryMultipliersMalformed,
+                format!("multiplier row r{ri} out of range"),
+            ));
+        }
+        if !v.is_finite() {
+            return Err((
+                Code::GomoryMultipliersMalformed,
+                format!("multiplier of r{ri} is not finite"),
+            ));
+        }
+    }
+
+    // Effective structural bounds: pristine model bounds with the
+    // certified fixings applied in order, mirroring the cut loop. The
+    // fixings themselves are audited separately by `check_milp_analysis`.
+    let mut lb: Vec<f64> = (0..n)
+        .map(|j| model.bounds(VarId::from_index(j)).0)
+        .collect();
+    let mut ub: Vec<f64> = (0..n)
+        .map(|j| model.bounds(VarId::from_index(j)).1)
+        .collect();
+    for f in &analysis.fixings {
+        if f.col < n {
+            lb[f.col] = lb[f.col].max(f.value);
+            ub[f.col] = ub[f.col].min(f.value);
+        }
+    }
+
+    // Aggregated row over the extended columns (n structural + m
+    // slacks): α = ρᵀ[A | I], β₀ = ρᵀb. Scattering multipliers in
+    // ascending-row order accumulates each structural column's terms in
+    // the same order the separator summed them.
+    let mut alpha = vec![0.0f64; n + m];
+    let mut beta = 0.0f64;
+    for &(ri, v) in multipliers {
+        let rid = RowId::from_index(ri);
+        for &(var, a) in model.row_coeffs(rid) {
+            alpha[var.index()] += v * a;
+        }
+        alpha[n + ri] = v;
+        beta += v * model.row_rhs(rid);
+    }
+    if !beta.is_finite() {
+        return Err((
+            Code::GomoryMultipliersMalformed,
+            "aggregated right-hand side is not finite".to_string(),
+        ));
+    }
+
+    // P0702: shift list shape and completeness — every aggregated
+    // column with a significant coefficient must carry a shift.
+    if shifts.windows(2).any(|w| w[0].index >= w[1].index) {
+        return Err((
+            Code::GomoryShiftsMalformed,
+            "shift indices are not strictly ascending".to_string(),
+        ));
+    }
+    if let Some(s) = shifts.iter().find(|s| s.index >= n + m) {
+        return Err((
+            Code::GomoryShiftsMalformed,
+            format!("shift index {} out of range", s.index),
+        ));
+    }
+    let mut shifted = vec![false; n + m];
+    for s in shifts {
+        shifted[s.index] = true;
+    }
+    for (j, &a) in alpha.iter().enumerate() {
+        if a.abs() > GMI_ALPHA_TOL && !shifted[j] {
+            return Err((
+                Code::GomoryShiftsMalformed,
+                format!("aggregated column {j} (coefficient {a}) has no shift"),
+            ));
+        }
+    }
+
+    // Replay the shifts: move every listed column onto its recorded
+    // bound side, re-deriving the bound value and integrality claim.
+    let mut abar: Vec<f64> = Vec::with_capacity(shifts.len());
+    for s in shifts {
+        let a = alpha[s.index];
+        let (lo, hi) = if s.index < n {
+            (lb[s.index], ub[s.index])
+        } else {
+            // Slack bounds follow the row sense: `a·x + s = b` with
+            // s ≥ 0 for ≤-rows, s ≤ 0 for ≥-rows, s = 0 for equalities.
+            match model.row_sense(RowId::from_index(s.index - n)) {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            }
+        };
+        let bound = if s.upper { hi } else { lo };
+        if !bound.is_finite() {
+            return Err((
+                Code::GomoryBoundUnusable,
+                format!(
+                    "shift of column {} onto its {} bound, which is not finite",
+                    s.index,
+                    if s.upper { "upper" } else { "lower" }
+                ),
+            ));
+        }
+        if s.integer {
+            let provable = if s.index < n {
+                model.var_kind(VarId::from_index(s.index)) == VarKind::Integer && gmi_is_int(bound)
+            } else {
+                gmi_row_integral(model, s.index - n)
+            };
+            if !provable {
+                return Err((
+                    Code::GomoryIntegralityUnproven,
+                    format!("integer treatment of column {} is not provable", s.index),
+                ));
+            }
+        }
+        beta -= a * bound;
+        abar.push(if s.upper { -a } else { a });
+    }
+
+    // P0705: the recombined fractional part must be usable.
+    let f0 = beta - beta.floor();
+    if !f0.is_finite() || !(1e-6..=1.0 - 1e-6).contains(&f0) {
+        return Err((
+            Code::GomoryFractionalityDegenerate,
+            format!("recombined fractional part f0 = {f0} is degenerate"),
+        ));
+    }
+    let one_minus = 1.0 - f0;
+
+    // GMI rounding in the shifted space, then back-substitution to a
+    // structural `≥` inequality — step for step the separator's own
+    // derivation, but from independently re-derived data.
+    let gamma: Vec<f64> = abar
+        .iter()
+        .zip(shifts)
+        .map(|(&ab, s)| {
+            if s.integer {
+                let fj = ab - ab.floor();
+                if fj <= f0 {
+                    fj
+                } else {
+                    f0 * (1.0 - fj) / one_minus
+                }
+            } else if ab >= 0.0 {
+                ab
+            } else {
+                -f0 * ab / one_minus
+            }
+        })
+        .collect();
+    let mut cx = vec![0.0f64; n];
+    let mut r = f0;
+    for (s, &g) in shifts.iter().zip(&gamma) {
+        if g == 0.0 {
+            continue;
+        }
+        if s.index < n {
+            let bound = if s.upper { ub[s.index] } else { lb[s.index] };
+            if s.upper {
+                cx[s.index] -= g;
+                r -= g * bound;
+            } else {
+                cx[s.index] += g;
+                r += g * bound;
+            }
+        } else {
+            let rid = RowId::from_index(s.index - n);
+            let sign = if s.upper { 1.0 } else { -1.0 };
+            for &(v, c) in model.row_coeffs(rid) {
+                cx[v.index()] += sign * g * c;
+            }
+            r += sign * g * model.row_rhs(rid);
+        }
+    }
+
+    // P0706: the shipped `≤` cut must match the negated re-derivation.
+    let mut dense = vec![0.0f64; n];
+    for &(j, c) in &cut.coeffs {
+        if j >= n {
+            return Err((
+                Code::GomoryCutMismatch,
+                format!("shipped coefficient column {j} out of range"),
+            ));
+        }
+        dense[j] += c;
+    }
+    for (j, &c) in cx.iter().enumerate() {
+        let want = -c;
+        if (dense[j] - want).abs() > GMI_CMP_TOL * (1.0 + want.abs()) {
+            return Err((
+                Code::GomoryCutMismatch,
+                format!(
+                    "coefficient of x{j} is {} but re-derivation gives {want}",
+                    dense[j]
+                ),
+            ));
+        }
+    }
+    let want_rhs = -r;
+    if (cut.rhs - want_rhs).abs() > GMI_CMP_TOL * (1.0 + want_rhs.abs()) {
+        return Err((
+            Code::GomoryCutMismatch,
+            format!(
+                "right-hand side is {} but re-derivation gives {want_rhs}",
+                cut.rhs
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Audit a certified cut pool against its model.
 ///
 /// Clique cuts must equal their embedded clique's inequality (the clique
 /// itself is re-verified; failures emit `P0503`), cover cuts must name
 /// members whose literals genuinely exceed the witness row's capacity
-/// with the cut matching the literal expansion (`P0504`), and
-/// implication cuts must expand a sound, independently replayed
-/// implication (`P0506`).
+/// with the cut matching the literal expansion (`P0504`), implication
+/// cuts must expand a sound, independently replayed implication
+/// (`P0506`), and Gomory cuts must survive the full certificate replay
+/// of [`audit_gomory`] (`P0701`–`P0706`).
 pub fn check_certified_cuts(
     model: &Model,
     analysis: &StructuralAnalysis,
@@ -677,6 +953,14 @@ pub fn check_certified_cuts(
                 let (coeffs, rhs) = implication_expression(implication);
                 if cut.coeffs != coeffs || cut.rhs != rhs {
                     fail("cut differs from the implication's linear expansion".to_string());
+                }
+            }
+            CutProof::Gomory {
+                multipliers,
+                shifts,
+            } => {
+                if let Err((code, why)) = audit_gomory(model, analysis, cut, multipliers, shifts) {
+                    diags.push(Diagnostic::new(code, format!("cut #{ki} (gomory): {why}")));
                 }
             }
         }
@@ -869,6 +1153,135 @@ mod tests {
         };
         let diags = check_certified_cuts(&m, &sa, &[cut]);
         assert!(diags.has_code(Code::ImplicationCutMismatch));
+    }
+
+    /// `min −x₂ s.t. 3x₁ + 2x₂ ≤ 6, −3x₁ + 2x₂ ≤ 0` over integers in
+    /// [0, 3]: the LP optimum (1, 1.5) is fractional, so the cut loop
+    /// ships Gomory cuts.
+    fn gomory_model() -> Model {
+        let mut m = Model::new("gmi");
+        let x1 = m.add_integer(0.0, 3.0, 0.0);
+        let x2 = m.add_integer(0.0, 3.0, -1.0);
+        m.add_constraint(
+            LinExpr::term(3.0, x1) + LinExpr::term(2.0, x2),
+            Sense::Le,
+            6.0,
+        );
+        m.add_constraint(
+            LinExpr::term(-3.0, x1) + LinExpr::term(2.0, x2),
+            Sense::Le,
+            0.0,
+        );
+        m
+    }
+
+    fn gomory_cuts(m: &Model) -> (StructuralAnalysis, Vec<CertifiedCut>, usize) {
+        let sa = analyze(m, &AnalysisConfig::default());
+        let out = root_cut_loop(
+            m,
+            &sa,
+            &CutLoopConfig {
+                gomory: true,
+                ..CutLoopConfig::default()
+            },
+            None,
+        );
+        let gi = out
+            .cuts
+            .iter()
+            .position(|c| matches!(c.proof, CutProof::Gomory { .. }))
+            .expect("cut loop ships a gomory cut");
+        (sa, out.cuts, gi)
+    }
+
+    #[test]
+    fn genuine_gomory_certificates_audit_clean() {
+        let m = gomory_model();
+        let (sa, cuts, _) = gomory_cuts(&m);
+        let diags = check_certified_cuts(&m, &sa, &cuts);
+        assert!(diags.is_empty(), "{}", diags.render_human("gomory"));
+    }
+
+    #[test]
+    fn tampered_gomory_multipliers_fire_p0701() {
+        let m = gomory_model();
+        let (sa, mut cuts, gi) = gomory_cuts(&m);
+        if let CutProof::Gomory { multipliers, .. } = &mut cuts[gi].proof {
+            multipliers.push((1000, 0.5));
+        }
+        let diags = check_certified_cuts(&m, &sa, &cuts);
+        assert!(diags.has_code(Code::GomoryMultipliersMalformed));
+    }
+
+    #[test]
+    fn missing_gomory_shift_fires_p0702() {
+        let m = gomory_model();
+        let (sa, mut cuts, gi) = gomory_cuts(&m);
+        if let CutProof::Gomory { shifts, .. } = &mut cuts[gi].proof {
+            shifts.clear();
+        }
+        let diags = check_certified_cuts(&m, &sa, &cuts);
+        assert!(diags.has_code(Code::GomoryShiftsMalformed));
+    }
+
+    #[test]
+    fn tampered_gomory_rhs_fires_p0706() {
+        let m = gomory_model();
+        let (sa, mut cuts, gi) = gomory_cuts(&m);
+        cuts[gi].rhs += 0.5;
+        let diags = check_certified_cuts(&m, &sa, &cuts);
+        assert!(diags.has_code(Code::GomoryCutMismatch));
+    }
+
+    #[test]
+    fn tampered_gomory_shift_side_fires_p0703() {
+        let m = gomory_model();
+        let n = m.num_vars();
+        let (sa, mut cuts, gi) = gomory_cuts(&m);
+        if let CutProof::Gomory { shifts, .. } = &mut cuts[gi].proof {
+            // A `≤`-row slack lives in [0, ∞): pointing its shift at the
+            // upper bound references +∞, which no replay can use.
+            let s = shifts
+                .iter_mut()
+                .find(|s| s.index >= n)
+                .expect("an aggregated slack is shifted");
+            assert!(!s.upper);
+            s.upper = true;
+        }
+        let diags = check_certified_cuts(&m, &sa, &cuts);
+        assert!(
+            diags.has_code(Code::GomoryBoundUnusable),
+            "{}",
+            diags.render_human("gomory")
+        );
+    }
+
+    #[test]
+    fn bogus_gomory_integer_claim_fires_p0704() {
+        // One integer column, one continuous: the shipped certificate
+        // must mark the continuous column's shift non-integer, and
+        // claiming otherwise is caught.
+        let mut m = Model::new("mixed");
+        let x = m.add_integer(0.0, 10.0, -3.0);
+        let y = m.add_continuous(0.0, 10.0, -1.0);
+        m.add_constraint(
+            LinExpr::term(2.0, x) + LinExpr::term(1.0, y),
+            Sense::Le,
+            7.0,
+        );
+        let (sa, mut cuts, gi) = gomory_cuts(&m);
+        assert!(check_certified_cuts(&m, &sa, &cuts).is_empty());
+        if let CutProof::Gomory { shifts, .. } = &mut cuts[gi].proof {
+            let s = shifts
+                .iter_mut()
+                .find(|s| s.index == y.index())
+                .expect("continuous column is shifted");
+            assert!(!s.integer);
+            s.integer = true;
+        }
+        let diags = check_certified_cuts(&m, &sa, &cuts);
+        assert!(diags.has_code(Code::GomoryIntegralityUnproven));
+        let _ = x;
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! fixings/implications, root clique/cover cut separation, and orbital
 //! fixing from verified column symmetries.
 //!
+//! `--gomory-cuts on|off` (off by default) adds Gomory mixed-integer
+//! cuts read off the optimal simplex tableau to the root cut loop; each
+//! shipped cut carries a derivation certificate audited by the `P07xx`
+//! verify pass. `--decompose on|off` (off by default) refines the warm
+//! incumbent before branch-and-bound by re-solving MFFC-cone subgraphs
+//! against a frozen complement, ordered by LP-relaxation fractionality.
+//!
 //! `--priority-cuts on|off` toggles the certified priority-cut analysis
 //! in front of the mapping-aware MILP (off by default — the ranked
 //! truncation trades mapping quality for a much smaller model): dominated
@@ -81,6 +88,8 @@ struct Args {
     probing: bool,
     cuts: bool,
     symmetry: bool,
+    gomory_cuts: bool,
+    decompose: bool,
     priority_cuts: bool,
     max_cuts_per_root: usize,
     deny_warnings: bool,
@@ -111,6 +120,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         probing: true,
         cuts: true,
         symmetry: true,
+        gomory_cuts: false,
+        decompose: false,
         priority_cuts: false,
         max_cuts_per_root: 4,
         deny_warnings: false,
@@ -165,6 +176,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--probing" => a.probing = parse_switch("--probing", argv.next())?,
             "--cuts" => a.cuts = parse_switch("--cuts", argv.next())?,
             "--symmetry" => a.symmetry = parse_switch("--symmetry", argv.next())?,
+            "--gomory-cuts" => a.gomory_cuts = parse_switch("--gomory-cuts", argv.next())?,
+            "--decompose" => a.decompose = parse_switch("--decompose", argv.next())?,
             "--priority-cuts" => a.priority_cuts = parse_switch("--priority-cuts", argv.next())?,
             "--max-cuts-per-root" => {
                 a.max_cuts_per_root = argv
@@ -200,6 +213,8 @@ fn options(a: &Args) -> FlowOptions {
         probing: a.probing,
         cuts: a.cuts,
         symmetry: a.symmetry,
+        gomory_cuts: a.gomory_cuts,
+        decompose: a.decompose,
         priority_cuts: a.priority_cuts,
         max_cuts_per_root: a.max_cuts_per_root,
         ..FlowOptions::default()
@@ -331,6 +346,16 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
                     s.solver.orbital_fixings,
                     s.solver.implication_fixings
                 );
+                if s.solver.gomory_cuts > 0 || s.subproblems_solved > 0 {
+                    println!(
+                        "        gomory: {} cut(s) | decompose: {} subproblem(s) -> {} \
+                         stitched incumbent(s) | incumbent from {}",
+                        s.solver.gomory_cuts,
+                        s.subproblems_solved,
+                        s.stitched_incumbents,
+                        s.incumbent_source
+                    );
+                }
                 if s.status == pipemap::milp::Status::TimedOut {
                     let gap = pipemap::milp::relative_gap(s.objective, s.best_bound)
                         .map_or("-".to_string(), |g| format!("{:.2}%", g * 100.0));
