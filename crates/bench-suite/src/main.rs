@@ -11,8 +11,17 @@
 //! diverges from the baseline: the performance work must never change
 //! the optimum.
 //!
+//! The `resolve` sub-mode instead benchmarks the *incremental re-solve
+//! engine*: it replays an II × K × weight design-space sweep twice —
+//! once rebuilding and cold-solving every point, once editing one
+//! `ResolveContext` per structural base in place — asserts the two
+//! paths report identical objectives on every completed point, times a
+//! clone-vs-incremental A/B of the `--decompose` sub-solve rounds, and
+//! writes `BENCH_resolve.json`.
+//!
 //! ```text
 //! cargo run -p pipemap-bench-suite -- --quick --jobs 2
+//! cargo run -p pipemap-bench-suite -- resolve --quick
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -20,10 +29,14 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pipemap_bench_suite::{all, Benchmark};
-use pipemap_core::{milp_map_model_size_raw, run_flow, Flow, FlowOptions, FlowResult, MilpStats};
+use pipemap_core::{
+    milp_map_model_size_raw, run_flow, run_sweep, Flow, FlowOptions, FlowResult, MilpStats,
+    SweepConfig,
+};
 use pipemap_milp::Status;
 
 struct Args {
+    mode: Mode,
     quick: bool,
     jobs: usize,
     out: String,
@@ -34,12 +47,19 @@ struct Args {
     gap_closers: bool,
 }
 
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Milp,
+    Resolve,
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
+        mode: Mode::Milp,
         quick: false,
         jobs: 1,
-        out: "BENCH_milp.json".to_string(),
-        time_limit: 0, // 0 = pick by mode below
+        out: String::new(), // defaulted per mode below
+        time_limit: 0,      // 0 = pick by mode below
         only: None,
         skip_cold: false,
         overhead_check: false,
@@ -48,6 +68,8 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "milp" => args.mode = Mode::Milp,
+            "resolve" => args.mode = Mode::Resolve,
             "--quick" => args.quick = true,
             "--jobs" => {
                 let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
@@ -84,10 +106,13 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "pipemap-bench-suite: cold-vs-optimized MILP solve benchmark\n\n\
-                     USAGE: pipemap-bench-suite [--quick] [--jobs N] [--out PATH] [--time-limit S]\n\n\
+                     USAGE: pipemap-bench-suite [milp|resolve] [--quick] [--jobs N] [--out PATH] [--time-limit S]\n\n\
+                     milp           cold-vs-optimized solver A/B over the Table 1 suite (default)\n\
+                     resolve        incremental re-solve engine benchmark: II*K*weight sweep\n\
+                     \x20              cold vs in-place re-solves, plus a --decompose round-time A/B\n\
                      --quick        kernels only with a short solver budget (CI smoke)\n\
                      --jobs N       worker threads for the optimized pass, capped at the core count (default 1; 0 = all cores)\n\
-                     --out PATH     JSON report path (default BENCH_milp.json)\n\
+                     --out PATH     JSON report path (default BENCH_milp.json / BENCH_resolve.json)\n\
                      --bench NAME   run a single benchmark by Table 1 name\n\
                      --time-limit S per-solve wall-clock budget in seconds\n\
                      --gap-closers on|off  Gomory cuts + incumbent decomposition in the optimized pass (default on)\n\
@@ -99,7 +124,28 @@ fn parse_args() -> Args {
         }
     }
     if args.time_limit == 0 {
-        args.time_limit = if args.quick { 20 } else { 60 };
+        args.time_limit = match args.mode {
+            Mode::Milp => {
+                if args.quick {
+                    20
+                } else {
+                    60
+                }
+            }
+            Mode::Resolve => {
+                if args.quick {
+                    5
+                } else {
+                    15
+                }
+            }
+        };
+    }
+    if args.out.is_empty() {
+        args.out = match args.mode {
+            Mode::Milp => "BENCH_milp.json".to_string(),
+            Mode::Resolve => "BENCH_resolve.json".to_string(),
+        };
     }
     if args.jobs == 0 {
         args.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -232,8 +278,352 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Sum the wall-clock of every completed span with one of `names`,
+/// matching Begin/End pairs per lane. Nested same-name spans on one
+/// lane stack correctly; an unclosed span contributes nothing.
+fn span_total_ms(trace: &pipemap_obs::Trace, names: &[&str]) -> f64 {
+    use std::collections::HashMap;
+    let mut open: HashMap<(u32, &str), Vec<u64>> = HashMap::new();
+    let mut total_us = 0u64;
+    for e in &trace.events {
+        let Some(&n) = names.iter().find(|&&n| n == e.name.as_ref()) else {
+            continue;
+        };
+        match e.kind {
+            pipemap_obs::EventKind::Begin => open.entry((e.lane, n)).or_default().push(e.ts_us),
+            pipemap_obs::EventKind::End => {
+                if let Some(t0) = open.get_mut(&(e.lane, n)).and_then(Vec::pop) {
+                    total_us += e.ts_us.saturating_sub(t0);
+                }
+            }
+            _ => {}
+        }
+    }
+    total_us as f64 / 1e3
+}
+
+/// One `--decompose` flow run with tracing on, reduced to the numbers
+/// the A/B needs: wall-clock of the decompose rounds (refinement span +
+/// partition-bound span) and the sub-solve counters.
+struct DecomposeRun {
+    round_ms: f64,
+    subproblems: usize,
+    resolve_solves: Option<usize>,
+    objective: f64,
+}
+
+fn run_decompose_ab(
+    b: &Benchmark,
+    budget: Duration,
+    incremental: bool,
+) -> Result<DecomposeRun, String> {
+    let opts = FlowOptions {
+        time_limit: budget,
+        jobs: 1,
+        priority_cuts: true,
+        decompose: true,
+        resolve: incremental,
+        ..FlowOptions::default()
+    };
+    pipemap_obs::enable();
+    let run = run_flow(&b.dfg, &b.target, Flow::MilpMap, &opts);
+    pipemap_obs::disable();
+    let trace = pipemap_obs::take();
+    let r = run.map_err(|e| format!("{}: {e}", b.name))?;
+    let milp = r
+        .milp
+        .ok_or_else(|| format!("{}: no solver stats", b.name))?;
+    Ok(DecomposeRun {
+        round_ms: span_total_ms(&trace, &["decompose", "partition-bound"]),
+        subproblems: milp.subproblems_solved,
+        resolve_solves: milp.resolve.map(|s| s.solves),
+        objective: milp.objective,
+    })
+}
+
+/// The `resolve` sub-mode: benchmark the incremental re-solve engine.
+fn resolve_main(args: &Args) -> ! {
+    let mut benches = all();
+    if args.quick {
+        benches.retain(|b| b.name == "CLZ");
+    } else if args.only.is_none() {
+        // The sweep set: four model shapes where the engine's reuse
+        // levers genuinely apply — II does not bind these kernels, so
+        // consecutive II values formulate identical bases and dedup can
+        // replay them. On II-binding models (e.g. GSM) every point that
+        // hits the per-point budget costs the full budget on *both*
+        // sides, so sweep wall-clock is cap-bound and no re-solve
+        // engine can improve it; those shapes are still covered by the
+        // full-suite decompose A/B below and `--bench NAME`.
+        benches.retain(|b| ["CLZ", "XORR", "GFMUL", "CORDIC"].contains(&b.name));
+    }
+    if let Some(name) = &args.only {
+        benches.retain(|b| b.name.eq_ignore_ascii_case(name));
+        if benches.is_empty() {
+            usage(&format!("unknown benchmark {name}"));
+        }
+    }
+    let budget = Duration::from_secs(args.time_limit);
+    let cfg_base = SweepConfig {
+        time_limit: budget,
+        jobs: args.jobs,
+        ..SweepConfig::default()
+    };
+    let cfg_base = if args.quick {
+        SweepConfig {
+            ii_values: vec![1, 2],
+            k_values: vec![4],
+            // A monotone path in weight space: each point's optimum
+            // seeds the next as a near-optimal incumbent.
+            weights: vec![(1.0, 0.0, 0.0), (0.5, 0.5, 0.0), (0.25, 0.75, 0.0)],
+            ..cfg_base
+        }
+    } else {
+        cfg_base
+    };
+
+    let mut errors: Vec<String> = Vec::new();
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut rows = String::new();
+    let (mut grand_cold, mut grand_incr) = (0.0f64, 0.0f64);
+    let mut first_row = true;
+    eprintln!(
+        "[bench] resolve: {} benchmark(s), {} sweep point(s) each, {} s/point budget",
+        benches.len(),
+        cfg_base.ii_values.len() * cfg_base.k_values.len() * cfg_base.weights.len(),
+        args.time_limit
+    );
+    for b in &benches {
+        let warm = match run_sweep(
+            &b.dfg,
+            &b.target,
+            &SweepConfig {
+                incremental: true,
+                ..cfg_base.clone()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                errors.push(format!("{}: incremental sweep: {e}", b.name));
+                continue;
+            }
+        };
+        let cold = match run_sweep(
+            &b.dfg,
+            &b.target,
+            &SweepConfig {
+                incremental: false,
+                ..cfg_base.clone()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                errors.push(format!("{}: cold sweep: {e}", b.name));
+                continue;
+            }
+        };
+        let cold_ms = ms(cold.total_wall);
+        let incr_ms = ms(warm.total_wall) + ms(warm.setup_wall);
+        grand_cold += cold_ms;
+        grand_incr += incr_ms;
+        let rs = warm.resolve.unwrap_or_default();
+        let mut points = String::new();
+        for (i, (w, c)) in warm.points.iter().zip(cold.points.iter()).enumerate() {
+            // The equality contract binds completed searches: both
+            // points optimal with different objectives is a bug. A
+            // timed-out point returns an incumbent, recorded as null
+            // match rather than compared.
+            let comparable = w.status == Status::Optimal && c.status == Status::Optimal;
+            let matched = if comparable {
+                let m = (w.objective - c.objective).abs() <= 1e-6;
+                if !m {
+                    mismatches.push(format!(
+                        "{} ii={} k={} alpha={}: incremental {} vs cold {}",
+                        b.name, w.ii, w.k, w.alpha, w.objective, c.objective
+                    ));
+                }
+                m.to_string()
+            } else {
+                "null".to_string()
+            };
+            points.push_str(&format!(
+                "        {{\"ii\": {}, \"ii_achieved\": {}, \"k\": {}, \"alpha\": {}, \"beta\": {}, \
+                 \"gamma\": {}, \"status\": \"{}\", \"objective\": {}, \"cold_objective\": {}, \
+                 \"wall_ms\": {:.3}, \"cold_wall_ms\": {:.3}, \"warm_hit\": {}, \
+                 \"objective_match\": {matched}}}{}\n",
+                w.ii,
+                w.ii_achieved,
+                w.k,
+                w.alpha,
+                w.beta,
+                w.gamma,
+                w.status,
+                jnum(w.objective),
+                jnum(c.objective),
+                ms(w.wall),
+                ms(c.wall),
+                w.warm_hit,
+                if i + 1 < warm.points.len() { "," } else { "" },
+            ));
+        }
+        let hit_rate = if rs.warm_attempts > 0 {
+            format!("{:.4}", rs.warm_hits as f64 / rs.warm_attempts as f64)
+        } else {
+            "null".to_string()
+        };
+        rows.push_str(&format!(
+            "    {}{{\"name\": \"{}\", \"points\": [\n{points}      ],\n      \
+             \"cold_total_ms\": {cold_ms:.3}, \"incremental_total_ms\": {:.3}, \
+             \"setup_ms\": {:.3}, \"speedup\": {:.3}, \"contexts\": {}, \
+             \"bases_deduped\": {},\n      \
+             \"resolve\": {{\"solves\": {}, \"cached_results\": {}, \"cold_solves\": {}, \
+             \"incumbent_seeds\": {}, \
+             \"warm_attempts\": {}, \"warm_hits\": {}, \"basis_reuse_hit_rate\": {hit_rate}, \
+             \"lu_factor_reuses\": {}, \"lu_refactors\": {}, \
+             \"frontier_resumes\": {}, \"frontier_nodes_reused\": {}}}}}\n",
+            if first_row { "" } else { "," },
+            json_escape(b.name),
+            ms(warm.total_wall),
+            ms(warm.setup_wall),
+            cold_ms / incr_ms.max(1e-9),
+            warm.contexts,
+            warm.bases_deduped,
+            rs.solves,
+            rs.cached_results,
+            rs.cold_solves,
+            rs.incumbent_seeds,
+            rs.warm_attempts,
+            rs.warm_hits,
+            rs.lu_factor_reuses,
+            rs.lu_refactors,
+            rs.frontier_resumes,
+            rs.frontier_nodes_reused,
+        ));
+        first_row = false;
+        eprintln!(
+            "[bench] {:>8}: cold {cold_ms:>9.1} ms -> incremental {incr_ms:>9.1} ms \
+             ({:.2}x, {} base(s) deduped, incumbent seeds {}, warm {}/{}, LU reused {})",
+            b.name,
+            cold_ms / incr_ms.max(1e-9),
+            warm.bases_deduped,
+            rs.incumbent_seeds,
+            rs.warm_hits,
+            rs.warm_attempts,
+            rs.lu_factor_reuses,
+        );
+    }
+
+    // Decompose A/B: clone-per-subproblem vs shared-context sub-solves,
+    // serial (the round timing comes from the global trace). Quick mode
+    // keeps the sweep set; the full run covers the whole suite.
+    let ab_benches = if args.quick { benches.clone() } else { all() };
+    let mut ab_rows = String::new();
+    let mut ab_improved = 0usize;
+    eprintln!(
+        "[bench] decompose A/B: clone vs shared-context sub-solves over {} benchmark(s)",
+        ab_benches.len()
+    );
+    for (i, b) in ab_benches.iter().enumerate() {
+        let clone = run_decompose_ab(b, budget, false);
+        let incr = run_decompose_ab(b, budget, true);
+        let (clone, incr) = match (clone, incr) {
+            (Ok(c), Ok(i)) => (c, i),
+            (c, i) => {
+                for e in [c.err(), i.err()].into_iter().flatten() {
+                    errors.push(format!("decompose A/B {e}"));
+                }
+                continue;
+            }
+        };
+        if (clone.objective - incr.objective).abs() > 1e-6 {
+            mismatches.push(format!(
+                "{} decompose A/B: clone objective {} vs incremental {}",
+                b.name, clone.objective, incr.objective
+            ));
+        }
+        let improved = incr.round_ms < clone.round_ms;
+        ab_improved += usize::from(improved);
+        ab_rows.push_str(&format!(
+            "    {}{{\"name\": \"{}\", \"clone_round_ms\": {:.3}, \"incremental_round_ms\": {:.3}, \
+             \"improved\": {improved}, \"clone_subproblems\": {}, \"incremental_subproblems\": {}, \
+             \"resolve_solves\": {}}}\n",
+            if i == 0 { "" } else { "," },
+            json_escape(b.name),
+            clone.round_ms,
+            incr.round_ms,
+            clone.subproblems,
+            incr.subproblems,
+            incr.resolve_solves
+                .map_or("null".to_string(), |s| s.to_string()),
+        ));
+        eprintln!(
+            "[bench] {:>8}: decompose rounds clone {:>8.1} ms -> incremental {:>8.1} ms ({})",
+            b.name,
+            clone.round_ms,
+            incr.round_ms,
+            if improved { "improved" } else { "no gain" },
+        );
+    }
+
+    let speedup = grand_cold / grand_incr.max(1e-9);
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"suite\": \"{}\",\n",
+        if args.quick { "quick" } else { "full" }
+    ));
+    j.push_str("  \"mode\": \"resolve\",\n");
+    j.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    j.push_str(&format!("  \"time_limit_s\": {},\n", args.time_limit));
+    j.push_str(&format!("  \"cold_total_ms\": {grand_cold:.3},\n"));
+    j.push_str(&format!("  \"incremental_total_ms\": {grand_incr:.3},\n"));
+    j.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    j.push_str(&format!(
+        "  \"objectives_match\": {},\n",
+        mismatches.is_empty()
+    ));
+    j.push_str("  \"benchmarks\": [\n");
+    j.push_str(&rows);
+    j.push_str("  ],\n");
+    j.push_str(&format!("  \"decompose_improved_count\": {ab_improved},\n"));
+    j.push_str("  \"decompose_ab\": [\n");
+    j.push_str(&ab_rows);
+    j.push_str("  ],\n");
+    j.push_str("  \"errors\": [");
+    for (i, e) in errors.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{}\"", json_escape(e)));
+    }
+    j.push_str("]\n}\n");
+    if let Err(e) = std::fs::write(&args.out, &j) {
+        eprintln!("[bench] cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench] total: cold {grand_cold:.1} ms, incremental {grand_incr:.1} ms, \
+         speedup {speedup:.2}x, decompose rounds improved on {ab_improved}/{} -> {}",
+        ab_benches.len(),
+        args.out
+    );
+    for m in &mismatches {
+        eprintln!("[bench] OBJECTIVE MISMATCH {m}");
+    }
+    for e in &errors {
+        eprintln!("[bench] ERROR {e}");
+    }
+    if !mismatches.is_empty() || !errors.is_empty() {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if args.mode == Mode::Resolve {
+        resolve_main(&args);
+    }
     let mut benches = all();
     if args.quick {
         // CI smoke set: the two benchmarks whose MILP-map models the

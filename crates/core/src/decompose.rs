@@ -62,6 +62,12 @@ pub(crate) struct DecomposeConfig {
     /// when the neighborhoods are not improving, the remaining budget
     /// is worth more to the main branch-and-bound tree.
     pub max_consecutive_failures: usize,
+    /// Solve region/group sub-MILPs through one shared
+    /// [`pipemap_milp::ResolveContext`] (freeze/relax edits applied as
+    /// bound/objective deltas, warm-started from the previous sub-solve's
+    /// basis) instead of re-cloning and cold-solving the full model per
+    /// sub-problem. Off = the historical clone-per-subproblem path.
+    pub incremental: bool,
 }
 
 impl Default for DecomposeConfig {
@@ -73,6 +79,7 @@ impl Default for DecomposeConfig {
             node_limit: 2000,
             jobs: 1,
             max_consecutive_failures: 5,
+            incremental: true,
         }
     }
 }
@@ -88,6 +95,9 @@ pub(crate) struct DecomposeOutcome {
     pub subproblems_solved: usize,
     /// Improving region incumbents stitched into the seed.
     pub stitched_incumbents: usize,
+    /// Reuse counters of the shared re-solve context (`None` on the
+    /// clone-per-subproblem path).
+    pub resolve_stats: Option<pipemap_milp::ResolveStats>,
 }
 
 /// Carve the DFG into cone-bounded regions: subtrees of the
@@ -254,6 +264,13 @@ pub(crate) fn partition_bound(
     let start = Instant::now();
     let mut total = 0.0f64;
     let mut solved = 0usize;
+    // One shared re-solve context: each group's "partial objective +
+    // partial integrality" model is the base model plus objective and
+    // kind deltas, so consecutive groups warm-start from the previous
+    // group's root basis instead of cold-solving a fresh clone.
+    let mut cx = cfg
+        .incremental
+        .then(|| pipemap_milp::ResolveContext::new(f.model.clone()));
     for (k, &gi) in order.iter().enumerate() {
         let remaining = cfg.time_budget.saturating_sub(start.elapsed());
         // A group with no objective-weighted column contributes exactly
@@ -264,14 +281,6 @@ pub(crate) fn partition_bound(
         }
         let groups_left = (rest + 1 - k) as u32;
         let slice = (remaining / groups_left).max(Duration::from_millis(100));
-        let mut sub = f.model.clone();
-        for (j, &g) in group.iter().enumerate() {
-            if g != gi {
-                let v = pipemap_milp::VarId::from_index(j);
-                sub.set_objective_coeff(v, 0.0);
-                sub.relax_integrality(v);
-            }
-        }
         // Unlike the refinement sub-solves, the node cap here is a
         // runaway backstop, not the convergence mechanism: the bound
         // should use whatever its time slice allows.
@@ -284,7 +293,32 @@ pub(crate) fn partition_bound(
             symmetry: false,
             ..SolverOptions::default()
         };
-        match sub.solve(&sub_opts) {
+        let sub_result = match cx.as_mut() {
+            Some(cx) => {
+                cx.restore_objective();
+                cx.restore_kinds();
+                for (j, &g) in group.iter().enumerate() {
+                    if g != gi {
+                        let v = pipemap_milp::VarId::from_index(j);
+                        cx.set_objective_coeff(v, 0.0);
+                        cx.relax_integrality(v);
+                    }
+                }
+                cx.solve(&sub_opts)
+            }
+            None => {
+                let mut sub = f.model.clone();
+                for (j, &g) in group.iter().enumerate() {
+                    if g != gi {
+                        let v = pipemap_milp::VarId::from_index(j);
+                        sub.set_objective_coeff(v, 0.0);
+                        sub.relax_integrality(v);
+                    }
+                }
+                sub.solve(&sub_opts)
+            }
+        };
+        match sub_result {
             Ok(r) if r.best_bound.is_finite() => {
                 solved += 1;
                 // Never below the box bound the group is entitled to.
@@ -321,6 +355,7 @@ pub(crate) fn refine_incumbent(
         objective: best,
         subproblems_solved: 0,
         stitched_incumbents: 0,
+        resolve_stats: None,
     };
 
     let mut regions = carve_regions(dfg, cfg);
@@ -347,6 +382,13 @@ pub(crate) fn refine_incumbent(
     // across rounds, so the schedule stays deterministic.
     let start = Instant::now();
     let mut consecutive_failures = 0usize;
+    // One shared re-solve context across every region and round: the
+    // frozen-complement sub-MILP is the base model plus bound deltas
+    // (freeze = fix at the incumbent), rolled back and re-applied per
+    // region, so each sub-solve warm-starts from its predecessor.
+    let mut cx = cfg
+        .incremental
+        .then(|| pipemap_milp::ResolveContext::new(f.model.clone()));
     'rounds: loop {
         let mut improved_this_round = false;
         for region in &regions {
@@ -360,17 +402,10 @@ pub(crate) fn refine_incumbent(
                 .min(cfg.time_budget - elapsed)
                 .max(Duration::from_millis(100));
 
-            let mut sub = f.model.clone();
-            let mut free = vec![false; sub.num_vars()];
+            let mut free = vec![false; f.model.num_vars()];
             for &u in region {
                 for var in f.node_vars(u) {
                     free[var.index()] = true;
-                }
-            }
-            for (j, &is_free) in free.iter().enumerate() {
-                if !is_free {
-                    let x = incumbent[j];
-                    sub.set_bounds(pipemap_milp::VarId::from_index(j), x, x);
                 }
             }
             let sub_opts = SolverOptions {
@@ -385,7 +420,29 @@ pub(crate) fn refine_incumbent(
                 symmetry: false,
                 ..SolverOptions::default()
             };
-            let Ok(r) = sub.solve(&sub_opts) else {
+            let sub_result = match cx.as_mut() {
+                Some(cx) => {
+                    cx.restore_bounds();
+                    for (j, &is_free) in free.iter().enumerate() {
+                        if !is_free {
+                            let x = incumbent[j];
+                            cx.set_bounds(pipemap_milp::VarId::from_index(j), x, x);
+                        }
+                    }
+                    cx.solve(&sub_opts)
+                }
+                None => {
+                    let mut sub = f.model.clone();
+                    for (j, &is_free) in free.iter().enumerate() {
+                        if !is_free {
+                            let x = incumbent[j];
+                            sub.set_bounds(pipemap_milp::VarId::from_index(j), x, x);
+                        }
+                    }
+                    sub.solve(&sub_opts)
+                }
+            };
+            let Ok(r) = sub_result else {
                 continue;
             };
             out.subproblems_solved += 1;
@@ -421,6 +478,7 @@ pub(crate) fn refine_incumbent(
 
     out.values = incumbent;
     out.objective = best;
+    out.resolve_stats = cx.map(|c| c.stats());
     if obs::enabled() {
         obs::instant_with(
             "decompose-done",
@@ -507,6 +565,36 @@ mod tests {
             "refined incumbent infeasible"
         );
         assert!(out.subproblems_solved >= out.stitched_incumbents);
+        // Default config routes sub-solves through the shared context.
+        let rs = out.resolve_stats.expect("incremental stats");
+        assert_eq!(rs.solves, out.subproblems_solved);
+    }
+
+    #[test]
+    fn clone_path_refinement_still_works() {
+        let g = two_cones();
+        let target = Target::fig1();
+        let db = CutDb::enumerate(&g, &CutConfig::for_target(&target));
+        let base = crate::baseline::schedule_baseline(&g, &target, 1, &db).expect("baseline");
+        let m = base.implementation.schedule.depth();
+        let f = formulation::build(&g, &target, &db, base.ii, m, 0.5, 0.5);
+        let seed = f
+            .seed(&g, &target, &db, &base.implementation)
+            .expect("seed fits");
+        let seed_obj = f.model.objective_value(&seed);
+        let cfg = DecomposeConfig {
+            time_budget: Duration::from_secs(5),
+            jobs: 1,
+            incremental: false,
+            ..DecomposeConfig::default()
+        };
+        let out = refine_incumbent(&g, &f, seed, None, &cfg);
+        assert!(out.objective <= seed_obj + 1e-9, "refinement worsened");
+        assert!(
+            f.model.check_feasible(&out.values, 1e-6).is_none(),
+            "refined incumbent infeasible"
+        );
+        assert!(out.resolve_stats.is_none());
     }
 
     #[test]

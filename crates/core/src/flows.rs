@@ -138,6 +138,12 @@ pub struct FlowOptions {
     /// sub-MILPs, and stitch improving incumbents (see
     /// `crate::decompose`). Off by default; opt in via `--decompose`.
     pub decompose: bool,
+    /// Route the decomposition's sub-MILPs through one shared
+    /// [`pipemap_milp::ResolveContext`]: freeze/relax edits become
+    /// bound/objective deltas and each sub-solve warm-starts from the
+    /// previous one's basis and LU factors (on by default; off
+    /// reproduces the clone-and-cold-solve baseline via `--resolve off`).
+    pub resolve: bool,
 }
 
 impl Default for FlowOptions {
@@ -164,6 +170,7 @@ impl Default for FlowOptions {
             symmetry: true,
             gomory_cuts: false,
             decompose: false,
+            resolve: true,
         }
     }
 }
@@ -226,6 +233,10 @@ pub struct MilpStats {
     /// `"decompose"` (a stitched region incumbent survived), or
     /// `"solver"` (the tree search improved on what it was given).
     pub incumbent_source: &'static str,
+    /// Reuse counters of the decomposition's shared re-solve context
+    /// (`None` when [`FlowOptions::decompose`] or
+    /// [`FlowOptions::resolve`] is off).
+    pub resolve: Option<pipemap_milp::ResolveStats>,
     /// Presolve/warm-start/parallelism counters from the solver.
     pub solver: SolverStats,
 }
@@ -505,6 +516,7 @@ fn run_milp(
     // bound.
     let mut subproblems_solved = 0usize;
     let mut stitched_incumbents = 0usize;
+    let mut resolve_stats: Option<pipemap_milp::ResolveStats> = None;
     let mut incumbent_source: &'static str = if seed.is_some() { "seed" } else { "none" };
     if opts.decompose {
         if let Some(sv) = seed.take() {
@@ -515,6 +527,7 @@ fn run_milp(
             let dcfg = crate::decompose::DecomposeConfig {
                 time_budget: budget,
                 jobs: opts.jobs.max(1),
+                incremental: opts.resolve,
                 ..crate::decompose::DecomposeConfig::default()
             };
             let out = crate::decompose::refine_incumbent(
@@ -526,6 +539,7 @@ fn run_milp(
             );
             subproblems_solved = out.subproblems_solved;
             stitched_incumbents = out.stitched_incumbents;
+            resolve_stats = out.resolve_stats;
             if out.stitched_incumbents > 0 {
                 incumbent_source = "decompose";
             }
@@ -621,6 +635,7 @@ fn run_milp(
             // side of the gap, which the tree was failing to move.
             time_budget: opts.time_limit / 2,
             jobs: opts.jobs.max(1),
+            incremental: opts.resolve,
             ..crate::decompose::DecomposeConfig::default()
         };
         if let Some((pb, groups)) = crate::decompose::partition_bound(dfg, &f, &dcfg) {
@@ -685,6 +700,7 @@ fn run_milp(
             subproblems_solved,
             stitched_incumbents,
             incumbent_source,
+            resolve: resolve_stats,
             solver,
         }),
     })

@@ -49,6 +49,15 @@ pub(crate) struct Formulation {
     c_vars: Vec<Vec<VarId>>,
     l_vars: Vec<Option<VarId>>,
     len_vars: Vec<Option<VarId>>,
+    /// `(cut selector, LUT bit unit)` pairs: the α-weighted objective
+    /// slots (0 units for pure-wire cones). Kept so a weight sweep can
+    /// re-cost the objective as in-place deltas instead of rebuilding.
+    alpha_units: Vec<(VarId, f64)>,
+    /// `(lifetime var, FF bit unit)` pairs: the β-weighted slots.
+    beta_units: Vec<(VarId, f64)>,
+    /// The γ-weighted DSP-count variable, when the model was built with
+    /// one (`gamma > 0.0` at build time).
+    x_mult: Option<VarId>,
     ii: u32,
     m: u32,
 }
@@ -113,6 +122,9 @@ pub(crate) fn build_weighted(
         c_vars: vec![Vec::new(); dfg.len()],
         l_vars: vec![None; dfg.len()],
         len_vars: vec![None; dfg.len()],
+        alpha_units: Vec::new(),
+        beta_units: Vec::new(),
+        x_mult: None,
         ii,
         m,
     };
@@ -155,21 +167,22 @@ pub(crate) fn build_weighted(
                 // fabric — mirrored in the QoR evaluator).
                 let cone = cone_nodes(dfg, id, cut);
                 let pure_wire = cone.iter().all(|&n| dfg.node(n).op.is_wire());
-                let cost = if pure_wire {
+                let unit = if pure_wire {
                     0.0
                 } else {
-                    alpha * f64::from(node.width)
+                    f64::from(node.width)
                 };
-                f.c_vars[id.index()].push(f.model.add_binary(cost));
+                let c = f.model.add_binary(alpha * unit);
+                f.alpha_units.push((c, unit));
+                f.c_vars[id.index()].push(c);
             }
         }
         if signal_producer(&node.op) {
             // Objective Eq. (15), register term: β · Bits(v) · len_v.
-            f.len_vars[id.index()] = Some(f.model.add_continuous(
-                0.0,
-                big_m,
-                beta * f64::from(node.width),
-            ));
+            let unit = f64::from(node.width);
+            let len = f.model.add_continuous(0.0, big_m, beta * unit);
+            f.beta_units.push((len, unit));
+            f.len_vars[id.index()] = Some(len);
         }
     }
 
@@ -346,10 +359,11 @@ pub(crate) fn build_weighted(
         // Optional DSP-count variable X_r (Eq. 14's usage variable),
         // minimized with weight γ; without γ only the hard limit applies.
         let count_var = if gamma > 0.0 && res == pipemap_ir::Resource::Mult {
-            Some(
-                f.model
-                    .add_integer(0.0, limit.map_or(nodes.len() as f64, f64::from), gamma),
-            )
+            let x = f
+                .model
+                .add_integer(0.0, limit.map_or(nodes.len() as f64, f64::from), gamma);
+            f.x_mult = Some(x);
+            Some(x)
         } else {
             None
         };
@@ -395,6 +409,22 @@ impl Formulation {
             .chain(self.c_vars[i].iter().copied())
             .chain(self.l_vars[i])
             .chain(self.len_vars[i])
+    }
+
+    /// Objective coefficients for a new `(α, β, γ)` weighting, as
+    /// `(variable, coefficient)` pairs. A weight sweep applies these as
+    /// objective deltas on a `ResolveContext` instead of rebuilding the
+    /// model, which keeps the solved basis warm across sweep points.
+    ///
+    /// `γ` is only honoured when the model was *built* with a DSP-count
+    /// variable (`gamma > 0.0` at build time); re-weighting to `γ = 0`
+    /// then just zeroes its coefficient, which is exact.
+    pub fn objective_deltas(&self, alpha: f64, beta: f64, gamma: f64) -> Vec<(VarId, f64)> {
+        let mut out = Vec::with_capacity(self.alpha_units.len() + self.beta_units.len() + 1);
+        out.extend(self.alpha_units.iter().map(|&(v, u)| (v, alpha * u)));
+        out.extend(self.beta_units.iter().map(|&(v, u)| (v, beta * u)));
+        out.extend(self.x_mult.map(|x| (x, gamma)));
+        out
     }
 
     /// Extract an [`Implementation`] from a solved assignment.

@@ -40,6 +40,7 @@ mod decompose;
 mod error;
 mod flows;
 mod formulation;
+mod sweep;
 
 pub use baseline::{schedule_baseline, schedule_mapped_heuristic, BaselineResult};
 
@@ -62,3 +63,4 @@ pub use flows::{
     milp_map_model_size, milp_map_model_size_raw, run_all_flows, run_flow, Flow, FlowOptions,
     FlowResult, MilpStats, PrePassStats,
 };
+pub use sweep::{run_sweep, SweepConfig, SweepPoint, SweepReport};

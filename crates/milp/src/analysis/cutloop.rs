@@ -123,7 +123,7 @@ pub struct CutLoopConfig {
     /// Minimum LP violation for a cut to be worth separating.
     pub min_violation: f64,
     /// Separate rank-1 Gomory mixed-integer cuts from the round-0
-    /// tableau (see [`super::gomory`]).
+    /// tableau (see the `gomory` module).
     pub gomory: bool,
 }
 

@@ -42,6 +42,7 @@ mod branch;
 mod lu;
 mod model;
 mod presolve;
+mod resolve;
 mod simplex;
 
 use std::error::Error;
@@ -49,6 +50,7 @@ use std::fmt;
 use std::time::Duration;
 
 pub use model::{LinExpr, Model, RowId, Sense, VarId, VarKind};
+pub use resolve::{ResolveAudit, ResolveContext, ResolveStats};
 
 /// Outcome class of a MILP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +278,21 @@ pub struct SolverStats {
     /// Incumbent/bound timeline of the solve (objective offset already
     /// applied, so values are in the caller's model space).
     pub convergence: Vec<GapSample>,
+    /// Root LPs warm-started from a saved [`ResolveContext`] basis.
+    pub resolve_warm_attempts: usize,
+    /// Saved-basis root warm starts that re-optimized without a cold
+    /// fallback.
+    pub resolve_warm_hits: usize,
+    /// Root solves that adopted the prior solve's LU factors (possibly
+    /// border-extended for added cut rows) instead of refactoring.
+    pub lu_factor_reuses: usize,
+    /// Root solves that refactored the basis from scratch (cold roots of
+    /// capturing solves, plus warm starts whose cached factors were
+    /// stale).
+    pub lu_refactors: usize,
+    /// Open leaves of the prior search resumed as this solve's initial
+    /// frontier (pure continuations only).
+    pub frontier_nodes_reused: usize,
 }
 
 impl SolverStats {

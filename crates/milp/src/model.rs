@@ -249,7 +249,7 @@ impl Mul<f64> for LinExpr {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Col {
     pub lb: f64,
     pub ub: f64,
@@ -257,7 +257,7 @@ pub(crate) struct Col {
     pub kind: VarKind,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Row {
     /// Merged, zero-free coefficients sorted by variable.
     pub coeffs: Vec<(VarId, f64)>,
@@ -405,6 +405,17 @@ impl Model {
         self.cols[v.index()].obj
     }
 
+    /// `true` when both models pose the exact same problem — identical
+    /// columns (bounds, objective, kind) and identical rows — ignoring
+    /// the display name. Since the solver is deterministic, two models
+    /// for which this holds produce bit-identical results under equal
+    /// options; design-space sweeps use that to skip re-solving a
+    /// structural point whose formulation collapsed onto the previous
+    /// one (e.g. an II that does not bind).
+    pub fn same_problem(&self, other: &Model) -> bool {
+        self.cols == other.cols && self.rows == other.rows
+    }
+
     /// Replace a variable's objective coefficient. Used by objective
     /// decompositions that minimize one variable group's share of a
     /// linear objective at a time.
@@ -418,6 +429,34 @@ impl Model {
     /// before stays feasible.
     pub fn relax_integrality(&mut self, v: VarId) {
         self.cols[v.index()].kind = VarKind::Continuous;
+    }
+
+    /// Replace a variable's kind outright. Unlike [`Self::relax_integrality`]
+    /// this can also *restore* integrality, which the re-solve engine needs
+    /// to undo a relaxation delta.
+    pub fn set_var_kind(&mut self, v: VarId, kind: VarKind) {
+        self.cols[v.index()].kind = kind;
+    }
+
+    /// Add `coeff · var` into an existing row, merging with any existing
+    /// coefficient (a zero result drops the entry). The re-solve engine
+    /// uses this to give freshly added columns entries in existing rows.
+    pub fn add_coefficient(&mut self, r: RowId, v: VarId, coeff: f64) {
+        assert!(!coeff.is_nan(), "NaN row coefficient");
+        let row = &mut self.rows[r.index()];
+        match row.coeffs.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => {
+                row.coeffs[i].1 += coeff;
+                if row.coeffs[i].1 == 0.0 {
+                    row.coeffs.remove(i);
+                }
+            }
+            Err(i) => {
+                if coeff != 0.0 {
+                    row.coeffs.insert(i, (v, coeff));
+                }
+            }
+        }
     }
 
     /// Kind of a variable.

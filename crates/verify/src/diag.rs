@@ -182,6 +182,23 @@ pub enum Code {
     /// The independently re-derived cut disagrees with the shipped
     /// coefficients or right-hand side.
     GomoryCutMismatch,
+
+    // ---- P08xx: incremental re-solve audit ----
+    /// An incrementally re-solved model's status diverges from a
+    /// from-scratch solve of the identical model and options.
+    ResolveStatusDiverged,
+    /// An incrementally re-solved model's objective diverges from a
+    /// from-scratch solve beyond tolerance.
+    ResolveObjectiveDiverged,
+    /// The incremental result's assignment fails independent
+    /// re-verification (row/bound feasibility or integrality) or does
+    /// not reconcile with the from-scratch assignment as a tied optimum.
+    ResolveAssignmentInvalid,
+    /// Incremental and from-scratch solves returned different members of
+    /// a tied optimal set; both re-verified feasible (informational).
+    ResolveTiedOptima,
+    /// The re-solve engine's reuse counters are internally inconsistent.
+    ResolveStatsInconsistent,
 }
 
 impl Code {
@@ -243,6 +260,11 @@ impl Code {
         Code::GomoryIntegralityUnproven,
         Code::GomoryFractionalityDegenerate,
         Code::GomoryCutMismatch,
+        Code::ResolveStatusDiverged,
+        Code::ResolveObjectiveDiverged,
+        Code::ResolveAssignmentInvalid,
+        Code::ResolveTiedOptima,
+        Code::ResolveStatsInconsistent,
     ];
 
     /// The stable `P0xxx` identifier.
@@ -303,6 +325,11 @@ impl Code {
             Code::GomoryIntegralityUnproven => "P0704",
             Code::GomoryFractionalityDegenerate => "P0705",
             Code::GomoryCutMismatch => "P0706",
+            Code::ResolveStatusDiverged => "P0801",
+            Code::ResolveObjectiveDiverged => "P0802",
+            Code::ResolveAssignmentInvalid => "P0803",
+            Code::ResolveTiedOptima => "P0804",
+            Code::ResolveStatsInconsistent => "P0805",
         }
     }
 
@@ -315,6 +342,7 @@ impl Code {
             Code::ObjectiveRegression => Severity::Warning,
             Code::ConstantOutputBit | Code::DeadInputBit => Severity::Warning,
             Code::NonPow2Memory => Severity::Info,
+            Code::ResolveTiedOptima => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -377,6 +405,11 @@ impl Code {
             Code::GomoryIntegralityUnproven => "Gomory integer treatment unproven",
             Code::GomoryFractionalityDegenerate => "Gomory fractional part degenerate",
             Code::GomoryCutMismatch => "Gomory cut fails independent re-derivation",
+            Code::ResolveStatusDiverged => "incremental re-solve status diverges from cold",
+            Code::ResolveObjectiveDiverged => "incremental re-solve objective diverges from cold",
+            Code::ResolveAssignmentInvalid => "incremental assignment fails re-verification",
+            Code::ResolveTiedOptima => "incremental and cold solves picked different tied optima",
+            Code::ResolveStatsInconsistent => "re-solve reuse counters inconsistent",
         }
     }
 }

@@ -36,7 +36,12 @@
 //! * [`check_priority_cuts`] — priority-cut pruning audit (`P06xx`):
 //!   every dominance/liveness certificate re-derived from the graph, an
 //!   independent cover-feasibility recount, and an objective-invariance
-//!   spot-check solving raw-vs-pruned covering MILPs on small graphs.
+//!   spot-check solving raw-vs-pruned covering MILPs on small graphs,
+//! * [`check_resolve`] — incremental re-solve audit (`P08xx`): the last
+//!   incrementally re-optimized result confronted with a from-scratch
+//!   solve of the identical model, an independent feasibility and
+//!   integrality recheck of its assignment, and a consistency check of
+//!   the engine's reuse counters.
 //!
 //! ```
 //! use pipemap_verify::{lint_text, Code};
@@ -58,6 +63,7 @@ mod diff_pass;
 mod ir_pass;
 mod milp_pass;
 mod netlist_pass;
+mod resolve_pass;
 mod sched_pass;
 
 pub use analyze_pass::{check_analysis, check_graph_equivalence, check_simplification};
@@ -67,4 +73,5 @@ pub use diff_pass::{check_flows, check_flows_with_graphs, objective, FlowCheckOp
 pub use ir_pass::{lint_dfg, lint_text};
 pub use milp_pass::{check_certified_cuts, check_milp_analysis};
 pub use netlist_pass::lint_verilog;
+pub use resolve_pass::check_resolve;
 pub use sched_pass::check_implementation;

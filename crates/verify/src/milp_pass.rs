@@ -830,7 +830,7 @@ fn audit_gomory(
 /// with the cut matching the literal expansion (`P0504`), implication
 /// cuts must expand a sound, independently replayed implication
 /// (`P0506`), and Gomory cuts must survive the full certificate replay
-/// of [`audit_gomory`] (`P0701`–`P0706`).
+/// of the Gomory audit (`P0701`–`P0706`).
 pub fn check_certified_cuts(
     model: &Model,
     analysis: &StructuralAnalysis,

@@ -12,6 +12,7 @@
 //! pipemap verify   <file.pmir> [--limit SECS] [--ii N] [--k N] [--json]
 //! pipemap bench    <NAME>      [--limit SECS]         # built-in benchmark
 //! pipemap run      <NAME>                             # alias for bench
+//! pipemap sweep    <file.pmir> [--ii-list 1,2,4] [--k-list 4,6] [--resolve on|off] [--audit]
 //! ```
 //!
 //! `FLOW` is one of `hls`, `base`, `map` (default), `heur`. Flags may
@@ -33,6 +34,15 @@
 //! verify pass. `--decompose on|off` (off by default) refines the warm
 //! incumbent before branch-and-bound by re-solving MFFC-cone subgraphs
 //! against a frozen complement, ordered by LP-relaxation fractionality.
+//!
+//! `--resolve on|off` (on by default) routes repeated closely-related
+//! solves — the decomposition's sub-MILPs, and every point of the
+//! `sweep` subcommand — through an editable re-solve context that
+//! warm-starts each solve from the previous one's simplex basis and LU
+//! factors instead of solving cold. `sweep` explores the II × K ×
+//! weight design space over one such context per structural base (cold
+//! per-point replay with `--resolve off`); `--audit` re-checks every
+//! incremental sweep point against a from-scratch solve.
 //!
 //! `--priority-cuts on|off` toggles the certified priority-cut analysis
 //! in front of the mapping-aware MILP (off by default — the ranked
@@ -93,6 +103,10 @@ struct Args {
     priority_cuts: bool,
     max_cuts_per_root: usize,
     deny_warnings: bool,
+    resolve: bool,
+    audit: bool,
+    ii_list: Option<Vec<u32>>,
+    k_list: Option<Vec<u32>>,
 }
 
 fn parse_switch(flag: &str, v: Option<String>) -> Result<bool, String> {
@@ -100,6 +114,15 @@ fn parse_switch(flag: &str, v: Option<String>) -> Result<bool, String> {
         Some("on") => Ok(true),
         Some("off") => Ok(false),
         _ => Err(format!("{flag} needs `on` or `off`")),
+    }
+}
+
+fn parse_u32_list(flag: &str, v: Option<String>) -> Result<Vec<u32>, String> {
+    let raw = v.ok_or_else(|| format!("{flag} needs a comma-separated list, e.g. 1,2,4"))?;
+    let list: Result<Vec<u32>, _> = raw.split(',').map(|s| s.trim().parse::<u32>()).collect();
+    match list {
+        Ok(l) if !l.is_empty() => Ok(l),
+        _ => Err(format!("{flag}: could not parse `{raw}` as a u32 list")),
     }
 }
 
@@ -125,6 +148,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         priority_cuts: false,
         max_cuts_per_root: 4,
         deny_warnings: false,
+        resolve: true,
+        audit: false,
+        ii_list: None,
+        k_list: None,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -186,6 +213,14 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("--max-cuts-per-root needs a count >= 1")?;
             }
+            "--resolve" => a.resolve = parse_switch("--resolve", argv.next())?,
+            "--audit" => a.audit = true,
+            "--ii-list" => {
+                a.ii_list = Some(parse_u32_list("--ii-list", argv.next())?);
+            }
+            "--k-list" => {
+                a.k_list = Some(parse_u32_list("--k-list", argv.next())?);
+            }
             "--deny-warnings" => a.deny_warnings = true,
             "--metrics" => a.metrics = true,
             "--json" => a.json = true,
@@ -217,6 +252,7 @@ fn options(a: &Args) -> FlowOptions {
         decompose: a.decompose,
         priority_cuts: a.priority_cuts,
         max_cuts_per_root: a.max_cuts_per_root,
+        resolve: a.resolve,
         ..FlowOptions::default()
     }
 }
@@ -232,7 +268,9 @@ fn run() -> Result<(), Box<dyn Error>> {
     // Flags may appear anywhere; the first positional is the subcommand.
     let mut a = parse_args(std::env::args().skip(1)).map_err(|e| -> Box<dyn Error> { e.into() })?;
     if a.positional.is_empty() {
-        eprintln!("usage: pipemap <info|dot|schedule|verilog|lint|analyze|verify|bench|run> ...");
+        eprintln!(
+            "usage: pipemap <info|dot|schedule|verilog|lint|analyze|verify|bench|run|sweep> ..."
+        );
         return Err("missing subcommand".into());
     }
     let cmd = a.positional.remove(0);
@@ -512,6 +550,96 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
                     nodes,
                     hit
                 );
+            }
+        }
+        "sweep" => {
+            let name = a
+                .positional
+                .first()
+                .ok_or("sweep needs a .pmir file or a benchmark name")?;
+            let (dfg, t) = if std::path::Path::new(name).exists() {
+                (load(name)?, target(a))
+            } else {
+                let b = pipemap::bench_suite::by_name(name)
+                    .ok_or("sweep needs a .pmir file or a known benchmark name")?;
+                (b.dfg, b.target)
+            };
+            let mut cfg = pipemap::core::SweepConfig {
+                time_limit: Duration::from_secs(a.limit),
+                jobs: a.jobs,
+                incremental: a.resolve,
+                audit: a.audit,
+                ..pipemap::core::SweepConfig::default()
+            };
+            if let Some(l) = &a.ii_list {
+                cfg.ii_values = l.clone();
+            }
+            if let Some(l) = &a.k_list {
+                cfg.k_values = l.clone();
+            }
+            let rep = pipemap::core::run_sweep(&dfg, &t, &cfg)?;
+            println!(
+                "{:<3} {:>3} {:>2} {:>6} {:>6} {:>6} {:>9} {:>12} {:>10} {:>5} {:>5}",
+                "ii",
+                "ach",
+                "k",
+                "alpha",
+                "beta",
+                "gamma",
+                "status",
+                "objective",
+                "wall",
+                "warm",
+                "audit"
+            );
+            for p in &rep.points {
+                println!(
+                    "{:<3} {:>3} {:>2} {:>6.2} {:>6.2} {:>6.2} {:>9} {:>12.4} {:>10} {:>5} {:>5}",
+                    p.ii,
+                    p.ii_achieved,
+                    p.k,
+                    p.alpha,
+                    p.beta,
+                    p.gamma,
+                    p.status.to_string(),
+                    p.objective,
+                    format!("{:.2?}", p.wall),
+                    if p.warm_hit { "yes" } else { "no" },
+                    p.audit_ok.map_or("-", |ok| if ok { "ok" } else { "FAIL" }),
+                );
+            }
+            println!(
+                "sweep: {} point(s) over {} structural base(s) in {:.2?} (+{:.2?} shared setup), mode {}",
+                rep.points.len(),
+                rep.contexts,
+                rep.total_wall,
+                rep.setup_wall,
+                if a.resolve { "incremental" } else { "cold" },
+            );
+            if let Some(rs) = &rep.resolve {
+                println!(
+                    "       reuse: {} solve(s) | {} cached | {} cold | {} base(s) deduped \
+                     | {} incumbent seed(s) | warm hits {}/{} \
+                     | LU reused {} / refactored {} | {} frontier resume(s) ({} node(s))",
+                    rs.solves,
+                    rs.cached_results,
+                    rs.cold_solves,
+                    rep.bases_deduped,
+                    rs.incumbent_seeds,
+                    rs.warm_hits,
+                    rs.warm_attempts,
+                    rs.lu_factor_reuses,
+                    rs.lu_refactors,
+                    rs.frontier_resumes,
+                    rs.frontier_nodes_reused
+                );
+            }
+            if rep.audit_failures > 0 {
+                return Err(format!(
+                    "{} sweep point(s) diverged from the from-scratch audit",
+                    rep.audit_failures
+                )
+                .into());
             }
         }
         other => {
