@@ -1,0 +1,234 @@
+//! `bench-suite compare`: regression gate between two `BENCH_milp.json`
+//! reports, plus the append-only run history behind it.
+//!
+//! The comparison is asymmetric by design: *quality* metrics (status,
+//! proven objective, gap, model size) use tight thresholds because the
+//! solver is deterministic and those numbers should not move between a
+//! baseline and a candidate built from the same model; *timing* metrics
+//! (wall-clock, node counts) use generous thresholds because the two
+//! reports may come from different machines, budgets, or job counts.
+//! A baseline compared against itself always exits 0.
+
+use pipemap_obs::json::{self, Value};
+
+/// Tolerances for the compare gate. Wall-clock is user-tunable
+/// (`--wall-tol-pct`); the quality thresholds are fixed and tight.
+pub struct CompareOpts {
+    /// Extra wall-clock the candidate may spend, as a percentage of the
+    /// baseline wall (default 50). A 500 ms absolute floor is always
+    /// added so sub-millisecond benches don't flag on scheduler noise.
+    pub wall_tol_pct: f64,
+    /// Treat benchmarks present in the baseline but absent from the
+    /// candidate as skipped rather than regressed (for comparing a
+    /// `--quick` run against a committed full-suite baseline).
+    pub allow_missing: bool,
+}
+
+/// Rank statuses by badness: proven optimum beats any incumbent, any
+/// incumbent beats having no answer. `feasible` and `timed-out` share a
+/// rank — both mean "valid incumbent, no proof" and which one a capped
+/// run reports is a timing artifact.
+fn status_rank(s: &str) -> u8 {
+    match s {
+        "optimal" => 0,
+        "feasible" | "timed-out" => 1,
+        _ => 2,
+    }
+}
+
+fn f64_field(b: &Value, key: &str) -> Option<f64> {
+    b.get(key).and_then(Value::as_f64)
+}
+
+fn opt_f64(b: &Value, key: &str) -> Option<f64> {
+    b.get("optimized")
+        .and_then(|o| o.get(key))
+        .and_then(Value::as_f64)
+}
+
+/// One benchmark row reduced to the fields the gate compares.
+struct Row {
+    name: String,
+    status: String,
+    objective: Option<f64>,
+    gap_rel: Option<f64>,
+    wall_ms: Option<f64>,
+    nodes: Option<f64>,
+    vars: Option<f64>,
+    constraints: Option<f64>,
+}
+
+fn rows(doc: &Value, path: &str) -> Result<Vec<Row>, String> {
+    if doc.get("mode").and_then(Value::as_str) == Some("resolve") {
+        return Err(format!(
+            "{path}: is a resolve-mode report; compare expects milp-mode reports"
+        ));
+    }
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: no \"benchmarks\" array"))?;
+    let mut out = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: benchmark row without a \"name\""))?
+            .to_string();
+        out.push(Row {
+            name,
+            status: b
+                .get("status")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            objective: f64_field(b, "objective"),
+            gap_rel: f64_field(b, "mip_gap_rel"),
+            wall_ms: opt_f64(b, "wall_ms"),
+            nodes: opt_f64(b, "nodes"),
+            vars: opt_f64(b, "milp_vars"),
+            constraints: opt_f64(b, "milp_constraints"),
+        });
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    rows(&doc, path)
+}
+
+/// Compare a candidate report against a baseline and exit: 0 when no
+/// benchmark regressed, 1 on any regression, 2 on malformed input.
+pub fn compare_main(base_path: &str, cand_path: &str, opts: &CompareOpts) -> ! {
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("[compare] {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+    let mut regressions: Vec<String> = Vec::new();
+    let mut skipped = 0usize;
+    let mut compared = 0usize;
+    for b in &base {
+        let Some(c) = cand.iter().find(|c| c.name == b.name) else {
+            if opts.allow_missing {
+                skipped += 1;
+                continue;
+            }
+            regressions.push(format!("{}: missing from candidate", b.name));
+            continue;
+        };
+        compared += 1;
+        let mut flags: Vec<String> = Vec::new();
+
+        // Quality: tight. Status may only hold or improve.
+        if status_rank(&c.status) > status_rank(&b.status) {
+            flags.push(format!("status degraded {} -> {}", b.status, c.status));
+        }
+        // Objective (minimization): a proven baseline optimum is a hard
+        // floor; an incumbent-only baseline gets 1% slack since capped
+        // searches surface whichever incumbent fit the budget.
+        if let (Some(bo), Some(co)) = (b.objective, c.objective) {
+            let tol = if b.status == "optimal" {
+                1e-6 + 1e-9 * bo.abs()
+            } else {
+                1e-6 + 0.01 * bo.abs()
+            };
+            if co > bo + tol {
+                flags.push(format!("objective worsened {bo} -> {co}"));
+            }
+        }
+        if let (Some(bg), Some(cg)) = (b.gap_rel, c.gap_rel) {
+            if cg > bg + 0.01 {
+                flags.push(format!("gap widened {bg:.4} -> {cg:.4}"));
+            }
+        }
+        // Model size is deterministic per formulation: growth beyond
+        // rounding means the pruning or presolve lost ground.
+        for (what, bv, cv) in [
+            ("milp_vars", b.vars, c.vars),
+            ("milp_constraints", b.constraints, c.constraints),
+        ] {
+            if let (Some(bv), Some(cv)) = (bv, cv) {
+                if cv > bv * 1.05 + 2.0 {
+                    flags.push(format!("{what} grew {bv:.0} -> {cv:.0}"));
+                }
+            }
+        }
+        // Effort: generous. Node counts shift with worker interleaving,
+        // so only a blow-up on a both-proven search flags.
+        if b.status == "optimal" && c.status == "optimal" {
+            if let (Some(bn), Some(cn)) = (b.nodes, c.nodes) {
+                if cn > bn * 4.0 + 64.0 {
+                    flags.push(format!("node count blew up {bn:.0} -> {cn:.0}"));
+                }
+            }
+        }
+        // Wall-clock: generous (different machines and budgets).
+        if let (Some(bw), Some(cw)) = (b.wall_ms, c.wall_ms) {
+            let limit = bw * (1.0 + opts.wall_tol_pct / 100.0) + 500.0;
+            if cw > limit {
+                flags.push(format!(
+                    "wall {bw:.1} ms -> {cw:.1} ms (limit {limit:.1} ms at --wall-tol-pct {})",
+                    opts.wall_tol_pct
+                ));
+            }
+        }
+
+        if flags.is_empty() {
+            eprintln!(
+                "[compare] {:>8}: ok ({}, objective {})",
+                c.name,
+                c.status,
+                c.objective.map_or("null".to_string(), |v| v.to_string())
+            );
+        } else {
+            for f in &flags {
+                eprintln!("[compare] {:>8}: REGRESSION: {f}", c.name);
+                regressions.push(format!("{}: {f}", c.name));
+            }
+        }
+    }
+    eprintln!(
+        "[compare] {compared} benchmark(s) compared, {skipped} skipped, {} regression(s) \
+         ({base_path} -> {cand_path})",
+        regressions.len()
+    );
+    std::process::exit(i32::from(!regressions.is_empty()));
+}
+
+/// Append one compact summary line for this run to
+/// `results/bench_history.jsonl`, creating the directory on first use.
+/// History is best-effort telemetry: a write failure warns and moves on
+/// rather than failing a benchmark run that already produced its report.
+pub fn append_history(line: &str) {
+    use std::io::Write;
+    let dir = std::path::Path::new("results");
+    let path = dir.join("bench_history.jsonl");
+    let r = std::fs::create_dir_all(dir).and_then(|()| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{line}"))
+    });
+    match r {
+        Ok(()) => eprintln!(
+            "[bench] history: appended run summary to {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("[bench] history: cannot append to {}: {e}", path.display()),
+    }
+}
+
+/// Seconds since the Unix epoch, for history timestamps.
+pub fn unix_ts() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}

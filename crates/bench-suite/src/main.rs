@@ -28,6 +28,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+mod compare;
+
 use pipemap_bench_suite::{all, Benchmark};
 use pipemap_core::{
     milp_map_model_size_raw, run_flow, run_sweep, Flow, FlowOptions, FlowResult, MilpStats,
@@ -45,12 +47,17 @@ struct Args {
     skip_cold: bool,
     overhead_check: bool,
     gap_closers: bool,
+    compare_files: Vec<String>,
+    wall_tol_pct: f64,
+    allow_missing: bool,
+    no_history: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
 enum Mode {
     Milp,
     Resolve,
+    Compare,
 }
 
 fn parse_args() -> Args {
@@ -64,12 +71,27 @@ fn parse_args() -> Args {
         skip_cold: false,
         overhead_check: false,
         gap_closers: true,
+        compare_files: Vec::new(),
+        wall_tol_pct: 50.0,
+        allow_missing: false,
+        no_history: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "milp" => args.mode = Mode::Milp,
             "resolve" => args.mode = Mode::Resolve,
+            "compare" => args.mode = Mode::Compare,
+            "--wall-tol-pct" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--wall-tol-pct needs a percentage"));
+                args.wall_tol_pct = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--wall-tol-pct needs a number"));
+            }
+            "--allow-missing" => args.allow_missing = true,
+            "--no-history" => args.no_history = true,
             "--quick" => args.quick = true,
             "--jobs" => {
                 let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
@@ -110,15 +132,26 @@ fn parse_args() -> Args {
                      milp           cold-vs-optimized solver A/B over the Table 1 suite (default)\n\
                      resolve        incremental re-solve engine benchmark: II*K*weight sweep\n\
                      \x20              cold vs in-place re-solves, plus a --decompose round-time A/B\n\
+                     compare BASELINE.json CANDIDATE.json\n\
+                     \x20              regression gate between two milp-mode reports; exits non-zero\n\
+                     \x20              when the candidate regresses (status, objective, gap, model\n\
+                     \x20              size tight; wall-clock and node counts generous)\n\
+                     --wall-tol-pct P  compare: extra wall-clock allowance in percent (default 50)\n\
+                     --allow-missing   compare: skip baseline benchmarks absent from the candidate\n\
+                     --no-history   skip appending this run to results/bench_history.jsonl\n\
                      --quick        kernels only with a short solver budget (CI smoke)\n\
                      --jobs N       worker threads for the optimized pass, capped at the core count (default 1; 0 = all cores)\n\
                      --out PATH     JSON report path (default BENCH_milp.json / BENCH_resolve.json)\n\
                      --bench NAME   run a single benchmark by Table 1 name\n\
                      --time-limit S per-solve wall-clock budget in seconds\n\
                      --gap-closers on|off  Gomory cuts + incumbent decomposition in the optimized pass (default on)\n\
-                     --overhead-check  assert disabled-mode tracing overhead < 2% and exit"
+                     --overhead-check  assert disabled-mode tracing overhead and\n\
+                     \x20              metrics-enabled-but-unexported overhead are each < 2%, then exit"
                 );
                 std::process::exit(0);
+            }
+            other if args.mode == Mode::Compare && !other.starts_with('-') => {
+                args.compare_files.push(other.to_string());
             }
             other => usage(&format!("unknown argument {other}")),
         }
@@ -139,11 +172,12 @@ fn parse_args() -> Args {
                     15
                 }
             }
+            Mode::Compare => 1,
         };
     }
     if args.out.is_empty() {
         args.out = match args.mode {
-            Mode::Milp => "BENCH_milp.json".to_string(),
+            Mode::Milp | Mode::Compare => "BENCH_milp.json".to_string(),
             Mode::Resolve => "BENCH_resolve.json".to_string(),
         };
     }
@@ -201,6 +235,57 @@ fn overhead_check(benches: &[Benchmark], budget: Duration) -> ! {
     );
     if overhead >= 0.02 {
         eprintln!("[bench] overhead-check FAILED: disabled-mode tracing overhead >= 2%");
+        std::process::exit(1);
+    }
+
+    // Second probe: metrics enabled but never exported. Run the same
+    // benchmark with the registry live to count how many counter
+    // increments and histogram/gauge records the solve performs, measure
+    // the per-record cost (atomic fetch-adds on a leaked handle), and
+    // bound the overhead by `per_record * updates / wall`.
+    use pipemap_obs::metrics::{self, MetricValue};
+    metrics::reset();
+    metrics::enable();
+    let start = Instant::now();
+    let run = run_flow(&b.dfg, &b.target, Flow::MilpMap, &opts);
+    let wall_m = start.elapsed();
+    metrics::disable();
+    let snap = metrics::snapshot();
+    metrics::reset();
+    if let Err(e) = run {
+        eprintln!("[bench] overhead-check (metrics): {} failed: {e}", b.name);
+        std::process::exit(1);
+    }
+    // Gauges overwrite rather than accumulate, so their update counts
+    // are invisible in the snapshot; counting each as one update
+    // under-states them, but gauge sets are O(1) per solve while
+    // counters and histograms fire per LP iteration / node / cut.
+    let updates: u64 = snap
+        .metrics
+        .iter()
+        .map(|(_, v)| match v {
+            MetricValue::Counter(c) => *c,
+            MetricValue::Gauge(_) => 1,
+            MetricValue::Histogram(h) => h.count,
+        })
+        .sum();
+    let h = metrics::histogram("overhead-probe");
+    let t0 = Instant::now();
+    for i in 0..PROBES {
+        h.record(f64::from(i % 97));
+    }
+    let per_record_ns = t0.elapsed().as_nanos() as f64 / f64::from(PROBES);
+    metrics::reset();
+    let m_overhead = per_record_ns * updates as f64 / (wall_m.as_nanos() as f64).max(1.0);
+    eprintln!(
+        "[bench] overhead-check: {} performed {updates} metric update(s) in {:.1} ms; \
+         one record costs {per_record_ns:.1} ns -> {:.4}% of wall (limit 2%)",
+        b.name,
+        ms(wall_m),
+        m_overhead * 100.0
+    );
+    if m_overhead >= 0.02 {
+        eprintln!("[bench] overhead-check FAILED: metrics-enabled overhead >= 2%");
         std::process::exit(1);
     }
     std::process::exit(0);
@@ -601,6 +686,21 @@ fn resolve_main(args: &Args) -> ! {
         eprintln!("[bench] cannot write {}: {e}", args.out);
         std::process::exit(1);
     }
+    if !args.no_history {
+        compare::append_history(&format!(
+            "{{\"ts\": {}, \"mode\": \"resolve\", \"suite\": \"{}\", \"jobs\": {}, \
+             \"time_limit_s\": {}, \"cold_total_ms\": {grand_cold:.3}, \
+             \"incremental_total_ms\": {grand_incr:.3}, \"speedup\": {speedup:.3}, \
+             \"decompose_improved_count\": {ab_improved}, \"objectives_match\": {}, \
+             \"errors\": {}}}",
+            compare::unix_ts(),
+            if args.quick { "quick" } else { "full" },
+            args.jobs,
+            args.time_limit,
+            mismatches.is_empty(),
+            errors.len(),
+        ));
+    }
     eprintln!(
         "[bench] total: cold {grand_cold:.1} ms, incremental {grand_incr:.1} ms, \
          speedup {speedup:.2}x, decompose rounds improved on {ab_improved}/{} -> {}",
@@ -621,6 +721,19 @@ fn resolve_main(args: &Args) -> ! {
 
 fn main() {
     let args = parse_args();
+    if args.mode == Mode::Compare {
+        let [base, cand] = args.compare_files.as_slice() else {
+            usage("compare needs exactly two report paths: BASELINE.json CANDIDATE.json");
+        };
+        compare::compare_main(
+            base,
+            cand,
+            &compare::CompareOpts {
+                wall_tol_pct: args.wall_tol_pct,
+                allow_missing: args.allow_missing,
+            },
+        );
+    }
     if args.mode == Mode::Resolve {
         resolve_main(&args);
     }
@@ -869,6 +982,7 @@ fn main() {
              \"orbital_fixings\": {}, \"implication_fixings\": {}, \
              \"gomory_cuts\": {}, \"subproblems_solved\": {}, \
              \"stitched_incumbents\": {}, \"incumbent_source\": \"{}\", \
+             \"warm_skip_reason\": {}, \
              \"nodes_per_worker\": [{}],\n      \"convergence\": [{}]}}}}{}\n",
             json_escape(o.name),
             jnum(o.milp.objective),
@@ -909,6 +1023,8 @@ fn main() {
             o.milp.subproblems_solved,
             o.milp.stitched_incumbents,
             o.milp.incumbent_source,
+            s.warm_skip_reason
+                .map_or("null".to_string(), |r| format!("\"{}\"", json_escape(r))),
             workers,
             curve,
             if i + 1 < rows.len() { "," } else { "" }
@@ -926,6 +1042,51 @@ fn main() {
     if let Err(e) = std::fs::write(&args.out, &j) {
         eprintln!("[bench] cannot write {}: {e}", args.out);
         std::process::exit(1);
+    }
+    if !args.no_history {
+        // One line per run: enough to chart a trend or feed `compare`
+        // by hand, small enough to commit the file if a project wants a
+        // durable record.
+        let mut hb = String::new();
+        for (i, (_, _, o)) in rows.iter().enumerate() {
+            if i > 0 {
+                hb.push_str(", ");
+            }
+            let gap = pipemap_milp::relative_gap(o.milp.objective, o.milp.best_bound);
+            hb.push_str(&format!(
+                "{{\"name\": \"{}\", \"status\": \"{}\", \"objective\": {}, \
+                 \"best_bound\": {}, \"gap_rel\": {}, \"wall_ms\": {:.3}, \"nodes\": {}, \
+                 \"warm_hit_rate\": {}}}",
+                json_escape(o.name),
+                o.milp.status,
+                jnum(o.milp.objective),
+                jnum(o.milp.best_bound),
+                gap.map_or("null".to_string(), |g| format!("{g:.6}")),
+                ms(o.wall),
+                o.milp.nodes,
+                o.milp
+                    .solver
+                    .warm_hit_rate()
+                    .map_or("null".to_string(), |h| format!("{h:.4}")),
+            ));
+        }
+        compare::append_history(&format!(
+            "{{\"ts\": {}, \"mode\": \"milp\", \"suite\": \"{}\", \"jobs\": {}, \
+             \"time_limit_s\": {}, \"optimized_total_ms\": {:.3}, \"cold_total_ms\": {}, \
+             \"objectives_match\": {}, \"errors\": {}, \"benchmarks\": [{hb}]}}",
+            compare::unix_ts(),
+            if args.quick { "quick" } else { "full" },
+            args.jobs,
+            args.time_limit,
+            ms(opt_total),
+            if args.skip_cold {
+                "null".to_string()
+            } else {
+                format!("{:.3}", ms(cold_total))
+            },
+            mismatches.is_empty(),
+            errors.len(),
+        ));
     }
 
     for (bi, c, o) in &rows {

@@ -650,6 +650,34 @@ fn run_milp(
             }
         }
     }
+    if obs::metrics::enabled() {
+        obs::metrics::gauge("model.cols").set(f.model.num_vars() as f64);
+        obs::metrics::gauge("model.rows").set(f.model.num_rows() as f64);
+    }
+    if obs::enabled() {
+        // Final solver verdict for the flight recorder, emitted after the
+        // partition-bound pass so the recorded gap matches what callers
+        // see in `MilpStats`.
+        let gap_rel = if objective.is_finite() && best_bound.is_finite() {
+            (objective - best_bound).abs() / objective.abs().max(1e-9)
+        } else {
+            f64::NAN
+        };
+        obs::instant_with(
+            "milp-stats",
+            vec![
+                ("status", status.to_string().into()),
+                ("objective", objective.into()),
+                ("best_bound", best_bound.into()),
+                ("gap_rel", gap_rel.into()),
+                ("nodes", nodes.into()),
+                ("lp_iterations", lp_iterations.into()),
+                ("variables", f.model.num_vars().into()),
+                ("constraints", f.model.num_rows().into()),
+                ("incumbent_source", incumbent_source.into()),
+            ],
+        );
+    }
     // Route legality through the full diagnostics verifier: unlike the
     // fail-fast `pipemap_netlist::verify`, it reports *every* violated
     // invariant with a stable `P0xxx` code.

@@ -172,6 +172,9 @@ pub fn priority_cuts(dfg: &Dfg, cfg: &CutConfig, pcfg: &PruneConfig) -> Priority
     let mut certificates = Vec::new();
     let mut ranked_out = Vec::new();
     let mut stats = PruneStats::default();
+    // Hoisted registry lookup: one mutex hit per analysis, not per node.
+    let size_hist =
+        pipemap_obs::metrics::enabled().then(|| pipemap_obs::metrics::histogram("cuts.kept_size"));
 
     for v in dfg.node_ids() {
         let raw_set = raw.cuts(v);
@@ -275,6 +278,11 @@ pub fn priority_cuts(dfg: &Dfg, cfg: &CutConfig, pcfg: &PruneConfig) -> Priority
         }
 
         stats.cuts_kept += kept.len();
+        if let Some(h) = size_hist {
+            for cut in &kept {
+                h.record(cut.len() as f64);
+            }
+        }
         sets[v.index()] = CutSet { cuts: kept };
     }
 

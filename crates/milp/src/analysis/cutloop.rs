@@ -11,6 +11,7 @@ use super::{binary_mask, Clique, Implication, StructuralAnalysis};
 use crate::model::{LinExpr, Model, Sense, VarId, VarKind};
 use crate::simplex::{LpProblem, LpStatus};
 use pipemap_obs as obs;
+use pipemap_obs::metrics;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -330,6 +331,19 @@ pub fn root_cut_loop(
         }
         let _span = obs::span("cut-round");
         let validated = pool.len();
+        // Per-family counts of the cuts entering the LP this round (last
+        // round's pending batch) — these are the cuts whose bound effect
+        // this round's re-solve measures, so the flight recorder can
+        // attribute the movement to families.
+        let mut entering = [0usize; 4];
+        for pc in &pending {
+            entering[match pc.kind {
+                CutKind::Clique => 0,
+                CutKind::Cover => 1,
+                CutKind::Implication => 2,
+                CutKind::Gomory => 3,
+            }] += 1;
+        }
         pool.append(&mut pending);
         let work = build_model(&base, &pool);
         let lp = LpProblem::from_model(&work);
@@ -387,6 +401,27 @@ pub fn root_cut_loop(
             } else {
                 stalled = 0;
             }
+        }
+        if obs::enabled() {
+            // Round 0 has no prior objective; report a zero delta rather
+            // than a non-finite sentinel (which JSON cannot carry).
+            let obj_before = if prev_obj.is_finite() {
+                prev_obj
+            } else {
+                sol.obj
+            };
+            obs::instant_with(
+                "cut-round-bound",
+                vec![
+                    ("round", round.into()),
+                    ("obj_before", obj_before.into()),
+                    ("obj_after", sol.obj.into()),
+                    ("clique", entering[0].into()),
+                    ("cover", entering[1].into()),
+                    ("implication", entering[2].into()),
+                    ("gomory", entering[3].into()),
+                ],
+            );
         }
         prev_obj = sol.obj;
         let x = &sol.x;
@@ -457,6 +492,12 @@ pub fn root_cut_loop(
             }
         }
 
+        if metrics::enabled() {
+            let h = metrics::histogram("cuts.violation");
+            for &(_, v, _) in &cands {
+                h.record(v);
+            }
+        }
         cands.sort_by(|p, q| {
             q.1.partial_cmp(&p.1)
                 .unwrap()

@@ -36,11 +36,12 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrd};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrd};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pipemap_obs as obs;
+use pipemap_obs::metrics;
 
 use crate::analysis::{self, StructuralAnalysis};
 use crate::lu::Factors;
@@ -265,6 +266,11 @@ struct SearchState {
     /// leaving time→gap curves with a single point followed by a cliff;
     /// the heartbeat keeps them honest at ~1 Hz.
     next_beat: Duration,
+    /// Objective grid in *reduced* space (`0.0` = no grid). Samples snap
+    /// to this grid at emission so the timeline never records simplex
+    /// noise like `113.00000000000004` in the first place; the final
+    /// conversion re-snaps in caller space to absorb offset noise too.
+    snap_delta: f64,
 }
 
 impl SearchState {
@@ -274,8 +280,20 @@ impl SearchState {
         if !force && self.timeline.len() >= MAX_SAMPLES {
             return;
         }
-        self.timeline
-            .push((t.as_micros() as u64, self.incumbent_obj, self.frontier));
+        let snap = |v: f64| -> f64 {
+            if self.snap_delta > 0.0 && v.is_finite() {
+                let g = (v / self.snap_delta).round() * self.snap_delta;
+                if (g - v).abs() <= 1e-6 {
+                    return g;
+                }
+            }
+            v
+        };
+        self.timeline.push((
+            t.as_micros() as u64,
+            snap(self.incumbent_obj),
+            snap(self.frontier),
+        ));
     }
 }
 
@@ -437,6 +455,13 @@ struct Ctx<'a> {
     resolve_hits: &'a AtomicUsize,
     lu_factor_reuses: &'a AtomicUsize,
     lu_refactors: &'a AtomicUsize,
+    /// Set when the root LP solved to optimality but no warm basis could
+    /// be snapshotted (a phase-1 artificial stuck in the basis) — the one
+    /// condition that silently disables warm starts for the whole tree.
+    root_unsnapshottable: &'a AtomicBool,
+    /// Root relaxation objective (reduced space, post-cuts) as f64 bits;
+    /// `u64::MAX` until the root solves. Telemetry only.
+    root_bound_bits: &'a AtomicU64,
 }
 
 /// Finest grid `δ > 0` such that the *minimal* objective value over any
@@ -601,11 +626,32 @@ fn dive(
     warm: Option<&WarmBasis>,
     lp_iters: &mut usize,
 ) -> Option<(f64, Vec<f64>)> {
+    let mut rounds = 0usize;
+    let out = dive_rounds(ctx, lb0, ub0, start, warm, lp_iters, &mut rounds);
+    if metrics::enabled() {
+        metrics::histogram("search.dive_depth").record(rounds as f64);
+    }
+    out
+}
+
+/// [`dive`] body; `rounds` counts fixing rounds across every exit path so
+/// the caller can feed the dive-depth histogram.
+#[allow(clippy::too_many_arguments)]
+fn dive_rounds(
+    ctx: &Ctx<'_>,
+    lb0: &[f64],
+    ub0: &[f64],
+    start: &LpSolution,
+    warm: Option<&WarmBasis>,
+    lp_iters: &mut usize,
+    rounds: &mut usize,
+) -> Option<(f64, Vec<f64>)> {
     let mut lb = lb0.to_vec();
     let mut ub = ub0.to_vec();
     let mut sol = start.clone();
     let mut basis: Option<WarmBasis> = warm.cloned();
     for _round in 0..30 {
+        *rounds += 1;
         if sol.obj >= ctx.cutoff_red - 1e-9 {
             return None; // the dive can't end below the cutoff
         }
@@ -787,6 +833,16 @@ fn process_node(ctx: &Ctx<'_>, node: &Node, lp_iters: &mut usize) -> Processed {
         LpStatus::Unbounded => return Processed::Unbounded,
         LpStatus::Optimal => {}
     }
+    if node.depth == 0 {
+        ctx.root_bound_bits
+            .store(sol.obj.to_bits(), AtomicOrd::Relaxed);
+        // A missing root snapshot is the one condition that silently
+        // zeroes warm starts for the whole tree; record it so the stats
+        // can name the cause instead of reporting a bare zero.
+        if ctx.warm_enabled && snap.is_none() {
+            ctx.root_unsnapshottable.store(true, AtomicOrd::Relaxed);
+        }
+    }
 
     // Fold this node's observed degradation into its pseudo-cost table.
     let pcosts = match node.branched {
@@ -949,6 +1005,8 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
     // Flushed when the worker closure ends (inside the scope), so the
     // trace capture after `thread::scope` never misses tail events.
     let _lane = obs::lane_guard(format!("bb-worker-{wid}"));
+    // Hoisted registry lookup: one mutex hit per worker, not per node.
+    let depth_hist = metrics::enabled().then(|| metrics::histogram("search.node_depth"));
     let mut g = shared.lock().expect("search mutex");
     loop {
         if g.error.is_some() || g.stop.is_some() {
@@ -1022,6 +1080,9 @@ fn worker(ctx: &Ctx<'_>, shared: &Mutex<SearchState>, cv: &Condvar, wid: usize) 
         g.in_flight[wid] = Some(node.bound);
         drop(g);
 
+        if let Some(h) = depth_hist {
+            h.record(node.depth as f64);
+        }
         let node_span = if obs::enabled() {
             Some(obs::span_with(
                 "node",
@@ -1356,6 +1417,8 @@ pub(crate) fn solve_milp_resolve(
         resolve_hits: &AtomicUsize::new(0),
         lu_factor_reuses: &AtomicUsize::new(0),
         lu_refactors: &AtomicUsize::new(0),
+        root_unsnapshottable: &AtomicBool::new(false),
+        root_bound_bits: &AtomicU64::new(u64::MAX),
     };
 
     let mut state = SearchState {
@@ -1372,6 +1435,7 @@ pub(crate) fn solve_milp_resolve(
         frontier: f64::NEG_INFINITY,
         timeline: Vec::new(),
         next_beat: HEARTBEAT,
+        snap_delta: ctx.obj_delta,
     };
     if let Some(s) = &seed {
         if let Some(sr) = red.project(s) {
@@ -1429,6 +1493,36 @@ pub(crate) fn solve_milp_resolve(
     stats.lu_factor_reuses = ctx.lu_factor_reuses.load(AtomicOrd::Relaxed);
     stats.lu_refactors = ctx.lu_refactors.load(AtomicOrd::Relaxed);
     stats.nodes_per_worker = std::mem::take(&mut g.per_worker_nodes);
+    // A zero warm-attempt count is either expected (disabled, or the tree
+    // had nothing to warm-start) or a silent loss (root basis declined to
+    // snapshot); name the cause so reports never show a bare zero.
+    if stats.warm_attempts == 0 {
+        stats.warm_skip_reason = Some(if !opts.warm_start {
+            "disabled by options"
+        } else if ctx.root_unsnapshottable.load(AtomicOrd::Relaxed) {
+            "root LP basis not snapshottable (artificial still basic)"
+        } else {
+            "no warm-startable LP re-solves (solved at or near the root)"
+        });
+    }
+    let root_bound_bits = ctx.root_bound_bits.load(AtomicOrd::Relaxed);
+    if obs::enabled() {
+        let root_bound = if root_bound_bits == u64::MAX {
+            f64::NAN
+        } else {
+            f64::from_bits(root_bound_bits) + offset
+        };
+        obs::instant_with(
+            "search-stats",
+            vec![
+                ("warm_attempts", stats.warm_attempts.into()),
+                ("warm_hits", stats.warm_hits.into()),
+                ("warm_skip", stats.warm_skip_reason.unwrap_or("none").into()),
+                ("root_bound", root_bound.into()),
+                ("nodes", g.nodes.into()),
+            ],
+        );
+    }
 
     let stop = g.stop.unwrap_or(StopReason::Exhausted);
 

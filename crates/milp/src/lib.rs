@@ -293,6 +293,12 @@ pub struct SolverStats {
     /// Open leaves of the prior search resumed as this solve's initial
     /// frontier (pure continuations only).
     pub frontier_nodes_reused: usize,
+    /// Why no warm start was attempted, when `warm_attempts` is zero for
+    /// a structural reason rather than by accident: warm starts disabled
+    /// by options, a root basis that could not be snapshotted, or a
+    /// search that never produced child nodes. `None` when warm starts
+    /// engaged (or the solve never reached the tree).
+    pub warm_skip_reason: Option<&'static str>,
 }
 
 impl SolverStats {

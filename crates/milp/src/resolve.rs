@@ -425,6 +425,7 @@ impl ResolveContext {
                 ) {
                     self.stats.cached_results += 1;
                     obs::instant("resolve-cached");
+                    Self::emit_stats(&self.stats);
                     drop(span);
                     return Ok(s.result.clone());
                 }
@@ -535,7 +536,32 @@ impl ResolveContext {
             n_rows: self.model.num_rows(),
             result: result.clone(),
         });
+        Self::emit_stats(&self.stats);
         Ok(result)
+    }
+
+    /// Emit the cumulative reuse counters as a `resolve-stats` instant so
+    /// the flight recorder can attribute fallback-ladder causes (cached /
+    /// warm / incumbent-seeded / cold) without access to the context.
+    fn emit_stats(s: &ResolveStats) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::instant_with(
+            "resolve-stats",
+            vec![
+                ("solves", s.solves.into()),
+                ("cached_results", s.cached_results.into()),
+                ("cold_solves", s.cold_solves.into()),
+                ("incumbent_seeds", s.incumbent_seeds.into()),
+                ("warm_attempts", s.warm_attempts.into()),
+                ("warm_hits", s.warm_hits.into()),
+                ("lu_factor_reuses", s.lu_factor_reuses.into()),
+                ("lu_refactors", s.lu_refactors.into()),
+                ("frontier_resumes", s.frontier_resumes.into()),
+                ("frontier_nodes_reused", s.frontier_nodes_reused.into()),
+            ],
+        );
     }
 
     /// Re-check the last incremental result against a from-scratch solve

@@ -24,6 +24,25 @@ use std::time::Instant;
 
 use crate::lu::Factors;
 use crate::model::{Model, Sense};
+use pipemap_obs::metrics;
+
+/// Start a per-solve timer only when the metrics registry is live, and
+/// record the LP's iteration count and wall time on completion.
+/// Telemetry is read-only: nothing here feeds back into pivoting.
+fn lp_metrics_start() -> Option<Instant> {
+    metrics::enabled().then(Instant::now)
+}
+
+fn lp_metrics_record(t0: Option<Instant>, iters: usize, warm: bool) {
+    let Some(t0) = t0 else { return };
+    metrics::histogram("lp.solve_us").record(t0.elapsed().as_micros() as f64);
+    metrics::histogram("lp.iters").record(iters as f64);
+    if warm {
+        metrics::counter("lp.warm_solves").inc();
+    } else {
+        metrics::counter("lp.cold_solves").inc();
+    }
+}
 
 /// Primal/dual/pivot tolerances.
 const DUAL_TOL: f64 = 1e-7;
@@ -151,6 +170,7 @@ impl LpProblem {
         ub: &[f64],
         deadline: Option<Instant>,
     ) -> Result<(LpSolution, Option<WarmBasis>), LpAbort> {
+        let t0 = lp_metrics_start();
         for attempt in 0..5 {
             let mut w = Worker::new(self, lb, ub);
             // Diversify retries: perturbed pricing first, Bland's rule last.
@@ -160,10 +180,12 @@ impl LpProblem {
                 Err(LpAbort::Singular) => continue,
                 Ok(sol) => {
                     let snap = if sol.status == LpStatus::Optimal {
+                        w.pivot_out_artificials();
                         w.snapshot()
                     } else {
                         None
                     };
+                    lp_metrics_record(t0, sol.iters, false);
                     return Ok((sol, snap));
                 }
                 Err(e) => return Err(e),
@@ -218,6 +240,7 @@ impl LpProblem {
         warm: &WarmBasis,
         deadline: Option<Instant>,
     ) -> Result<(LpSolution, Option<WarmBasis>), LpAbort> {
+        let t0 = lp_metrics_start();
         let mut w = Worker::from_basis(self, lb, ub, warm)?;
         if !w.dual_feasible(1e-6) {
             return Err(LpAbort::Singular);
@@ -228,6 +251,7 @@ impl LpProblem {
         } else {
             None
         };
+        lp_metrics_record(t0, sol.iters, true);
         Ok((sol, snap))
     }
 
@@ -239,6 +263,7 @@ impl LpProblem {
         ub: &[f64],
         deadline: Option<Instant>,
     ) -> Result<(LpSolution, Option<(WarmBasis, Factors)>), LpAbort> {
+        let t0 = lp_metrics_start();
         for attempt in 0..5 {
             let mut w = Worker::new(self, lb, ub);
             w.price_seed = attempt as u64;
@@ -247,10 +272,12 @@ impl LpProblem {
                 Err(LpAbort::Singular) => continue,
                 Ok(sol) => {
                     let snap = if sol.status == LpStatus::Optimal {
+                        w.pivot_out_artificials();
                         w.snapshot_with_factors()
                     } else {
                         None
                     };
+                    lp_metrics_record(t0, sol.iters, false);
                     return Ok((sol, snap));
                 }
                 Err(e) => return Err(e),
@@ -279,6 +306,7 @@ impl LpProblem {
         mode: WarmMode,
         deadline: Option<Instant>,
     ) -> Result<PersistentSolve, LpAbort> {
+        let t0 = lp_metrics_start();
         let (mut w, reused) = match factors {
             Some(f) => Worker::from_basis_cached(self, lb, ub, warm, f)?,
             None => (Worker::from_basis(self, lb, ub, warm)?, false),
@@ -307,6 +335,7 @@ impl LpProblem {
         } else {
             None
         };
+        lp_metrics_record(t0, sol.iters, true);
         Ok((sol, snap, reused))
     }
 }
@@ -696,6 +725,109 @@ impl<'a> Worker<'a> {
             InnerStatus::Optimal => Ok(self.finish(LpStatus::Optimal)),
             InnerStatus::Unbounded => Ok(self.finish(LpStatus::Unbounded)),
         }
+    }
+
+    /// Drive still-basic phase-1 artificials out of an optimal basis so
+    /// it becomes snapshottable. An artificial left basic at optimality
+    /// sits at value zero (phase 1 proved feasibility), so swapping any
+    /// nonbasic real column with a nonzero entry in its row is a
+    /// *degenerate* pivot: the primal point is unchanged, only the basis
+    /// labeling moves. Each swap is followed by a refactorization and a
+    /// residual + primal-feasibility check; any doubt restores the
+    /// original basis, so this can only widen warm-start coverage, never
+    /// corrupt a solve. Returns `true` when no artificial remains basic.
+    ///
+    /// This is what lets root LPs with redundant equality rows (CORDIC,
+    /// DR) feed warm starts to their children instead of silently
+    /// reporting `warm_attempts: 0`.
+    fn pivot_out_artificials(&mut self) -> bool {
+        let n = self.p.n_struct + self.p.m;
+        if !self.basis.iter().any(|&j| j >= n) {
+            return true;
+        }
+        let saved_basis = self.basis.clone();
+        let saved_status = self.status.clone();
+        let m = self.p.m;
+        let mut rho = vec![0.0; m];
+        let mut y = vec![0.0; m];
+        let mut done = true;
+        'positions: for pos in 0..m {
+            if self.basis[pos] < n {
+                continue;
+            }
+            // Row pos of B⁻¹[A|I]; the factors are current (refactored
+            // after any previous swap). The duals are recomputed per swap
+            // for the same reason.
+            for v in rho.iter_mut() {
+                *v = 0.0;
+            }
+            rho[pos] = 1.0;
+            self.factors.btran(&mut rho);
+            for (p2, v) in y.iter_mut().enumerate() {
+                *v = self.cost[self.basis[p2]];
+            }
+            self.factors.btran(&mut y);
+            // Entering column: nonbasic, real, |alpha| above the pivot
+            // tolerance. Zero-reduced-cost columns are strongly preferred
+            // — entering one leaves the duals (hence every reduced-cost
+            // sign) untouched, so the swapped basis stays dual feasible
+            // and the children's warm dual starts accept it. Among
+            // equally-preferred candidates the largest |alpha| wins for
+            // numerical stability (first/lowest index on ties —
+            // deterministic).
+            let mut pick: Option<(usize, f64, bool)> = None;
+            for j in 0..n {
+                if matches!(self.status[j], VStat::Basic(_)) {
+                    continue;
+                }
+                let a = self.dot_col(j, &rho).abs();
+                if a <= PIVOT_TOL {
+                    continue;
+                }
+                let zero_rc = (self.cost[j] - self.dot_col(j, &y)).abs() <= 1e-9;
+                let better = match pick {
+                    None => true,
+                    Some((_, best_a, best_zrc)) => {
+                        (zero_rc && !best_zrc) || (zero_rc == best_zrc && a > best_a)
+                    }
+                };
+                if better {
+                    pick = Some((j, a, zero_rc));
+                }
+            }
+            let Some((j, _, _)) = pick else {
+                // The row is redundant given the nonbasic set; leave the
+                // artificial where it is.
+                done = false;
+                continue;
+            };
+            let art = self.basis[pos];
+            self.basis[pos] = j;
+            self.status[j] = VStat::Basic(pos);
+            // Artificials are pinned to [0, 0] after phase 1.
+            self.status[art] = VStat::AtLower;
+            if self.refactor().is_err() {
+                done = false;
+                break 'positions;
+            }
+        }
+        let clean = self.basis.iter().all(|&j| j < n);
+        if !(done
+            && clean
+            && self.residual_ok(1e-6)
+            && self.primal_feasible(1e-6)
+            && self.dual_feasible(1e-6))
+        {
+            // Restore: the original basis factored before, so this
+            // refactorization is expected to succeed; if it still fails
+            // the worker is only used for snapshotting, which the `false`
+            // return suppresses.
+            self.basis = saved_basis;
+            self.status = saved_status;
+            let _ = self.refactor();
+            return false;
+        }
+        true
     }
 
     /// Snapshot the basis for later warm starts. `None` when an artificial

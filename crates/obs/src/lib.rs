@@ -47,6 +47,8 @@
 
 pub mod chrome;
 pub mod json;
+pub mod metrics;
+pub mod report;
 pub mod tree;
 pub mod validate;
 

@@ -1,0 +1,663 @@
+//! Typed metrics registry: counters, gauges, and log-linear histograms.
+//!
+//! Mirrors the tracing half of this crate: every record call is guarded
+//! by one relaxed atomic load ([`enabled`]), recorded data is never read
+//! back by instrumented code, and disabling leaves previously recorded
+//! values collectable. Metrics are process-global and shared across
+//! threads; all mutation is relaxed-atomic **integer** arithmetic, so a
+//! [`snapshot`] taken after workers join is independent of thread
+//! interleaving — the property the solver's determinism tests pin.
+//!
+//! Handles are registered by name on first use and live for the process
+//! lifetime. Lookup takes a registry lock: hot loops should hoist the
+//! handle (`let h = metrics::histogram("lp.iters");`) out of the loop
+//! rather than re-resolving per record.
+//!
+//! Histograms are log-linear: nine linear sub-buckets per power of ten,
+//! spanning `1e-9 ..= 1e9` plus underflow/overflow buckets. The sum is
+//! accumulated in fixed-point micro-units so that concurrent adds
+//! commute exactly.
+//!
+//! Two expositions consume a [`MetricsSnapshot`]:
+//! [`to_json`] (schema `pipemap-metrics-v1`, validated by
+//! `trace-check`) and [`to_prometheus`] (text format 0.0.4, for the
+//! future `pipemap serve` scrape endpoint).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Schema identifier embedded in the JSON exposition.
+pub const METRICS_SCHEMA: &str = "pipemap-metrics-v1";
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn metric recording on (idempotent).
+pub fn enable() {
+    METRICS_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn metric recording off. Recorded values stay collectable.
+pub fn disable() {
+    METRICS_ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether metric recording is on — one relaxed load, the entire cost
+/// of a record call in disabled mode.
+#[inline]
+pub fn enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotone event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-written numeric value (single logical writer expected).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Nine linear sub-buckets per decade over `1e-9 ..= 1e9`, plus one
+/// underflow (index 0, covering `v < 1e-9` including zero/negative/NaN)
+/// and one overflow bucket.
+pub const HIST_BUCKETS: usize = 1 + 18 * 9 + 1;
+
+const POW10: [f64; 19] = [
+    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7,
+    1e8, 1e9,
+];
+
+/// Exclusive upper bound of bucket `i` (`f64::INFINITY` for the
+/// overflow bucket).
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i == 0 {
+        return 1e-9;
+    }
+    if i >= HIST_BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let d = (i - 1) / 9;
+    let sub = (i - 1) % 9 + 1;
+    (sub as f64 + 1.0) * POW10[d]
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1e-9 {
+        // NaN, negative, zero, or sub-range: underflow bucket.
+        return 0;
+    }
+    if v >= 1e9 {
+        return HIST_BUCKETS - 1;
+    }
+    let mut d = (v.log10().floor() as i32).clamp(-9, 8);
+    // log10 rounds; nudge the decade so POW10[d] <= v < POW10[d+1].
+    if v < POW10[(d + 9) as usize] {
+        d -= 1;
+    } else if d < 8 && v >= POW10[(d + 10) as usize] {
+        d += 1;
+    }
+    let d = d.clamp(-9, 8);
+    let sub = ((v / POW10[(d + 9) as usize]) as usize).clamp(1, 9);
+    1 + (d + 9) as usize * 9 + (sub - 1)
+}
+
+/// Log-linear distribution of a nonnegative quantity (times, depths,
+/// violation magnitudes). The sum is kept in fixed-point micro-units
+/// (`round(v * 1e6)`), so concurrent records commute exactly and a
+/// post-join snapshot is deterministic regardless of thread count.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_micro: AtomicI64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_micro: AtomicI64::new(0),
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64→i64 `as` saturates, so extreme values clamp instead of UB.
+        self.sum_micro
+            .fetch_add((v * 1e6).round() as i64, Ordering::Relaxed);
+    }
+
+    /// Freeze the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_upper_bound(i), c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6,
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram state: total count, exact fixed-point sum, and the
+/// nonempty buckets as `(exclusive upper bound, count)` pairs in
+/// ascending bound order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (micro-unit fixed point, exact under merge).
+    pub sum: f64,
+    /// Nonempty buckets, ascending `(upper_bound, count)`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one. Counts add; the sums are
+    /// integer multiples of 1e-6 so the addition is order-independent
+    /// up to well past any realistic magnitude.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged: Vec<(f64, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ba, ca)), Some(&&(bb, cb))) => {
+                    if ba == bb {
+                        merged.push((ba, ca + cb));
+                        a.next();
+                        b.next();
+                    } else if ba < bb {
+                        merged.push((ba, ca));
+                        a.next();
+                    } else {
+                        merged.push((bb, cb));
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+/// One registered metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter(u64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of every registered metric, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Look a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// `true` when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+}
+
+enum Handle {
+    C(&'static Counter),
+    G(&'static Gauge),
+    H(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<(&'static str, Handle)>> = Mutex::new(Vec::new());
+
+fn lookup<T>(
+    name: &'static str,
+    pick: impl Fn(&Handle) -> Option<&'static T>,
+    make: impl FnOnce() -> Handle,
+) -> &'static T {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some((_, h)) = reg.iter().find(|(n, _)| *n == name) {
+        return pick(h)
+            .unwrap_or_else(|| panic!("metric {name:?} already registered with a different type"));
+    }
+    let h = make();
+    let out = pick(&h).expect("freshly made handle matches its own type");
+    reg.push((name, h));
+    out
+}
+
+/// Register (or fetch) the counter called `name`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    lookup(
+        name,
+        |h| match h {
+            Handle::C(c) => Some(*c),
+            _ => None,
+        },
+        || Handle::C(Box::leak(Box::default())),
+    )
+}
+
+/// Register (or fetch) the gauge called `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    lookup(
+        name,
+        |h| match h {
+            Handle::G(g) => Some(*g),
+            _ => None,
+        },
+        || Handle::G(Box::leak(Box::default())),
+    )
+}
+
+/// Register (or fetch) the histogram called `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    lookup(
+        name,
+        |h| match h {
+            Handle::H(h) => Some(*h),
+            _ => None,
+        },
+        || Handle::H(Box::leak(Box::default())),
+    )
+}
+
+/// Freeze every registered metric. Call after worker threads joined;
+/// the result is then deterministic for a deterministic workload.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let mut metrics: Vec<(String, MetricValue)> = reg
+        .iter()
+        .map(|(name, h)| {
+            let v = match h {
+                Handle::C(c) => MetricValue::Counter(c.get()),
+                Handle::G(g) => MetricValue::Gauge(g.get()),
+                Handle::H(h) => MetricValue::Histogram(h.snapshot()),
+            };
+            (name.to_string(), v)
+        })
+        .collect();
+    metrics.sort_by(|a, b| a.0.cmp(&b.0));
+    MetricsSnapshot { metrics }
+}
+
+/// Zero every registered metric (handles stay valid). Used between
+/// solves so per-solve expositions don't accumulate.
+pub fn reset() {
+    let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    for (_, h) in reg.iter() {
+        match h {
+            Handle::C(c) => c.v.store(0, Ordering::Relaxed),
+            Handle::G(g) => g.bits.store(0, Ordering::Relaxed),
+            Handle::H(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum_micro.store(0, Ordering::Relaxed);
+                for b in h.buckets.iter() {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON exposition (schema `pipemap-metrics-v1`):
+///
+/// ```json
+/// {"schema": "pipemap-metrics-v1",
+///  "metrics": {
+///    "milp.nodes": {"type": "counter", "value": 812},
+///    "model.rows": {"type": "gauge", "value": 3511.0},
+///    "lp.iters": {"type": "histogram", "count": 64, "sum": 4021.0,
+///                  "buckets": [[10.0, 12], [100.0, 52]]}}}
+/// ```
+pub fn to_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"schema\": ");
+    push_escaped(&mut out, METRICS_SCHEMA);
+    out.push_str(", \"metrics\": {");
+    for (i, (name, v)) in snap.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_escaped(&mut out, name);
+        out.push_str(": ");
+        match v {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("{{\"type\": \"counter\", \"value\": {c}}}"));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str("{\"type\": \"gauge\", \"value\": ");
+                push_num(&mut out, *g);
+                out.push('}');
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{{\"type\": \"histogram\", \"count\": {}, \"sum\": ",
+                    h.count
+                ));
+                push_num(&mut out, h.sum);
+                out.push_str(", \"buckets\": [");
+                for (j, (bound, c)) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('[');
+                    if bound.is_finite() {
+                        push_num(&mut out, *bound);
+                    } else {
+                        out.push_str("null");
+                    }
+                    out.push_str(&format!(", {c}]"));
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("}}\n");
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 8);
+    s.push_str("pipemap_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Prometheus text-format (0.0.4) exposition. Metric names are
+/// prefixed `pipemap_` with non-alphanumerics mapped to `_`; histogram
+/// buckets are emitted cumulatively with a trailing `+Inf` bucket.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.metrics {
+        let pn = prom_name(name);
+        match v {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("# TYPE {pn} counter\n{pn} {c}\n"));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("# TYPE {pn} gauge\n{pn} {}\n", prom_num(*g)));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {pn} histogram\n"));
+                let mut cum = 0u64;
+                for (bound, c) in &h.buckets {
+                    cum += c;
+                    if bound.is_finite() {
+                        out.push_str(&format!(
+                            "{pn}_bucket{{le=\"{}\"}} {cum}\n",
+                            prom_num(*bound)
+                        ));
+                    }
+                }
+                out.push_str(&format!("{pn}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{pn}_sum {}\n", prom_num(h.sum)));
+                out.push_str(&format!("{pn}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_lock() -> std::sync::MutexGuard<'static, ()> {
+        // The registry and enable flag are process-global; recording
+        // tests serialize here (same discipline as the tracing tests).
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = metrics_lock();
+        disable();
+        reset();
+        counter("t.disabled.c").inc();
+        gauge("t.disabled.g").set(3.5);
+        histogram("t.disabled.h").record(42.0);
+        assert_eq!(counter("t.disabled.c").get(), 0);
+        assert_eq!(gauge("t.disabled.g").get(), 0.0);
+        assert_eq!(histogram("t.disabled.h").snapshot().count, 0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        let mut v = 1e-10;
+        while v < 1e10 {
+            let i = bucket_index(v);
+            assert!(i < HIST_BUCKETS);
+            assert!(i >= prev, "monotone at {v}");
+            assert!(
+                v < bucket_upper_bound(i),
+                "{v} below its bucket bound {}",
+                bucket_upper_bound(i)
+            );
+            prev = i;
+            v *= 1.07;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(1.0), bucket_index(1.0000000001));
+    }
+
+    #[test]
+    fn histogram_merge_is_shard_invariant() {
+        let _l = metrics_lock();
+        enable();
+        reset();
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37) % 250.0).collect();
+        let serial = histogram("t.merge.serial");
+        for &s in &samples {
+            serial.record(s);
+        }
+        let sharded = histogram("t.merge.sharded");
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(250) {
+                scope.spawn(move || {
+                    for &s in chunk {
+                        sharded.record(s);
+                    }
+                });
+            }
+        });
+        disable();
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+        // Explicit snapshot merge agrees with shared-registry merge.
+        let mut acc = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            buckets: Vec::new(),
+        };
+        for chunk in samples.chunks(100) {
+            let h = Histogram::default();
+            enable();
+            for &s in chunk {
+                h.record(s);
+            }
+            disable();
+            acc.merge(&h.snapshot());
+        }
+        assert_eq!(acc, serial.snapshot());
+    }
+
+    #[test]
+    fn expositions_roundtrip_fields() {
+        let _l = metrics_lock();
+        enable();
+        reset();
+        counter("t.expo.count").add(7);
+        gauge("t.expo.gauge").set(1.5);
+        let h = histogram("t.expo.hist");
+        h.record(3.0);
+        h.record(30.0);
+        disable();
+        let snap = snapshot();
+        let js = to_json(&snap);
+        let v = crate::json::parse(&js).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(METRICS_SCHEMA)
+        );
+        let m = v.get("metrics").expect("metrics object");
+        assert_eq!(
+            m.get("t.expo.count")
+                .and_then(|c| c.get("value"))
+                .and_then(|x| x.as_f64()),
+            Some(7.0)
+        );
+        let hist = m.get("t.expo.hist").expect("histogram");
+        assert_eq!(hist.get("count").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(hist.get("sum").and_then(|x| x.as_f64()), Some(33.0));
+        let prom = to_prometheus(&snap);
+        assert!(prom.contains("# TYPE pipemap_t_expo_count counter"));
+        assert!(prom.contains("pipemap_t_expo_count 7"));
+        assert!(prom.contains("pipemap_t_expo_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("pipemap_t_expo_hist_sum 33"));
+    }
+
+    #[test]
+    fn reset_zeroes_without_invalidating_handles() {
+        let _l = metrics_lock();
+        enable();
+        let c = counter("t.reset.c");
+        c.add(5);
+        reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        disable();
+        assert_eq!(c.get(), 1);
+    }
+}

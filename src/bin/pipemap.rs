@@ -13,6 +13,7 @@
 //! pipemap bench    <NAME>      [--limit SECS]         # built-in benchmark
 //! pipemap run      <NAME>                             # alias for bench
 //! pipemap sweep    <file.pmir> [--ii-list 1,2,4] [--k-list 4,6] [--resolve on|off] [--audit]
+//! pipemap report   <file.pmir|NAME|trace.json> [--flow FLOW] [--json] [--report-out FILE]
 //! ```
 //!
 //! `FLOW` is one of `hls`, `base`, `map` (default), `heur`. Flags may
@@ -56,6 +57,21 @@
 //! `--metrics` prints the merged phase-time tree to stderr. Both are
 //! pure observers: results are identical with tracing on or off.
 //!
+//! `--metrics-out FILE` writes the typed metrics registry (counters,
+//! gauges, log-linear histograms of LP solve times/iterations, node and
+//! dive depths, cut violations) as JSON; `--metrics-prom FILE` writes
+//! the same snapshot in Prometheus text exposition format. Either flag
+//! enables metric collection for the run; like tracing, collection is a
+//! pure observer behind one relaxed atomic check.
+//!
+//! `report` is the solve flight recorder: it runs the flow traced (or
+//! re-ingests a `--trace` Chrome JSON written earlier) and renders a
+//! structured `SolveReport` — wall-clock attributed to phases, gap
+//! closure attributed to features (cut families, warm starts, incumbent
+//! provenance), per-worker tree-search balance, and a diagnosis naming
+//! the top gap-closing feature. `--json` prints the machine-readable
+//! twin instead; `--report-out FILE` writes it alongside the human text.
+//!
 //! `lint` parses the textual IR and runs the well-formedness pass,
 //! reporting every finding with its stable `P0xxx` code and source span;
 //! `analyze` runs the bit-level dataflow analyses and proof-carrying
@@ -95,6 +111,9 @@ struct Args {
     jobs: usize,
     trace: Option<String>,
     metrics: bool,
+    metrics_out: Option<String>,
+    metrics_prom: Option<String>,
+    report_out: Option<String>,
     probing: bool,
     cuts: bool,
     symmetry: bool,
@@ -140,6 +159,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         jobs: 1,
         trace: None,
         metrics: false,
+        metrics_out: None,
+        metrics_prom: None,
+        report_out: None,
         probing: true,
         cuts: true,
         symmetry: true,
@@ -199,6 +221,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--trace" => {
                 a.trace = Some(argv.next().ok_or("--trace needs an output file")?);
+            }
+            "--metrics-out" => {
+                a.metrics_out = Some(argv.next().ok_or("--metrics-out needs an output file")?);
+            }
+            "--metrics-prom" => {
+                a.metrics_prom = Some(argv.next().ok_or("--metrics-prom needs an output file")?);
+            }
+            "--report-out" => {
+                a.report_out = Some(argv.next().ok_or("--report-out needs an output file")?);
             }
             "--probing" => a.probing = parse_switch("--probing", argv.next())?,
             "--cuts" => a.cuts = parse_switch("--cuts", argv.next())?,
@@ -275,11 +306,33 @@ fn run() -> Result<(), Box<dyn Error>> {
     }
     let cmd = a.positional.remove(0);
 
-    let tracing = a.trace.is_some() || a.metrics;
+    // `report` on a flow input needs the trace even without --trace; a
+    // `report` on an existing Chrome JSON re-ingests it instead.
+    let report_run = cmd == "report" && a.positional.first().is_some_and(|p| !p.ends_with(".json"));
+    let tracing = a.trace.is_some() || a.metrics || report_run;
+    let metering = a.metrics_out.is_some() || a.metrics_prom.is_some();
     if tracing {
         pipemap::obs::enable();
     }
+    if metering {
+        pipemap::obs::metrics::enable();
+    }
     let result = dispatch(&cmd, &a);
+    if metering {
+        pipemap::obs::metrics::disable();
+        let snap = pipemap::obs::metrics::snapshot();
+        if let Some(path) = &a.metrics_out {
+            std::fs::write(path, pipemap::obs::metrics::to_json(&snap))?;
+            eprintln!("metrics: {} metric(s) -> {path}", snap.len());
+        }
+        if let Some(path) = &a.metrics_prom {
+            std::fs::write(path, pipemap::obs::metrics::to_prometheus(&snap))?;
+            eprintln!(
+                "metrics: {} metric(s) -> {path} (Prometheus text)",
+                snap.len()
+            );
+        }
+    }
     if tracing {
         pipemap::obs::disable();
         let trace = pipemap::obs::take();
@@ -293,8 +346,28 @@ fn run() -> Result<(), Box<dyn Error>> {
         if a.metrics {
             eprint!("{}", pipemap::obs::tree::phase_tree(&trace).render());
         }
+        if report_run && result.is_ok() {
+            emit_report(&trace, &a)?;
+        }
     }
     result
+}
+
+/// Build the [`SolveReport`](pipemap::obs::report::SolveReport) from a
+/// captured trace and write it as asked: human text to stdout (or the
+/// JSON twin with `--json`), plus `--report-out FILE` for the twin.
+fn emit_report(trace: &pipemap::obs::Trace, a: &Args) -> Result<(), Box<dyn Error>> {
+    let report = pipemap::obs::report::build(trace);
+    if let Some(path) = &a.report_out {
+        std::fs::write(path, report.to_json())?;
+        eprintln!("report: -> {path}");
+    }
+    if a.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
 }
 
 fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
@@ -640,6 +713,42 @@ fn dispatch(cmd: &str, a: &Args) -> Result<(), Box<dyn Error>> {
                     rep.audit_failures
                 )
                 .into());
+            }
+        }
+        "report" => {
+            let input = a
+                .positional
+                .first()
+                .ok_or("report needs a .pmir file, benchmark name, or trace.json")?;
+            if input.ends_with(".json") {
+                // Re-ingest a Chrome trace written by `--trace` earlier;
+                // no flow runs, so the surrounding tracing harness in
+                // `run` is off and the report is emitted right here.
+                let text = std::fs::read_to_string(input)?;
+                let trace = pipemap::obs::report::trace_from_chrome(&text)
+                    .map_err(|e| format!("{input}: {e}"))?;
+                emit_report(&trace, a)?;
+            } else {
+                // Run the flow traced; `run` takes the trace and emits
+                // the report after this returns. The solved QoR goes to
+                // stderr so stdout stays pure report.
+                let (dfg, t) = if std::path::Path::new(input).exists() {
+                    (load(input)?, target(a))
+                } else {
+                    let b = pipemap::bench_suite::by_name(input).ok_or(
+                        "report needs a .pmir file, a known benchmark name, or a --trace JSON",
+                    )?;
+                    (b.dfg, b.target)
+                };
+                let r = run_flow(&dfg, &t, a.flow, &options(a))?;
+                eprintln!(
+                    "solved: {} | CP {:.2}ns | {} LUT | {} FF | II {}",
+                    r.flow.label(),
+                    r.qor.cp_ns,
+                    r.qor.luts,
+                    r.qor.ffs,
+                    r.ii
+                );
             }
         }
         other => {

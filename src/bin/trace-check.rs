@@ -1,23 +1,30 @@
-//! `trace-check` — structural validator for the Chrome trace-event JSON
-//! files `pipemap --trace` writes. Backs the CI trace-smoke job.
+//! `trace-check` — structural validator for the observability artifacts
+//! pipemap writes: Chrome trace-event JSON (`--trace`), the metrics
+//! exposition (`--metrics-out`, schema `pipemap-metrics-v1`), and the
+//! solve report (`pipemap report --report-out`, schema
+//! `pipemap-solve-report-v1`). Backs the CI trace-smoke job.
 //!
 //! ```text
-//! trace-check <trace.json> [more.json ...]
+//! trace-check <artifact.json> [more.json ...]
 //! ```
 //!
-//! For each file: parses the JSON, requires a `traceEvents` array whose
-//! events all carry `ph`/`pid`/`tid`/`name` (and `ts` for non-metadata
-//! events), and checks every `E` closes the matching `B` of the same
-//! lane in LIFO order. Exits non-zero on the first invalid file.
+//! Each file is dispatched on its `schema` field (no `schema` means a
+//! Chrome trace). Traces must have a `traceEvents` array whose events
+//! all carry `ph`/`pid`/`tid`/`name` (and `ts` for non-metadata events)
+//! with every `E` closing the matching `B` of the same lane in LIFO
+//! order; metrics documents must type-check with ascending histogram
+//! buckets that sum to their counts; reports must carry every section
+//! with phase times reconciling to the wall clock. Exits non-zero on
+//! the first invalid file.
 
 use std::process::ExitCode;
 
-use pipemap::obs::validate::validate_chrome_trace;
+use pipemap::obs::validate::{validate_document, DocumentCheck};
 
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: trace-check <trace.json> [more.json ...]");
+        eprintln!("usage: trace-check <artifact.json> [more.json ...]");
         return ExitCode::from(2);
     }
     for path in &paths {
@@ -28,9 +35,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match validate_chrome_trace(&text) {
-            Ok(c) => println!(
-                "{path}: ok — {} event(s): {} span(s), {} instant(s), {} counter(s) \
+        match validate_document(&text) {
+            Ok(DocumentCheck::Trace(c)) => println!(
+                "{path}: ok — trace: {} event(s): {} span(s), {} instant(s), {} counter(s) \
                  on {} lane(s); max depth {}, wall {:.3} ms",
                 c.events,
                 c.spans,
@@ -40,6 +47,12 @@ fn main() -> ExitCode {
                 c.max_depth,
                 c.wall_us as f64 / 1e3
             ),
+            Ok(DocumentCheck::Metrics(metrics, hists)) => {
+                println!("{path}: ok — metrics: {metrics} metric(s), {hists} histogram(s)")
+            }
+            Ok(DocumentCheck::Report(phases, features)) => {
+                println!("{path}: ok — solve report: {phases} phase(s), {features} feature(s)")
+            }
             Err(e) => {
                 eprintln!("trace-check: {path}: INVALID: {e}");
                 return ExitCode::FAILURE;
